@@ -1,0 +1,453 @@
+package ppar
+
+// One benchmark per figure of the paper's evaluation (Figures 3-9), running
+// the REAL engine at reduced scale, plus ablation benches for the design
+// choices DESIGN.md calls out. `go run ./cmd/ppbench` prints the same
+// series as tables (modelled at paper scale by default, -real for these
+// code paths).
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ppar/internal/core"
+	"ppar/internal/jgf"
+	"ppar/internal/jgf/invasive"
+	"ppar/internal/jgf/refimpl"
+	"ppar/internal/team"
+)
+
+const (
+	benchN     = 256
+	benchIters = 30
+)
+
+func benchCfg(mode core.Mode, pe int) core.Config {
+	cfg := core.Config{AppName: "bench-sor", Mode: mode, Modules: jgf.SORModules(mode)}
+	switch mode {
+	case core.Shared:
+		cfg.Threads = pe
+	case core.Distributed:
+		cfg.Procs = pe
+	}
+	return cfg
+}
+
+func runBench(b *testing.B, cfg core.Config, n, iters int) core.Report {
+	b.Helper()
+	res := &jgf.SORResult{}
+	eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(n, iters, res) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return eng.Report()
+}
+
+// --- Figure 3: checkpoint overhead --------------------------------------
+
+func BenchmarkFig3_CheckpointOverhead(b *testing.B) {
+	envs := []struct {
+		name string
+		mode core.Mode
+		pe   int
+	}{
+		{"seq", core.Sequential, 1},
+		{"2LE", core.Shared, 2}, {"4LE", core.Shared, 4},
+		{"2P", core.Distributed, 2}, {"4P", core.Distributed, 4},
+	}
+	for _, e := range envs {
+		e := e
+		b.Run(e.name+"/original", func(b *testing.B) {
+			cfg := benchCfg(e.mode, e.pe)
+			cfg.Modules = nil
+			switch e.mode {
+			case core.Shared:
+				cfg.Modules = []*core.Module{jgf.SORSharedModule()}
+			case core.Distributed:
+				cfg.Modules = []*core.Module{jgf.SORDistModule()}
+			}
+			for i := 0; i < b.N; i++ {
+				runBench(b, cfg, benchN, benchIters)
+			}
+		})
+		b.Run(e.name+"/ckpt0", func(b *testing.B) {
+			cfg := benchCfg(e.mode, e.pe)
+			cfg.CheckpointDir = b.TempDir()
+			for i := 0; i < b.N; i++ {
+				runBench(b, cfg, benchN, benchIters)
+			}
+		})
+		b.Run(e.name+"/ckpt1", func(b *testing.B) {
+			cfg := benchCfg(e.mode, e.pe)
+			cfg.CheckpointDir = b.TempDir()
+			cfg.CheckpointEvery = benchIters / 2
+			cfg.MaxCheckpoints = 1
+			for i := 0; i < b.N; i++ {
+				runBench(b, cfg, benchN, benchIters)
+			}
+		})
+	}
+	b.Run("seq/invasive-ckpt1", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			s := invasive.New(benchN, benchIters)
+			if err := s.EnableCheckpoints(dir, benchIters/2, 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Figure 4: time to save checkpoint data ------------------------------
+
+func BenchmarkFig4_SaveCheckpoint(b *testing.B) {
+	envs := []struct {
+		name string
+		mode core.Mode
+		pe   int
+	}{
+		{"seq", core.Sequential, 1},
+		{"4LE", core.Shared, 4},
+		{"4P-gather", core.Distributed, 4},
+	}
+	for _, e := range envs {
+		e := e
+		b.Run(e.name, func(b *testing.B) {
+			cfg := benchCfg(e.mode, e.pe)
+			cfg.CheckpointDir = b.TempDir()
+			cfg.CheckpointEvery = benchIters / 2
+			cfg.MaxCheckpoints = 1
+			var save, bytes int64
+			for i := 0; i < b.N; i++ {
+				rep := runBench(b, cfg, benchN, benchIters)
+				save += rep.SaveTotal.Nanoseconds()
+				bytes = int64(rep.SaveBytes)
+			}
+			b.ReportMetric(float64(save)/float64(b.N), "save-ns/op")
+			b.ReportMetric(float64(bytes), "ckpt-bytes")
+		})
+	}
+}
+
+// --- Figure 5: restart overhead ------------------------------------------
+
+func BenchmarkFig5_Restart(b *testing.B) {
+	for _, e := range []struct {
+		name string
+		mode core.Mode
+		pe   int
+	}{
+		{"seq", core.Sequential, 1},
+		{"4LE", core.Shared, 4},
+		{"4P", core.Distributed, 4},
+	} {
+		e := e
+		b.Run(e.name, func(b *testing.B) {
+			var replay, load int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := benchCfg(e.mode, e.pe)
+				cfg.CheckpointDir = b.TempDir()
+				cfg.CheckpointEvery = 10
+				cfg.FailAtSafePoint = benchIters - 5
+				res := &jgf.SORResult{}
+				eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(benchN, benchIters, res) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Run(); !errors.Is(err, core.ErrInjectedFailure) {
+					b.Fatalf("failure did not fire: %v", err)
+				}
+				cfg.FailAtSafePoint = 0
+				eng2, err := core.New(cfg, func() core.App { return jgf.NewSOR(benchN, benchIters, res) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := eng2.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				rep := eng2.Report()
+				replay += rep.ReplayTime.Nanoseconds()
+				load += rep.LoadTotal.Nanoseconds()
+			}
+			b.ReportMetric(float64(replay)/float64(b.N), "replay-ns/op")
+			b.ReportMetric(float64(load)/float64(b.N), "load-ns/op")
+		})
+	}
+}
+
+// --- Figure 6: restart on more resources ----------------------------------
+
+func BenchmarkFig6_RestartWider(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		res := &jgf.SORResult{}
+		factory := func() core.App { return jgf.NewSOR(benchN, benchIters, res) }
+		narrow := core.Config{
+			AppName: "bench-sor", Mode: core.Distributed, Procs: 2,
+			Modules:       jgf.SORModules(core.Distributed),
+			CheckpointDir: dir, StopCheckpointAt: benchIters / 2,
+		}
+		eng, err := core.New(narrow, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := eng.Run(); err == nil {
+			b.Fatal("did not stop for adaptation")
+		}
+		wider := narrow
+		wider.StopCheckpointAt = 0
+		wider.Procs = 8
+		eng2, err := core.New(wider, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng2.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: run-time expansion vs restart expansion --------------------
+
+func BenchmarkFig7_RuntimeAdapt(b *testing.B) {
+	for _, from := range []int{2, 4} {
+		from := from
+		b.Run(fmt.Sprintf("from-%dLE", from), func(b *testing.B) {
+			cfg := benchCfg(core.Shared, from)
+			cfg.AdaptAtSafePoint = benchIters / 2
+			cfg.AdaptTo = core.AdaptTarget{Threads: 8}
+			for i := 0; i < b.N; i++ {
+				rep := runBench(b, cfg, benchN, benchIters)
+				if !rep.Adapted {
+					b.Fatal("did not adapt")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig7_RestartAdapt(b *testing.B) {
+	for _, from := range []int{2, 4} {
+		from := from
+		b.Run(fmt.Sprintf("from-%dLE", from), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				res := &jgf.SORResult{}
+				factory := func() core.App { return jgf.NewSOR(benchN, benchIters, res) }
+				first := core.Config{
+					AppName: "bench-sor", Mode: core.Shared, Threads: from,
+					Modules:       jgf.SORModules(core.Shared),
+					CheckpointDir: dir, StopCheckpointAt: benchIters / 2,
+				}
+				eng, err := core.New(first, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := eng.Run(); err == nil {
+					b.Fatal("did not stop")
+				}
+				second := first
+				second.StopCheckpointAt = 0
+				second.Threads = 8
+				eng2, err := core.New(second, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng2.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 8: over-decomposition ------------------------------------------
+
+func BenchmarkFig8_OverDecomposition(b *testing.B) {
+	const pe = 4
+	for _, of := range []int{1, 2, 4, 8, 16} {
+		of := of
+		b.Run(fmt.Sprintf("of-%d", of), func(b *testing.B) {
+			tasks := pe * of
+			for i := 0; i < b.N; i++ {
+				g := jgf.NewSOR(benchN, benchIters, nil)
+				team.OverDecompose(tasks, pe, benchIters, func(task, iter int) {
+					lo, hi := team.StaticSpan(task, tasks, 1, benchN-1)
+					_ = lo
+					_ = hi
+					benchSweep(g, lo, hi)
+				})
+			}
+		})
+	}
+}
+
+func benchSweep(g *jgf.SOR, lo, hi int) {
+	omega, oneMinus := g.Omega, 1-g.Omega
+	for colour := 0; colour < 2; colour++ {
+		for i := lo; i < hi; i++ {
+			row := g.G[i]
+			up, down := g.G[i-1], g.G[i+1]
+			for j := 1 + (i+colour)%2; j < g.N-1; j += 2 {
+				row[j] = omega*0.25*(up[j]+down[j]+row[j-1]+row[j+1]) + oneMinus*row[j]
+			}
+		}
+	}
+}
+
+// --- Figure 9: adaptability overhead ----------------------------------------
+
+func BenchmarkFig9_JGFSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		refimpl.Sequential(benchN, benchIters)
+	}
+}
+
+func BenchmarkFig9_JGFThreads(b *testing.B) {
+	for _, pe := range []int{2, 4} {
+		pe := pe
+		b.Run(fmt.Sprintf("%dT", pe), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				refimpl.Threads(benchN, benchIters, pe)
+			}
+		})
+	}
+}
+
+func BenchmarkFig9_JGFMPI(b *testing.B) {
+	for _, pe := range []int{2, 4} {
+		pe := pe
+		b.Run(fmt.Sprintf("%dP", pe), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := refimpl.MPI(benchN, benchIters, pe, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig9_Adaptive(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mode core.Mode
+		pe   int
+	}{{"seq", core.Sequential, 1}, {"4LE", core.Shared, 4}, {"4P", core.Distributed, 4}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := benchCfg(tc.mode, tc.pe)
+			for i := 0; i < b.N; i++ {
+				runBench(b, cfg, benchN, benchIters)
+			}
+		})
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// Gather-at-master vs per-rank shard checkpoints (§IV.A's two distributed
+// alternatives).
+func BenchmarkAblation_DistCheckpointStrategy(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards bool
+	}{{"gather-at-master", false}, {"local-shards", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := benchCfg(core.Distributed, 4)
+			cfg.CheckpointDir = b.TempDir()
+			cfg.CheckpointEvery = 10
+			cfg.ShardCheckpoints = tc.shards
+			var save int64
+			for i := 0; i < b.N; i++ {
+				rep := runBench(b, cfg, benchN, benchIters)
+				save += rep.SaveTotal.Nanoseconds()
+			}
+			b.ReportMetric(float64(save)/float64(b.N), "save-ns/op")
+		})
+	}
+}
+
+// Safe-point interval: checkpoint overhead vs computation lost (the §IV.A
+// trade-off).
+func BenchmarkAblation_CheckpointInterval(b *testing.B) {
+	for _, every := range []uint64{5, 10, 15, 30} {
+		every := every
+		b.Run(fmt.Sprintf("every-%d", every), func(b *testing.B) {
+			cfg := benchCfg(core.Sequential, 1)
+			cfg.CheckpointDir = b.TempDir()
+			cfg.CheckpointEvery = every
+			for i := 0; i < b.N; i++ {
+				runBench(b, cfg, benchN, benchIters)
+			}
+		})
+	}
+}
+
+// Loop schedules: the pluggable module swap of §III.B.
+func BenchmarkAblation_LoopSchedule(b *testing.B) {
+	mods := map[string]*core.Module{
+		"static":     jgf.SORSharedModule(),
+		"dynamic-8":  jgf.SORSharedDynamicModule(8),
+		"dynamic-32": jgf.SORSharedDynamicModule(32),
+	}
+	for name, mod := range mods {
+		mod := mod
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{
+				AppName: "bench-sor", Mode: core.Shared, Threads: 4,
+				Modules: []*core.Module{mod, jgf.SORCheckpointModule()},
+			}
+			for i := 0; i < b.N; i++ {
+				runBench(b, cfg, benchN, benchIters)
+			}
+		})
+	}
+}
+
+// Transports: in-process channels vs TCP loopback.
+func BenchmarkAblation_Transport(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		tcp  bool
+	}{{"inproc", false}, {"tcp", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := benchCfg(core.Distributed, 4)
+			cfg.TCP = tc.tcp
+			for i := 0; i < b.N; i++ {
+				runBench(b, cfg, benchN, benchIters)
+			}
+		})
+	}
+}
+
+// The cost of an advised call vs the machinery-free base code: what the
+// "pluggable" indirection itself costs.
+func BenchmarkAblation_CallOverhead(b *testing.B) {
+	b.Run("unplugged-engine", func(b *testing.B) {
+		cfg := core.Config{AppName: "bench-sor", Mode: core.Sequential}
+		for i := 0; i < b.N; i++ {
+			runBench(b, cfg, benchN, benchIters)
+		}
+	})
+	b.Run("hand-written", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refimpl.Sequential(benchN, benchIters)
+		}
+	})
+}

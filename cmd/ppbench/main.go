@@ -1,0 +1,83 @@
+// Command ppbench regenerates the figures of the paper's evaluation
+// section. Each figure can be produced from the calibrated analytic model
+// at the paper's scale (default; see internal/perfmodel) or measured on the
+// real engine at a reduced scale:
+//
+//	ppbench              # all figures, modelled
+//	ppbench -fig 5       # one figure
+//	ppbench -real        # real engine runs (scaled down)
+//	ppbench -real -n 600 -iters 80 -maxpe 8
+//	ppbench -csv         # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppar/internal/figures"
+	"ppar/internal/metrics"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	fs := flag.NewFlagSet("ppbench", flag.ExitOnError)
+	fig := fs.Int("fig", 0, "figure to regenerate (3..9; 0 = all)")
+	real := fs.Bool("real", false, "measure the real engine instead of the model")
+	n := fs.Int("n", 400, "grid size for -real")
+	iters := fs.Int("iters", 60, "iterations for -real")
+	maxpe := fs.Int("maxpe", 8, "largest PE count for -real")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	dir := fs.String("ckptdir", "", "checkpoint directory for -real (default: temp)")
+	fs.Parse(os.Args[1:])
+
+	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir}
+	if scale.Dir == "" {
+		tmp, err := os.MkdirTemp("", "ppbench-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		scale.Dir = tmp
+	}
+
+	type gen struct {
+		id    int
+		model func() *metrics.Table
+		real  func(figures.RealScale) (*metrics.Table, error)
+	}
+	gens := []gen{
+		{3, figures.Fig3Model, figures.Fig3Real},
+		{4, figures.Fig4Model, figures.Fig4Real},
+		{5, figures.Fig5Model, figures.Fig5Real},
+		{6, figures.Fig6Model, figures.Fig6Real},
+		{7, figures.Fig7Model, figures.Fig7Real},
+		{8, figures.Fig8Model, figures.Fig8Real},
+		{9, figures.Fig9Model, figures.Fig9Real},
+	}
+	for _, g := range gens {
+		if *fig != 0 && g.id != *fig {
+			continue
+		}
+		var tbl *metrics.Table
+		if *real {
+			var err error
+			tbl, err = g.real(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure %d: %v\n", g.id, err)
+				return 1
+			}
+		} else {
+			tbl = g.model()
+		}
+		if *csv {
+			tbl.FprintCSV(os.Stdout)
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
+		fmt.Println()
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+// Command ppsor runs the JGF SOR benchmark under any deployment of the
+// pluggable-parallelisation engine, with checkpointing, failure injection
+// and run-time adaptation available from the command line:
+//
+//	ppsor -mode seq -n 500 -iters 100
+//	ppsor -mode smp -threads 8
+//	ppsor -mode dist -procs 4 -ckpt /tmp/ck -every 10
+//	ppsor -mode dist -procs 4 -ckpt /tmp/ck -every 10 -fail 25   # then re-run to recover
+//	ppsor -mode smp -threads 2 -adapt-at 50 -adapt-threads 8
+//	ppsor -mode dist -procs 2 -ckpt /tmp/ck -stop-at 26          # checkpoint & stop; re-run wider
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"ppar/internal/core"
+	"ppar/internal/jgf"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	mode := flag.String("mode", "seq", "deployment: seq | smp | dist | hybrid")
+	n := flag.Int("n", 500, "grid size")
+	iters := flag.Int("iters", 100, "iterations")
+	threads := flag.Int("threads", 4, "team size (smp/hybrid)")
+	procs := flag.Int("procs", 4, "world size (dist/hybrid)")
+	tcp := flag.Bool("tcp", false, "use the TCP transport")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory (enables checkpointing)")
+	every := flag.Uint64("every", 0, "checkpoint every N safe points")
+	shards := flag.Bool("shards", false, "per-rank shard checkpoints instead of gather-at-master")
+	fail := flag.Uint64("fail", 0, "inject a failure at this safe point")
+	failRank := flag.Int("fail-rank", 0, "rank that fails")
+	stopAt := flag.Uint64("stop-at", 0, "checkpoint and stop at this safe point (adaptation by restart)")
+	adaptAt := flag.Uint64("adapt-at", 0, "apply a run-time adaptation at this safe point")
+	adaptThreads := flag.Int("adapt-threads", 0, "run-time adaptation target team size")
+	adaptProcs := flag.Int("adapt-procs", 0, "run-time adaptation target world size")
+	flag.Parse()
+
+	var m core.Mode
+	switch *mode {
+	case "seq":
+		m = core.Sequential
+	case "smp":
+		m = core.Shared
+	case "dist":
+		m = core.Distributed
+	case "hybrid":
+		m = core.Hybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		return 2
+	}
+
+	res := &jgf.SORResult{}
+	cfg := core.Config{
+		AppName: "ppsor", Mode: m, Threads: *threads, Procs: *procs, TCP: *tcp,
+		Modules:       jgf.SORModules(m),
+		CheckpointDir: *ckptDir, CheckpointEvery: *every, ShardCheckpoints: *shards,
+		FailAtSafePoint: *fail, FailRank: *failRank,
+		StopCheckpointAt: *stopAt,
+		AdaptAtSafePoint: *adaptAt,
+		AdaptTo:          core.AdaptTarget{Threads: *adaptThreads, Procs: *adaptProcs},
+	}
+	eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(*n, *iters, res) })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	err = eng.Run()
+	rep := eng.Report()
+	var stopped *core.ErrStopped
+	switch {
+	case err == nil:
+		fmt.Printf("completed: Gtotal=%.12f safePoints=%d elapsed=%v\n",
+			res.Gtotal, rep.SafePoints, rep.Elapsed)
+	case errors.As(err, &stopped):
+		fmt.Printf("checkpointed and stopped at safe point %d for adaptation by restart\n", stopped.SafePoint)
+		return 0
+	case errors.Is(err, core.ErrInjectedFailure):
+		fmt.Printf("failed at safe point %d (as requested); re-run to recover from the last checkpoint\n", *fail)
+		return 0
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if rep.Restarted {
+		fmt.Printf("recovered from checkpoint: replay=%v load=%v\n", rep.ReplayTime, rep.LoadTotal)
+	}
+	if rep.Adapted {
+		fmt.Println("run-time adaptation applied")
+	}
+	if rep.Checkpoints > 0 {
+		fmt.Printf("checkpoints: %d (%d bytes, save total %v)\n", rep.Checkpoints, rep.SaveBytes, rep.SaveTotal)
+	}
+	return 0
+}

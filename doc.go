@@ -1,0 +1,10 @@
+// Module ppar reproduces "Checkpoint and Run-Time Adaptation with Pluggable
+// Parallelisation" (Medeiros & Sobral, ICPP 2011) as a production-quality Go
+// library.
+//
+// Start with package ppar/pp (the public API), README.md (overview and
+// quickstart), DESIGN.md (system inventory and per-experiment index) and
+// EXPERIMENTS.md (paper-vs-measured for every figure). The benchmarks in
+// bench_test.go regenerate each figure of the paper's evaluation; the
+// ppbench command prints them as tables.
+package ppar

@@ -1,0 +1,149 @@
+// Package adapt simulates the external resource manager the paper assumes
+// (§I, §VI: "Current implementation of this approach rely on external tools
+// [to] determinate the optimal set of resources to be used by the
+// applications", citing self-adaptation systems like [3]).
+//
+// A Manager replays a schedule of resource-availability events against a
+// running engine: "availability of new resources" turns into an expansion
+// request, "requests to release allocated resources for use by higher
+// priority jobs" into a contraction request. The engine applies each
+// request at the next safe point its coordinator reaches — the decoupling
+// the paper prescribes (resource *selection* is external; resource
+// *adaptation* is the pluggable runtime's job).
+package adapt
+
+import (
+	"sync"
+	"time"
+
+	"ppar/internal/core"
+)
+
+// Event is one change in the resources committed to the application.
+type Event struct {
+	// After is the delay from Drive until the event fires.
+	After time.Duration
+	// Target is the new resource allocation.
+	Target core.AdaptTarget
+	// Reason is free-form (logged by callers).
+	Reason string
+}
+
+// Grant builds an expansion event.
+func Grant(after time.Duration, target core.AdaptTarget) Event {
+	return Event{After: after, Target: target, Reason: "resources granted"}
+}
+
+// Revoke builds a contraction event.
+func Revoke(after time.Duration, target core.AdaptTarget) Event {
+	return Event{After: after, Target: target, Reason: "resources revoked for a higher-priority job"}
+}
+
+// Manager replays availability events against an engine.
+type Manager struct {
+	events []Event
+
+	mu    sync.Mutex
+	fired []Event
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewManager creates a manager for the given schedule.
+func NewManager(events ...Event) *Manager {
+	return &Manager{events: events}
+}
+
+// Drive starts replaying the schedule against eng. Events with no delay
+// fire synchronously before Drive returns (so a request scheduled "now" is
+// pending before the run starts); delayed events fire from a background
+// goroutine. Call the returned stop function (idempotent) once the run
+// finishes; events whose delay has not elapsed by then never fire — exactly
+// like a real resource manager outliving a short job.
+func (m *Manager) Drive(eng *core.Engine) (stop func()) {
+	m.mu.Lock()
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	stopCh, doneCh := m.stop, m.done
+	m.mu.Unlock()
+
+	var delayed []Event
+	for _, ev := range m.events {
+		if ev.After <= 0 {
+			eng.RequestAdapt(ev.Target)
+			m.mu.Lock()
+			m.fired = append(m.fired, ev)
+			m.mu.Unlock()
+			continue
+		}
+		delayed = append(delayed, ev)
+	}
+
+	go func() {
+		defer close(doneCh)
+		start := time.Now()
+		for _, ev := range delayed {
+			wait := ev.After - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-stopCh:
+					return
+				}
+			}
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			eng.RequestAdapt(ev.Target)
+			m.mu.Lock()
+			m.fired = append(m.fired, ev)
+			m.mu.Unlock()
+		}
+	}()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopCh) })
+		<-doneCh
+	}
+}
+
+// Fired reports the events delivered so far.
+func (m *Manager) Fired() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.fired...)
+}
+
+// StepPolicy is a trivial self-adaptation policy of the kind the paper's
+// future work proposes (§VI): given an observed per-safe-point duration and
+// a deadline for the remaining work, it recommends a team size between Min
+// and Max. It exists to demonstrate how a monitoring loop composes with
+// RequestAdapt; sophisticated policies belong to external tools.
+type StepPolicy struct {
+	Min, Max int
+}
+
+// Recommend returns the smallest width within [Min,Max] projected to finish
+// remaining safe points before the deadline, assuming linear scaling from
+// the observed per-safe-point time at the current width.
+func (p StepPolicy) Recommend(current int, perSafePoint time.Duration, remaining int, deadline time.Duration) int {
+	if current < 1 {
+		current = 1
+	}
+	need := time.Duration(remaining) * perSafePoint
+	width := current
+	for width < p.Max && need > deadline {
+		width *= 2
+		need /= 2
+	}
+	if width > p.Max {
+		width = p.Max
+	}
+	if width < p.Min {
+		width = p.Min
+	}
+	return width
+}

@@ -1,0 +1,102 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"ppar/internal/core"
+	"ppar/internal/jgf"
+)
+
+func TestManagerDrivesExpansion(t *testing.T) {
+	ref := jgf.SORReference(64, 40)
+	res := &jgf.SORResult{}
+	cfg := core.Config{
+		Mode: core.Shared, Threads: 2, AppName: "adapt-sor",
+		Modules: jgf.SORModules(core.Shared),
+	}
+	eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(64, 40, res) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Grant(0, core.AdaptTarget{Threads: 4}))
+	stop := m.Drive(eng)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if len(m.Fired()) != 1 {
+		t.Fatalf("fired %d events, want 1", len(m.Fired()))
+	}
+	if !eng.Report().Adapted {
+		t.Error("engine did not adapt")
+	}
+	if res.Gtotal != ref {
+		t.Fatalf("Gtotal=%v want %v", res.Gtotal, ref)
+	}
+}
+
+func TestManagerStopCancelsPendingEvents(t *testing.T) {
+	m := NewManager(Grant(time.Hour, core.AdaptTarget{Threads: 8}))
+	res := &jgf.SORResult{}
+	cfg := core.Config{Mode: core.Shared, Threads: 2, AppName: "adapt-sor",
+		Modules: jgf.SORModules(core.Shared)}
+	eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(32, 5, res) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := m.Drive(eng)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not cancel the pending event")
+	}
+	if len(m.Fired()) != 0 {
+		t.Errorf("event fired despite one-hour delay")
+	}
+	stop() // idempotent
+}
+
+func TestRevokeThenGrantSequence(t *testing.T) {
+	ref := jgf.SORReference(64, 60)
+	res := &jgf.SORResult{}
+	cfg := core.Config{Mode: core.Shared, Threads: 4, AppName: "adapt-sor",
+		Modules: jgf.SORModules(core.Shared)}
+	eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(64, 60, res) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(
+		Revoke(0, core.AdaptTarget{Threads: 2}),
+		Grant(2*time.Millisecond, core.AdaptTarget{Threads: 4}),
+	)
+	stop := m.Drive(eng)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if res.Gtotal != ref {
+		t.Fatalf("Gtotal=%v want %v", res.Gtotal, ref)
+	}
+}
+
+func TestStepPolicy(t *testing.T) {
+	p := StepPolicy{Min: 1, Max: 16}
+	// Comfortably on schedule: keep the current width.
+	if got := p.Recommend(4, time.Millisecond, 10, time.Second); got != 4 {
+		t.Errorf("on-schedule recommend = %d, want 4", got)
+	}
+	// Far behind: scale out (but never past Max).
+	if got := p.Recommend(2, 100*time.Millisecond, 1000, time.Second); got != 16 {
+		t.Errorf("behind recommend = %d, want 16", got)
+	}
+	// Clamp to Min.
+	if got := p.Recommend(0, time.Nanosecond, 1, time.Hour); got != 1 {
+		t.Errorf("min clamp = %d, want 1", got)
+	}
+}

@@ -1,0 +1,249 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppar/internal/serial"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := newStore(t)
+	snap := serial.NewSnapshot("app", "seq", 50)
+	snap.Fields["x"] = serial.Float64s([]float64{1, 2, 3})
+	if err := s.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := s.Load("app")
+	if err != nil || !found {
+		t.Fatalf("load: found=%v err=%v", found, err)
+	}
+	if got.SafePoints != 50 || got.Fields["x"].Fs[2] != 3 {
+		t.Fatalf("bad snapshot: %+v", got)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	s := newStore(t)
+	_, found, err := s.Load("nothing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("found a snapshot that was never saved")
+	}
+}
+
+func TestShards(t *testing.T) {
+	s := newStore(t)
+	for r := 0; r < 3; r++ {
+		snap := serial.NewSnapshot("app", "dist", 10)
+		snap.Fields["r"] = serial.Int64(int64(r))
+		if err := s.SaveShard(snap, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		got, found, err := s.LoadShard("app", r)
+		if err != nil || !found {
+			t.Fatalf("shard %d: found=%v err=%v", r, found, err)
+		}
+		if got.Fields["r"].I != int64(r) {
+			t.Errorf("shard %d holds %d", r, got.Fields["r"].I)
+		}
+	}
+	// Canonical and shard namespaces are separate.
+	if _, found, _ := s.Load("app"); found {
+		t.Error("canonical snapshot should not exist")
+	}
+}
+
+func TestOverwriteKeepsLatest(t *testing.T) {
+	s := newStore(t)
+	for i := uint64(1); i <= 3; i++ {
+		snap := serial.NewSnapshot("app", "seq", i)
+		if err := s.Save(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := s.Load("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SafePoints != 3 {
+		t.Fatalf("latest snapshot has %d safe points, want 3", got.SafePoints)
+	}
+}
+
+func TestCorruptFileSurfacesError(t *testing.T) {
+	s := newStore(t)
+	snap := serial.NewSnapshot("app", "seq", 1)
+	if err := s.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir, "app.ckpt")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load("app"); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := newStore(t)
+	snap := serial.NewSnapshot("app", "seq", 1)
+	if err := s.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveShard(snap, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Clear("app"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := s.Load("app"); found {
+		t.Error("canonical snapshot survived Clear")
+	}
+	if _, found, _ := s.LoadShard("app", 0); found {
+		t.Error("shard survived Clear")
+	}
+}
+
+func TestLedgerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewLedger(dir, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed, _ := l.Crashed(); crashed {
+		t.Fatal("fresh ledger reports crash")
+	}
+	if err := l.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: a new ledger instance sees the marker.
+	l2, _ := NewLedger(dir, "app")
+	if crashed, _ := l2.Crashed(); !crashed {
+		t.Fatal("crash not detected")
+	}
+	if err := l2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if crashed, _ := l2.Crashed(); crashed {
+		t.Fatal("crash reported after clean finish")
+	}
+	// Finish is idempotent.
+	if err := l2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyEvery(t *testing.T) {
+	p := &Policy{Every: 10}
+	var due []uint64
+	for sp := uint64(1); sp <= 35; sp++ {
+		if p.Due(sp) {
+			due = append(due, sp)
+		}
+	}
+	want := []uint64{10, 20, 30}
+	if len(due) != len(want) {
+		t.Fatalf("due at %v, want %v", due, want)
+	}
+	for i := range want {
+		if due[i] != want[i] {
+			t.Fatalf("due at %v, want %v", due, want)
+		}
+	}
+	if p.Taken() != 3 {
+		t.Errorf("taken = %d", p.Taken())
+	}
+}
+
+func TestPolicyMaxCheckpoints(t *testing.T) {
+	p := &Policy{Every: 5, MaxCheckpoints: 1}
+	n := 0
+	for sp := uint64(1); sp <= 100; sp++ {
+		if p.Due(sp) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d checkpoints taken, want 1", n)
+	}
+	p.Reset()
+	if !p.Due(5) {
+		t.Fatal("after Reset the policy should fire again")
+	}
+}
+
+func TestPolicyDisabled(t *testing.T) {
+	var p *Policy
+	if p.Due(10) {
+		t.Fatal("nil policy fired")
+	}
+	p2 := &Policy{}
+	if p2.Due(10) {
+		t.Fatal("zero policy fired")
+	}
+}
+
+func TestReplayStateMachine(t *testing.T) {
+	r := NewReplay(3)
+	if !r.Active() {
+		t.Fatal("replay should start active")
+	}
+	if r.Step() {
+		t.Fatal("done after 1 step")
+	}
+	if r.Step() {
+		t.Fatal("done after 2 steps")
+	}
+	if !r.Step() {
+		t.Fatal("not done after 3 steps")
+	}
+	if r.Active() {
+		t.Fatal("still active after completion")
+	}
+	if r.Step() {
+		t.Fatal("Step after completion reported done again")
+	}
+}
+
+func TestReplayInactive(t *testing.T) {
+	r := NewReplay(0)
+	if r.Active() {
+		t.Fatal("zero-target replay is active")
+	}
+	var nilReplay *Replay
+	if nilReplay.Active() {
+		t.Fatal("nil replay is active")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Inc() != 1 || c.Inc() != 2 {
+		t.Fatal("Inc sequence wrong")
+	}
+	c.Set(100)
+	if c.Load() != 100 {
+		t.Fatal("Set/Load wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package ckpt
+
+import "sync/atomic"
+
+// Policy decides at which safe points a snapshot is taken. The paper notes
+// the trade-off (§IV.A): "The selection of the set of safe points is a
+// trade-off between checkpointing overhead and computation lost when a
+// failure occurs. Note that a checkpoint might be taken only after a set of
+// safe points."
+type Policy struct {
+	// Every takes a checkpoint each time the safe-point counter is a
+	// multiple of Every. Zero disables periodic checkpoints.
+	Every uint64
+	// MaxCheckpoints, when positive, stops checkpointing after that many
+	// snapshots have been taken (used by the Figure 3 experiment, which
+	// compares runs with exactly 0 or 1 checkpoints).
+	MaxCheckpoints int
+
+	taken atomic.Int64
+}
+
+// Due reports whether a checkpoint should be taken at safe point sp, and if
+// so records that one was taken.
+func (p *Policy) Due(sp uint64) bool {
+	if p == nil || p.Every == 0 || sp == 0 || sp%p.Every != 0 {
+		return false
+	}
+	if p.MaxCheckpoints > 0 {
+		if n := p.taken.Add(1); n > int64(p.MaxCheckpoints) {
+			return false
+		}
+		return true
+	}
+	p.taken.Add(1)
+	return true
+}
+
+// Taken reports how many checkpoints have been recorded.
+func (p *Policy) Taken() int {
+	if p == nil {
+		return 0
+	}
+	n := p.taken.Load()
+	if p.MaxCheckpoints > 0 && n > int64(p.MaxCheckpoints) {
+		return p.MaxCheckpoints
+	}
+	return int(n)
+}
+
+// Reset clears the taken counter (used between benchmark repetitions).
+func (p *Policy) Reset() {
+	if p != nil {
+		p.taken.Store(0)
+	}
+}
+
+// Counter is the safe-point counter of §IV.A step 3: "the safepoints module
+// increments the number of executed safe points". During restart the same
+// counter tracks replay progress toward the saved target.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc advances the counter and returns the new value.
+func (c *Counter) Inc() uint64 { return c.n.Add(1) }
+
+// Load reads the counter.
+func (c *Counter) Load() uint64 { return c.n.Load() }
+
+// Set forces the counter (used when checkpoint data is loaded).
+func (c *Counter) Set(v uint64) { c.n.Store(v) }
+
+// Replay tracks restart progress. The paper's restart protocol (§IV.A,
+// Figure 2b): with replay active, ignorable methods are skipped and safe
+// points are only counted; when the count saved in the checkpoint file is
+// reached, the data is loaded and execution proceeds normally.
+type Replay struct {
+	target uint64
+	active atomic.Bool
+	count  atomic.Uint64
+}
+
+// NewReplay creates a replay toward the given safe-point target. A zero
+// target means replay is inactive.
+func NewReplay(target uint64) *Replay {
+	r := &Replay{target: target}
+	if target > 0 {
+		r.active.Store(true)
+	}
+	return r
+}
+
+// Active reports whether replay mode is on.
+func (r *Replay) Active() bool { return r != nil && r.active.Load() }
+
+// Target reports the safe-point count at which replay completes.
+func (r *Replay) Target() uint64 { return r.target }
+
+// Step counts one replayed safe point; it reports true exactly when the
+// target is reached (at which point replay deactivates and the caller loads
+// the checkpoint data).
+func (r *Replay) Step() (done bool) {
+	if !r.Active() {
+		return false
+	}
+	if r.count.Add(1) >= r.target {
+		r.active.Store(false)
+		return true
+	}
+	return false
+}
+
+// Count reports how many safe points have been replayed.
+func (r *Replay) Count() uint64 { return r.count.Load() }
+
+// Fork returns an independent replay with the same target and the current
+// progress — used when a parallel region starts mid-replay and each team
+// thread must continue replaying on its own (§IV.A: "parallel methods are
+// still executed to rebuild the number of threads and their corresponding
+// call stack").
+func (r *Replay) Fork() *Replay {
+	nr := NewReplay(r.target)
+	nr.count.Store(r.count.Load())
+	nr.active.Store(r.active.Load())
+	return nr
+}

@@ -1,0 +1,166 @@
+// Package ckpt implements the checkpoint machinery of §IV.A: a snapshot
+// store with atomic writes, the run ledger (the paper's pcr module, which
+// "verifies if the last execution was concluded without failures" by
+// rewriting main), the checkpoint policy ("a checkpoint might be taken only
+// after a set of safe points"), and the replay state machine used for
+// restart and for bootstrapping new threads/processes during run-time
+// adaptation.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"ppar/internal/serial"
+)
+
+// Store persists snapshots in a directory, one file per application, with
+// write-to-temp-then-rename atomicity so a failure during checkpointing
+// never destroys the previous valid checkpoint.
+type Store struct {
+	Dir string
+}
+
+// NewStore creates the directory if needed.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: creating store dir: %w", err)
+	}
+	return &Store{Dir: dir}, nil
+}
+
+func (s *Store) path(app string, shard int) string {
+	if shard < 0 {
+		return filepath.Join(s.Dir, app+".ckpt")
+	}
+	return filepath.Join(s.Dir, fmt.Sprintf("%s.r%d.ckpt", app, shard))
+}
+
+// Save atomically writes a canonical (whole-application) snapshot.
+func (s *Store) Save(snap *serial.Snapshot) error {
+	return s.save(snap, -1)
+}
+
+// SaveShard atomically writes one rank's local snapshot (the paper's first
+// distributed-memory alternative, where "each process takes a local
+// snapshot").
+func (s *Store) SaveShard(snap *serial.Snapshot, rank int) error {
+	return s.save(snap, rank)
+}
+
+func (s *Store) save(snap *serial.Snapshot, shard int) error {
+	final := s.path(snap.App, shard)
+	tmp, err := os.CreateTemp(s.Dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := snap.Encode(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: encoding snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads the canonical snapshot for app. found=false (with nil error)
+// means no checkpoint exists.
+func (s *Store) Load(app string) (snap *serial.Snapshot, found bool, err error) {
+	return s.load(app, -1)
+}
+
+// LoadShard reads rank's local snapshot.
+func (s *Store) LoadShard(app string, rank int) (snap *serial.Snapshot, found bool, err error) {
+	return s.load(app, rank)
+}
+
+func (s *Store) load(app string, shard int) (*serial.Snapshot, bool, error) {
+	f, err := os.Open(s.path(app, shard))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: open: %w", err)
+	}
+	defer f.Close()
+	snap, err := serial.Decode(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: decode %s: %w", s.path(app, shard), err)
+	}
+	return snap, true, nil
+}
+
+// Clear removes all snapshots (canonical and shards) for app.
+func (s *Store) Clear(app string) error {
+	matches, err := filepath.Glob(filepath.Join(s.Dir, app+"*.ckpt"))
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("ckpt: clear: %w", err)
+		}
+	}
+	return nil
+}
+
+// Ledger is the pcr module: a marker file records that a run started; the
+// marker is removed on clean completion. A marker left behind at start-up
+// means the previous execution failed, which activates replay mode.
+type Ledger struct {
+	path string
+}
+
+// NewLedger creates a ledger for app inside dir.
+func NewLedger(dir, app string) (*Ledger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: ledger dir: %w", err)
+	}
+	return &Ledger{path: filepath.Join(dir, app+".run")}, nil
+}
+
+// Crashed reports whether the previous execution failed to conclude.
+func (l *Ledger) Crashed() (bool, error) {
+	_, err := os.Stat(l.path)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	return false, fmt.Errorf("ckpt: ledger stat: %w", err)
+}
+
+// Start marks the run as in progress.
+func (l *Ledger) Start() error {
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ckpt: ledger start: %w", err)
+	}
+	_, werr := f.WriteString("running\n")
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("ckpt: ledger write: %w", werr)
+	}
+	return cerr
+}
+
+// Finish marks the run as cleanly completed.
+func (l *Ledger) Finish() error {
+	if err := os.Remove(l.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("ckpt: ledger finish: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Package cluster models the execution platform of the paper's evaluation:
+// a cluster of multi-core machines (two dual-Opteron 6174 nodes, 24 cores
+// each, in §V) connected by a network that is much slower than shared
+// memory, plus remote storage for checkpoints.
+//
+// A Topology places ranks onto machines and derives per-message link costs;
+// the mp transports consult the resulting DelayFunc so that in-process
+// simulated runs exhibit the paper's qualitative effects (e.g. the 32-process
+// configurations pay inter-machine transfers in Figures 3–5). The same
+// parameters feed internal/perfmodel for configurations larger than the
+// host.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"ppar/internal/mp"
+)
+
+// Topology describes a homogeneous cluster.
+type Topology struct {
+	Machines int // number of nodes
+	Cores    int // cores per node
+
+	// Link parameters. Intra-machine messages model shared-memory
+	// transfers; inter-machine messages model the interconnect.
+	IntraLatency time.Duration
+	InterLatency time.Duration
+	IntraBW      float64 // bytes per second; 0 means infinite
+	InterBW      float64 // bytes per second; 0 means infinite
+
+	// Disk parameters for checkpoint storage (Grids use remote storage
+	// elements, §I, so latency is substantial).
+	DiskLatency time.Duration
+	DiskBW      float64 // bytes per second; 0 means infinite
+}
+
+// PaperCluster returns a topology calibrated to the paper's testbed: two
+// 24-core machines, gigabit-class interconnect, local-disk class storage.
+func PaperCluster() Topology {
+	return Topology{
+		Machines:     2,
+		Cores:        24,
+		IntraLatency: 2 * time.Microsecond,
+		InterLatency: 60 * time.Microsecond,
+		IntraBW:      4e9, // shared memory copy bandwidth
+		InterBW:      1e8, // ~1 Gb/s effective
+		DiskLatency:  5 * time.Millisecond,
+		DiskBW:       8e7, // ~80 MB/s
+	}
+}
+
+// TotalCores reports the processing-element capacity of the cluster.
+func (t Topology) TotalCores() int { return t.Machines * t.Cores }
+
+// Machine reports which machine hosts the given rank under block placement
+// (ranks fill one machine before spilling to the next), the placement the
+// paper's 32-process runs imply: with 24 cores per machine, ranks 24..31
+// land on the second machine.
+func (t Topology) Machine(rank int) int {
+	if t.Cores <= 0 {
+		return 0
+	}
+	m := rank / t.Cores
+	if t.Machines > 0 && m >= t.Machines {
+		m = m % t.Machines // oversubscription wraps around
+	}
+	return m
+}
+
+// SameMachine reports whether two ranks share a machine.
+func (t Topology) SameMachine(a, b int) bool { return t.Machine(a) == t.Machine(b) }
+
+// LinkCost reports the modelled cost of an n-byte message between ranks.
+func (t Topology) LinkCost(from, to, n int) time.Duration {
+	if from == to {
+		return 0
+	}
+	var lat time.Duration
+	var bw float64
+	if t.SameMachine(from, to) {
+		lat, bw = t.IntraLatency, t.IntraBW
+	} else {
+		lat, bw = t.InterLatency, t.InterBW
+	}
+	d := lat
+	if bw > 0 {
+		d += time.Duration(float64(n) / bw * float64(time.Second))
+	}
+	return d
+}
+
+// DiskCost reports the modelled cost of writing or reading n bytes of
+// checkpoint data.
+func (t Topology) DiskCost(n int) time.Duration {
+	d := t.DiskLatency
+	if t.DiskBW > 0 {
+		d += time.Duration(float64(n) / t.DiskBW * float64(time.Second))
+	}
+	return d
+}
+
+// DelayFunc adapts the topology to the mp transport hook. scale compresses
+// modelled time so simulated runs finish quickly (e.g. scale=0.01 sleeps 1%
+// of the modelled cost); scale <= 0 disables the delays entirely.
+func (t Topology) DelayFunc(scale float64) mp.DelayFunc {
+	if scale <= 0 {
+		return nil
+	}
+	return func(from, to, n int) time.Duration {
+		return time.Duration(float64(t.LinkCost(from, to, n)) * scale)
+	}
+}
+
+// String summarises the topology.
+func (t Topology) String() string {
+	return fmt.Sprintf("%d machine(s) × %d core(s)", t.Machines, t.Cores)
+}

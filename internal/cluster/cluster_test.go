@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMachinePlacement(t *testing.T) {
+	top := Topology{Machines: 2, Cores: 24}
+	cases := []struct{ rank, machine int }{
+		{0, 0}, {23, 0}, {24, 1}, {31, 1}, {47, 1},
+		{48, 0}, // oversubscription wraps
+	}
+	for _, c := range cases {
+		if got := top.Machine(c.rank); got != c.machine {
+			t.Errorf("Machine(%d) = %d, want %d", c.rank, got, c.machine)
+		}
+	}
+}
+
+func TestLinkCostOrdering(t *testing.T) {
+	top := PaperCluster()
+	self := top.LinkCost(3, 3, 1<<20)
+	intra := top.LinkCost(0, 1, 1<<20)
+	inter := top.LinkCost(0, 24, 1<<20)
+	if self != 0 {
+		t.Errorf("self cost = %v, want 0", self)
+	}
+	if intra >= inter {
+		t.Errorf("intra (%v) should be cheaper than inter (%v)", intra, inter)
+	}
+	// Larger messages cost more.
+	if top.LinkCost(0, 24, 1<<24) <= inter {
+		t.Error("bigger message should cost more")
+	}
+}
+
+func TestDiskCostGrowsWithSize(t *testing.T) {
+	top := PaperCluster()
+	small := top.DiskCost(1 << 10)
+	big := top.DiskCost(1 << 26)
+	if small >= big {
+		t.Errorf("disk cost should grow with size: %v vs %v", small, big)
+	}
+	if small < top.DiskLatency {
+		t.Errorf("disk cost %v below latency floor %v", small, top.DiskLatency)
+	}
+}
+
+func TestDelayFuncScaling(t *testing.T) {
+	top := PaperCluster()
+	if top.DelayFunc(0) != nil {
+		t.Error("scale 0 should disable delays")
+	}
+	df := top.DelayFunc(0.5)
+	full := top.LinkCost(0, 24, 1000)
+	if got := df(0, 24, 1000); got != time.Duration(float64(full)*0.5) {
+		t.Errorf("scaled delay = %v, want half of %v", got, full)
+	}
+}
+
+func TestZeroBandwidthMeansLatencyOnly(t *testing.T) {
+	top := Topology{Machines: 1, Cores: 4, IntraLatency: time.Millisecond}
+	if got := top.LinkCost(0, 1, 1<<30); got != time.Millisecond {
+		t.Errorf("cost = %v, want latency only", got)
+	}
+}
+
+func TestTotalCoresAndString(t *testing.T) {
+	top := Topology{Machines: 2, Cores: 24}
+	if top.TotalCores() != 48 {
+		t.Errorf("TotalCores = %d", top.TotalCores())
+	}
+	if top.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// stencilApp is the base program used throughout the engine tests: a
+// red-black five-point stencil over an N×N grid, the structure of the
+// paper's JGF SOR benchmark. It is written as plain sequential code with
+// advisable calls/loops; every parallel, checkpoint and adaptation
+// behaviour comes from the modules below.
+type stencilApp struct {
+	G     [][]float64
+	N     int
+	Iters int
+
+	sink *resultSink
+}
+
+// resultSink receives the master's final grid, so tests can compare
+// deployments (distributed modes have one app instance per rank; only the
+// master's matters after the final gather).
+type resultSink struct {
+	mu sync.Mutex
+	G  [][]float64
+}
+
+func (s *resultSink) put(g [][]float64) {
+	cp := make([][]float64, len(g))
+	for i := range g {
+		cp[i] = append([]float64(nil), g[i]...)
+	}
+	s.mu.Lock()
+	s.G = cp
+	s.mu.Unlock()
+}
+
+func (s *resultSink) get() [][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.G
+}
+
+func newStencil(n, iters int, sink *resultSink) *stencilApp {
+	a := &stencilApp{N: n, Iters: iters, sink: sink}
+	a.G = make([][]float64, n)
+	for i := range a.G {
+		a.G[i] = make([]float64, n)
+		for j := range a.G[i] {
+			a.G[i][j] = float64((i*31+j*17)%100) / 100
+		}
+	}
+	return a
+}
+
+func (a *stencilApp) Main(ctx *Ctx) {
+	ctx.Call("run", a.run)
+	ctx.Call("report", func(*Ctx) { a.sink.put(a.G) })
+}
+
+func (a *stencilApp) run(ctx *Ctx) {
+	for it := 0; it < a.Iters; it++ {
+		ctx.Call("red", a.red)
+		ctx.Call("black", a.black)
+		ctx.Call("iter", func(*Ctx) {})
+	}
+}
+
+func (a *stencilApp) red(ctx *Ctx)   { a.sweep(ctx, 0) }
+func (a *stencilApp) black(ctx *Ctx) { a.sweep(ctx, 1) }
+
+func (a *stencilApp) sweep(ctx *Ctx, colour int) {
+	ForSpan(ctx, "rows", 1, a.N-1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			start := 1 + (i+colour)%2
+			row := a.G[i]
+			up, down := a.G[i-1], a.G[i+1]
+			for j := start; j < a.N-1; j += 2 {
+				row[j] = 0.25 * (up[j] + down[j] + row[j-1] + row[j+1])
+			}
+		}
+	})
+}
+
+// Modules: each is the Go analogue of one of the paper's aspect files.
+
+func stencilSMP() *Module {
+	return NewModule("stencil/smp").
+		ParallelMethod("run").
+		LoopSchedule("rows", team.Static, 1)
+}
+
+func stencilDist() *Module {
+	return NewModule("stencil/dist").
+		PartitionedField("G", partition.Block).
+		LoopPartition("rows", "G").
+		UpdateBefore("red", "G").
+		UpdateBefore("black", "G").
+		ScatterBefore("run", "G").
+		GatherAfter("run", "G").
+		OnMaster("report")
+}
+
+func stencilCkpt() *Module {
+	return NewModule("stencil/ckpt").
+		SafeData("G").
+		SafePointAfter("iter").
+		Ignorable("red", "black")
+}
+
+func modulesFor(mode Mode) []*Module {
+	switch mode {
+	case Sequential:
+		// The checkpoint module plugs into the strict sequential base
+		// too — that is the paper's whole point (§IV.A: the programmer
+		// specifies checkpointing on the sequential version only).
+		return []*Module{stencilCkpt()}
+	case Shared:
+		return []*Module{stencilSMP(), stencilCkpt()}
+	case Distributed:
+		return []*Module{stencilDist(), stencilCkpt()}
+	case Hybrid:
+		return []*Module{stencilSMP(), stencilDist(), stencilCkpt()}
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+
+	"ppar/internal/ckpt"
+	"ppar/internal/mp"
+	"ppar/internal/team"
+)
+
+// Ctx is the execution context handed to the base program. It carries the
+// identity of the current line of execution (rank and thread), the plugged
+// advice, and the replay state. The base code only ever uses Call, For,
+// SafePoint and the identity accessors; everything else is engine plumbing.
+type Ctx struct {
+	eng    *Engine
+	app    App
+	fields *boundFields
+
+	comm   *mp.Comm
+	worker *team.Worker
+
+	spCount uint64
+
+	restart *ckpt.Replay // restart-after-failure replay (§IV.A)
+	join    *ckpt.Replay // run-time expansion replay (§IV.B)
+	joinVia *smpJoin     // the team expansion this joiner belongs to
+
+	inRegion      bool
+	regionFn      func(*Ctx)
+	regionStartSp uint64
+
+	retiredRank bool
+}
+
+// Rank reports this replica's aggregate id (0 outside distributed modes).
+func (c *Ctx) Rank() int {
+	if c.comm == nil {
+		return 0
+	}
+	return c.comm.Rank()
+}
+
+// Procs reports the current world size (1 outside distributed modes). It
+// changes when a run-time adaptation resizes the world.
+func (c *Ctx) Procs() int {
+	if c.comm == nil {
+		return 1
+	}
+	return c.comm.Size()
+}
+
+// ThreadID reports the team-thread id (0 outside regions).
+func (c *Ctx) ThreadID() int {
+	if c.worker == nil {
+		return 0
+	}
+	return c.worker.ID()
+}
+
+// Threads reports the current team size (1 outside regions). It changes
+// when a run-time adaptation resizes the team.
+func (c *Ctx) Threads() int {
+	if c.worker == nil {
+		return 1
+	}
+	return c.worker.Team().Size()
+}
+
+// IsMasterRank reports whether this replica is aggregate element 0.
+func (c *Ctx) IsMasterRank() bool { return c.Rank() == 0 }
+
+// IsMasterThread reports whether this line of execution is the team master
+// (or is outside any region).
+func (c *Ctx) IsMasterThread() bool { return c.worker == nil || c.worker.IsMaster() }
+
+// SafePointCount reports how many safe points this line of execution has
+// passed.
+func (c *Ctx) SafePointCount() uint64 { return c.spCount }
+
+// Mode reports the deployment mode.
+func (c *Ctx) Mode() Mode { return c.eng.cfg.Mode }
+
+// Replaying reports whether the context is replaying (restart or join).
+func (c *Ctx) Replaying() bool { return c.restart.Active() || c.join.Active() }
+
+// Retired reports whether this line of execution has been contracted away
+// and is running empty operations to the end.
+func (c *Ctx) Retired() bool {
+	return c.retiredRank || (c.worker != nil && c.worker.Retired())
+}
+
+// commActive reports whether this context participates in collectives:
+// joined-but-not-yet-active replicas and retired replicas must not
+// communicate.
+func (c *Ctx) commActive() bool {
+	return c.comm != nil && !c.join.Active() && !c.retiredRank
+}
+
+// Call executes fn under the advice plugged for name. With no advice it is
+// a direct call — the sequential deployment pays nothing but a map lookup.
+func (c *Ctx) Call(name string, fn func(*Ctx)) {
+	adv := c.eng.adv.methods[name]
+	if adv == nil {
+		fn(c)
+		return
+	}
+	if adv.Ignorable && (c.Replaying() || c.Retired()) {
+		// IgnorableMethods template: skipped during replay (§IV.A) and
+		// by retired lines of execution (§IV.B "empty operations").
+		return
+	}
+	if adv.SafePointBefore {
+		c.SafePoint()
+	}
+	if len(adv.UpdateBefore) > 0 || len(adv.ScatterBefore) > 0 {
+		c.commPhase(func() {
+			for _, f := range adv.UpdateBefore {
+				c.must(c.fields.haloExchange(f, c.comm, c.Procs()))
+			}
+			for _, f := range adv.ScatterBefore {
+				c.must(c.fields.scatterFrom(f, c.comm, 0, c.Procs()))
+			}
+		})
+	}
+	if adv.BarrierBefore {
+		c.barrier()
+	}
+
+	run := true
+	if adv.OnMasterRank && c.comm != nil && !c.IsMasterRank() {
+		run = false // aggregate calls execute on element 0 (§III.C)
+	}
+	body := func() {
+		if !run {
+			return
+		}
+		if adv.Synchronised && c.worker != nil {
+			c.worker.Critical(name, func() { fn(c) })
+			return
+		}
+		fn(c)
+	}
+
+	switch {
+	case c.worker != nil && adv.Single:
+		c.worker.Single(body)
+	case c.worker != nil && adv.Master:
+		c.worker.Master(body)
+	case adv.Parallel && c.worker == nil && c.teamCapable() && !c.Retired():
+		c.runRegion(fn)
+	default:
+		body()
+	}
+
+	if adv.BarrierAfter {
+		c.barrier()
+	}
+	if len(adv.GatherAfter) > 0 || len(adv.AllGatherAfter) > 0 {
+		c.commPhase(func() {
+			for _, f := range adv.GatherAfter {
+				c.must(c.fields.gatherAt(f, c.comm, 0, c.Procs()))
+			}
+			for _, f := range adv.AllGatherAfter {
+				c.must(c.fields.gatherAt(f, c.comm, 0, c.Procs()))
+				c.must(c.fields.bcastField(f, c.comm, 0))
+			}
+		})
+	}
+	if adv.SafePointAfter {
+		c.SafePoint()
+	}
+}
+
+// commPhase runs a communication step under the single-communicator rule:
+// outside regions the rank's control thread runs it directly; inside a
+// region only the team master communicates, bracketed by barriers so the
+// team observes the moved data afterwards.
+func (c *Ctx) commPhase(fn func()) {
+	if !c.commActive() {
+		return
+	}
+	if c.worker == nil {
+		fn()
+		return
+	}
+	c.worker.Barrier()
+	if c.worker.IsMaster() {
+		fn()
+	}
+	c.worker.Barrier()
+}
+
+// teamCapable reports whether this deployment spawns thread teams.
+func (c *Ctx) teamCapable() bool {
+	return c.eng.cfg.Mode == Shared || c.eng.cfg.Mode == Hybrid
+}
+
+// barrier synchronises whatever machinery is plugged: the team inside a
+// region, the world across ranks (master thread only, to respect the
+// single-communicator rule).
+func (c *Ctx) barrier() {
+	if c.Retired() || c.join.Active() {
+		return
+	}
+	if c.worker != nil {
+		c.worker.Barrier()
+		if c.commActive() && c.worker.IsMaster() {
+			c.must(c.comm.Barrier())
+		}
+		c.worker.Barrier()
+		return
+	}
+	if c.commActive() {
+		c.must(c.comm.Barrier())
+	}
+}
+
+// For executes an advisable loop body per index. See ForSpan.
+func For(c *Ctx, id string, lo, hi int, body func(i int)) {
+	ForSpan(c, id, lo, hi, func(a, b int) {
+		for i := a; i < b; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForSpan executes an advisable loop over [lo, hi), calling body with
+// maximal contiguous sub-ranges. The plugged machinery decides the split:
+//
+//   - Sequential: one call, body(lo, hi) — a plain loop.
+//   - Shared: work-shared over the team with the loop's schedule advice,
+//     followed by a team barrier unless LoopNoWait.
+//   - Distributed with LoopPartition advice: each rank iterates only the
+//     indices of the named partitioned field it owns.
+//   - Distributed without partition advice: every rank runs the full range
+//     (replicated computation, the SPMD default).
+//   - Hybrid: the rank-local range is further work-shared over the team.
+func ForSpan(c *Ctx, id string, lo, hi int, body func(lo, hi int)) {
+	adv := c.eng.adv.loops[id]
+	if adv == nil {
+		adv = &defaultLoop
+	}
+	if c.worker == nil && (c.retiredRank || c.join.Active()) {
+		// Retired replicas run empty loops; joining replicas skip work
+		// during replay (data arrives with the join handoff).
+		return
+	}
+	if c.comm != nil && adv.PartitionField != "" && !c.retiredRank && (c.worker != nil || !c.join.Active()) {
+		l, err := c.fields.layoutFor(adv.PartitionField, c.Procs())
+		c.must(err)
+		if c.worker != nil {
+			l.LocalSpan(c.Rank(), lo, hi, func(a, b int) {
+				c.worker.For(a, b, adv.Schedule, adv.Chunk, body)
+			})
+			if !adv.NoWait {
+				c.worker.Barrier()
+			}
+			return
+		}
+		l.LocalSpan(c.Rank(), lo, hi, body)
+		return
+	}
+	if c.worker != nil {
+		c.worker.For(lo, hi, adv.Schedule, adv.Chunk, body)
+		if !adv.NoWait {
+			c.worker.Barrier()
+		}
+		return
+	}
+	body(lo, hi)
+}
+
+var defaultLoop = LoopAdvice{Schedule: team.Static, Chunk: 1}
+
+// SumAll computes the global sum of v over every active line of execution,
+// deterministically (team contributions fold in thread-id order, rank
+// contributions in rank order), and returns it everywhere. During replay or
+// retirement it returns v unchanged.
+func SumAll(c *Ctx, v float64) float64 {
+	return combineAll(c, v, func(a, b float64) float64 { return a + b })
+}
+
+// MaxAll computes the global maximum of v, like SumAll.
+func MaxAll(c *Ctx, v float64) float64 {
+	return combineAll(c, v, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+func combineAll(c *Ctx, v float64, op func(a, b float64) float64) float64 {
+	if c.Retired() || c.Replaying() {
+		return v
+	}
+	if c.worker != nil {
+		vals := c.worker.ExchangeF64(v)
+		if vals == nil {
+			return v
+		}
+		v = vals[0]
+		for _, x := range vals[1:] {
+			v = op(v, x)
+		}
+	}
+	if c.commActive() {
+		if c.worker == nil {
+			out, err := c.comm.AllreduceF64s([]float64{v}, op)
+			c.must(err)
+			v = out[0]
+		} else {
+			if c.worker.IsMaster() {
+				out, err := c.comm.AllreduceF64s([]float64{v}, op)
+				c.must(err)
+				v = out[0]
+			}
+			v = c.worker.BroadcastF64(v)
+		}
+	}
+	return v
+}
+
+// must converts unrecoverable engine-plumbing errors into panics; they are
+// programming or environment errors (a failed collective after transport
+// teardown surfaces through the failure path instead).
+func (c *Ctx) must(err error) {
+	if err == nil {
+		return
+	}
+	if c.eng.failed.Load() || c.eng.stopped.Load() != nil {
+		// Collateral error of an injected failure/stop: unwind quietly.
+		panic(failToken{sp: c.spCount, rank: c.Rank()})
+	}
+	// A genuine communication/storage error: abort this line of execution
+	// and tear the job down (siblings unblock through the transport).
+	panic(abortToken{msg: fmt.Sprintf("core: rank %d: %v", c.Rank(), err)})
+}

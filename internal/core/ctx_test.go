@@ -1,0 +1,273 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ppar/internal/partition"
+)
+
+// reduceApp is the shared result sink for the reduction tests.
+type reduceApp struct {
+	sum atomic.Uint64 // scaled integer form of the reduced sum
+	max atomic.Uint64
+}
+
+func uint64FromFloat(f float64) uint64 { return uint64(int64(f * 1000)) }
+
+func reduceModules(mode Mode) []*Module {
+	par := NewModule("r/par").
+		ParallelMethod("r.run").
+		PartitionedField("Vals", partition.Block).
+		LoopPartition("r.vals", "Vals")
+	switch mode {
+	case Sequential:
+		return nil
+	default:
+		return []*Module{par}
+	}
+}
+
+func TestSumAllMaxAllAcrossModes(t *testing.T) {
+	vals := make([]float64, 37)
+	wantSum, wantMax := 0.0, 0.0
+	for i := range vals {
+		vals[i] = float64((i*13)%17) / 4
+		wantSum += vals[i]
+		if vals[i] > wantMax {
+			wantMax = vals[i]
+		}
+	}
+	for _, cfg := range []Config{
+		{Mode: Sequential},
+		{Mode: Shared, Threads: 4},
+		{Mode: Distributed, Procs: 3},
+		{Mode: Hybrid, Procs: 2, Threads: 2},
+	} {
+		sink := &reduceApp{}
+		cfg.AppName = "reduce"
+		cfg.Modules = reduceModules(cfg.Mode)
+		eng, err := New(cfg, func() App {
+			// Each replica gets the full value array; the loop
+			// partition keeps contributions disjoint.
+			return &reduceShim{Vals: append([]float64(nil), vals...), out: sink}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("%v: %v", cfg.Mode, err)
+		}
+		if got := sink.sum.Load(); got != uint64FromFloat(wantSum) {
+			t.Errorf("%v: sum bits %d, want %d", cfg.Mode, got, uint64FromFloat(wantSum))
+		}
+		if got := sink.max.Load(); got != uint64FromFloat(wantMax) {
+			t.Errorf("%v: max bits %d, want %d", cfg.Mode, got, uint64FromFloat(wantMax))
+		}
+	}
+}
+
+// reduceShim runs the same logic but reports into a shared sink.
+type reduceShim struct {
+	Vals []float64
+	out  *reduceApp
+}
+
+func (a *reduceShim) Main(ctx *Ctx) { ctx.Call("r.run", a.run) }
+
+func (a *reduceShim) run(ctx *Ctx) {
+	local, localMax := 0.0, 0.0
+	For(ctx, "r.vals", 0, len(a.Vals), func(i int) {
+		local += a.Vals[i]
+		if a.Vals[i] > localMax {
+			localMax = a.Vals[i]
+		}
+	})
+	s := SumAll(ctx, local)
+	m := MaxAll(ctx, localMax)
+	if ctx.IsMasterRank() && ctx.IsMasterThread() {
+		a.out.sum.Store(uint64FromFloat(s))
+		a.out.max.Store(uint64FromFloat(m))
+	}
+}
+
+// adviceApp exercises Single / Master / Synchronised / barriers in a region.
+type adviceApp struct {
+	singles atomic.Int64
+	masters atomic.Int64
+	crit    atomic.Int64
+	critMax atomic.Int64
+
+	mu      sync.Mutex
+	callers map[int]bool
+}
+
+func (a *adviceApp) Main(ctx *Ctx) { ctx.Call("a.region", a.region) }
+
+func (a *adviceApp) region(ctx *Ctx) {
+	a.mu.Lock()
+	if a.callers == nil {
+		a.callers = map[int]bool{}
+	}
+	a.callers[ctx.ThreadID()] = true
+	a.mu.Unlock()
+	for i := 0; i < 5; i++ {
+		ctx.Call("a.single", func(*Ctx) { a.singles.Add(1) })
+		ctx.Call("a.master", func(*Ctx) { a.masters.Add(1) })
+		ctx.Call("a.sync", func(*Ctx) {
+			cur := a.crit.Add(1)
+			if cur > a.critMax.Load() {
+				a.critMax.Store(cur)
+			}
+			a.crit.Add(-1)
+		})
+	}
+}
+
+func TestRegionAdviceSemantics(t *testing.T) {
+	mod := NewModule("a").
+		ParallelMethod("a.region").
+		SingleMethod("a.single").
+		BarrierAfter("a.single").
+		MasterMethod("a.master").
+		Synchronised("a.sync")
+	app := &adviceApp{}
+	eng, err := New(Config{Mode: Shared, Threads: 4, AppName: "advice", Modules: []*Module{mod}},
+		func() App { return app })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.singles.Load(); got != 5 {
+		t.Errorf("single ran %d times, want 5 (once per instance)", got)
+	}
+	if got := app.masters.Load(); got != 5 {
+		t.Errorf("master ran %d times, want 5", got)
+	}
+	if app.critMax.Load() != 1 {
+		t.Errorf("synchronised section concurrency %d", app.critMax.Load())
+	}
+	if len(app.callers) != 4 {
+		t.Errorf("region ran on %d workers, want 4", len(app.callers))
+	}
+}
+
+// In Sequential mode the same advice degrades to plain calls.
+func TestAdviceDegradesSequentially(t *testing.T) {
+	mod := NewModule("a").
+		ParallelMethod("a.region").
+		SingleMethod("a.single").
+		MasterMethod("a.master").
+		Synchronised("a.sync")
+	app := &adviceApp{}
+	eng, err := New(Config{Mode: Sequential, AppName: "advice", Modules: []*Module{mod}},
+		func() App { return app })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if app.singles.Load() != 5 || app.masters.Load() != 5 {
+		t.Errorf("sequential advice changed semantics: singles=%d masters=%d",
+			app.singles.Load(), app.masters.Load())
+	}
+}
+
+// OnMaster advice restricts a call to aggregate element 0.
+func TestOnMasterRank(t *testing.T) {
+	var ranks sync.Map
+	mod := NewModule("a").OnMaster("a.io")
+	eng, err := New(Config{Mode: Distributed, Procs: 4, AppName: "onmaster", Modules: []*Module{mod}},
+		func() App { return &onMasterApp{ranks: &ranks} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	ranks.Range(func(k, v any) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("OnMaster call ran on %d ranks", count)
+	}
+	if _, ok := ranks.Load(0); !ok {
+		t.Fatal("OnMaster call did not run on rank 0")
+	}
+}
+
+type onMasterApp struct{ ranks *sync.Map }
+
+func (a *onMasterApp) Main(ctx *Ctx) {
+	ctx.Call("a.io", func(c *Ctx) { a.ranks.Store(c.Rank(), true) })
+}
+
+// Unadvised loops in distributed mode run replicated (the SPMD default).
+func TestUnpartitionedLoopRunsReplicated(t *testing.T) {
+	var per sync.Map
+	eng, err := New(Config{Mode: Distributed, Procs: 3, AppName: "repl"},
+		func() App { return &replLoopApp{per: &per} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		v, ok := per.Load(r)
+		if !ok || v.(int) != 10 {
+			t.Errorf("rank %d executed %v iterations, want 10", r, v)
+		}
+	}
+}
+
+type replLoopApp struct{ per *sync.Map }
+
+func (a *replLoopApp) Main(ctx *Ctx) {
+	n := 0
+	For(ctx, "repl.loop", 0, 10, func(int) { n++ })
+	a.per.Store(ctx.Rank(), n)
+}
+
+// Ctx identity accessors.
+func TestCtxAccessors(t *testing.T) {
+	var checked atomic.Bool
+	mod := NewModule("a").ParallelMethod("a.region")
+	eng, err := New(Config{Mode: Hybrid, Procs: 2, Threads: 3, AppName: "ids", Modules: []*Module{mod}},
+		func() App { return &idsApp{checked: &checked, t: t} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !checked.Load() {
+		t.Fatal("no worker checked its identity")
+	}
+}
+
+type idsApp struct {
+	checked *atomic.Bool
+	t       *testing.T
+}
+
+func (a *idsApp) Main(ctx *Ctx) {
+	if ctx.Procs() != 2 {
+		a.t.Errorf("Procs() = %d", ctx.Procs())
+	}
+	ctx.Call("a.region", func(c *Ctx) {
+		if c.Threads() != 3 {
+			a.t.Errorf("Threads() = %d", c.Threads())
+		}
+		if c.ThreadID() < 0 || c.ThreadID() >= 3 {
+			a.t.Errorf("ThreadID() = %d", c.ThreadID())
+		}
+		if c.Mode() != Hybrid {
+			a.t.Errorf("Mode() = %v", c.Mode())
+		}
+		a.checked.Store(true)
+	})
+}

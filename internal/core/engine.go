@@ -1,0 +1,516 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppar/internal/ckpt"
+	"ppar/internal/mp"
+	"ppar/internal/serial"
+	"ppar/internal/team"
+)
+
+// Mode selects which parallelisation machinery is plugged in. The same base
+// program runs under every mode — the paper's central claim.
+type Mode int
+
+const (
+	// Sequential runs the base code with no machinery at all: Call is a
+	// plain function call, For a plain loop (the "unplugged" deployment).
+	Sequential Mode = iota
+	// Shared plugs the thread-team machinery: ParallelMethod regions
+	// execute on a team of Config.Threads workers.
+	Shared
+	// Distributed plugs the object-aggregate machinery: Config.Procs SPMD
+	// replicas over a message-passing world.
+	Distributed
+	// Hybrid plugs both: Procs replicas, each running regions on teams of
+	// Threads workers.
+	Hybrid
+)
+
+// String names the mode as the paper does (LE = lines of execution,
+// P = processes).
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "seq"
+	case Shared:
+		return "smp"
+	case Distributed:
+		return "dist"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// App is a base program: plain domain-specific code whose advisable methods
+// run through ctx.Call and loops through For.
+type App interface {
+	Main(ctx *Ctx)
+}
+
+// Factory creates a fresh application instance. Distributed modes call it
+// once per rank, mirroring the paper's aggregates ("a class of objects that
+// have a single instance on each node").
+type Factory func() App
+
+// AdaptTarget describes a requested reshaping of the parallelism structure.
+type AdaptTarget struct {
+	// Threads is the desired team size (0 = unchanged).
+	Threads int
+	// Procs is the desired world size (0 = unchanged).
+	Procs int
+}
+
+// Config assembles one deployment of a base program.
+type Config struct {
+	// AppName identifies checkpoint files and the run ledger.
+	AppName string
+	// Mode, Threads, Procs select the plugged machinery.
+	Mode    Mode
+	Threads int
+	Procs   int
+	// TCP selects the TCP transport for distributed modes (default: the
+	// in-process transport, which also supports run-time world resizing).
+	TCP bool
+	// Delay optionally injects modelled link costs into the transport.
+	Delay mp.DelayFunc
+	// Modules are the pluggable parallelisation/fault-tolerance modules.
+	Modules []*Module
+
+	// CheckpointDir enables checkpointing when non-empty.
+	CheckpointDir string
+	// CheckpointEvery takes a snapshot each time the safe-point count is a
+	// multiple of this value (0 disables periodic checkpoints).
+	CheckpointEvery uint64
+	// MaxCheckpoints caps the number of periodic snapshots (0 = no cap).
+	// The decision is a pure function of the safe-point count so that all
+	// ranks/threads agree without synchronising.
+	MaxCheckpoints int
+	// ShardCheckpoints selects the paper's first distributed alternative
+	// (each process saves a local snapshot between two barriers) instead
+	// of the default gather-at-master canonical snapshot that enables
+	// cross-mode restart.
+	ShardCheckpoints bool
+
+	// AdaptAt schedules a run-time adaptation at an absolute safe point.
+	AdaptAtSafePoint uint64
+	// AdaptTo is the target applied at AdaptAtSafePoint.
+	AdaptTo AdaptTarget
+	// StopCheckpointAt takes a canonical checkpoint at the given safe
+	// point and stops the run — the paper's adaptation-by-restart: the
+	// caller relaunches a differently-configured engine which replays
+	// from the snapshot (Figures 6 and 7).
+	StopCheckpointAt uint64
+
+	// FailAtSafePoint injects a failure (process death) at the given safe
+	// point, on rank FailRank in distributed modes. The ledger is left
+	// dirty so the next run restarts from the last checkpoint.
+	FailAtSafePoint uint64
+	FailRank        int
+}
+
+func (c *Config) normalize() error {
+	if c.AppName == "" {
+		c.AppName = "app"
+	}
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	switch c.Mode {
+	case Sequential:
+		c.Threads, c.Procs = 1, 1
+	case Shared:
+		c.Procs = 1
+	case Distributed:
+		c.Threads = 1
+	case Hybrid:
+	default:
+		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.Mode == Sequential && c.AdaptAtSafePoint > 0 {
+		return errors.New("core: Sequential mode cannot adapt at run time (it has no machinery); use Shared with Threads=1 or adaptation by restart")
+	}
+	if c.Mode == Hybrid && c.AdaptTo.Procs > 0 {
+		return errors.New("core: hybrid mode supports run-time thread adaptation and restart-based adaptation, not run-time world resizing")
+	}
+	if c.TCP && c.AdaptTo.Procs > 0 {
+		return errors.New("core: the TCP transport has a fixed world size; use the in-process transport or adaptation by restart")
+	}
+	return nil
+}
+
+// Report carries the measurements the figure harness consumes.
+type Report struct {
+	SafePoints  uint64        // safe points executed by the master
+	Checkpoints int           // snapshots taken
+	SaveTotal   time.Duration // total time in checkpoint-save protocols
+	SaveBytes   int           // payload bytes of the last snapshot
+	LoadTotal   time.Duration // time restoring data at the replay target
+	ReplayTime  time.Duration // run start -> replay target reached (excl. load)
+	Elapsed     time.Duration // total wall time of Run
+	Adapted     bool          // a run-time adaptation was applied
+	Stopped     bool          // stopped by StopCheckpointAt
+	StoppedAt   uint64
+	Failed      bool // an injected failure occurred
+	Restarted   bool // this run replayed from a checkpoint
+}
+
+// ErrInjectedFailure reports that the configured failure fired.
+var ErrInjectedFailure = errors.New("core: injected failure")
+
+// ErrStopped reports that the run checkpointed and stopped for
+// adaptation-by-restart.
+type ErrStopped struct{ SafePoint uint64 }
+
+func (e *ErrStopped) Error() string {
+	return fmt.Sprintf("core: run checkpointed and stopped at safe point %d for adaptation by restart", e.SafePoint)
+}
+
+type stopToken struct{ sp uint64 }
+type failToken struct {
+	sp   uint64
+	rank int
+}
+
+// abortToken unwinds a line of execution on an unrecoverable configuration
+// or protocol error (e.g. a shard checkpoint restarted with a different
+// world size). Unlike failToken it surfaces as an error from Run; like it,
+// the transport is torn down so no sibling blocks forever.
+type abortToken struct{ msg string }
+
+// smpJoin coordinates thread-team expansion.
+type smpJoin struct {
+	ready chan *Ctx
+	gate  chan struct{}
+	sp    uint64 // absolute safe point of the adaptation
+}
+
+// Engine executes one deployment.
+type Engine struct {
+	cfg     Config
+	factory Factory
+	adv     *adviceTable
+
+	store  *ckpt.Store
+	ledger *ckpt.Ledger
+
+	resumeSnap   *serial.Snapshot // canonical snapshot found at start-up
+	shardResume  bool             // restart from per-rank shards instead
+	replayTarget uint64
+
+	curThreads atomic.Int64
+	scheduled  atomic.Uint64
+	pending    atomic.Pointer[AdaptTarget]
+
+	world     *mp.World
+	transport mp.Transport
+
+	syncMu sync.Mutex
+	crits  map[string]*sync.Mutex
+
+	stopped atomic.Pointer[stopToken]
+	failed  atomic.Bool
+
+	repMu   sync.Mutex
+	report  Report
+	started time.Time
+}
+
+// New builds an engine for one deployment of the base program.
+func New(cfg Config, factory Factory) (*Engine, error) {
+	if factory == nil {
+		return nil, errors.New("core: nil factory")
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		factory: factory,
+		adv:     mergeModules(cfg.Modules),
+		crits:   map[string]*sync.Mutex{},
+	}
+	e.curThreads.Store(int64(cfg.Threads))
+	return e, nil
+}
+
+// RequestAdapt asks for a run-time adaptation; it is applied at the next
+// safe point the coordinator reaches (Shared mode) — the path a resource
+// manager uses when "availability of new resources" is detected (§I).
+// Distributed adaptation must be scheduled at an absolute safe point via
+// Config.AdaptAtSafePoint, because ranks only synchronise their safe-point
+// counters at collectives.
+func (e *Engine) RequestAdapt(t AdaptTarget) {
+	e.pending.Store(&t)
+}
+
+// Report returns the measurements collected by the last Run.
+func (e *Engine) Report() Report {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	return e.report
+}
+
+// Run executes the deployment to completion, restart, stop or failure.
+func (e *Engine) Run() error {
+	e.started = time.Now()
+	defer func() {
+		e.repMu.Lock()
+		e.report.Elapsed = time.Since(e.started)
+		e.repMu.Unlock()
+	}()
+	if e.cfg.CheckpointDir != "" {
+		if err := e.openCheckpointing(); err != nil {
+			return err
+		}
+		if err := e.ledger.Start(); err != nil {
+			return err
+		}
+	}
+	var err error
+	switch e.cfg.Mode {
+	case Sequential, Shared:
+		err = e.runLocal()
+	case Distributed, Hybrid:
+		err = e.runDistributed()
+	}
+	if err != nil {
+		return err
+	}
+	if tok := e.stopped.Load(); tok != nil {
+		// Ledger stays dirty: the relaunched engine must replay.
+		e.repMu.Lock()
+		e.report.Stopped = true
+		e.report.StoppedAt = tok.sp
+		e.repMu.Unlock()
+		return &ErrStopped{SafePoint: tok.sp}
+	}
+	if e.failed.Load() {
+		e.repMu.Lock()
+		e.report.Failed = true
+		e.repMu.Unlock()
+		return ErrInjectedFailure
+	}
+	if e.ledger != nil {
+		if err := e.ledger.Finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openCheckpointing sets up the store and the pcr module, detecting whether
+// the previous execution crashed and, if so, arming replay (§IV.A, Fig. 2b).
+func (e *Engine) openCheckpointing() error {
+	var err error
+	e.store, err = ckpt.NewStore(e.cfg.CheckpointDir)
+	if err != nil {
+		return err
+	}
+	e.ledger, err = ckpt.NewLedger(e.cfg.CheckpointDir, e.cfg.AppName)
+	if err != nil {
+		return err
+	}
+	crashed, err := e.ledger.Crashed()
+	if err != nil {
+		return err
+	}
+	if !crashed {
+		return nil
+	}
+	// Prefer the canonical snapshot (restartable in any mode); fall back
+	// to rank-local shards.
+	snap, found, err := e.store.Load(e.cfg.AppName)
+	if err != nil {
+		return err
+	}
+	if found {
+		e.resumeSnap = snap
+		e.replayTarget = snap.SafePoints
+	} else {
+		shard, sfound, serr := e.store.LoadShard(e.cfg.AppName, 0)
+		if serr != nil {
+			return serr
+		}
+		if !sfound {
+			return nil // crashed before any checkpoint: plain re-run
+		}
+		e.shardResume = true
+		e.replayTarget = shard.SafePoints
+	}
+	e.repMu.Lock()
+	e.report.Restarted = true
+	e.repMu.Unlock()
+	return nil
+}
+
+// runLocal executes Sequential and Shared deployments.
+func (e *Engine) runLocal() error {
+	app := e.factory()
+	fields, err := bindFields(app, e.adv.fields)
+	if err != nil {
+		return err
+	}
+	c := &Ctx{eng: e, app: app, fields: fields}
+	if e.replayTarget > 0 {
+		c.restart = ckpt.NewReplay(e.replayTarget)
+	}
+	tok := e.guard(func() { app.Main(c) })
+	if ab, ok := tok.(abortToken); ok {
+		return errors.New(ab.msg)
+	}
+	e.noteToken(tok)
+	e.repMu.Lock()
+	e.report.SafePoints = c.spCount
+	e.repMu.Unlock()
+	return nil
+}
+
+// runDistributed executes Distributed and Hybrid deployments.
+func (e *Engine) runDistributed() error {
+	n := e.cfg.Procs
+	if e.cfg.TCP {
+		tr, err := mp.NewTCP(n, e.cfg.Delay)
+		if err != nil {
+			return err
+		}
+		e.transport = tr
+	} else {
+		e.transport = mp.NewInProc(n, e.cfg.Delay)
+	}
+	defer e.transport.Close()
+	e.world = mp.NewWorld(e.transport, n)
+	err := e.world.Run(func(c *mp.Comm) error {
+		return e.rankMain(c, 0)
+	})
+	if err != nil && (e.failed.Load() || e.stopped.Load() != nil) {
+		// Collective errors are collateral damage of the injected
+		// failure/stop (the transport was torn down); the primary
+		// outcome is reported by Run.
+		err = nil
+	}
+	return err
+}
+
+// rankMain runs one SPMD replica. joinTarget > 0 means this rank was
+// launched by a run-time expansion and must replay to that safe point
+// before joining (§IV.B: "replaying the application on the additional nodes
+// until they reach the same safe point").
+func (e *Engine) rankMain(c *mp.Comm, joinTarget uint64) error {
+	app := e.factory()
+	fields, err := bindFields(app, e.adv.fields)
+	if err != nil {
+		return err
+	}
+	ctx := &Ctx{eng: e, app: app, fields: fields, comm: c}
+	switch {
+	case joinTarget > 0:
+		ctx.join = ckpt.NewReplay(joinTarget)
+	case e.replayTarget > 0:
+		ctx.restart = ckpt.NewReplay(e.replayTarget)
+	}
+	tok := e.guard(func() { app.Main(ctx) })
+	if _, isFail := tok.(failToken); isFail {
+		// The failed process takes the whole job down; closing the
+		// transport unblocks every other rank (their collectives error
+		// out), like a scheduler killing the job.
+		e.noteToken(tok)
+		e.transport.Close()
+		return nil
+	}
+	if ab, ok := tok.(abortToken); ok {
+		e.transport.Close()
+		return errors.New(ab.msg)
+	}
+	e.noteToken(tok)
+	if c.Rank() == 0 {
+		e.repMu.Lock()
+		e.report.SafePoints = ctx.spCount
+		e.repMu.Unlock()
+	}
+	return nil
+}
+
+// guard runs fn, converting the engine's control-flow tokens (injected
+// failure, checkpoint-and-stop, poisoned team barriers) from panics into
+// values. Any other panic is a genuine bug and is re-raised.
+func (e *Engine) guard(fn func()) (tok any) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case stopToken, failToken, abortToken, team.Poisoned:
+				tok = r
+			default:
+				panic(r)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+func (e *Engine) noteToken(tok any) {
+	switch t := tok.(type) {
+	case stopToken:
+		e.stopped.CompareAndSwap(nil, &t)
+	case failToken:
+		e.failed.Store(true)
+	}
+}
+
+// dueAt reports whether a periodic checkpoint is due at safe point sp. It
+// is a pure function of sp so every thread and rank reaches the same
+// decision independently — required for the collective save protocols.
+func (e *Engine) dueAt(sp uint64) bool {
+	every := e.cfg.CheckpointEvery
+	if e.store == nil || every == 0 || sp == 0 || sp%every != 0 {
+		return false
+	}
+	if e.cfg.MaxCheckpoints > 0 && sp/every > uint64(e.cfg.MaxCheckpoints) {
+		return false
+	}
+	return true
+}
+
+func (e *Engine) critical(name string) *sync.Mutex {
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	m, ok := e.crits[name]
+	if !ok {
+		m = &sync.Mutex{}
+		e.crits[name] = m
+	}
+	return m
+}
+
+func (e *Engine) recordSave(d time.Duration, bytes int) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.SaveTotal += d
+	e.report.SaveBytes = bytes
+	e.report.Checkpoints++
+}
+
+func (e *Engine) recordLoad(replayDone time.Time, load time.Duration) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.LoadTotal += load
+	if rt := replayDone.Sub(e.started); rt > e.report.ReplayTime {
+		e.report.ReplayTime = rt
+	}
+}
+
+func (e *Engine) recordAdapted() {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.Adapted = true
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"ppar/internal/mp"
+	"ppar/internal/partition"
+	"ppar/internal/serial"
+)
+
+// boundFields resolves the field names used by modules against one
+// application instance via reflection. Reflection is used only at plug time
+// and at data-movement points (scatter/gather/halo/checkpoint), never in
+// compute loops — the hot path touches the fields directly.
+//
+// Supported field kinds: float64, int, int64, []float64, []int,
+// [][]float64 (rectangular).
+type boundFields struct {
+	app   App
+	specs map[string]*FieldSpec
+	vals  map[string]reflect.Value
+}
+
+func bindFields(app App, specs map[string]*FieldSpec) (*boundFields, error) {
+	b := &boundFields{app: app, specs: specs, vals: map[string]reflect.Value{}}
+	rv := reflect.ValueOf(app)
+	if rv.Kind() != reflect.Pointer || rv.Elem().Kind() != reflect.Struct {
+		if len(specs) == 0 {
+			return b, nil
+		}
+		return nil, fmt.Errorf("core: application must be a pointer to struct to use field templates, got %T", app)
+	}
+	sv := rv.Elem()
+	for name := range specs {
+		fv := sv.FieldByName(name)
+		if !fv.IsValid() {
+			return nil, fmt.Errorf("core: field %q named by a module does not exist on %T", name, app)
+		}
+		if !fv.CanSet() {
+			return nil, fmt.Errorf("core: field %q on %T is unexported; module-managed fields must be exported", name, app)
+		}
+		if err := checkFieldKind(fv); err != nil {
+			return nil, fmt.Errorf("core: field %q: %w", name, err)
+		}
+		b.vals[name] = fv
+	}
+	return b, nil
+}
+
+func checkFieldKind(fv reflect.Value) error {
+	switch fv.Interface().(type) {
+	case float64, int, int64, []float64, []int, [][]float64:
+		return nil
+	}
+	return fmt.Errorf("unsupported kind %s (supported: float64, int, int64, []float64, []int, [][]float64)", fv.Type())
+}
+
+// names returns the sorted field names matching pred — iteration order must
+// be deterministic because distributed ranks perform the same collective
+// sequence field by field.
+func (b *boundFields) names(pred func(*FieldSpec) bool) []string {
+	var out []string
+	for n, s := range b.specs {
+		if pred(s) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (b *boundFields) safeDataNames() []string {
+	return b.names(func(s *FieldSpec) bool { return s.SafeData })
+}
+
+func (b *boundFields) partitionedNames() []string {
+	return b.names(func(s *FieldSpec) bool { return s.Class == Partitioned })
+}
+
+func (b *boundFields) replicatedNames() []string {
+	return b.names(func(s *FieldSpec) bool { return s.Class == Replicated })
+}
+
+// value extracts a field as a serial.Value (sharing backing arrays).
+func (b *boundFields) value(name string) (serial.Value, error) {
+	fv, ok := b.vals[name]
+	if !ok {
+		return serial.Value{}, fmt.Errorf("core: field %q not bound", name)
+	}
+	switch v := fv.Interface().(type) {
+	case float64:
+		return serial.Float64(v), nil
+	case int:
+		return serial.Int64(int64(v)), nil
+	case int64:
+		return serial.Int64(v), nil
+	case []float64:
+		return serial.Float64s(v), nil
+	case []int:
+		is := make([]int64, len(v))
+		for i, x := range v {
+			is[i] = int64(x)
+		}
+		return serial.Int64s(is), nil
+	case [][]float64:
+		return serial.Float64Matrix(v), nil
+	}
+	return serial.Value{}, fmt.Errorf("core: field %q has unsupported kind", name)
+}
+
+// setValue writes a serial.Value back into the field. Slice and matrix
+// contents are copied into the existing backing arrays when shapes match, so
+// that other references to the same arrays (e.g. the red/black views of a
+// stencil) observe the restored data.
+func (b *boundFields) setValue(name string, v serial.Value) error {
+	fv, ok := b.vals[name]
+	if !ok {
+		return fmt.Errorf("core: field %q not bound", name)
+	}
+	switch cur := fv.Interface().(type) {
+	case float64:
+		fv.SetFloat(v.F)
+	case int:
+		fv.SetInt(v.I)
+	case int64:
+		fv.SetInt(v.I)
+	case []float64:
+		if len(cur) == len(v.Fs) {
+			copy(cur, v.Fs)
+		} else {
+			fv.Set(reflect.ValueOf(append([]float64(nil), v.Fs...)))
+		}
+	case []int:
+		if len(cur) == len(v.Is) {
+			for i, x := range v.Is {
+				cur[i] = int(x)
+			}
+		} else {
+			is := make([]int, len(v.Is))
+			for i, x := range v.Is {
+				is[i] = int(x)
+			}
+			fv.Set(reflect.ValueOf(is))
+		}
+	case [][]float64:
+		if len(cur) == v.Rows && (v.Rows == 0 || len(cur[0]) == v.Cols) {
+			for i := range cur {
+				copy(cur[i], v.F2[i])
+			}
+		} else {
+			m := make([][]float64, v.Rows)
+			for i := range m {
+				m[i] = append([]float64(nil), v.F2[i]...)
+			}
+			fv.Set(reflect.ValueOf(m))
+		}
+	default:
+		return fmt.Errorf("core: field %q has unsupported kind", name)
+	}
+	return nil
+}
+
+// layoutFor builds the partition layout of a partitioned field for the
+// given number of parts. Matrices partition by rows, slices by elements.
+func (b *boundFields) layoutFor(name string, parts int) (partition.Layout, error) {
+	spec, ok := b.specs[name]
+	if !ok || spec.Class != Partitioned {
+		return partition.Layout{}, fmt.Errorf("core: field %q is not partitioned", name)
+	}
+	n, err := b.length(name)
+	if err != nil {
+		return partition.Layout{}, err
+	}
+	if spec.Layout == partition.BlockCyclic {
+		return partition.NewBlockCyclic(n, parts, spec.ChunkSize), nil
+	}
+	return partition.New(spec.Layout, n, parts), nil
+}
+
+// length reports the partitionable extent of a field.
+func (b *boundFields) length(name string) (int, error) {
+	fv, ok := b.vals[name]
+	if !ok {
+		return 0, fmt.Errorf("core: field %q not bound", name)
+	}
+	switch v := fv.Interface().(type) {
+	case []float64:
+		return len(v), nil
+	case []int:
+		return len(v), nil
+	case [][]float64:
+		return len(v), nil
+	}
+	return 0, fmt.Errorf("core: field %q is scalar and cannot be partitioned", name)
+}
+
+// packOwned flattens the indices of a partitioned field owned by part p
+// into a float64 vector (matrices flatten row-major).
+func (b *boundFields) packOwned(name string, l partition.Layout, p int) ([]float64, error) {
+	fv := b.vals[name]
+	switch v := fv.Interface().(type) {
+	case []float64:
+		out := make([]float64, 0, l.Count(p))
+		l.Indices(p, func(i int) { out = append(out, v[i]) })
+		return out, nil
+	case []int:
+		out := make([]float64, 0, l.Count(p))
+		l.Indices(p, func(i int) { out = append(out, float64(v[i])) })
+		return out, nil
+	case [][]float64:
+		cols := 0
+		if len(v) > 0 {
+			cols = len(v[0])
+		}
+		out := make([]float64, 0, l.Count(p)*cols)
+		l.Indices(p, func(i int) { out = append(out, v[i]...) })
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: field %q cannot be packed", name)
+}
+
+// unpackOwned writes a packed vector back into the indices owned by part p.
+func (b *boundFields) unpackOwned(name string, l partition.Layout, p int, data []float64) error {
+	fv := b.vals[name]
+	switch v := fv.Interface().(type) {
+	case []float64:
+		k := 0
+		l.Indices(p, func(i int) { v[i] = data[k]; k++ })
+		return nil
+	case []int:
+		k := 0
+		l.Indices(p, func(i int) { v[i] = int(data[k]); k++ })
+		return nil
+	case [][]float64:
+		cols := 0
+		if len(v) > 0 {
+			cols = len(v[0])
+		}
+		k := 0
+		l.Indices(p, func(i int) {
+			copy(v[i], data[k:k+cols])
+			k += cols
+		})
+		return nil
+	}
+	return fmt.Errorf("core: field %q cannot be unpacked", name)
+}
+
+// gatherAt collects the owned blocks of a partitioned field at root,
+// leaving root's copy of the field fully populated.
+func (b *boundFields) gatherAt(name string, c *mp.Comm, root, parts int) error {
+	l, err := b.layoutFor(name, parts)
+	if err != nil {
+		return err
+	}
+	mine, err := b.packOwned(name, l, c.Rank())
+	if err != nil {
+		return err
+	}
+	got, err := c.Gather(root, mp.EncodeF64s(mine))
+	if err != nil {
+		return fmt.Errorf("core: gathering field %q: %w", name, err)
+	}
+	if c.Rank() != root {
+		return nil
+	}
+	for r := 0; r < parts; r++ {
+		if r == root {
+			continue // root's block is already in place
+		}
+		if err := b.unpackOwned(name, l, r, mp.DecodeF64s(got[r])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterFrom distributes root's full copy of a partitioned field: every
+// rank receives (only) its owned block.
+func (b *boundFields) scatterFrom(name string, c *mp.Comm, root, parts int) error {
+	l, err := b.layoutFor(name, parts)
+	if err != nil {
+		return err
+	}
+	var frames [][]byte
+	if c.Rank() == root {
+		frames = make([][]byte, parts)
+		for r := 0; r < parts; r++ {
+			blk, err := b.packOwned(name, l, r)
+			if err != nil {
+				return err
+			}
+			frames[r] = mp.EncodeF64s(blk)
+		}
+	}
+	mine, err := c.Scatter(root, frames)
+	if err != nil {
+		return fmt.Errorf("core: scattering field %q: %w", name, err)
+	}
+	if c.Rank() == root {
+		return nil // root's block never left
+	}
+	return b.unpackOwned(name, l, c.Rank(), mp.DecodeF64s(mine))
+}
+
+// bcastField broadcasts root's full copy of a (typically replicated) field.
+func (b *boundFields) bcastField(name string, c *mp.Comm, root int) error {
+	var payload []byte
+	if c.Rank() == root {
+		v, err := b.value(name)
+		if err != nil {
+			return err
+		}
+		snap := serial.NewSnapshot("bcast", "f", 0)
+		snap.Fields[name] = v
+		payload = encodeSnapshot(snap)
+	}
+	payload, err := c.Bcast(root, payload)
+	if err != nil {
+		return fmt.Errorf("core: broadcasting field %q: %w", name, err)
+	}
+	if c.Rank() == root {
+		return nil
+	}
+	snap, err := decodeSnapshot(payload)
+	if err != nil {
+		return err
+	}
+	return b.setValue(name, snap.Fields[name])
+}
+
+// Halo tags: exchanges between one rank pair are strictly ordered by the
+// SPMD control flow and the transport preserves per-(sender,tag) FIFO
+// order, so fixed tags are unambiguous. (They must NOT depend on how many
+// exchanges a rank has performed: a replica that joins at run time skipped
+// all earlier exchanges during its replay.)
+const (
+	haloTagDown = 0x3000
+	haloTagUp   = 0x3001
+)
+
+// haloExchange refreshes the boundary rows of a block-partitioned matrix
+// field: each rank sends its first/last owned row to the neighbouring rank
+// and installs the neighbour's edge row next to its own block — the
+// paper's "update" primitive, required by five-point stencils.
+func (b *boundFields) haloExchange(name string, c *mp.Comm, parts int) error {
+	spec := b.specs[name]
+	if spec == nil || spec.Class != Partitioned || spec.Layout != partition.Block {
+		return fmt.Errorf("core: halo exchange requires a block-partitioned field, got %q", name)
+	}
+	fv, ok := b.vals[name].Interface().([][]float64)
+	if !ok {
+		return fmt.Errorf("core: halo exchange requires a [][]float64 field, got %q", name)
+	}
+	l, err := b.layoutFor(name, parts)
+	if err != nil {
+		return err
+	}
+	lo, hi := l.Range(c.Rank())
+	tagDown, tagUp := haloTagDown, haloTagUp
+	if lo >= hi {
+		return nil // empty part: no rows, no neighbours
+	}
+	below, above := l.Neighbours(c.Rank())
+	// Post sends first (transports buffer), then receive.
+	if below >= 0 {
+		if err := c.SendF64s(below, tagDown, fv[lo]); err != nil {
+			return fmt.Errorf("core: halo send down %q: %w", name, err)
+		}
+	}
+	if above >= 0 {
+		if err := c.SendF64s(above, tagUp, fv[hi-1]); err != nil {
+			return fmt.Errorf("core: halo send up %q: %w", name, err)
+		}
+	}
+	if below >= 0 {
+		row, err := c.RecvF64s(below, tagUp)
+		if err != nil {
+			return fmt.Errorf("core: halo recv from below %q: %w", name, err)
+		}
+		copy(fv[lo-1], row)
+	}
+	if above >= 0 {
+		row, err := c.RecvF64s(above, tagDown)
+		if err != nil {
+			return fmt.Errorf("core: halo recv from above %q: %w", name, err)
+		}
+		copy(fv[hi], row)
+	}
+	return nil
+}
+
+// snapshot builds a serial snapshot of all SafeData fields.
+func (b *boundFields) snapshot(app, mode string, sp uint64) (*serial.Snapshot, error) {
+	snap := serial.NewSnapshot(app, mode, sp)
+	for _, name := range b.safeDataNames() {
+		v, err := b.value(name)
+		if err != nil {
+			return nil, err
+		}
+		snap.Fields[name] = v
+	}
+	return snap, nil
+}
+
+// restore writes a snapshot's fields back into the application.
+func (b *boundFields) restore(snap *serial.Snapshot) error {
+	for name, v := range snap.Fields {
+		if _, ok := b.vals[name]; !ok {
+			return fmt.Errorf("core: snapshot field %q does not exist on the application", name)
+		}
+		if err := b.setValue(name, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardSnapshot builds one rank's local snapshot: owned blocks of
+// partitioned SafeData fields plus full copies of everything else.
+func (b *boundFields) shardSnapshot(app string, sp uint64, rank, parts int) (*serial.Snapshot, error) {
+	snap := serial.NewSnapshot(app, fmt.Sprintf("shard-%d/%d", rank, parts), sp)
+	for _, name := range b.safeDataNames() {
+		if b.specs[name].Class == Partitioned {
+			l, err := b.layoutFor(name, parts)
+			if err != nil {
+				return nil, err
+			}
+			blk, err := b.packOwned(name, l, rank)
+			if err != nil {
+				return nil, err
+			}
+			snap.Fields[name] = serial.Float64s(blk)
+			continue
+		}
+		v, err := b.value(name)
+		if err != nil {
+			return nil, err
+		}
+		snap.Fields[name] = v
+	}
+	return snap, nil
+}
+
+// restoreShard writes a rank-local snapshot back: partitioned fields into
+// owned blocks, the rest verbatim.
+func (b *boundFields) restoreShard(snap *serial.Snapshot, rank, parts int) error {
+	for name, v := range snap.Fields {
+		spec, ok := b.specs[name]
+		if !ok {
+			return fmt.Errorf("core: shard field %q unknown", name)
+		}
+		if spec.Class == Partitioned {
+			l, err := b.layoutFor(name, parts)
+			if err != nil {
+				return err
+			}
+			if err := b.unpackOwned(name, l, rank, v.Fs); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := b.setValue(name, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeSnapshot(s *serial.Snapshot) []byte {
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		panic(fmt.Sprintf("core: in-memory snapshot encode failed: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeSnapshot(b []byte) (*serial.Snapshot, error) {
+	return serial.Decode(bytes.NewReader(b))
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync"
+
+	"ppar/internal/ckpt"
+	"ppar/internal/team"
+)
+
+// runRegion executes a ParallelMethod: a fresh team of the engine's current
+// width runs fn, with the encountering context becoming the master worker
+// (§III.B: "Execution starts in a main thread that can spawn a team of
+// threads to execute a block of code"). Control-flow tokens raised inside
+// workers are collected and re-raised on the encountering goroutine after
+// the team drains, so injected failures and checkpoint-stops unwind cleanly.
+func (c *Ctx) runRegion(fn func(*Ctx)) {
+	n := int(c.eng.curThreads.Load())
+	tm := team.New(n)
+
+	var tokMu chanToken
+	saveWorker := c.worker
+	saveInRegion, saveRegionFn, saveStart := c.inRegion, c.regionFn, c.regionStartSp
+
+	// Capture the region-entry state BEFORE any worker starts: the master
+	// runs the region body on this goroutine concurrently with the spawned
+	// workers, so cloning from the live master context would fork replay
+	// progress and counters the master has already advanced.
+	entry := regionEntry{sp: c.spCount}
+	if c.restart != nil {
+		entry.restart = c.restart.Fork()
+	}
+
+	tm.Run(func(w *team.Worker) {
+		var rc *Ctx
+		if w.IsMaster() {
+			rc = c
+			rc.worker = w
+		} else {
+			rc = c.cloneForWorker(w, entry)
+		}
+		rc.inRegion = true
+		rc.regionFn = fn
+		rc.regionStartSp = entry.sp
+		if tok := c.eng.guard(func() { fn(rc) }); tok != nil {
+			tokMu.set(tok)
+			// Release any siblings blocked on the team barrier: they
+			// must unwind too (the process is going down or stopping).
+			tm.Poison()
+		}
+	})
+
+	c.worker = saveWorker
+	c.inRegion, c.regionFn, c.regionStartSp = saveInRegion, saveRegionFn, saveStart
+	if tok := tokMu.get(); tok != nil {
+		panic(tok)
+	}
+}
+
+// regionEntry is the master context state snapshotted at region entry, from
+// which worker contexts are derived.
+type regionEntry struct {
+	sp      uint64
+	restart *ckpt.Replay
+}
+
+// cloneForWorker derives a context for a non-master team worker: its own
+// safe-point counter and replay progress starting from the region-entry
+// snapshot, sharing the application, fields and communicator.
+func (c *Ctx) cloneForWorker(w *team.Worker, entry regionEntry) *Ctx {
+	rc := &Ctx{
+		eng:     c.eng,
+		app:     c.app,
+		fields:  c.fields,
+		comm:    c.comm,
+		worker:  w,
+		spCount: entry.sp,
+	}
+	if entry.restart != nil {
+		rc.restart = entry.restart.Fork()
+	}
+	return rc
+}
+
+// cloneForJoin derives a context for a worker spawned by a run-time
+// expansion: it replays the region from its start until it has passed the
+// same number of safe points as the incumbents (§IV.B: "we replay the
+// execution inside parallel region for each new thread ... to build the
+// correct calling stack on each thread in the team"). The join object is
+// carried in the context — in hybrid deployments every rank's team adapts
+// concurrently, so join coordination must be team-local, never
+// engine-global.
+func (c *Ctx) cloneForJoin(w *team.Worker, regionSafePoints uint64, join *smpJoin) *Ctx {
+	rc := &Ctx{
+		eng:      c.eng,
+		app:      c.app,
+		fields:   c.fields,
+		comm:     c.comm,
+		worker:   w,
+		spCount:  c.regionStartSp,
+		inRegion: true,
+		joinVia:  join,
+	}
+	rc.regionFn = c.regionFn
+	rc.regionStartSp = c.regionStartSp
+	rc.join = newJoinReplay(regionSafePoints)
+	return rc
+}
+
+// chanToken is a tiny once-set token holder safe for concurrent workers.
+type chanToken struct {
+	mu  sync.Mutex
+	tok any
+}
+
+func (t *chanToken) set(tok any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tok == nil {
+		t.tok = tok
+	}
+}
+
+func (t *chanToken) get() any {
+	return t.tok // called after tm.Run joined all workers
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ppar/internal/serial"
+)
+
+// SafePoint marks a point in execution where a checkpoint can be taken and
+// adaptation requests are serviced (§IV.A). In normal execution it costs
+// one counter increment plus three atomic loads — the paper measures this
+// as "less than 1% in most cases" (Figure 3). During replay it only counts
+// progress toward the saved target.
+func (c *Ctx) SafePoint() {
+	if c.Retired() {
+		return
+	}
+	if c.join.Active() {
+		if c.join.Step() {
+			c.completeJoin()
+		}
+		return
+	}
+	if c.restart.Active() {
+		if c.restart.Step() {
+			c.loadAtTarget()
+		}
+		return
+	}
+	c.spCount++
+	sp := c.spCount
+	e := c.eng
+
+	if e.cfg.FailAtSafePoint == sp && c.failHere() {
+		e.failed.Store(true)
+		panic(failToken{sp: sp, rank: c.Rank()})
+	}
+	if e.cfg.StopCheckpointAt == sp {
+		c.stopCheckpoint(sp)
+	}
+	// Config-scheduled adaptation: a pure function of sp, so every line of
+	// execution (and, in hybrid deployments, every rank's team) triggers
+	// independently without shared mutable state.
+	if e.cfg.AdaptAtSafePoint == sp {
+		c.adaptNow(sp, e.cfg.AdaptTo)
+	} else if at := e.scheduled.Load(); at != 0 && at == sp {
+		// Dynamically scheduled adaptation (RequestAdapt path).
+		if t := e.pending.Load(); t != nil {
+			c.adaptNow(sp, *t)
+		}
+	} else if c.isCoordinator() {
+		switch {
+		case at == 0:
+			if t := e.pending.Load(); t != nil {
+				// Schedule for the NEXT safe point: every other thread
+				// is guaranteed to observe the schedule before reaching
+				// it, because consecutive safe points are separated by
+				// a team barrier (the loop advice inserts one per
+				// sweep).
+				e.scheduled.CompareAndSwap(0, sp+1)
+			}
+		case sp > at:
+			// The scheduled point has passed on every thread (team
+			// lockstep); clear the dynamic state so a future
+			// RequestAdapt can be scheduled.
+			e.scheduled.Store(0)
+			e.pending.Store(nil)
+		}
+	}
+	if e.dueAt(sp) {
+		c.checkpoint(sp)
+	}
+}
+
+// failHere decides whether this line of execution hosts the injected
+// failure: the configured rank in distributed modes; every team thread (the
+// process dies as a whole) in shared mode.
+func (c *Ctx) failHere() bool {
+	if c.comm != nil {
+		return c.Rank() == c.eng.cfg.FailRank
+	}
+	return true
+}
+
+// isCoordinator reports whether this line of execution services the
+// adaptation request queue: the master thread of rank 0.
+func (c *Ctx) isCoordinator() bool {
+	return c.IsMasterRank() && c.IsMasterThread()
+}
+
+// checkpoint runs the mode-specific save protocol of §IV.A at safe point sp.
+func (c *Ctx) checkpoint(sp uint64) {
+	switch {
+	case c.worker != nil:
+		// Shared memory (and hybrid): "we introduce a barrier before and
+		// another after the safe point. When all threads have reached
+		// the first barrier the master thread saves the data".
+		c.worker.Barrier()
+		if c.worker.IsMaster() {
+			if c.commActive() {
+				c.distSave(sp)
+			} else {
+				c.localSave(sp)
+			}
+		}
+		c.worker.Barrier()
+	case c.commActive():
+		c.distSave(sp)
+	default:
+		c.localSave(sp)
+	}
+}
+
+// localSave writes a canonical snapshot from this process's fields.
+func (c *Ctx) localSave(sp uint64) {
+	start := time.Now()
+	snap, err := c.fields.snapshot(c.eng.cfg.AppName, c.eng.cfg.Mode.String(), sp)
+	c.must(err)
+	c.must(c.eng.store.Save(snap))
+	c.eng.recordSave(time.Since(start), snap.DataBytes())
+}
+
+// distSave implements the two distributed alternatives of §IV.A: local
+// shards between two global barriers, or collection of partitioned data at
+// the master — the latter "has the advantage of making it possible to
+// restart the application on any of the execution modes".
+func (c *Ctx) distSave(sp uint64) {
+	e := c.eng
+	start := time.Now()
+	if e.cfg.ShardCheckpoints {
+		c.must(c.comm.Barrier())
+		snap, err := c.fields.shardSnapshot(e.cfg.AppName, sp, c.Rank(), c.Procs())
+		c.must(err)
+		c.must(e.store.SaveShard(snap, c.Rank()))
+		c.must(c.comm.Barrier())
+		if c.IsMasterRank() {
+			e.recordSave(time.Since(start), snap.DataBytes())
+		}
+		return
+	}
+	for _, f := range c.fields.partitionedNames() {
+		c.must(c.fields.gatherAt(f, c.comm, 0, c.Procs()))
+	}
+	if c.IsMasterRank() {
+		snap, err := c.fields.snapshot(e.cfg.AppName, "canonical", sp)
+		c.must(err)
+		c.must(e.store.Save(snap))
+		e.recordSave(time.Since(start), snap.DataBytes())
+	}
+}
+
+// stopCheckpoint takes a canonical snapshot and stops the run — the
+// adaptation-by-restart path (Figures 6 and 7). All lines of execution
+// reach the same safe point and unwind together.
+func (c *Ctx) stopCheckpoint(sp uint64) {
+	switch {
+	case c.worker != nil:
+		c.worker.Barrier()
+		if c.worker.IsMaster() {
+			if c.commActive() {
+				c.stopSaveDist(sp)
+			} else {
+				c.localSave(sp)
+			}
+		}
+		c.worker.Barrier()
+	case c.commActive():
+		c.stopSaveDist(sp)
+	default:
+		c.localSave(sp)
+	}
+	panic(stopToken{sp: sp})
+}
+
+func (c *Ctx) stopSaveDist(sp uint64) {
+	start := time.Now()
+	for _, f := range c.fields.partitionedNames() {
+		c.must(c.fields.gatherAt(f, c.comm, 0, c.Procs()))
+	}
+	if c.IsMasterRank() {
+		snap, err := c.fields.snapshot(c.eng.cfg.AppName, "canonical", sp)
+		c.must(err)
+		c.must(c.eng.store.Save(snap))
+		c.eng.recordSave(time.Since(start), snap.DataBytes())
+	}
+}
+
+// loadAtTarget restores the checkpointed data once replay reaches the saved
+// safe-point count (§IV.A, Fig. 2b step 4). The restore protocol mirrors
+// the save protocol of each mode.
+func (c *Ctx) loadAtTarget() {
+	e := c.eng
+	replayDone := time.Now()
+	target := c.restart.Target()
+	switch {
+	case c.worker != nil:
+		// "A barrier is introduced after the safe point where the
+		// checkpoint was taken. The master thread reads the saved data
+		// when reaching that safe point and then releases the other
+		// threads waiting at the barrier."
+		c.worker.Barrier()
+		if c.worker.IsMaster() {
+			start := time.Now()
+			if c.commActive() {
+				c.distLoad()
+			} else {
+				c.must(c.fields.restore(c.mustSnap()))
+			}
+			if c.IsMasterRank() {
+				e.recordLoad(replayDone, time.Since(start))
+			}
+		}
+		c.worker.Barrier()
+	case c.commActive():
+		start := time.Now()
+		c.distLoad()
+		if c.IsMasterRank() {
+			e.recordLoad(replayDone, time.Since(start))
+		}
+	default:
+		start := time.Now()
+		c.must(c.fields.restore(c.mustSnap()))
+		e.recordLoad(replayDone, time.Since(start))
+	}
+	c.spCount = target
+}
+
+// mustSnap returns the canonical snapshot found at start-up (loading it
+// from disk if the engine deferred that).
+func (c *Ctx) mustSnap() *serial.Snapshot {
+	e := c.eng
+	if e.resumeSnap != nil {
+		return e.resumeSnap
+	}
+	snap, found, err := e.store.Load(e.cfg.AppName)
+	c.must(err)
+	if !found {
+		panic(abortToken{msg: fmt.Sprintf("core: replay reached target %d but no canonical snapshot exists", c.restart.Target())})
+	}
+	return snap
+}
+
+// distLoad restores a distributed run: from the canonical snapshot (rank 0
+// loads, partitioned fields are scattered, replicated fields broadcast —
+// "the data must be scattered across processors after being loaded",
+// Figure 5) or from per-rank shards.
+func (c *Ctx) distLoad() {
+	e := c.eng
+	if e.shardResume {
+		snap, found, err := e.store.LoadShard(e.cfg.AppName, c.Rank())
+		c.must(err)
+		if !found {
+			panic(abortToken{msg: fmt.Sprintf("core: rank %d has no shard snapshot (was the world size changed? shard checkpoints require restarting with the same number of processes)", c.Rank())})
+		}
+		c.must(c.fields.restoreShard(snap, c.Rank(), c.Procs()))
+		c.must(c.comm.Barrier())
+		return
+	}
+	if c.IsMasterRank() {
+		c.must(c.fields.restore(c.mustSnap()))
+	}
+	for _, f := range c.fields.partitionedNames() {
+		c.must(c.fields.scatterFrom(f, c.comm, 0, c.Procs()))
+	}
+	for _, f := range c.fields.replicatedNames() {
+		c.must(c.fields.bcastField(f, c.comm, 0))
+	}
+}

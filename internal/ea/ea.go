@@ -1,0 +1,254 @@
+// Package ea is a pluggable evolutionary-computation framework in the
+// mould of the paper's case study [20] (Pinho, Rocha & Sobral, "Pluggable
+// Parallelization of Evolutionary Algorithms", PDP'10): a generational
+// genetic algorithm whose fitness evaluation is the advisable loop and
+// whose breeding step is deterministic given the generation number, so the
+// same run can be deployed sequentially, on a thread team, or across
+// aggregate replicas — and checkpointed/adapted — without changing results.
+package ea
+
+import (
+	"math"
+
+	"ppar/internal/core"
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// Problem is a minimisation problem over [Lo,Hi]^Dim.
+type Problem interface {
+	Name() string
+	Dim() int
+	Bounds() (lo, hi float64)
+	// Evaluate must be pure: the framework may call it from any line of
+	// execution, and replays depend on reproducibility.
+	Evaluate(genome []float64) float64
+}
+
+// Sphere is the classic convex test problem: sum of squares.
+type Sphere struct{ D int }
+
+// Name implements Problem.
+func (s Sphere) Name() string { return "sphere" }
+
+// Dim implements Problem.
+func (s Sphere) Dim() int { return s.D }
+
+// Bounds implements Problem.
+func (s Sphere) Bounds() (float64, float64) { return -5, 5 }
+
+// Evaluate implements Problem.
+func (s Sphere) Evaluate(g []float64) float64 {
+	sum := 0.0
+	for _, x := range g {
+		sum += x * x
+	}
+	return sum
+}
+
+// Rastrigin is the classic multi-modal test problem.
+type Rastrigin struct{ D int }
+
+// Name implements Problem.
+func (r Rastrigin) Name() string { return "rastrigin" }
+
+// Dim implements Problem.
+func (r Rastrigin) Dim() int { return r.D }
+
+// Bounds implements Problem.
+func (r Rastrigin) Bounds() (float64, float64) { return -5.12, 5.12 }
+
+// Evaluate implements Problem.
+func (r Rastrigin) Evaluate(g []float64) float64 {
+	sum := 10 * float64(len(g))
+	for _, x := range g {
+		sum += x*x - 10*math.Cos(2*math.Pi*x)
+	}
+	return sum
+}
+
+// Result receives the master's final outcome.
+type Result struct {
+	Best       float64
+	BestGenome []float64
+}
+
+// GA is the base program. Pop is flattened (PopSize×Dim, replicated so
+// every aggregate element can breed identically); Fitness is partitioned —
+// evaluation is the expensive, distributed part.
+type GA struct {
+	Pop     []float64
+	Fitness []float64
+
+	PopSize int
+	Gens    int
+	Seed    uint64
+
+	problem Problem
+	Result  *Result
+}
+
+// New builds a GA for the problem with a deterministic initial population.
+func New(p Problem, popSize, gens int, seed uint64, res *Result) *GA {
+	g := &GA{
+		Pop:     make([]float64, popSize*p.Dim()),
+		Fitness: make([]float64, popSize),
+		PopSize: popSize, Gens: gens, Seed: seed,
+		problem: p, Result: res,
+	}
+	lo, hi := p.Bounds()
+	rng := newRNG(seed)
+	for i := range g.Pop {
+		g.Pop[i] = lo + (hi-lo)*rng.float()
+	}
+	return g
+}
+
+// Main runs the generational loop.
+func (g *GA) Main(ctx *core.Ctx) {
+	ctx.Call("ea.run", g.run)
+	ctx.Call("ea.finish", g.finish)
+}
+
+func (g *GA) run(ctx *core.Ctx) {
+	for gen := 0; gen < g.Gens; gen++ {
+		ctx.Call("ea.evaluate", g.evaluate)
+		gg := gen
+		ctx.Call("ea.breed", func(*core.Ctx) { g.breed(gg) })
+		ctx.Call("ea.gen", func(*core.Ctx) {})
+	}
+	ctx.Call("ea.evaluate", g.evaluate)
+	ctx.Call("ea.final", func(*core.Ctx) {})
+}
+
+// evaluate is the advisable fitness loop — the hot, embarrassingly
+// parallel part that every deployment divides differently.
+func (g *GA) evaluate(ctx *core.Ctx) {
+	dim := g.problem.Dim()
+	core.For(ctx, "ea.individuals", 0, g.PopSize, func(i int) {
+		g.Fitness[i] = g.problem.Evaluate(g.Pop[i*dim : (i+1)*dim])
+	})
+}
+
+// breed produces the next population deterministically from the current
+// fitness vector and the generation number: tournament selection, blend
+// crossover, Gaussian-ish mutation, elitism of the best individual. It
+// runs identically on every replica (replicated breeding), and on the team
+// master only under shared memory (the Single template).
+func (g *GA) breed(gen int) {
+	dim := g.problem.Dim()
+	lo, hi := g.problem.Bounds()
+	rng := newRNG(g.Seed ^ (uint64(gen)+1)*0x9E3779B97F4A7C15)
+	next := make([]float64, len(g.Pop))
+
+	best := 0
+	for i := 1; i < g.PopSize; i++ {
+		if g.Fitness[i] < g.Fitness[best] {
+			best = i
+		}
+	}
+	copy(next[:dim], g.Pop[best*dim:(best+1)*dim]) // elitism
+
+	tournament := func() int {
+		a := int(rng.next() % uint64(g.PopSize))
+		b := int(rng.next() % uint64(g.PopSize))
+		if g.Fitness[a] <= g.Fitness[b] {
+			return a
+		}
+		return b
+	}
+	for i := 1; i < g.PopSize; i++ {
+		pa, pb := tournament(), tournament()
+		alpha := rng.float()
+		for d := 0; d < dim; d++ {
+			v := alpha*g.Pop[pa*dim+d] + (1-alpha)*g.Pop[pb*dim+d]
+			if rng.float() < 0.05 {
+				v += (rng.float() - 0.5) * (hi - lo) * 0.1
+			}
+			if v < lo {
+				v = lo
+			} else if v > hi {
+				v = hi
+			}
+			next[i*dim+d] = v
+		}
+	}
+	copy(g.Pop, next)
+}
+
+func (g *GA) finish(ctx *core.Ctx) {
+	if g.Result == nil {
+		return
+	}
+	dim := g.problem.Dim()
+	best := 0
+	for i := 1; i < g.PopSize; i++ {
+		if g.Fitness[i] < g.Fitness[best] {
+			best = i
+		}
+	}
+	g.Result.Best = g.Fitness[best]
+	g.Result.BestGenome = append([]float64(nil), g.Pop[best*dim:(best+1)*dim]...)
+}
+
+type rng struct{ x uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{x: seed + 0x9E3779B97F4A7C15} }
+
+func (r *rng) next() uint64 {
+	r.x += 0x9E3779B97F4A7C15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// SharedModule plugs the thread-team deployment: evaluation work-shared,
+// breeding executed once per team (Single) with a barrier so all threads
+// observe the new population.
+func SharedModule() *core.Module {
+	return core.NewModule("ea/smp").
+		ParallelMethod("ea.run").
+		LoopSchedule("ea.individuals", team.Dynamic, 4).
+		SingleMethod("ea.breed").
+		BarrierAfter("ea.breed")
+}
+
+// DistModule plugs the aggregate deployment: fitness evaluation is
+// partitioned and re-gathered in full each generation (replicated breeding
+// then proceeds identically everywhere).
+func DistModule() *core.Module {
+	return core.NewModule("ea/dist").
+		PartitionedField("Fitness", partition.Block).
+		ReplicatedField("Pop").
+		LoopPartition("ea.individuals", "Fitness").
+		AllGatherAfter("ea.evaluate", "Fitness").
+		OnMaster("ea.finish")
+}
+
+// CheckpointModule plugs fault tolerance: population and fitness are the
+// safe data; one safe point per generation; evaluation and breeding are
+// replay-skippable.
+func CheckpointModule() *core.Module {
+	return core.NewModule("ea/ckpt").
+		SafeData("Pop", "Fitness").
+		SafePointAfter("ea.gen").
+		Ignorable("ea.evaluate", "ea.breed")
+}
+
+// Modules assembles the module list for a mode.
+func Modules(mode core.Mode) []*core.Module {
+	switch mode {
+	case core.Sequential:
+		return []*core.Module{CheckpointModule()}
+	case core.Shared:
+		return []*core.Module{SharedModule(), CheckpointModule()}
+	case core.Distributed:
+		return []*core.Module{DistModule(), CheckpointModule()}
+	case core.Hybrid:
+		return []*core.Module{SharedModule(), DistModule(), CheckpointModule()}
+	}
+	return nil
+}

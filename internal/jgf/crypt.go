@@ -1,0 +1,275 @@
+package jgf
+
+import (
+	"ppar/internal/core"
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// Crypt is the JGF IDEA encryption benchmark: encrypt then decrypt a byte
+// array with the International Data Encryption Algorithm; validation checks
+// the round trip restores the plaintext. Blocks of 8 bytes are independent,
+// so the block loop partitions freely.
+type Crypt struct {
+	// Plain is the plaintext (block-partitioned; values 0..255 stored as
+	// ints so the framework can move them).
+	Plain []int
+	// Crypt1 and Plain2 are the encrypted and round-tripped buffers.
+	Crypt1 []int
+	Plain2 []int
+	// Z and DK are the encryption and decryption sub-key schedules
+	// (replicated on every aggregate element).
+	Z  []int
+	DK []int
+	// BlockIndex has one entry per 8-byte block; its cyclic layout drives
+	// the block loop so that block ownership lines up with the byte
+	// buffers' block-cyclic(8) layout: block b belongs to rank b mod P,
+	// and byte i (in block i/8) belongs to rank (i/8) mod P.
+	BlockIndex []int
+
+	N      int
+	Result *CryptResult
+}
+
+// CryptResult receives the master's validation outcome.
+type CryptResult struct {
+	OK       bool
+	Checksum int64
+}
+
+// NewCrypt builds the benchmark with a deterministic plaintext and the JGF
+// user key.
+func NewCrypt(n int, res *CryptResult) *Crypt {
+	n -= n % 8 // whole blocks
+	c := &Crypt{N: n, Result: res}
+	c.Plain = make([]int, n)
+	c.Crypt1 = make([]int, n)
+	c.Plain2 = make([]int, n)
+	c.BlockIndex = make([]int, n/8)
+	for i := range c.BlockIndex {
+		c.BlockIndex[i] = i
+	}
+	r := uint64(42)
+	for i := range c.Plain {
+		r = r*6364136223846793005 + 1442695040888963407
+		c.Plain[i] = int(r>>56) & 0xFF
+	}
+	userKey := [8]int{0x0001, 0x0002, 0x0003, 0x0004, 0x0005, 0x0006, 0x0007, 0x0008}
+	c.Z = calcEncryptKey(userKey)
+	c.DK = calcDecryptKey(c.Z)
+	return c
+}
+
+// Main encrypts, checkpoints, decrypts, validates.
+func (c *Crypt) Main(ctx *core.Ctx) {
+	ctx.Call("crypt.encrypt", func(ctx *core.Ctx) { c.cipher(ctx, c.Plain, c.Crypt1, c.Z) })
+	ctx.Call("crypt.iter", func(*core.Ctx) {})
+	ctx.Call("crypt.decrypt", func(ctx *core.Ctx) { c.cipher(ctx, c.Crypt1, c.Plain2, c.DK) })
+	ctx.Call("crypt.iter", func(*core.Ctx) {})
+	ctx.Call("crypt.finish", c.finish)
+}
+
+// cipher runs IDEA over 8-byte blocks of src into dst with key schedule key.
+func (c *Crypt) cipher(ctx *core.Ctx, src, dst, key []int) {
+	core.For(ctx, "crypt.blocks", 0, c.N/8, func(b int) {
+		ideaBlock(src[b*8:b*8+8], dst[b*8:b*8+8], key)
+	})
+}
+
+func (c *Crypt) finish(ctx *core.Ctx) {
+	if c.Result == nil {
+		return
+	}
+	ok := true
+	var sum int64
+	for i := range c.Plain {
+		if c.Plain[i] != c.Plain2[i] {
+			ok = false
+		}
+		sum += int64(c.Crypt1[i]) * int64(i%97+1)
+	}
+	c.Result.OK = ok
+	c.Result.Checksum = sum
+}
+
+// ideaBlock transforms one 8-byte block (stored as ints) with the 52-entry
+// key schedule — the JGF inner loop.
+func ideaBlock(src, dst, key []int) {
+	x1 := src[0] | src[1]<<8
+	x2 := src[2] | src[3]<<8
+	x3 := src[4] | src[5]<<8
+	x4 := src[6] | src[7]<<8
+	k := 0
+	for round := 0; round < 8; round++ {
+		x1 = mulMod(x1, key[k])
+		x2 = (x2 + key[k+1]) & 0xFFFF
+		x3 = (x3 + key[k+2]) & 0xFFFF
+		x4 = mulMod(x4, key[k+3])
+		t2 := x1 ^ x3
+		t2 = mulMod(t2, key[k+4])
+		t1 := (t2 + (x2 ^ x4)) & 0xFFFF
+		t1 = mulMod(t1, key[k+5])
+		t2 = (t1 + t2) & 0xFFFF
+		x1 ^= t1
+		x4 ^= t2
+		t2 ^= x2
+		x2 = x3 ^ t1
+		x3 = t2
+		k += 6
+	}
+	r0 := mulMod(x1, key[k])
+	r1 := (x3 + key[k+1]) & 0xFFFF
+	r2 := (x2 + key[k+2]) & 0xFFFF
+	r3 := mulMod(x4, key[k+3])
+	dst[0], dst[1] = r0&0xFF, r0>>8
+	dst[2], dst[3] = r1&0xFF, r1>>8
+	dst[4], dst[5] = r2&0xFF, r2>>8
+	dst[6], dst[7] = r3&0xFF, r3>>8
+}
+
+// mulMod is IDEA multiplication modulo 2^16+1 with 0 meaning 2^16.
+func mulMod(a, b int) int {
+	if a == 0 {
+		return (0x10001 - b) & 0xFFFF
+	}
+	if b == 0 {
+		return (0x10001 - a) & 0xFFFF
+	}
+	p := a * b
+	b = p & 0xFFFF
+	a = p >> 16
+	r := b - a
+	if b < a {
+		r++
+	}
+	return r & 0xFFFF
+}
+
+// calcEncryptKey expands the 128-bit user key into 52 sub-keys.
+func calcEncryptKey(userKey [8]int) []int {
+	z := make([]int, 52)
+	for i := 0; i < 8; i++ {
+		z[i] = userKey[i] & 0xFFFF
+	}
+	for i := 8; i < 52; i++ {
+		if i&7 < 6 {
+			z[i] = ((z[i-7]&0x7F)<<9 | z[i-6]>>7) & 0xFFFF
+		} else if i&7 == 6 {
+			z[i] = ((z[i-7]&0x7F)<<9 | z[i-14]>>7) & 0xFFFF
+		} else {
+			z[i] = ((z[i-15]&0x7F)<<9 | z[i-14]>>7) & 0xFFFF
+		}
+	}
+	return z
+}
+
+// calcDecryptKey inverts the schedule for decryption (the JGF IDEATest
+// construction: additive keys negate, multiplicative keys invert, and the
+// middle rounds swap the two additive keys to mirror the x2/x3 swap).
+func calcDecryptKey(z []int) []int {
+	dk := make([]int, 52)
+	dk[51] = mulInv(z[3])
+	dk[50] = (-z[2]) & 0xFFFF
+	dk[49] = (-z[1]) & 0xFFFF
+	dk[48] = mulInv(z[0])
+	j, k := 47, 4
+	for i := 0; i < 7; i++ {
+		t := z[k]
+		dk[j] = z[k+1]
+		dk[j-1] = t
+		t = mulInv(z[k+2])
+		u := (-z[k+3]) & 0xFFFF
+		v := (-z[k+4]) & 0xFFFF
+		dk[j-2] = mulInv(z[k+5])
+		dk[j-3] = u
+		dk[j-4] = v
+		dk[j-5] = t
+		k += 6
+		j -= 6
+	}
+	t := z[k]
+	dk[j] = z[k+1]
+	dk[j-1] = t
+	t = mulInv(z[k+2])
+	u := (-z[k+3]) & 0xFFFF
+	v := (-z[k+4]) & 0xFFFF
+	dk[j-2] = mulInv(z[k+5])
+	dk[j-3] = v
+	dk[j-4] = u
+	dk[j-5] = t
+	return dk
+}
+
+// mulInv computes the multiplicative inverse modulo 2^16+1.
+func mulInv(x int) int {
+	if x <= 1 {
+		return x
+	}
+	t1 := 0x10001 / x
+	y := 0x10001 % x
+	if y == 1 {
+		return (1 - t1) & 0xFFFF
+	}
+	t0 := 1
+	for y != 1 {
+		q := x / y
+		x = x % y
+		t0 = (t0 + q*t1) & 0xFFFF
+		if x == 1 {
+			return t0
+		}
+		q = y / x
+		y = y % x
+		t1 = (t1 + q*t0) & 0xFFFF
+	}
+	return (1 - t1) & 0xFFFF
+}
+
+// CryptSharedModule parallelises the block loop over threads.
+func CryptSharedModule() *core.Module {
+	return core.NewModule("crypt/smp").
+		ParallelMethod("crypt.encrypt").
+		ParallelMethod("crypt.decrypt").
+		LoopSchedule("crypt.blocks", team.StaticChunk, 16)
+}
+
+// CryptDistModule partitions the buffers across aggregate elements.
+func CryptDistModule() *core.Module {
+	return core.NewModule("crypt/dist").
+		PartitionedBlockCyclic("Plain", 8).
+		PartitionedBlockCyclic("Crypt1", 8).
+		PartitionedBlockCyclic("Plain2", 8).
+		PartitionedField("BlockIndex", partition.Cyclic).
+		ReplicatedField("Z").
+		ReplicatedField("DK").
+		LoopPartition("crypt.blocks", "BlockIndex").
+		ScatterBefore("crypt.encrypt", "Plain").
+		GatherAfter("crypt.encrypt", "Crypt1").
+		ScatterBefore("crypt.decrypt", "Crypt1").
+		GatherAfter("crypt.decrypt", "Plain2").
+		OnMaster("crypt.finish")
+}
+
+// CryptCheckpointModule plugs checkpointing: the encrypted buffer is the
+// safe data (a failure between the passes resumes from the ciphertext).
+func CryptCheckpointModule() *core.Module {
+	return core.NewModule("crypt/ckpt").
+		SafeData("Plain", "Crypt1", "Plain2").
+		SafePointAfter("crypt.iter").
+		Ignorable("crypt.encrypt", "crypt.decrypt")
+}
+
+// CryptModules assembles the module list for a mode.
+func CryptModules(mode core.Mode) []*core.Module {
+	switch mode {
+	case core.Sequential:
+		return []*core.Module{CryptCheckpointModule()}
+	case core.Shared:
+		return []*core.Module{CryptSharedModule(), CryptCheckpointModule()}
+	case core.Distributed:
+		return []*core.Module{CryptDistModule(), CryptCheckpointModule()}
+	case core.Hybrid:
+		return []*core.Module{CryptSharedModule(), CryptDistModule(), CryptCheckpointModule()}
+	}
+	return nil
+}

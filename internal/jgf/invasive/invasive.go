@@ -1,0 +1,121 @@
+// Package invasive is the hand-written comparison point of the paper's
+// Figure 3: SOR "when checkpointing is introduced using classic 'invasive'
+// techniques" — the checkpoint logic written directly inside the domain
+// code instead of plugged from a separate module. It exists to demonstrate
+// (and measure) that pluggable checkpointing "does not impose any
+// additional overhead when compared to traditional invasive programming
+// techniques", while costing the base program its purity.
+package invasive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ppar/internal/ckpt"
+	"ppar/internal/serial"
+)
+
+// SOR is the red-black SOR kernel with checkpoint code tangled in.
+type SOR struct {
+	G     [][]float64
+	N     int
+	Iters int
+	Omega float64
+
+	// Checkpoint machinery, living invasively inside the domain type.
+	Store *ckpt.Store
+	Every uint64
+	Max   int
+
+	safePoints uint64
+	taken      int
+}
+
+// New builds the kernel with the same deterministic grid as the pluggable
+// version, so results can be compared across implementations.
+func New(n, iters int) *SOR {
+	s := &SOR{N: n, Iters: iters, Omega: 1.25}
+	s.G = make([][]float64, n)
+	r := uint64(101)
+	for i := range s.G {
+		s.G[i] = make([]float64, n)
+		for j := range s.G[i] {
+			r = r*6364136223846793005 + 1442695040888963407
+			s.G[i][j] = float64(r>>11) / float64(1<<53) * 1e-6
+		}
+	}
+	return s
+}
+
+// EnableCheckpoints turns on invasive checkpointing into dir.
+func (s *SOR) EnableCheckpoints(dir string, every uint64, max int) error {
+	st, err := ckpt.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	s.Store = st
+	s.Every = every
+	s.Max = max
+	return nil
+}
+
+// Run executes the sweeps; note how the checkpoint concern is interleaved
+// with the numeric loop — exactly what pluggable parallelisation avoids.
+func (s *SOR) Run() error {
+	omega, oneMinus := s.Omega, 1-s.Omega
+	for it := 0; it < s.Iters; it++ {
+		for colour := 0; colour < 2; colour++ {
+			for i := 1; i < s.N-1; i++ {
+				row := s.G[i]
+				up, down := s.G[i-1], s.G[i+1]
+				for j := 1 + (i+colour)%2; j < s.N-1; j += 2 {
+					row[j] = omega*0.25*(up[j]+down[j]+row[j-1]+row[j+1]) + oneMinus*row[j]
+				}
+			}
+		}
+		// --- checkpoint concern, hand-inlined ---
+		s.safePoints++
+		if s.Store != nil && s.Every > 0 && s.safePoints%s.Every == 0 &&
+			(s.Max <= 0 || s.taken < s.Max) {
+			if err := s.save(); err != nil {
+				return fmt.Errorf("invasive: checkpoint: %w", err)
+			}
+			s.taken++
+		}
+		// ----------------------------------------
+	}
+	return nil
+}
+
+func (s *SOR) save() error {
+	snap := serial.NewSnapshot("invasive-sor", "seq", s.safePoints)
+	snap.Fields["G"] = serial.Float64Matrix(s.G)
+	return s.Store.Save(snap)
+}
+
+// Gtotal is the JGF validation value.
+func (s *SOR) Gtotal() float64 {
+	total := 0.0
+	for i := range s.G {
+		for _, v := range s.G[i] {
+			total += v
+		}
+	}
+	return total
+}
+
+// CheckpointPath reports where the snapshot lands (for cleanup in benches).
+func (s *SOR) CheckpointPath() string {
+	if s.Store == nil {
+		return ""
+	}
+	return filepath.Join(s.Store.Dir, "invasive-sor.ckpt")
+}
+
+// RemoveCheckpoint deletes the snapshot file.
+func (s *SOR) RemoveCheckpoint() {
+	if p := s.CheckpointPath(); p != "" {
+		os.Remove(p)
+	}
+}

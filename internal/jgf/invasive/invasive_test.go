@@ -1,0 +1,37 @@
+package invasive
+
+import (
+	"testing"
+
+	"ppar/internal/jgf"
+)
+
+func TestMatchesPluggableResult(t *testing.T) {
+	s := New(36, 7)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Gtotal(), jgf.SORReference(36, 7); got != want {
+		t.Fatalf("invasive Gtotal=%v, pluggable reference %v", got, want)
+	}
+}
+
+func TestCheckpointWritten(t *testing.T) {
+	s := New(24, 10)
+	if err := s.EnableCheckpoints(t.TempDir(), 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.taken != 1 {
+		t.Fatalf("taken = %d, want 1", s.taken)
+	}
+	snap, found, err := s.Store.Load("invasive-sor")
+	if err != nil || !found {
+		t.Fatalf("snapshot missing: found=%v err=%v", found, err)
+	}
+	if snap.SafePoints != 5 {
+		t.Errorf("snapshot at safe point %d, want 5", snap.SafePoints)
+	}
+}

@@ -1,0 +1,229 @@
+package jgf
+
+import (
+	"math"
+
+	"ppar/internal/core"
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// MolDyn is the JGF molecular-dynamics benchmark: N Lennard-Jones particles
+// in a periodic box integrated with velocity Verlet. Forces are computed
+// per particle by summing over all others (O(N²) but order-independent, so
+// every deployment produces bit-identical trajectories). Positions are
+// needed by every replica, so the distributed module re-broadcasts them
+// after each integration step — the "update" pattern of the paper's MD
+// framework [21].
+type MolDyn struct {
+	// Pos, Vel, Acc are flattened 3N coordinate arrays. Pos and Vel are
+	// safe data; Pos is partitioned for ownership but re-broadcast in
+	// full each step; Vel and Acc stay with their owner.
+	Pos []float64
+	Vel []float64
+	Acc []float64
+	// ParticleIndex drives the particle loop's distribution: its cyclic
+	// layout over N particles matches the coordinate arrays'
+	// block-cyclic(3) layout over 3N scalars.
+	ParticleIndex []int
+
+	N     int
+	Steps int
+	Dt    float64
+	Box   float64
+
+	Result *MolDynResult
+}
+
+// MolDynResult receives the master's energy diagnostics.
+type MolDynResult struct {
+	Kinetic   float64
+	Potential float64
+}
+
+// NewMolDyn places particles on a perturbed lattice with small random
+// velocities (deterministic).
+func NewMolDyn(n, steps int, res *MolDynResult) *MolDyn {
+	m := &MolDyn{N: n, Steps: steps, Dt: 0.002, Result: res}
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	m.Box = float64(side) * 1.3
+	m.Pos = make([]float64, 3*n)
+	m.Vel = make([]float64, 3*n)
+	m.Acc = make([]float64, 3*n)
+	m.ParticleIndex = make([]int, n)
+	for k := range m.ParticleIndex {
+		m.ParticleIndex[k] = k
+	}
+	r := uint64(99)
+	next := func() float64 {
+		r = r*6364136223846793005 + 1442695040888963407
+		return float64(r>>11) / float64(1<<53)
+	}
+	i := 0
+	for x := 0; x < side && i < n; x++ {
+		for y := 0; y < side && i < n; y++ {
+			for z := 0; z < side && i < n; z++ {
+				m.Pos[3*i] = (float64(x) + 0.3*next()) * 1.3
+				m.Pos[3*i+1] = (float64(y) + 0.3*next()) * 1.3
+				m.Pos[3*i+2] = (float64(z) + 0.3*next()) * 1.3
+				m.Vel[3*i] = 0.1 * (next() - 0.5)
+				m.Vel[3*i+1] = 0.1 * (next() - 0.5)
+				m.Vel[3*i+2] = 0.1 * (next() - 0.5)
+				i++
+			}
+		}
+	}
+	return m
+}
+
+// Main runs the simulation then reports energies.
+func (m *MolDyn) Main(ctx *core.Ctx) {
+	ctx.Call("md.run", m.run)
+	ctx.Call("md.finish", m.finish)
+}
+
+func (m *MolDyn) run(ctx *core.Ctx) {
+	ctx.Call("md.forces", m.forces)
+	for s := 0; s < m.Steps; s++ {
+		ctx.Call("md.integrate", m.integrate)
+		ctx.Call("md.forces", m.forces)
+		ctx.Call("md.kick", m.kick)
+		ctx.Call("md.step", func(*core.Ctx) {})
+	}
+}
+
+// forces recomputes Acc for the particles this line of execution owns.
+func (m *MolDyn) forces(ctx *core.Ctx) {
+	core.For(ctx, "md.particles", 0, m.N, func(i int) {
+		var ax, ay, az float64
+		xi, yi, zi := m.Pos[3*i], m.Pos[3*i+1], m.Pos[3*i+2]
+		for j := 0; j < m.N; j++ {
+			if j == i {
+				continue
+			}
+			dx := m.minImage(xi - m.Pos[3*j])
+			dy := m.minImage(yi - m.Pos[3*j+1])
+			dz := m.minImage(zi - m.Pos[3*j+2])
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 > 6.25 || r2 == 0 { // cutoff 2.5σ
+				continue
+			}
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			f := 24 * inv2 * inv6 * (2*inv6 - 1)
+			ax += f * dx
+			ay += f * dy
+			az += f * dz
+		}
+		m.Acc[3*i], m.Acc[3*i+1], m.Acc[3*i+2] = ax, ay, az
+	})
+}
+
+func (m *MolDyn) minImage(d float64) float64 {
+	if d > m.Box/2 {
+		return d - m.Box
+	}
+	if d < -m.Box/2 {
+		return d + m.Box
+	}
+	return d
+}
+
+// integrate advances owned positions a half-kick plus drift.
+func (m *MolDyn) integrate(ctx *core.Ctx) {
+	dt := m.Dt
+	core.For(ctx, "md.particles", 0, m.N, func(i int) {
+		for d := 0; d < 3; d++ {
+			m.Vel[3*i+d] += 0.5 * dt * m.Acc[3*i+d]
+			m.Pos[3*i+d] += dt * m.Vel[3*i+d]
+			// periodic wrap
+			if m.Pos[3*i+d] >= m.Box {
+				m.Pos[3*i+d] -= m.Box
+			} else if m.Pos[3*i+d] < 0 {
+				m.Pos[3*i+d] += m.Box
+			}
+		}
+	})
+}
+
+// kick applies the second half-kick.
+func (m *MolDyn) kick(ctx *core.Ctx) {
+	dt := m.Dt
+	core.For(ctx, "md.particles", 0, m.N, func(i int) {
+		for d := 0; d < 3; d++ {
+			m.Vel[3*i+d] += 0.5 * dt * m.Acc[3*i+d]
+		}
+	})
+}
+
+func (m *MolDyn) finish(ctx *core.Ctx) {
+	if m.Result == nil {
+		return
+	}
+	ke := 0.0
+	for _, v := range m.Vel {
+		ke += 0.5 * v * v
+	}
+	pe := 0.0
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			dx := m.minImage(m.Pos[3*i] - m.Pos[3*j])
+			dy := m.minImage(m.Pos[3*i+1] - m.Pos[3*j+1])
+			dz := m.minImage(m.Pos[3*i+2] - m.Pos[3*j+2])
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 > 6.25 || r2 == 0 {
+				continue
+			}
+			inv6 := 1 / (r2 * r2 * r2)
+			pe += 4 * (inv6*inv6 - inv6)
+		}
+	}
+	m.Result.Kinetic = ke
+	m.Result.Potential = pe
+}
+
+// MolDynSharedModule work-shares the particle loops.
+func MolDynSharedModule() *core.Module {
+	return core.NewModule("md/smp").
+		ParallelMethod("md.run").
+		LoopSchedule("md.particles", team.Static, 1)
+}
+
+// MolDynDistModule partitions particles; positions (and, for the force
+// recompute, velocities feeding the energy check) are re-synchronised in
+// full after each owner-computed update.
+func MolDynDistModule() *core.Module {
+	return core.NewModule("md/dist").
+		PartitionedBlockCyclic("Pos", 3).
+		PartitionedBlockCyclic("Vel", 3).
+		PartitionedBlockCyclic("Acc", 3).
+		PartitionedField("ParticleIndex", partition.Cyclic).
+		LoopPartition("md.particles", "ParticleIndex").
+		ScatterBefore("md.run", "Vel").
+		AllGatherAfter("md.integrate", "Pos").
+		GatherAfter("md.run", "Pos", "Vel").
+		OnMaster("md.finish")
+}
+
+// MolDynCheckpointModule plugs checkpointing: a safe point per time step.
+func MolDynCheckpointModule() *core.Module {
+	return core.NewModule("md/ckpt").
+		SafeData("Pos", "Vel", "Acc").
+		SafePointAfter("md.step").
+		Ignorable("md.forces", "md.integrate", "md.kick")
+}
+
+// MolDynModules assembles the module list for a mode.
+func MolDynModules(mode core.Mode) []*core.Module {
+	switch mode {
+	case core.Sequential:
+		return []*core.Module{MolDynCheckpointModule()}
+	case core.Shared:
+		return []*core.Module{MolDynSharedModule(), MolDynCheckpointModule()}
+	case core.Distributed:
+		return []*core.Module{MolDynDistModule(), MolDynCheckpointModule()}
+	case core.Hybrid:
+		return []*core.Module{MolDynSharedModule(), MolDynDistModule(), MolDynCheckpointModule()}
+	}
+	return nil
+}

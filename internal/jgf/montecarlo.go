@@ -1,0 +1,143 @@
+package jgf
+
+import (
+	"math"
+
+	"ppar/internal/core"
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// MonteCarlo is the JGF Monte Carlo benchmark in spirit: price a derivative
+// by simulating geometric-Brownian-motion paths. Every path owns a counter-
+// based RNG seeded by its index, so results are identical regardless of
+// which line of execution computes which path — the property every
+// deployment (and every adaptation) relies on.
+type MonteCarlo struct {
+	// Payoffs holds one result per path (partitioned, safe data).
+	Payoffs []float64
+
+	Paths    int
+	StepsPer int
+	S0       float64 // initial price
+	K        float64 // strike
+	Sigma    float64 // volatility
+	Rate     float64 // risk-free rate
+	Horizon  float64 // years
+
+	Result *MCResult
+}
+
+// MCResult receives the master's aggregated price.
+type MCResult struct {
+	Price  float64
+	StdErr float64
+}
+
+// NewMonteCarlo builds the benchmark with JGF-flavoured parameters.
+func NewMonteCarlo(paths int, res *MCResult) *MonteCarlo {
+	return &MonteCarlo{
+		Payoffs: make([]float64, paths),
+		Paths:   paths, StepsPer: 64,
+		S0: 100, K: 105, Sigma: 0.3, Rate: 0.05, Horizon: 1,
+		Result: res,
+	}
+}
+
+// Main simulates all paths then aggregates at the master.
+func (mc *MonteCarlo) Main(ctx *core.Ctx) {
+	ctx.Call("mc.simulate", mc.simulate)
+	ctx.Call("mc.iter", func(*core.Ctx) {})
+	ctx.Call("mc.finish", mc.finish)
+}
+
+func (mc *MonteCarlo) simulate(ctx *core.Ctx) {
+	dt := mc.Horizon / float64(mc.StepsPer)
+	drift := (mc.Rate - 0.5*mc.Sigma*mc.Sigma) * dt
+	vol := mc.Sigma * math.Sqrt(dt)
+	core.For(ctx, "mc.paths", 0, mc.Paths, func(p int) {
+		rng := splitmix(uint64(p) + 0x9E3779B97F4A7C15)
+		s := mc.S0
+		for step := 0; step < mc.StepsPer; step++ {
+			s *= math.Exp(drift + vol*gauss(rng))
+		}
+		pay := s - mc.K
+		if pay < 0 {
+			pay = 0
+		}
+		mc.Payoffs[p] = pay * math.Exp(-mc.Rate*mc.Horizon)
+	})
+}
+
+func (mc *MonteCarlo) finish(ctx *core.Ctx) {
+	if mc.Result == nil {
+		return
+	}
+	sum, sq := 0.0, 0.0
+	for _, p := range mc.Payoffs {
+		sum += p
+		sq += p * p
+	}
+	n := float64(mc.Paths)
+	mean := sum / n
+	mc.Result.Price = mean
+	mc.Result.StdErr = math.Sqrt((sq/n - mean*mean) / n)
+}
+
+// splitmix is a counter-based RNG: deterministic per path.
+func splitmix(seed uint64) func() uint64 {
+	x := seed
+	return func() uint64 {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+}
+
+// gauss draws a standard normal via Box-Muller from the path's RNG.
+func gauss(next func() uint64) float64 {
+	u1 := (float64(next()>>11) + 0.5) / float64(1<<53)
+	u2 := (float64(next()>>11) + 0.5) / float64(1<<53)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// MCSharedModule parallelises the path loop.
+func MCSharedModule() *core.Module {
+	return core.NewModule("mc/smp").
+		ParallelMethod("mc.simulate").
+		LoopSchedule("mc.paths", team.Guided, 16)
+}
+
+// MCDistModule partitions the paths.
+func MCDistModule() *core.Module {
+	return core.NewModule("mc/dist").
+		PartitionedField("Payoffs", partition.Block).
+		LoopPartition("mc.paths", "Payoffs").
+		GatherAfter("mc.simulate", "Payoffs").
+		OnMaster("mc.finish")
+}
+
+// MCCheckpointModule plugs checkpointing.
+func MCCheckpointModule() *core.Module {
+	return core.NewModule("mc/ckpt").
+		SafeData("Payoffs").
+		SafePointAfter("mc.iter").
+		Ignorable("mc.simulate")
+}
+
+// MCModules assembles the module list for a mode.
+func MCModules(mode core.Mode) []*core.Module {
+	switch mode {
+	case core.Sequential:
+		return []*core.Module{MCCheckpointModule()}
+	case core.Shared:
+		return []*core.Module{MCSharedModule(), MCCheckpointModule()}
+	case core.Distributed:
+		return []*core.Module{MCDistModule(), MCCheckpointModule()}
+	case core.Hybrid:
+		return []*core.Module{MCSharedModule(), MCDistModule(), MCCheckpointModule()}
+	}
+	return nil
+}

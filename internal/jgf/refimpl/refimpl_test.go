@@ -1,0 +1,32 @@
+package refimpl
+
+import "testing"
+
+func TestAllVariantsAgree(t *testing.T) {
+	const n, iters = 36, 7
+	ref := Sequential(n, iters)
+	if ref == 0 {
+		t.Fatal("zero reference")
+	}
+	for _, nt := range []int{1, 2, 5} {
+		if got := Threads(n, iters, nt); got != ref {
+			t.Errorf("Threads(%d) = %v, want %v", nt, got, ref)
+		}
+	}
+	for _, np := range []int{1, 2, 4} {
+		got, err := MPI(n, iters, np, nil)
+		if err != nil {
+			t.Fatalf("MPI(%d): %v", np, err)
+		}
+		if got != ref {
+			t.Errorf("MPI(%d) = %v, want %v", np, got, ref)
+		}
+	}
+}
+
+func TestThreadsMoreThreadsThanRows(t *testing.T) {
+	ref := Sequential(8, 3)
+	if got := Threads(8, 3, 16); got != ref {
+		t.Errorf("Threads(16) on tiny grid = %v, want %v", got, ref)
+	}
+}

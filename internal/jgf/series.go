@@ -1,0 +1,117 @@
+package jgf
+
+import (
+	"math"
+
+	"ppar/internal/core"
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// Series is the JGF Series benchmark: the first N Fourier coefficient pairs
+// of (x+1)^x on [0,2], each computed by trapezoid integration — the paper's
+// illustrative example (Figure 1), whose distributed parallelisation is
+// exactly `Partitioned<TestArray,BLOCK>` + `ScatterBefore/GatherAfter<Do>`.
+type Series struct {
+	// A and B are the two rows of the paper's TestArray (a_n and b_n
+	// coefficients), block-partitioned across aggregate elements.
+	A []float64
+	B []float64
+	// N is the number of coefficient pairs.
+	N int
+	// Intervals is the trapezoid resolution.
+	Intervals int
+
+	Result *SeriesResult
+}
+
+// SeriesResult receives the master's outputs.
+type SeriesResult struct{ Checksum float64 }
+
+// NewSeries builds the benchmark.
+func NewSeries(n int, res *SeriesResult) *Series {
+	return &Series{A: make([]float64, n), B: make([]float64, n), N: n, Intervals: 200, Result: res}
+}
+
+// Main mirrors the paper's Figure 1: Do computes the coefficients; the
+// scatter/gather around it comes from the distributed module.
+func (s *Series) Main(ctx *core.Ctx) {
+	ctx.Call("series.do", s.do)
+	ctx.Call("series.iter", func(*core.Ctx) {})
+	ctx.Call("series.finish", s.finish)
+}
+
+func (s *Series) do(ctx *core.Ctx) {
+	core.For(ctx, "series.terms", 0, s.N, func(i int) {
+		if i == 0 {
+			s.A[0] = s.trapezoid(func(x float64) float64 { return math.Pow(x+1, x) })
+			s.B[0] = 0
+			return
+		}
+		w := float64(i) * math.Pi / 2
+		s.A[i] = s.trapezoid(func(x float64) float64 { return math.Pow(x+1, x) * math.Cos(w*x) })
+		s.B[i] = s.trapezoid(func(x float64) float64 { return math.Pow(x+1, x) * math.Sin(w*x) })
+	})
+}
+
+// trapezoid integrates f over [0,2].
+func (s *Series) trapezoid(f func(float64) float64) float64 {
+	h := 2.0 / float64(s.Intervals)
+	sum := (f(0) + f(2)) / 2
+	for k := 1; k < s.Intervals; k++ {
+		sum += f(float64(k) * h)
+	}
+	return sum * h / 2 // Fourier 1/L factor with L=2 halves again
+}
+
+func (s *Series) finish(ctx *core.Ctx) {
+	if s.Result == nil {
+		return
+	}
+	total := 0.0
+	for i := 0; i < s.N; i++ {
+		total += s.A[i] + s.B[i]
+	}
+	s.Result.Checksum = total
+}
+
+// SeriesSharedModule parallelises the term loop over a thread team.
+func SeriesSharedModule() *core.Module {
+	return core.NewModule("series/smp").
+		ParallelMethod("series.do").
+		LoopSchedule("series.terms", team.Dynamic, 8)
+}
+
+// SeriesDistModule is the module of the paper's Figure 1.
+func SeriesDistModule() *core.Module {
+	return core.NewModule("series/dist").
+		PartitionedField("A", partition.Block).
+		PartitionedField("B", partition.Block).
+		LoopPartition("series.terms", "A").
+		ScatterBefore("series.do", "A", "B").
+		GatherAfter("series.do", "A", "B").
+		OnMaster("series.finish")
+}
+
+// SeriesCheckpointModule plugs checkpointing into the base code.
+func SeriesCheckpointModule() *core.Module {
+	return core.NewModule("series/ckpt").
+		SafeData("A", "B").
+		SafePointAfter("series.iter").
+		Ignorable("series.do")
+}
+
+// SeriesModules assembles the module list for a mode.
+func SeriesModules(mode core.Mode) []*core.Module {
+	switch mode {
+	case core.Sequential:
+		return []*core.Module{SeriesCheckpointModule()}
+	case core.Shared:
+		return []*core.Module{SeriesSharedModule(), SeriesCheckpointModule()}
+	case core.Distributed:
+		return []*core.Module{SeriesDistModule(), SeriesCheckpointModule()}
+	case core.Hybrid:
+		return []*core.Module{SeriesSharedModule(), SeriesDistModule(), SeriesCheckpointModule()}
+	}
+	return nil
+}

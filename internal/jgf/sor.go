@@ -1,0 +1,197 @@
+// Package jgf ports the Java Grande Forum benchmark kernels the paper's
+// evaluation builds on (§V; the pluggable-parallelisation prior work [8]
+// re-implemented "all JGF benchmarks" in the model). Every kernel here is
+// written as sequential base code with advisable calls/loops; the
+// parallelisation, checkpointing and adaptation behaviour lives in the
+// separate module constructors — the Go analogue of the paper's aspect
+// files.
+package jgf
+
+import (
+	"math"
+
+	"ppar/internal/core"
+	"ppar/internal/metrics"
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// SORResult receives the master replica's outputs.
+type SORResult struct {
+	Gtotal float64
+	Iters  *metrics.IterRecorder
+}
+
+// SOR is the JGF successive over-relaxation benchmark: a five-point stencil
+// repeatedly applied to an N×N grid ("a typical scientific application",
+// §V), in the red-black ordering the JGF parallel versions use so that
+// results are independent of update order.
+type SOR struct {
+	// G is the grid (module-classified: partitioned by rows, safe data).
+	G [][]float64
+	// N and Iters are the grid size and sweep count.
+	N     int
+	Iters int
+	// Omega is the relaxation factor.
+	Omega float64
+
+	// Result is local instrumentation (never checkpointed or moved).
+	Result *SORResult
+}
+
+// NewSOR builds the benchmark with the JGF random-ish deterministic grid.
+func NewSOR(n, iters int, res *SORResult) *SOR {
+	s := &SOR{N: n, Iters: iters, Omega: 1.25, Result: res}
+	s.G = make([][]float64, n)
+	r := uint64(101)
+	for i := range s.G {
+		s.G[i] = make([]float64, n)
+		for j := range s.G[i] {
+			r = r*6364136223846793005 + 1442695040888963407
+			s.G[i][j] = float64(r>>11) / float64(1<<53) * 1e-6
+		}
+	}
+	return s
+}
+
+// Main runs the benchmark: the "run" region performs the sweeps, then the
+// master reports the JGF validation value Gtotal.
+func (s *SOR) Main(ctx *core.Ctx) {
+	ctx.Call("sor.run", s.run)
+	ctx.Call("sor.finish", s.finish)
+}
+
+func (s *SOR) run(ctx *core.Ctx) {
+	for it := 0; it < s.Iters; it++ {
+		ctx.Call("sor.tick", s.tick)
+		ctx.Call("sor.red", s.red)
+		ctx.Call("sor.black", s.black)
+		ctx.Call("sor.iter", func(*core.Ctx) {})
+	}
+}
+
+func (s *SOR) tick(ctx *core.Ctx) {
+	if s.Result != nil && s.Result.Iters != nil {
+		s.Result.Iters.Tick()
+	}
+}
+
+func (s *SOR) red(ctx *core.Ctx)   { s.sweep(ctx, 0) }
+func (s *SOR) black(ctx *core.Ctx) { s.sweep(ctx, 1) }
+
+func (s *SOR) sweep(ctx *core.Ctx, colour int) {
+	omega := s.Omega
+	oneMinus := 1 - omega
+	core.ForSpan(ctx, "sor.rows", 1, s.N-1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := s.G[i]
+			up, down := s.G[i-1], s.G[i+1]
+			for j := 1 + (i+colour)%2; j < s.N-1; j += 2 {
+				row[j] = omega*0.25*(up[j]+down[j]+row[j-1]+row[j+1]) + oneMinus*row[j]
+			}
+		}
+	})
+}
+
+func (s *SOR) finish(ctx *core.Ctx) {
+	if s.Result == nil {
+		return
+	}
+	total := 0.0
+	for i := range s.G {
+		for _, v := range s.G[i] {
+			total += v
+		}
+	}
+	s.Result.Gtotal = total
+}
+
+// SORReference computes Gtotal with a plain nested loop, for validation.
+func SORReference(n, iters int) float64 {
+	res := &SORResult{}
+	s := NewSOR(n, iters, res)
+	omega, oneMinus := s.Omega, 1-s.Omega
+	for it := 0; it < iters; it++ {
+		for colour := 0; colour < 2; colour++ {
+			for i := 1; i < n-1; i++ {
+				row := s.G[i]
+				up, down := s.G[i-1], s.G[i+1]
+				for j := 1 + (i+colour)%2; j < n-1; j += 2 {
+					row[j] = omega*0.25*(up[j]+down[j]+row[j-1]+row[j+1]) + oneMinus*row[j]
+				}
+			}
+		}
+	}
+	total := 0.0
+	for i := range s.G {
+		for _, v := range s.G[i] {
+			total += v
+		}
+	}
+	return total
+}
+
+// SORSharedModule is the shared-memory parallelisation module.
+func SORSharedModule() *core.Module {
+	return core.NewModule("sor/smp").
+		ParallelMethod("sor.run").
+		MasterMethod("sor.tick").
+		LoopSchedule("sor.rows", team.Static, 1)
+}
+
+// SORSharedDynamicModule is an alternative shared-memory parallelisation
+// using dynamic scheduling — the kind of drop-in module swap pluggable
+// parallelisation makes possible (used by the schedule ablation bench).
+func SORSharedDynamicModule(chunk int) *core.Module {
+	return core.NewModule("sor/smp-dynamic").
+		ParallelMethod("sor.run").
+		MasterMethod("sor.tick").
+		LoopSchedule("sor.rows", team.Dynamic, chunk)
+}
+
+// SORDistModule is the distributed-memory parallelisation module.
+func SORDistModule() *core.Module {
+	return core.NewModule("sor/dist").
+		PartitionedField("G", partition.Block).
+		LoopPartition("sor.rows", "G").
+		UpdateBefore("sor.red", "G").
+		UpdateBefore("sor.black", "G").
+		ScatterBefore("sor.run", "G").
+		GatherAfter("sor.run", "G").
+		OnMaster("sor.tick").
+		OnMaster("sor.finish")
+}
+
+// SORCheckpointModule is the fault-tolerance module: the SafeData,
+// SafePoints and IgnorableMethods templates of §IV.A.
+func SORCheckpointModule() *core.Module {
+	return core.NewModule("sor/ckpt").
+		SafeData("G").
+		SafePointAfter("sor.iter").
+		Ignorable("sor.red", "sor.black", "sor.tick")
+}
+
+// SORModules assembles the module list for a deployment mode.
+func SORModules(mode core.Mode) []*core.Module {
+	switch mode {
+	case core.Sequential:
+		return []*core.Module{SORCheckpointModule()}
+	case core.Shared:
+		return []*core.Module{SORSharedModule(), SORCheckpointModule()}
+	case core.Distributed:
+		return []*core.Module{SORDistModule(), SORCheckpointModule()}
+	case core.Hybrid:
+		return []*core.Module{SORSharedModule(), SORDistModule(), SORCheckpointModule()}
+	}
+	return nil
+}
+
+// SORChecksumClose reports whether two Gtotal values agree to within a few
+// ulps (runs in different modes are bit-identical; this guard is for
+// comparisons against analytically derived references).
+func SORChecksumClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,135 @@
+package jgf
+
+import (
+	"ppar/internal/core"
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// Sparse is the JGF SparseMatMult benchmark: repeated y += A·x with A in
+// compressed-row-storage form. Rows are independent, so the row loop
+// partitions freely; x is replicated, y is partitioned.
+type Sparse struct {
+	// Val, Col, RowPtr are the CRS matrix (replicated).
+	Val    []float64
+	Col    []int
+	RowPtr []int
+	// X is the input vector (replicated).
+	X []float64
+	// Y is the output vector (partitioned by rows, safe data).
+	Y []float64
+
+	N     int // rows
+	Iters int
+
+	Result *SparseResult
+}
+
+// SparseResult receives the master's validation value.
+type SparseResult struct{ Ytotal float64 }
+
+// NewSparse builds an n×n matrix with nnzPerRow pseudo-random entries per
+// row (deterministic).
+func NewSparse(n, nnzPerRow, iters int, res *SparseResult) *Sparse {
+	s := &Sparse{N: n, Iters: iters, Result: res}
+	s.RowPtr = make([]int, n+1)
+	s.Val = make([]float64, 0, n*nnzPerRow)
+	s.Col = make([]int, 0, n*nnzPerRow)
+	r := uint64(7)
+	next := func() uint64 {
+		r = r*6364136223846793005 + 1442695040888963407
+		return r >> 11
+	}
+	for i := 0; i < n; i++ {
+		s.RowPtr[i] = len(s.Val)
+		for k := 0; k < nnzPerRow; k++ {
+			s.Col = append(s.Col, int(next())%n)
+			s.Val = append(s.Val, float64(next()%1000)/1000)
+		}
+	}
+	s.RowPtr[n] = len(s.Val)
+	s.X = make([]float64, n)
+	for i := range s.X {
+		s.X[i] = float64(next()%1000) / 1000
+	}
+	s.Y = make([]float64, n)
+	return s
+}
+
+// Main performs the iterations, then the master validates.
+func (s *Sparse) Main(ctx *core.Ctx) {
+	ctx.Call("sparse.run", s.run)
+	ctx.Call("sparse.finish", s.finish)
+}
+
+func (s *Sparse) run(ctx *core.Ctx) {
+	for it := 0; it < s.Iters; it++ {
+		ctx.Call("sparse.mult", s.mult)
+		ctx.Call("sparse.iter", func(*core.Ctx) {})
+	}
+}
+
+func (s *Sparse) mult(ctx *core.Ctx) {
+	core.ForSpan(ctx, "sparse.rows", 0, s.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+				sum += s.Val[k] * s.X[s.Col[k]]
+			}
+			s.Y[i] += sum
+		}
+	})
+}
+
+func (s *Sparse) finish(ctx *core.Ctx) {
+	if s.Result == nil {
+		return
+	}
+	total := 0.0
+	for _, v := range s.Y {
+		total += v
+	}
+	s.Result.Ytotal = total
+}
+
+// SparseSharedModule parallelises the row loop (dynamic: row costs vary
+// with the column distribution).
+func SparseSharedModule() *core.Module {
+	return core.NewModule("sparse/smp").
+		ParallelMethod("sparse.run").
+		LoopSchedule("sparse.rows", team.Dynamic, 64)
+}
+
+// SparseDistModule partitions Y by rows; X and the matrix are replicated.
+func SparseDistModule() *core.Module {
+	return core.NewModule("sparse/dist").
+		PartitionedField("Y", partition.Block).
+		ReplicatedField("X").
+		LoopPartition("sparse.rows", "Y").
+		ScatterBefore("sparse.run", "Y").
+		GatherAfter("sparse.run", "Y").
+		OnMaster("sparse.finish")
+}
+
+// SparseCheckpointModule plugs checkpointing.
+func SparseCheckpointModule() *core.Module {
+	return core.NewModule("sparse/ckpt").
+		SafeData("Y").
+		SafePointAfter("sparse.iter").
+		Ignorable("sparse.mult")
+}
+
+// SparseModules assembles the module list for a mode.
+func SparseModules(mode core.Mode) []*core.Module {
+	switch mode {
+	case core.Sequential:
+		return []*core.Module{SparseCheckpointModule()}
+	case core.Shared:
+		return []*core.Module{SparseSharedModule(), SparseCheckpointModule()}
+	case core.Distributed:
+		return []*core.Module{SparseDistModule(), SparseCheckpointModule()}
+	case core.Hybrid:
+		return []*core.Module{SparseSharedModule(), SparseDistModule(), SparseCheckpointModule()}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+// Package md is a pluggable molecular-dynamics mini-framework in the mould
+// of the paper's case study [21] (Silva & Sobral, "Optimising Molecular
+// Dynamics with product-lines", VaMoS'11): a velocity-Verlet integrator
+// over a user-supplied pair potential, with the force loop as the advisable
+// join point. One base simulation deploys sequentially, on a thread team,
+// or across aggregate replicas, with pluggable checkpointing of the phase
+// space.
+package md
+
+import (
+	"math"
+
+	"ppar/internal/core"
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// Potential is a pure pair potential: given the squared distance it
+// returns the force magnitude divided by distance (so F_vec = scale·d_vec)
+// and the pair energy. Cut reports the squared cutoff radius.
+type Potential interface {
+	Name() string
+	Cut2() float64
+	ForceEnergy(r2 float64) (scale, energy float64)
+}
+
+// LennardJones is the 12-6 potential in reduced units.
+type LennardJones struct{}
+
+// Name implements Potential.
+func (LennardJones) Name() string { return "lennard-jones" }
+
+// Cut2 implements Potential.
+func (LennardJones) Cut2() float64 { return 6.25 }
+
+// ForceEnergy implements Potential.
+func (LennardJones) ForceEnergy(r2 float64) (float64, float64) {
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	return 24 * inv2 * inv6 * (2*inv6 - 1), 4 * (inv6*inv6 - inv6)
+}
+
+// SoftSphere is a purely repulsive r^-12 potential.
+type SoftSphere struct{}
+
+// Name implements Potential.
+func (SoftSphere) Name() string { return "soft-sphere" }
+
+// Cut2 implements Potential.
+func (SoftSphere) Cut2() float64 { return 4 }
+
+// ForceEnergy implements Potential.
+func (SoftSphere) ForceEnergy(r2 float64) (float64, float64) {
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	inv12 := inv6 * inv6
+	return 48 * inv2 * inv12, 4 * inv12
+}
+
+// Observables receives the master's measurements after the run.
+type Observables struct {
+	Kinetic   float64
+	Potential float64
+	Momentum  [3]float64
+}
+
+// Simulation is the base program.
+type Simulation struct {
+	// Pos, Vel, Acc are flattened 3N phase-space arrays (safe data).
+	Pos []float64
+	Vel []float64
+	Acc []float64
+	// AtomIndex drives the particle loop's distribution (cyclic, aligned
+	// with the coordinate arrays' block-cyclic(3) layout).
+	AtomIndex []int
+
+	N     int
+	Steps int
+	Dt    float64
+	Box   float64
+
+	pot    Potential
+	Result *Observables
+}
+
+// New builds a simulation of n atoms for the given potential on a perturbed
+// lattice (deterministic).
+func New(pot Potential, n, steps int, res *Observables) *Simulation {
+	s := &Simulation{N: n, Steps: steps, Dt: 0.001, pot: pot, Result: res}
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	s.Box = float64(side) * 1.4
+	s.Pos = make([]float64, 3*n)
+	s.Vel = make([]float64, 3*n)
+	s.Acc = make([]float64, 3*n)
+	s.AtomIndex = make([]int, n)
+	r := uint64(2024)
+	next := func() float64 {
+		r = r*6364136223846793005 + 1442695040888963407
+		return float64(r>>11) / float64(1<<53)
+	}
+	i := 0
+	for x := 0; x < side && i < n; x++ {
+		for y := 0; y < side && i < n; y++ {
+			for z := 0; z < side && i < n; z++ {
+				s.Pos[3*i] = (float64(x) + 0.2*next()) * 1.4
+				s.Pos[3*i+1] = (float64(y) + 0.2*next()) * 1.4
+				s.Pos[3*i+2] = (float64(z) + 0.2*next()) * 1.4
+				for d := 0; d < 3; d++ {
+					s.Vel[3*i+d] = 0.05 * (next() - 0.5)
+				}
+				s.AtomIndex[i] = i
+				i++
+			}
+		}
+	}
+	return s
+}
+
+// Main runs the simulation then measures observables.
+func (s *Simulation) Main(ctx *core.Ctx) {
+	ctx.Call("md2.run", s.run)
+	ctx.Call("md2.finish", s.finish)
+}
+
+func (s *Simulation) run(ctx *core.Ctx) {
+	ctx.Call("md2.forces", s.forces)
+	for step := 0; step < s.Steps; step++ {
+		ctx.Call("md2.drift", s.drift)
+		ctx.Call("md2.forces", s.forces)
+		ctx.Call("md2.kick", s.kick)
+		ctx.Call("md2.step", func(*core.Ctx) {})
+	}
+}
+
+func (s *Simulation) minImage(d float64) float64 {
+	if d > s.Box/2 {
+		return d - s.Box
+	}
+	if d < -s.Box/2 {
+		return d + s.Box
+	}
+	return d
+}
+
+func (s *Simulation) forces(ctx *core.Ctx) {
+	cut2 := s.pot.Cut2()
+	core.For(ctx, "md2.atoms", 0, s.N, func(i int) {
+		var ax, ay, az float64
+		xi, yi, zi := s.Pos[3*i], s.Pos[3*i+1], s.Pos[3*i+2]
+		for j := 0; j < s.N; j++ {
+			if j == i {
+				continue
+			}
+			dx := s.minImage(xi - s.Pos[3*j])
+			dy := s.minImage(yi - s.Pos[3*j+1])
+			dz := s.minImage(zi - s.Pos[3*j+2])
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 || r2 > cut2 {
+				continue
+			}
+			f, _ := s.pot.ForceEnergy(r2)
+			ax += f * dx
+			ay += f * dy
+			az += f * dz
+		}
+		s.Acc[3*i], s.Acc[3*i+1], s.Acc[3*i+2] = ax, ay, az
+	})
+}
+
+func (s *Simulation) drift(ctx *core.Ctx) {
+	dt := s.Dt
+	core.For(ctx, "md2.atoms", 0, s.N, func(i int) {
+		for d := 0; d < 3; d++ {
+			s.Vel[3*i+d] += 0.5 * dt * s.Acc[3*i+d]
+			s.Pos[3*i+d] += dt * s.Vel[3*i+d]
+			if s.Pos[3*i+d] >= s.Box {
+				s.Pos[3*i+d] -= s.Box
+			} else if s.Pos[3*i+d] < 0 {
+				s.Pos[3*i+d] += s.Box
+			}
+		}
+	})
+}
+
+func (s *Simulation) kick(ctx *core.Ctx) {
+	dt := s.Dt
+	core.For(ctx, "md2.atoms", 0, s.N, func(i int) {
+		for d := 0; d < 3; d++ {
+			s.Vel[3*i+d] += 0.5 * dt * s.Acc[3*i+d]
+		}
+	})
+}
+
+func (s *Simulation) finish(ctx *core.Ctx) {
+	if s.Result == nil {
+		return
+	}
+	var obs Observables
+	for i := 0; i < s.N; i++ {
+		for d := 0; d < 3; d++ {
+			v := s.Vel[3*i+d]
+			obs.Kinetic += 0.5 * v * v
+			obs.Momentum[d] += v
+		}
+	}
+	cut2 := s.pot.Cut2()
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			dx := s.minImage(s.Pos[3*i] - s.Pos[3*j])
+			dy := s.minImage(s.Pos[3*i+1] - s.Pos[3*j+1])
+			dz := s.minImage(s.Pos[3*i+2] - s.Pos[3*j+2])
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 || r2 > cut2 {
+				continue
+			}
+			_, e := s.pot.ForceEnergy(r2)
+			obs.Potential += e
+		}
+	}
+	*s.Result = obs
+}
+
+// SharedModule plugs the thread-team deployment.
+func SharedModule() *core.Module {
+	return core.NewModule("md2/smp").
+		ParallelMethod("md2.run").
+		LoopSchedule("md2.atoms", team.Static, 1)
+}
+
+// DistModule plugs the aggregate deployment: owner-computed updates with a
+// full position re-sync after each drift.
+func DistModule() *core.Module {
+	return core.NewModule("md2/dist").
+		PartitionedBlockCyclic("Pos", 3).
+		PartitionedBlockCyclic("Vel", 3).
+		PartitionedBlockCyclic("Acc", 3).
+		PartitionedField("AtomIndex", partition.Cyclic).
+		LoopPartition("md2.atoms", "AtomIndex").
+		AllGatherAfter("md2.drift", "Pos").
+		GatherAfter("md2.run", "Pos", "Vel").
+		OnMaster("md2.finish")
+}
+
+// CheckpointModule plugs fault tolerance: a safe point per time step.
+func CheckpointModule() *core.Module {
+	return core.NewModule("md2/ckpt").
+		SafeData("Pos", "Vel", "Acc").
+		SafePointAfter("md2.step").
+		Ignorable("md2.forces", "md2.drift", "md2.kick")
+}
+
+// Modules assembles the module list for a mode.
+func Modules(mode core.Mode) []*core.Module {
+	switch mode {
+	case core.Sequential:
+		return []*core.Module{CheckpointModule()}
+	case core.Shared:
+		return []*core.Module{SharedModule(), CheckpointModule()}
+	case core.Distributed:
+		return []*core.Module{DistModule(), CheckpointModule()}
+	case core.Hybrid:
+		return []*core.Module{SharedModule(), DistModule(), CheckpointModule()}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package md
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ppar/internal/core"
+)
+
+func runSim(t *testing.T, cfg core.Config, pot Potential, n, steps int) *Observables {
+	t.Helper()
+	res := &Observables{}
+	cfg.AppName = "md2-" + pot.Name()
+	if cfg.Modules == nil {
+		cfg.Modules = Modules(cfg.Mode)
+	}
+	eng, err := core.New(cfg, func() core.App { return New(pot, n, steps, res) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllModesAgree(t *testing.T) {
+	for _, pot := range []Potential{LennardJones{}, SoftSphere{}} {
+		ref := runSim(t, core.Config{Mode: core.Sequential}, pot, 27, 5)
+		for _, cfg := range []core.Config{
+			{Mode: core.Shared, Threads: 3},
+			{Mode: core.Distributed, Procs: 3},
+			{Mode: core.Hybrid, Procs: 2, Threads: 2},
+		} {
+			got := runSim(t, cfg, pot, 27, 5)
+			if got.Kinetic != ref.Kinetic || got.Potential != ref.Potential {
+				t.Errorf("%s %v: E=(%v,%v) want (%v,%v)",
+					pot.Name(), cfg.Mode, got.Kinetic, got.Potential, ref.Kinetic, ref.Potential)
+			}
+		}
+	}
+}
+
+func TestEnergyRoughlyConserved(t *testing.T) {
+	short := runSim(t, core.Config{Mode: core.Sequential}, LennardJones{}, 27, 1)
+	long := runSim(t, core.Config{Mode: core.Sequential}, LennardJones{}, 27, 50)
+	e0 := short.Kinetic + short.Potential
+	e1 := long.Kinetic + long.Potential
+	drift := math.Abs(e1-e0) / math.Max(math.Abs(e0), 1)
+	if drift > 0.05 {
+		t.Errorf("energy drift %.2f%% over 50 steps", drift*100)
+	}
+}
+
+func TestCheckpointRestart(t *testing.T) {
+	ref := runSim(t, core.Config{Mode: core.Sequential}, LennardJones{}, 27, 12)
+	dir := t.TempDir()
+	res := &Observables{}
+	factory := func() core.App { return New(LennardJones{}, 27, 12, res) }
+	cfg := core.Config{
+		Mode: core.Distributed, Procs: 3, AppName: "md2-lennard-jones",
+		Modules:       Modules(core.Distributed),
+		CheckpointDir: dir, CheckpointEvery: 4, FailAtSafePoint: 9,
+	}
+	eng, _ := core.New(cfg, factory)
+	if err := eng.Run(); !errors.Is(err, core.ErrInjectedFailure) {
+		t.Fatalf("want failure, got %v", err)
+	}
+	cfg.FailAtSafePoint = 0
+	eng2, _ := core.New(cfg, factory)
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kinetic != ref.Kinetic || res.Potential != ref.Potential {
+		t.Fatalf("restarted E=(%v,%v) want (%v,%v)", res.Kinetic, res.Potential, ref.Kinetic, ref.Potential)
+	}
+}
+
+func TestPotentialProperties(t *testing.T) {
+	lj := LennardJones{}
+	// At the minimum r = 2^(1/6), force is ~0 and energy is -1.
+	r2 := math.Pow(2, 1.0/3)
+	f, e := lj.ForceEnergy(r2)
+	if math.Abs(f) > 1e-9 {
+		t.Errorf("LJ force at minimum = %v", f)
+	}
+	if math.Abs(e+1) > 1e-9 {
+		t.Errorf("LJ energy at minimum = %v, want -1", e)
+	}
+	ss := SoftSphere{}
+	f2, e2 := ss.ForceEnergy(1)
+	if f2 <= 0 || e2 <= 0 {
+		t.Errorf("soft sphere not repulsive: f=%v e=%v", f2, e2)
+	}
+}

@@ -1,0 +1,150 @@
+// Package metrics provides the small measurement and reporting utilities
+// used by the figure-regeneration harness: stopwatches, per-iteration
+// recorders (Figure 6 plots time per iteration), and aligned-table / CSV
+// emitters that print the same rows and series the paper reports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stopwatch measures one duration.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start begins (or restarts) the stopwatch.
+func (s *Stopwatch) Start() { s.start = time.Now() }
+
+// Elapsed reports time since Start.
+func (s *Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
+
+// IterRecorder collects per-iteration wall times (thread-safe: in shared
+// deployments only the master records, but restarted engines may record
+// from fresh goroutines).
+type IterRecorder struct {
+	mu    sync.Mutex
+	last  time.Time
+	times []time.Duration
+}
+
+// Tick records the time since the previous Tick (the first Tick only arms
+// the recorder).
+func (r *IterRecorder) Tick() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	if !r.last.IsZero() {
+		r.times = append(r.times, now.Sub(r.last))
+	}
+	r.last = now
+}
+
+// Break interrupts the sequence (e.g. across a restart) without recording
+// an interval.
+func (r *IterRecorder) Break() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.last = time.Time{}
+}
+
+// Times returns the recorded intervals.
+func (r *IterRecorder) Times() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.times...)
+}
+
+// Table accumulates rows and prints them with aligned columns, matching the
+// row/series structure of the paper's figures.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Fprint writes the aligned table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("-", len(t.Title)))
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range t.rows {
+		for i, cell := range row {
+			fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// FprintCSV writes the table as CSV (no quoting needed for our numeric
+// content; commas in cells are replaced by semicolons defensively).
+func (t *Table) FprintCSV(w io.Writer) {
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = clean(c)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = clean(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Rows exposes the accumulated rows (for tests).
+func (t *Table) Rows() [][]string { return t.rows }

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIterRecorder(t *testing.T) {
+	var r IterRecorder
+	r.Tick()
+	time.Sleep(time.Millisecond)
+	r.Tick()
+	time.Sleep(time.Millisecond)
+	r.Tick()
+	times := r.Times()
+	if len(times) != 2 {
+		t.Fatalf("recorded %d intervals, want 2", len(times))
+	}
+	for _, d := range times {
+		if d <= 0 {
+			t.Errorf("non-positive interval %v", d)
+		}
+	}
+}
+
+func TestIterRecorderBreak(t *testing.T) {
+	var r IterRecorder
+	r.Tick()
+	r.Break()
+	r.Tick() // arms again, records nothing
+	if n := len(r.Times()); n != 0 {
+		t.Fatalf("recorded %d intervals across a break, want 0", n)
+	}
+	r.Tick()
+	if n := len(r.Times()); n != 1 {
+		t.Fatalf("recorded %d intervals, want 1", n)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("Fig X", "mode", "time", "ratio")
+	tbl.AddRow("seq", 1500*time.Millisecond, 1.0)
+	tbl.AddRow("smp-16", 120*time.Microsecond, 0.123456)
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"Fig X", "mode", "seq", "1.500s", "120µs", "0.1235"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(tbl.Rows()) != 2 {
+		t.Errorf("rows = %d", len(tbl.Rows()))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x,y", 2)
+	var sb strings.Builder
+	tbl.FprintCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "x;y,2" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var sw Stopwatch
+	sw.Start()
+	time.Sleep(time.Millisecond)
+	if sw.Elapsed() < time.Millisecond {
+		t.Error("stopwatch under-reports")
+	}
+}

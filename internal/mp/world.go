@@ -1,0 +1,75 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// World launches SPMD programs: one goroutine per rank, each with its own
+// Comm endpoint. This is the "aggregate of objects" execution vehicle of
+// §III.C — the core engine gives every rank its own application instance so
+// state is isolated exactly as across real cluster nodes.
+type World struct {
+	g  *Group
+	mu sync.Mutex
+	wg sync.WaitGroup
+
+	errs []error
+}
+
+// NewWorld creates a world of n ranks over the given transport (which must
+// already support n ranks).
+func NewWorld(tr Transport, n int) *World {
+	return &World{g: NewGroup(tr, n)}
+}
+
+// Group exposes the world's group.
+func (w *World) Group() *Group { return w.g }
+
+// Run executes fn SPMD on every rank and waits for all of them (including
+// ranks spawned later with Launch) to finish. The combined error of all
+// ranks is returned.
+func (w *World) Run(fn func(c *Comm) error) error {
+	n := w.g.Size()
+	for r := 0; r < n; r++ {
+		w.Launch(r, 0, fn)
+	}
+	return w.Wait()
+}
+
+// Launch starts a single rank goroutine running fn with the collective
+// sequence number preset to seq. The core engine uses it to add replicas
+// during run-time expansion: the new rank adopts the incumbents' collective
+// counter so subsequent collectives line up.
+func (w *World) Launch(rank int, seq int64, fn func(c *Comm) error) {
+	c := NewComm(w.g, rank)
+	c.SetSeq(seq)
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				w.record(fmt.Errorf("mp: rank %d panicked: %v", rank, r))
+			}
+		}()
+		if err := fn(c); err != nil {
+			w.record(fmt.Errorf("mp: rank %d: %w", rank, err))
+		}
+	}()
+}
+
+func (w *World) record(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.errs = append(w.errs, err)
+}
+
+// Wait blocks until all launched ranks have returned and reports their
+// combined error.
+func (w *World) Wait() error {
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return errors.Join(w.errs...)
+}

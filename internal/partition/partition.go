@@ -1,0 +1,302 @@
+// Package partition implements the data-partitioning layouts the paper's
+// distributed-memory abstractions build on (§III.C): primitive data held by
+// an object aggregate "can be partitioned among aggregate elements, according
+// to a pre-defined partition (block, cyclic and hybrid)".
+//
+// A Layout describes how N indices are divided among P parts. The package
+// also provides scatter/gather/halo plans used by the ScatterBefore /
+// GatherAfter / UpdateBoundaryBefore templates and by the checkpoint
+// gather-at-master protocol (§IV.A).
+package partition
+
+import "fmt"
+
+// Kind selects a partitioning strategy.
+type Kind int
+
+const (
+	// Block gives each part one contiguous range of indices; the first
+	// N mod P parts get one extra element.
+	Block Kind = iota
+	// Cyclic deals indices round-robin: index i belongs to part i mod P.
+	Cyclic
+	// BlockCyclic (the paper's "hybrid") deals fixed-size chunks
+	// round-robin: chunk k = [k*C, (k+1)*C) belongs to part k mod P.
+	BlockCyclic
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	case BlockCyclic:
+		return "block-cyclic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Layout describes the division of N indices among Parts parts.
+// Chunk is only meaningful for BlockCyclic (0 means 1).
+type Layout struct {
+	Kind  Kind
+	N     int
+	Parts int
+	Chunk int
+}
+
+// New builds a layout, validating its parameters.
+func New(kind Kind, n, parts int) Layout {
+	if n < 0 {
+		panic(fmt.Sprintf("partition: negative length %d", n))
+	}
+	if parts < 1 {
+		panic(fmt.Sprintf("partition: need at least one part, got %d", parts))
+	}
+	return Layout{Kind: kind, N: n, Parts: parts, Chunk: 1}
+}
+
+// NewBlockCyclic builds a block-cyclic layout with the given chunk size.
+func NewBlockCyclic(n, parts, chunk int) Layout {
+	l := New(BlockCyclic, n, parts)
+	if chunk < 1 {
+		panic(fmt.Sprintf("partition: chunk must be >= 1, got %d", chunk))
+	}
+	l.Chunk = chunk
+	return l
+}
+
+func (l Layout) chunk() int {
+	if l.Chunk < 1 {
+		return 1
+	}
+	return l.Chunk
+}
+
+// Owner reports which part owns index i.
+func (l Layout) Owner(i int) int {
+	if i < 0 || i >= l.N {
+		panic(fmt.Sprintf("partition: index %d out of range [0,%d)", i, l.N))
+	}
+	switch l.Kind {
+	case Block:
+		lo := 0
+		for p := 0; p < l.Parts; p++ {
+			hi := lo + l.blockLen(p)
+			if i < hi {
+				return p
+			}
+			lo = hi
+		}
+		return l.Parts - 1 // unreachable for valid i
+	case Cyclic:
+		return i % l.Parts
+	case BlockCyclic:
+		return (i / l.chunk()) % l.Parts
+	}
+	panic("partition: unknown kind")
+}
+
+func (l Layout) blockLen(p int) int {
+	base := l.N / l.Parts
+	if p < l.N%l.Parts {
+		return base + 1
+	}
+	return base
+}
+
+// Range reports the contiguous index range [lo, hi) owned by part p.
+// It is only valid for Block layouts; other kinds panic (use Indices).
+func (l Layout) Range(p int) (lo, hi int) {
+	if l.Kind != Block {
+		panic("partition: Range is only defined for Block layouts")
+	}
+	l.checkPart(p)
+	base := l.N / l.Parts
+	rem := l.N % l.Parts
+	if p < rem {
+		lo = p * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (p-rem)*base
+	return lo, lo + base
+}
+
+func (l Layout) checkPart(p int) {
+	if p < 0 || p >= l.Parts {
+		panic(fmt.Sprintf("partition: part %d out of range [0,%d)", p, l.Parts))
+	}
+}
+
+// Count reports how many indices part p owns.
+func (l Layout) Count(p int) int {
+	l.checkPart(p)
+	switch l.Kind {
+	case Block:
+		return l.blockLen(p)
+	case Cyclic:
+		n := l.N / l.Parts
+		if p < l.N%l.Parts {
+			n++
+		}
+		return n
+	case BlockCyclic:
+		c := l.chunk()
+		full := l.N / c
+		n := (full / l.Parts) * c
+		if p < full%l.Parts {
+			n += c
+		}
+		// trailing partial chunk
+		if rem := l.N % c; rem != 0 && full%l.Parts == p {
+			n += rem
+		}
+		return n
+	}
+	panic("partition: unknown kind")
+}
+
+// Indices calls fn for every index owned by part p, in increasing order.
+func (l Layout) Indices(p int, fn func(i int)) {
+	l.checkPart(p)
+	switch l.Kind {
+	case Block:
+		lo, hi := l.Range(p)
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	case Cyclic:
+		for i := p; i < l.N; i += l.Parts {
+			fn(i)
+		}
+	case BlockCyclic:
+		c := l.chunk()
+		for start := p * c; start < l.N; start += l.Parts * c {
+			end := start + c
+			if end > l.N {
+				end = l.N
+			}
+			for i := start; i < end; i++ {
+				fn(i)
+			}
+		}
+	}
+}
+
+// LocalSpan intersects the half-open global range [lo, hi) with the indices
+// part p owns, calling fn once per maximal contiguous sub-range. This is the
+// primitive behind distributed work-sharing of a loop over a partitioned
+// dimension (the paper's Series/SOR loops run only over local indices).
+func (l Layout) LocalSpan(p, lo, hi int, fn func(lo, hi int)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > l.N {
+		hi = l.N
+	}
+	if lo >= hi {
+		return
+	}
+	switch l.Kind {
+	case Block:
+		plo, phi := l.Range(p)
+		a, b := max(lo, plo), min(hi, phi)
+		if a < b {
+			fn(a, b)
+		}
+	case Cyclic:
+		for i := p; i < hi; i += l.Parts {
+			if i >= lo {
+				fn(i, i+1)
+			}
+		}
+	case BlockCyclic:
+		c := l.chunk()
+		for start := p * c; start < hi; start += l.Parts * c {
+			a, b := max(lo, start), min(hi, start+c)
+			if a < b {
+				fn(a, b)
+			}
+		}
+	}
+}
+
+// Neighbours reports the parts owning the indices adjacent to part p's
+// owned range boundaries (for Block layouts) — the halo-exchange partners
+// for a five-point stencil partitioned by rows. Missing neighbours are -1.
+func (l Layout) Neighbours(p int) (below, above int) {
+	if l.Kind != Block {
+		panic("partition: Neighbours is only defined for Block layouts")
+	}
+	lo, hi := l.Range(p)
+	below, above = -1, -1
+	if lo > 0 {
+		below = l.Owner(lo - 1)
+	}
+	if hi < l.N {
+		above = l.Owner(hi)
+	}
+	return below, above
+}
+
+// ScatterF64 splits data into per-part slices according to the layout
+// (copies; data is unmodified). Part p's slice holds its owned elements in
+// increasing index order.
+func ScatterF64(l Layout, data []float64) [][]float64 {
+	if len(data) != l.N {
+		panic(fmt.Sprintf("partition: data length %d != layout N %d", len(data), l.N))
+	}
+	parts := make([][]float64, l.Parts)
+	for p := 0; p < l.Parts; p++ {
+		out := make([]float64, 0, l.Count(p))
+		l.Indices(p, func(i int) { out = append(out, data[i]) })
+		parts[p] = out
+	}
+	return parts
+}
+
+// GatherF64 reassembles a full slice from per-part slices produced by
+// ScatterF64 (or computed locally with the same shape).
+func GatherF64(l Layout, parts [][]float64) []float64 {
+	if len(parts) != l.Parts {
+		panic(fmt.Sprintf("partition: got %d parts, layout has %d", len(parts), l.Parts))
+	}
+	out := make([]float64, l.N)
+	for p := 0; p < l.Parts; p++ {
+		if len(parts[p]) != l.Count(p) {
+			panic(fmt.Sprintf("partition: part %d has %d elements, want %d", p, len(parts[p]), l.Count(p)))
+		}
+		k := 0
+		l.Indices(p, func(i int) { out[i] = parts[p][k]; k++ })
+	}
+	return out
+}
+
+// ScatterRows splits a matrix by rows according to the layout (row copies
+// reference the original backing arrays; callers that need isolation must
+// deep-copy).
+func ScatterRows(l Layout, m [][]float64) [][][]float64 {
+	if len(m) != l.N {
+		panic(fmt.Sprintf("partition: matrix has %d rows, layout N %d", len(m), l.N))
+	}
+	parts := make([][][]float64, l.Parts)
+	for p := 0; p < l.Parts; p++ {
+		out := make([][]float64, 0, l.Count(p))
+		l.Indices(p, func(i int) { out = append(out, m[i]) })
+		parts[p] = out
+	}
+	return parts
+}
+
+// Even reports whether every part owns the same number of indices.
+func (l Layout) Even() bool {
+	c0 := l.Count(0)
+	for p := 1; p < l.Parts; p++ {
+		if l.Count(p) != c0 {
+			return false
+		}
+	}
+	return true
+}

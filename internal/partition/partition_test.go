@@ -1,0 +1,252 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func layouts(n, parts int) []Layout {
+	return []Layout{
+		New(Block, n, parts),
+		New(Cyclic, n, parts),
+		NewBlockCyclic(n, parts, 1),
+		NewBlockCyclic(n, parts, 3),
+		NewBlockCyclic(n, parts, 8),
+	}
+}
+
+// Invariant: every index is owned by exactly one part, Indices enumerates
+// exactly the owned set, and Count matches.
+func TestDisjointCover(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 16, 100, 101} {
+		for _, parts := range []int{1, 2, 3, 7, 16, 33} {
+			for _, l := range layouts(n, parts) {
+				seen := make([]int, n)
+				total := 0
+				for p := 0; p < parts; p++ {
+					count := 0
+					prev := -1
+					l.Indices(p, func(i int) {
+						if i <= prev {
+							t.Fatalf("%v part %d: indices not increasing (%d after %d)", l, p, i, prev)
+						}
+						prev = i
+						seen[i]++
+						count++
+					})
+					if count != l.Count(p) {
+						t.Errorf("%v part %d: Indices yields %d, Count says %d", l, p, count, l.Count(p))
+					}
+					total += count
+				}
+				if total != n {
+					t.Errorf("%v: total owned %d != N %d", l, total, n)
+				}
+				for i, c := range seen {
+					if c != 1 {
+						t.Errorf("%v: index %d owned %d times", l, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOwnerMatchesIndices(t *testing.T) {
+	for _, l := range layouts(50, 7) {
+		for p := 0; p < l.Parts; p++ {
+			l.Indices(p, func(i int) {
+				if got := l.Owner(i); got != p {
+					t.Errorf("%v: Owner(%d) = %d, part %d enumerates it", l, i, got, p)
+				}
+			})
+		}
+	}
+}
+
+func TestBlockRange(t *testing.T) {
+	l := New(Block, 10, 3)
+	want := [][2]int{{0, 4}, {4, 7}, {7, 10}}
+	for p, w := range want {
+		lo, hi := l.Range(p)
+		if lo != w[0] || hi != w[1] {
+			t.Errorf("Range(%d) = [%d,%d), want [%d,%d)", p, lo, hi, w[0], w[1])
+		}
+	}
+}
+
+func TestRangePanicsForCyclic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Range on cyclic layout did not panic")
+		}
+	}()
+	New(Cyclic, 10, 2).Range(0)
+}
+
+func TestCyclicOwner(t *testing.T) {
+	l := New(Cyclic, 9, 3)
+	for i := 0; i < 9; i++ {
+		if got := l.Owner(i); got != i%3 {
+			t.Errorf("Owner(%d) = %d, want %d", i, got, i%3)
+		}
+	}
+}
+
+func TestBlockCyclicOwner(t *testing.T) {
+	l := NewBlockCyclic(12, 2, 3)
+	// chunks: [0,3)→0 [3,6)→1 [6,9)→0 [9,12)→1
+	wants := []int{0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1}
+	for i, w := range wants {
+		if got := l.Owner(i); got != w {
+			t.Errorf("Owner(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// Invariant: LocalSpan(p, lo, hi) enumerates exactly owned ∩ [lo,hi).
+func TestLocalSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, l := range layouts(40, 5) {
+		for trial := 0; trial < 50; trial++ {
+			lo := rng.Intn(45) - 2
+			hi := lo + rng.Intn(45)
+			for p := 0; p < l.Parts; p++ {
+				want := map[int]bool{}
+				l.Indices(p, func(i int) {
+					if i >= lo && i < hi {
+						want[i] = true
+					}
+				})
+				got := map[int]bool{}
+				l.LocalSpan(p, lo, hi, func(a, b int) {
+					if a >= b {
+						t.Fatalf("%v: empty span [%d,%d)", l, a, b)
+					}
+					for i := a; i < b; i++ {
+						if got[i] {
+							t.Fatalf("%v: index %d spanned twice", l, i)
+						}
+						got[i] = true
+					}
+				})
+				if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+					t.Errorf("%v part %d [%d,%d): got %v want %v", l, p, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighbours(t *testing.T) {
+	l := New(Block, 10, 3)
+	cases := []struct{ p, below, above int }{{0, -1, 1}, {1, 0, 2}, {2, 1, -1}}
+	for _, c := range cases {
+		b, a := l.Neighbours(c.p)
+		if b != c.below || a != c.above {
+			t.Errorf("Neighbours(%d) = %d,%d want %d,%d", c.p, b, a, c.below, c.above)
+		}
+	}
+}
+
+func TestNeighboursEmptyParts(t *testing.T) {
+	// More parts than elements: some parts own nothing.
+	l := New(Block, 2, 4)
+	b, a := l.Neighbours(0)
+	if b != -1 || a != 1 {
+		t.Errorf("Neighbours(0) = %d,%d want -1,1", b, a)
+	}
+}
+
+// Property: Gather(Scatter(x)) == x for all kinds.
+func TestQuickScatterGatherRoundTrip(t *testing.T) {
+	f := func(vals []float64, parts uint8, kind uint8, chunk uint8) bool {
+		p := int(parts%8) + 1
+		var l Layout
+		switch kind % 3 {
+		case 0:
+			l = New(Block, len(vals), p)
+		case 1:
+			l = New(Cyclic, len(vals), p)
+		default:
+			l = NewBlockCyclic(len(vals), p, int(chunk%5)+1)
+		}
+		split := ScatterF64(l, vals)
+		joined := GatherF64(l, split)
+		return reflect.DeepEqual(joined, vals) || (len(vals) == 0 && len(joined) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScatterRows(t *testing.T) {
+	m := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	l := New(Block, 5, 2)
+	parts := ScatterRows(l, m)
+	if len(parts[0]) != 3 || len(parts[1]) != 2 {
+		t.Fatalf("part sizes %d,%d want 3,2", len(parts[0]), len(parts[1]))
+	}
+	if parts[1][0][0] != 4 {
+		t.Errorf("parts[1][0][0] = %v, want 4", parts[1][0][0])
+	}
+}
+
+func TestEven(t *testing.T) {
+	if !New(Block, 8, 4).Even() {
+		t.Error("8/4 block should be even")
+	}
+	if New(Block, 9, 4).Even() {
+		t.Error("9/4 block should be uneven")
+	}
+}
+
+func TestCountSums(t *testing.T) {
+	f := func(n uint16, parts uint8, chunk uint8) bool {
+		nn, pp := int(n%500), int(parts%16)+1
+		for _, l := range []Layout{
+			New(Block, nn, pp), New(Cyclic, nn, pp),
+			NewBlockCyclic(nn, pp, int(chunk%7)+1),
+		} {
+			sum := 0
+			for p := 0; p < pp; p++ {
+				sum += l.Count(p)
+			}
+			if sum != nn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("negative N", func() { New(Block, -1, 2) })
+	mustPanic("zero parts", func() { New(Block, 4, 0) })
+	mustPanic("zero chunk", func() { NewBlockCyclic(4, 2, 0) })
+	mustPanic("owner out of range", func() { New(Block, 4, 2).Owner(4) })
+	mustPanic("bad part", func() { New(Block, 4, 2).Count(2) })
+	mustPanic("scatter length", func() { ScatterF64(New(Block, 4, 2), make([]float64, 3)) })
+	mustPanic("gather shape", func() {
+		GatherF64(New(Block, 4, 2), [][]float64{{1}, {2}})
+	})
+}
+
+func TestKindString(t *testing.T) {
+	if Block.String() != "block" || Cyclic.String() != "cyclic" || BlockCyclic.String() != "block-cyclic" {
+		t.Error("Kind.String mismatch")
+	}
+}

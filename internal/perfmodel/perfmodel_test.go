@@ -1,0 +1,146 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// The tests assert the qualitative shapes the paper reports, which is what
+// the model exists to reproduce.
+
+func TestComputeSpeedsUpWithPE(t *testing.T) {
+	m := Paper()
+	prev := m.SORTime(2000, 100, 1, false, false)
+	for _, pe := range []int{2, 4, 8, 16} {
+		cur := m.SORTime(2000, 100, pe, false, false)
+		if cur >= prev {
+			t.Fatalf("no speedup at %d LE: %v >= %v", pe, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestThreadsCapAtOneMachine(t *testing.T) {
+	m := Paper()
+	at24 := m.SORTime(2000, 100, 24, false, false)
+	at48 := m.SORTime(2000, 100, 48, false, false)
+	if at48 < at24 {
+		t.Fatalf("threads scaled past one machine: %v < %v", at48, at24)
+	}
+	// Processes do scale past one machine.
+	d24 := m.SORTime(2000, 100, 24, true, false)
+	d48 := m.SORTime(2000, 100, 48, true, false)
+	if d48 >= d24 {
+		t.Fatalf("processes did not scale past one machine: %v >= %v", d48, d24)
+	}
+}
+
+func TestSafePointCountingUnderOnePercent(t *testing.T) {
+	m := Paper()
+	plain := m.SORTime(2000, 100, 1, false, false)
+	counted := m.SORTime(2000, 100, 1, false, true)
+	overhead := float64(counted-plain) / float64(plain)
+	if overhead >= 0.01 {
+		t.Fatalf("safe-point counting overhead %.2f%%, paper reports <1%%", overhead*100)
+	}
+}
+
+func TestSaveCostShape(t *testing.T) {
+	m := Paper()
+	bytes := 2000 * 2000 * 8
+	seq := m.SaveTime(bytes, 1, false)
+	le16 := m.SaveTime(bytes, 16, false)
+	p16 := m.SaveTime(bytes, 16, true)
+	p32 := m.SaveTime(bytes, 32, true)
+	if le16 <= seq {
+		t.Errorf("LE save (%v) should slightly exceed seq (%v): barrier", le16, seq)
+	}
+	if p16 <= le16 {
+		t.Errorf("P save (%v) should exceed LE save (%v): gather at root", p16, le16)
+	}
+	if p32 <= p16 {
+		t.Errorf("32P save (%v) should exceed 16P (%v): crosses machines", p32, p16)
+	}
+	// But the disk write still dominates ("most time overhead is due to
+	// the time required to save the application data").
+	if p32 > 3*seq {
+		t.Errorf("gather cost should not dwarf the disk write: %v vs %v", p32, seq)
+	}
+}
+
+func TestRestartLoadDominatesReplay(t *testing.T) {
+	m := Paper()
+	bytes := 2000 * 2000 * 8
+	for _, tc := range []struct {
+		pe   int
+		dist bool
+	}{{1, false}, {16, false}, {16, true}, {32, true}} {
+		replay, load := m.RestartTime(bytes, 100, tc.pe, tc.dist)
+		if load <= replay {
+			t.Errorf("pe=%d dist=%v: load (%v) should dominate replay (%v)", tc.pe, tc.dist, load, replay)
+		}
+	}
+	// Distributed load costs more (scatter), worst at 32P.
+	_, l16 := m.RestartTime(bytes, 100, 16, true)
+	_, l32 := m.RestartTime(bytes, 100, 32, true)
+	_, lseq := m.RestartTime(bytes, 100, 1, false)
+	if l16 <= lseq || l32 <= l16 {
+		t.Errorf("scatter cost ordering wrong: seq=%v 16P=%v 32P=%v", lseq, l16, l32)
+	}
+}
+
+func TestOverDecompositionShape(t *testing.T) {
+	m := Paper()
+	base := m.OverDecompTime(2000, 100, 16, 1)
+	of16 := m.OverDecompTime(2000, 100, 16, 16)
+	ratio := float64(of16) / float64(base)
+	// Paper: 256 tasks on 16 PEs goes from ~5s to ~15s (3x).
+	if ratio < 2 || ratio > 5 {
+		t.Fatalf("of=16 ratio %.2f, want roughly 3x", ratio)
+	}
+	// Monotone in the factor.
+	prev := base
+	for _, of := range []int{2, 4, 8, 16} {
+		cur := m.OverDecompTime(2000, 100, 16, of)
+		if cur <= prev {
+			t.Fatalf("over-decomposition not monotone at of=%d", of)
+		}
+		prev = cur
+	}
+	if base < 4*time.Second || base > 7*time.Second {
+		t.Errorf("16-PE SOR base %v, paper shows ~5s", base)
+	}
+}
+
+func TestRuntimeAdaptationBeatsRestart(t *testing.T) {
+	m := Paper()
+	for _, from := range []int{2, 4, 8} {
+		rt := m.AdaptExpandTime(2000, 100, from, 16, false)
+		rs := m.AdaptExpandTime(2000, 100, from, 16, true)
+		if rt >= rs {
+			t.Errorf("from %d LE: run-time (%v) should beat restart (%v)", from, rt, rs)
+		}
+	}
+	// Paper: restarting makes 8 -> 16 not worthwhile.
+	stay8 := m.SORTime(2000, 100, 8, false, true)
+	rs8 := m.AdaptExpandTime(2000, 100, 8, 16, true)
+	if rs8 <= stay8 {
+		t.Errorf("restart adaptation 8->16 (%v) should not beat staying at 8 (%v)", rs8, stay8)
+	}
+}
+
+func TestAdaptiveWithinFivePercentOfBest(t *testing.T) {
+	m := Paper()
+	for _, pe := range []int{1, 4, 8, 16, 32} {
+		th := m.SORTime(2000, 100, pe, false, false)
+		mpi := m.SORTime(2000, 100, pe, true, false)
+		best := th
+		if mpi < best {
+			best = mpi
+		}
+		ad := m.AdaptiveTime(2000, 100, pe)
+		if ratio := float64(ad)/float64(best) - 1; ratio > 0.05 {
+			t.Errorf("pe=%d: adaptive %.1f%% over best, paper claims <5%%", pe, ratio*100)
+		}
+	}
+}

@@ -1,0 +1,493 @@
+// Package serial implements the portable on-disk representation of
+// application-level checkpoints.
+//
+// The paper (§IV.A) requires checkpoint data to be saved "in a portable
+// manner to allow an easy application migration across the heterogeneous set
+// of resources typical of a Grid environment" and to contain only the data
+// the programmer names via the SafeData template. The format defined here is
+// a small, versioned, little-endian binary container:
+//
+//	magic "PPCKPT1\n" | header (app, mode, safe-point count, field count)
+//	field*            | name, type tag, shape, payload, CRC-32 of payload
+//	trailer           | CRC-32 of everything before it
+//
+// Because the container is independent of the execution mode that produced
+// it, a snapshot gathered at the master of a distributed run can restart a
+// sequential, shared-memory or distributed run — the property §IV.A uses to
+// adapt across execution modes by checkpoint/restart.
+package serial
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// Magic identifies a pluggable-parallelisation checkpoint container.
+const Magic = "PPCKPT1\n"
+
+// Type tags for field payloads.
+const (
+	TFloat64   = uint8(1) // scalar float64
+	TInt64     = uint8(2) // scalar int64
+	TFloat64s  = uint8(3) // []float64
+	TInt64s    = uint8(4) // []int64
+	TFloat64_2 = uint8(5) // [][]float64 (rectangular)
+	TBytes     = uint8(6) // raw []byte
+	TGob       = uint8(7) // arbitrary value via encoding/gob
+)
+
+// Value is one named datum inside a snapshot. Exactly one of the typed
+// fields is meaningful, selected by Tag.
+type Value struct {
+	Tag  uint8
+	F    float64
+	I    int64
+	Fs   []float64
+	Is   []int64
+	F2   [][]float64
+	B    []byte
+	Rows int // for F2
+	Cols int // for F2
+}
+
+// Float64 wraps a scalar float64.
+func Float64(v float64) Value { return Value{Tag: TFloat64, F: v} }
+
+// Int64 wraps a scalar int64.
+func Int64(v int64) Value { return Value{Tag: TInt64, I: v} }
+
+// Float64s wraps a float64 slice (not copied).
+func Float64s(v []float64) Value { return Value{Tag: TFloat64s, Fs: v} }
+
+// Int64s wraps an int64 slice (not copied).
+func Int64s(v []int64) Value { return Value{Tag: TInt64s, Is: v} }
+
+// Float64Matrix wraps a rectangular [][]float64 (not copied).
+func Float64Matrix(v [][]float64) Value {
+	rows := len(v)
+	cols := 0
+	if rows > 0 {
+		cols = len(v[0])
+	}
+	return Value{Tag: TFloat64_2, F2: v, Rows: rows, Cols: cols}
+}
+
+// Bytes wraps a raw byte slice (not copied).
+func Bytes(v []byte) Value { return Value{Tag: TBytes, B: v} }
+
+// Gob wraps an arbitrary value via encoding/gob. The concrete type must be
+// gob-encodable and the caller must decode into the same type.
+func Gob(v any) (Value, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return Value{}, fmt.Errorf("serial: gob encode: %w", err)
+	}
+	return Value{Tag: TGob, B: buf.Bytes()}, nil
+}
+
+// DecodeGob decodes a TGob value into out (a pointer).
+func (v Value) DecodeGob(out any) error {
+	if v.Tag != TGob {
+		return fmt.Errorf("serial: value tag %d is not gob", v.Tag)
+	}
+	return gob.NewDecoder(bytes.NewReader(v.B)).Decode(out)
+}
+
+// ByteLen reports the payload size in bytes (excluding per-field framing).
+func (v Value) ByteLen() int {
+	switch v.Tag {
+	case TFloat64, TInt64:
+		return 8
+	case TFloat64s:
+		return 8 * len(v.Fs)
+	case TInt64s:
+		return 8 * len(v.Is)
+	case TFloat64_2:
+		return 8 * v.Rows * v.Cols
+	case TBytes, TGob:
+		return len(v.B)
+	}
+	return 0
+}
+
+// Snapshot is the in-memory form of one checkpoint.
+type Snapshot struct {
+	App        string
+	Mode       string
+	SafePoints uint64
+	Fields     map[string]Value
+}
+
+// NewSnapshot allocates an empty snapshot for app.
+func NewSnapshot(app, mode string, safePoints uint64) *Snapshot {
+	return &Snapshot{App: app, Mode: mode, SafePoints: safePoints, Fields: map[string]Value{}}
+}
+
+// DataBytes reports the total payload bytes across all fields — the quantity
+// Figures 4 and 5 of the paper account as "time to save/load the data".
+func (s *Snapshot) DataBytes() int {
+	n := 0
+	for _, v := range s.Fields {
+		n += v.ByteLen()
+	}
+	return n
+}
+
+var order = binary.LittleEndian
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+func writeU8(w io.Writer, v uint8) error { _, err := w.Write([]byte{v}); return err }
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	order.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	order.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func writeF64s(w io.Writer, v []float64) error {
+	b := make([]byte, 8*len(v))
+	for i, f := range v {
+		order.PutUint64(b[8*i:], math.Float64bits(f))
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func writeI64s(w io.Writer, v []int64) error {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		order.PutUint64(b[8*i:], uint64(x))
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// Encode writes the snapshot to w in the container format.
+func (s *Snapshot) Encode(w io.Writer) error {
+	cw := &crcWriter{w: w}
+	if _, err := io.WriteString(cw, Magic); err != nil {
+		return err
+	}
+	if err := writeString(cw, s.App); err != nil {
+		return err
+	}
+	if err := writeString(cw, s.Mode); err != nil {
+		return err
+	}
+	if err := writeU64(cw, s.SafePoints); err != nil {
+		return err
+	}
+	if err := writeU32(cw, uint32(len(s.Fields))); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(s.Fields))
+	for k := range s.Fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := encodeField(cw, name, s.Fields[name]); err != nil {
+			return fmt.Errorf("serial: field %q: %w", name, err)
+		}
+	}
+	// Trailer: CRC of everything written so far.
+	return writeU32(w, cw.crc)
+}
+
+func encodeField(w io.Writer, name string, v Value) error {
+	if err := writeString(w, name); err != nil {
+		return err
+	}
+	if err := writeU8(w, v.Tag); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	switch v.Tag {
+	case TFloat64:
+		if err := writeF64s(&payload, []float64{v.F}); err != nil {
+			return err
+		}
+	case TInt64:
+		if err := writeI64s(&payload, []int64{v.I}); err != nil {
+			return err
+		}
+	case TFloat64s:
+		if err := writeU64(&payload, uint64(len(v.Fs))); err != nil {
+			return err
+		}
+		if err := writeF64s(&payload, v.Fs); err != nil {
+			return err
+		}
+	case TInt64s:
+		if err := writeU64(&payload, uint64(len(v.Is))); err != nil {
+			return err
+		}
+		if err := writeI64s(&payload, v.Is); err != nil {
+			return err
+		}
+	case TFloat64_2:
+		if err := writeU64(&payload, uint64(v.Rows)); err != nil {
+			return err
+		}
+		if err := writeU64(&payload, uint64(v.Cols)); err != nil {
+			return err
+		}
+		for r := 0; r < v.Rows; r++ {
+			row := v.F2[r]
+			if len(row) != v.Cols {
+				return fmt.Errorf("ragged matrix: row %d has %d cols, want %d", r, len(row), v.Cols)
+			}
+			if err := writeF64s(&payload, row); err != nil {
+				return err
+			}
+		}
+	case TBytes, TGob:
+		if err := writeU64(&payload, uint64(len(v.B))); err != nil {
+			return err
+		}
+		if _, err := payload.Write(v.B); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown tag %d", v.Tag)
+	}
+	if err := writeU32(w, uint32(payload.Len())); err != nil {
+		return err
+	}
+	if err := writeU32(w, crc32.ChecksumIEEE(payload.Bytes())); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func readU8(r io.Reader) (uint8, error) {
+	var b [1]byte
+	_, err := io.ReadFull(r, b[:])
+	return b[0], err
+}
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	_, err := io.ReadFull(r, b[:])
+	return order.Uint32(b[:]), err
+}
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	_, err := io.ReadFull(r, b[:])
+	return order.Uint64(b[:]), err
+}
+
+const maxStringLen = 1 << 20
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("serial: string length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func readF64s(r io.Reader, n int) ([]float64, error) {
+	b := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(order.Uint64(b[8*i:]))
+	}
+	return v, nil
+}
+
+func readI64s(r io.Reader, n int) ([]int64, error) {
+	b := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(order.Uint64(b[8*i:]))
+	}
+	return v, nil
+}
+
+// Decode reads a snapshot in the container format, verifying all checksums.
+func Decode(r io.Reader) (*Snapshot, error) {
+	cr := &crcReader{r: r}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("serial: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("serial: bad magic %q", magic)
+	}
+	app, err := readString(cr)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := readString(cr)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := readU64(cr)
+	if err != nil {
+		return nil, err
+	}
+	nf, err := readU32(cr)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSnapshot(app, mode, sp)
+	for i := uint32(0); i < nf; i++ {
+		name, v, err := decodeField(cr)
+		if err != nil {
+			return nil, fmt.Errorf("serial: field %d: %w", i, err)
+		}
+		s.Fields[name] = v
+	}
+	want := cr.crc
+	got, err := readU32(r) // trailer read outside the crc reader
+	if err != nil {
+		return nil, fmt.Errorf("serial: reading trailer: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("serial: container checksum mismatch: file %08x computed %08x", got, want)
+	}
+	return s, nil
+}
+
+func decodeField(r io.Reader) (string, Value, error) {
+	name, err := readString(r)
+	if err != nil {
+		return "", Value{}, err
+	}
+	tag, err := readU8(r)
+	if err != nil {
+		return "", Value{}, err
+	}
+	plen, err := readU32(r)
+	if err != nil {
+		return "", Value{}, err
+	}
+	pcrc, err := readU32(r)
+	if err != nil {
+		return "", Value{}, err
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", Value{}, err
+	}
+	if c := crc32.ChecksumIEEE(payload); c != pcrc {
+		return "", Value{}, fmt.Errorf("%q: payload checksum mismatch: file %08x computed %08x", name, pcrc, c)
+	}
+	pr := bytes.NewReader(payload)
+	v := Value{Tag: tag}
+	switch tag {
+	case TFloat64:
+		fs, err := readF64s(pr, 1)
+		if err != nil {
+			return "", Value{}, err
+		}
+		v.F = fs[0]
+	case TInt64:
+		is, err := readI64s(pr, 1)
+		if err != nil {
+			return "", Value{}, err
+		}
+		v.I = is[0]
+	case TFloat64s:
+		n, err := readU64(pr)
+		if err != nil {
+			return "", Value{}, err
+		}
+		if v.Fs, err = readF64s(pr, int(n)); err != nil {
+			return "", Value{}, err
+		}
+	case TInt64s:
+		n, err := readU64(pr)
+		if err != nil {
+			return "", Value{}, err
+		}
+		if v.Is, err = readI64s(pr, int(n)); err != nil {
+			return "", Value{}, err
+		}
+	case TFloat64_2:
+		rows, err := readU64(pr)
+		if err != nil {
+			return "", Value{}, err
+		}
+		cols, err := readU64(pr)
+		if err != nil {
+			return "", Value{}, err
+		}
+		v.Rows, v.Cols = int(rows), int(cols)
+		v.F2 = make([][]float64, v.Rows)
+		for i := 0; i < v.Rows; i++ {
+			if v.F2[i], err = readF64s(pr, v.Cols); err != nil {
+				return "", Value{}, err
+			}
+		}
+	case TBytes, TGob:
+		n, err := readU64(pr)
+		if err != nil {
+			return "", Value{}, err
+		}
+		v.B = make([]byte, n)
+		if _, err := io.ReadFull(pr, v.B); err != nil {
+			return "", Value{}, err
+		}
+	default:
+		return "", Value{}, fmt.Errorf("%q: unknown tag %d", name, tag)
+	}
+	return name, v, nil
+}

@@ -1,0 +1,229 @@
+package serial
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, s *Snapshot) *Snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	s := NewSnapshot("app", "seq", 42)
+	s.Fields["x"] = Float64(math.Pi)
+	s.Fields["n"] = Int64(-7)
+	got := roundTrip(t, s)
+	if got.App != "app" || got.Mode != "seq" || got.SafePoints != 42 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Fields["x"].F != math.Pi {
+		t.Errorf("x = %v, want pi", got.Fields["x"].F)
+	}
+	if got.Fields["n"].I != -7 {
+		t.Errorf("n = %v, want -7", got.Fields["n"].I)
+	}
+}
+
+func TestRoundTripSlices(t *testing.T) {
+	s := NewSnapshot("a", "smp", 1)
+	s.Fields["fs"] = Float64s([]float64{1, 2.5, -3, math.Inf(1), math.SmallestNonzeroFloat64})
+	s.Fields["is"] = Int64s([]int64{0, 1, -1, math.MaxInt64, math.MinInt64})
+	got := roundTrip(t, s)
+	if !reflect.DeepEqual(got.Fields["fs"].Fs, s.Fields["fs"].Fs) {
+		t.Errorf("fs mismatch: %v", got.Fields["fs"].Fs)
+	}
+	if !reflect.DeepEqual(got.Fields["is"].Is, s.Fields["is"].Is) {
+		t.Errorf("is mismatch: %v", got.Fields["is"].Is)
+	}
+}
+
+func TestRoundTripMatrix(t *testing.T) {
+	m := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	s := NewSnapshot("a", "dist", 9)
+	s.Fields["m"] = Float64Matrix(m)
+	got := roundTrip(t, s)
+	if !reflect.DeepEqual(got.Fields["m"].F2, m) {
+		t.Errorf("matrix mismatch: %v", got.Fields["m"].F2)
+	}
+}
+
+func TestRoundTripEmptyMatrix(t *testing.T) {
+	s := NewSnapshot("a", "seq", 0)
+	s.Fields["m"] = Float64Matrix(nil)
+	got := roundTrip(t, s)
+	if got.Fields["m"].Rows != 0 || got.Fields["m"].Cols != 0 {
+		t.Errorf("empty matrix mismatch: %+v", got.Fields["m"])
+	}
+}
+
+func TestRaggedMatrixRejected(t *testing.T) {
+	s := NewSnapshot("a", "seq", 0)
+	s.Fields["m"] = Float64Matrix([][]float64{{1, 2}, {3}})
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err == nil {
+		t.Fatal("encode of ragged matrix succeeded, want error")
+	}
+}
+
+func TestRoundTripBytesAndGob(t *testing.T) {
+	s := NewSnapshot("a", "seq", 3)
+	s.Fields["b"] = Bytes([]byte{0, 255, 1, 2})
+	type st struct{ X, Y int }
+	gv, err := Gob(st{3, 4})
+	if err != nil {
+		t.Fatalf("gob: %v", err)
+	}
+	s.Fields["g"] = gv
+	got := roundTrip(t, s)
+	if !bytes.Equal(got.Fields["b"].B, []byte{0, 255, 1, 2}) {
+		t.Errorf("bytes mismatch: %v", got.Fields["b"].B)
+	}
+	var out st
+	if err := got.Fields["g"].DecodeGob(&out); err != nil {
+		t.Fatalf("decode gob: %v", err)
+	}
+	if out != (st{3, 4}) {
+		t.Errorf("gob value = %+v", out)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	s := NewSnapshot("app", "seq", 5)
+	s.Fields["fs"] = Float64s([]float64{1, 2, 3, 4})
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, pos := range []int{len(Magic) + 2, len(raw) / 2, len(raw) - 2} {
+		cp := append([]byte(nil), raw...)
+		cp[pos] ^= 0x40
+		if _, err := Decode(bytes.NewReader(cp)); err == nil {
+			t.Errorf("flip at %d: decode succeeded, want checksum error", pos)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	s := NewSnapshot("app", "seq", 5)
+	s.Fields["fs"] = Float64s([]float64{1, 2, 3})
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < buf.Len(); cut += 7 {
+		if _, err := Decode(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncation at %d: decode succeeded, want error", cut)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("NOTMAGIC rest"))); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+}
+
+func TestDataBytes(t *testing.T) {
+	s := NewSnapshot("a", "seq", 0)
+	s.Fields["x"] = Float64(1)
+	s.Fields["fs"] = Float64s(make([]float64, 10))
+	s.Fields["m"] = Float64Matrix([][]float64{{1, 2}, {3, 4}})
+	if got, want := s.DataBytes(), 8+80+32; got != want {
+		t.Errorf("DataBytes = %d, want %d", got, want)
+	}
+}
+
+// Property: encode∘decode is the identity on float64 slices, including NaN
+// payload bit patterns being preserved byte-for-byte.
+func TestQuickRoundTripFloat64s(t *testing.T) {
+	f := func(vals []float64, sp uint64) bool {
+		s := NewSnapshot("q", "seq", sp)
+		s.Fields["v"] = Float64s(vals)
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		g := got.Fields["v"].Fs
+		if len(g) != len(vals) || got.SafePoints != sp {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(g[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshots with the same contents encode identically (field order
+// is canonicalised), so checkpoint files are reproducible.
+func TestDeterministicEncoding(t *testing.T) {
+	build := func() *Snapshot {
+		s := NewSnapshot("a", "seq", 7)
+		s.Fields["b"] = Float64(2)
+		s.Fields["a"] = Float64(1)
+		s.Fields["c"] = Int64s([]int64{1, 2})
+		return s
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().Encode(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Encode(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("same snapshot produced different encodings")
+	}
+}
+
+func TestQuickRoundTripMatrix(t *testing.T) {
+	f := func(rows, cols uint8, seed int64) bool {
+		r, c := int(rows%16), int(cols%16)
+		m := make([][]float64, r)
+		x := float64(seed)
+		for i := range m {
+			m[i] = make([]float64, c)
+			for j := range m[i] {
+				x = x*1.1 + 1
+				m[i][j] = x
+			}
+		}
+		s := NewSnapshot("q", "seq", 0)
+		s.Fields["m"] = Float64Matrix(m)
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Fields["m"].F2, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package team
+
+import "sync"
+
+// Barrier is a reusable (cyclic) barrier whose party count can change
+// exactly at a phase boundary. That property is what the paper's run-time
+// adaptation protocol needs (§IV.B): when the application expands or
+// contracts the number of "lines of execution", the change is applied while
+// every thread is synchronised in a global barrier, so no thread can observe
+// a half-resized team.
+type Barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	parties  int
+	arrived  int
+	phase    uint64
+	pending  []func() // run under mu at the next release
+	poisoned bool
+}
+
+// Poisoned is the panic value raised from Wait when the barrier has been
+// poisoned: some team member unwound abnormally (failure injection, stop
+// token) and everyone blocked on it must unwind too instead of waiting for
+// an arrival that will never come.
+type Poisoned struct{}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("team: barrier needs at least one party")
+	}
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties reports the current party count.
+func (b *Barrier) Parties() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.parties
+}
+
+// Wait blocks until all parties have arrived, then releases them together.
+// It returns the phase number that completed.
+func (b *Barrier) Wait() uint64 {
+	return b.wait(nil)
+}
+
+// WaitResize is Wait, but when this phase releases, the party count becomes
+// newParties and apply (if non-nil) runs under the barrier lock. The resize
+// is applied exactly once, at the phase boundary, regardless of arrival
+// order.
+func (b *Barrier) WaitResize(newParties int, apply func()) uint64 {
+	if newParties < 1 {
+		panic("team: barrier resize needs at least one party")
+	}
+	return b.wait(func() {
+		b.parties = newParties
+		if apply != nil {
+			apply()
+		}
+	})
+}
+
+func (b *Barrier) wait(atRelease func()) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic(Poisoned{})
+	}
+	if atRelease != nil {
+		b.pending = append(b.pending, atRelease)
+	}
+	ph := b.phase
+	b.arrived++
+	if b.arrived == b.parties {
+		for _, f := range b.pending {
+			f()
+		}
+		b.pending = nil
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+		return ph
+	}
+	for b.phase == ph && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic(Poisoned{})
+	}
+	return ph
+}
+
+// Poison wakes every current waiter and makes every current and future Wait
+// panic with Poisoned. There is no antidote: a poisoned barrier (and its
+// team) is being torn down.
+func (b *Barrier) Poison() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.poisoned = true
+	b.cond.Broadcast()
+}

@@ -1,0 +1,53 @@
+package team
+
+// xchgState is the shared buffer of one all-to-all value exchange.
+type xchgState struct {
+	vals    []float64
+	visits  int
+	parties int
+}
+
+// ExchangeF64 lets every active worker contribute one float64 and returns
+// the full vector indexed by worker id, identical on all workers. It is the
+// team-level primitive behind deterministic reductions: callers fold the
+// returned vector in index order so the result is independent of thread
+// scheduling. Retired and replaying workers consume the exchange instance
+// but return nil.
+//
+// The exchange includes a barrier, so all contributions happen-before all
+// reads.
+func (w *Worker) ExchangeF64(v float64) []float64 {
+	w.xchgSeq++
+	if w.retired || w.replaying.Load() {
+		return nil
+	}
+	seq := w.xchgSeq
+	t := w.t
+	t.mu.Lock()
+	st, ok := t.xchgs[seq]
+	if !ok {
+		st = &xchgState{vals: make([]float64, t.Size()), parties: t.Size()}
+		t.xchgs[seq] = st
+	}
+	st.vals[w.id] = v
+	t.mu.Unlock()
+	w.Barrier()
+	out := make([]float64, len(st.vals))
+	copy(out, st.vals)
+	t.mu.Lock()
+	st.visits++
+	if st.visits >= st.parties {
+		delete(t.xchgs, seq)
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// BroadcastF64 distributes the master's value to every active worker.
+func (w *Worker) BroadcastF64(v float64) float64 {
+	vals := w.ExchangeF64(v)
+	if vals == nil {
+		return v
+	}
+	return vals[0]
+}

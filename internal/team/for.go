@@ -1,0 +1,131 @@
+package team
+
+import "sync/atomic"
+
+// loopState is the shared descriptor of one dynamic/guided work-sharing
+// loop instance. All active workers reach the same loops in the same order,
+// so a per-worker sequence number identifies the instance.
+type loopState struct {
+	next      atomic.Int64 // next unclaimed iteration
+	hi        int64
+	chunk     int64
+	guided    bool
+	size      int64        // active team size at creation
+	remaining atomic.Int64 // workers still to finish (for cleanup)
+}
+
+// For executes the work-sharing loop over [lo, hi) with the given schedule.
+// body receives maximal contiguous sub-ranges. Retired and replaying workers
+// consume the loop instance (keeping sequence numbers aligned) but execute
+// nothing — retirement's "empty operations" and replay's skipping are both
+// realised here. For does not include an implicit barrier; callers that need
+// one (e.g. stencil sweeps) add it explicitly or via the core engine's
+// loop advice.
+func (w *Worker) For(lo, hi int, sched Schedule, chunk int, body func(lo, hi int)) {
+	w.loopSeq++
+	if w.retired || w.replaying.Load() {
+		return
+	}
+	if lo >= hi {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	size := w.t.Size()
+	switch sched {
+	case Static:
+		n := hi - lo
+		base, rem := n/size, n%size
+		var mylo int
+		if w.id < rem {
+			mylo = lo + w.id*(base+1)
+			body(mylo, mylo+base+1)
+		} else {
+			mylo = lo + rem*(base+1) + (w.id-rem)*base
+			if base > 0 {
+				body(mylo, mylo+base)
+			}
+		}
+	case StaticChunk:
+		for start := lo + w.id*chunk; start < hi; start += size * chunk {
+			end := start + chunk
+			if end > hi {
+				end = hi
+			}
+			body(start, end)
+		}
+	case Dynamic, Guided:
+		st := w.claimLoop(lo, hi, chunk, sched == Guided, size)
+		for {
+			a, b, ok := st.grab()
+			if !ok {
+				break
+			}
+			body(a, b)
+		}
+		if st.remaining.Add(-1) == 0 {
+			w.t.mu.Lock()
+			delete(w.t.loops, w.loopSeq)
+			w.t.mu.Unlock()
+		}
+	}
+}
+
+func (w *Worker) claimLoop(lo, hi, chunk int, guided bool, size int) *loopState {
+	t := w.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.loops[w.loopSeq]
+	if !ok {
+		st = &loopState{hi: int64(hi), chunk: int64(chunk), guided: guided, size: int64(size)}
+		st.next.Store(int64(lo))
+		st.remaining.Store(int64(size))
+		t.loops[w.loopSeq] = st
+	}
+	return st
+}
+
+// grab claims the next chunk of iterations, returning ok=false when the
+// loop is exhausted.
+func (st *loopState) grab() (lo, hi int, ok bool) {
+	for {
+		cur := st.next.Load()
+		if cur >= st.hi {
+			return 0, 0, false
+		}
+		step := st.chunk
+		if st.guided {
+			rem := st.hi - cur
+			step = rem / (2 * st.size)
+			if step < st.chunk {
+				step = st.chunk
+			}
+		}
+		end := cur + step
+		if end > st.hi {
+			end = st.hi
+		}
+		if st.next.CompareAndSwap(cur, end) {
+			return int(cur), int(end), true
+		}
+	}
+}
+
+// StaticSpan reports the contiguous block of [lo,hi) a worker with the given
+// id would receive under the Static schedule in a team of the given size.
+// It is exported for the distributed/hybrid engine, which nests a static
+// split inside each rank's local range.
+func StaticSpan(id, size, lo, hi int) (mylo, myhi int) {
+	n := hi - lo
+	if n <= 0 {
+		return lo, lo
+	}
+	base, rem := n/size, n%size
+	if id < rem {
+		mylo = lo + id*(base+1)
+		return mylo, mylo + base + 1
+	}
+	mylo = lo + rem*(base+1) + (id-rem)*base
+	return mylo, mylo + base
+}

@@ -1,0 +1,35 @@
+package team
+
+import "sync"
+
+// OverDecompose runs tasks logical tasks on pe processing elements, with a
+// tasks-wide barrier between iterations — the execution structure of the
+// paper's Figure 8 experiment ("Overhead of over-decomposition"): traditional
+// adaptive approaches create many more parallel tasks than processing
+// elements and coalesce them onto the available resources, paying task
+// scheduling and wide-barrier costs on every iteration.
+//
+// Each task t executes body(t, it) for it = 0..iters-1; a semaphore caps the
+// number of simultaneously running tasks at pe and a tasks-party barrier
+// separates iterations (as SOR's data dependences require).
+func OverDecompose(tasks, pe, iters int, body func(task, iter int)) {
+	if tasks < 1 || pe < 1 {
+		panic("team: OverDecompose needs tasks >= 1 and pe >= 1")
+	}
+	sem := make(chan struct{}, pe)
+	bar := NewBarrier(tasks)
+	var wg sync.WaitGroup
+	for t := 0; t < tasks; t++ {
+		wg.Add(1)
+		go func(task int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				sem <- struct{}{} // acquire a processing element
+				body(task, it)
+				<-sem
+				bar.Wait()
+			}
+		}(t)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,337 @@
+// Package team implements the shared-memory execution substrate of pluggable
+// parallelisation (§III.B of the paper): an OpenMP-style thread team whose
+// size can change at run time.
+//
+// Execution starts in a master thread that spawns a team to run a parallel
+// region. Inside the region the package provides work-sharing loops with
+// static, chunked, dynamic and guided schedules, single/master/critical
+// sections, barriers and thread-local storage — the counterparts of the
+// paper's ParallelMethod, for, single, master, synchronised, barrier and
+// thread-local-field templates.
+//
+// Run-time adaptation support: the team can grow (new workers join after
+// replaying the region, see §IV.B "Expansion of Resource Usage") and shrink
+// (surplus workers "retire" and run empty operations to the region end, the
+// paper's graceful shutdown). Both changes take effect exactly at a barrier
+// phase boundary.
+package team
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how a work-sharing loop divides iterations.
+type Schedule int
+
+const (
+	// Static divides [lo,hi) into size contiguous blocks, one per worker.
+	Static Schedule = iota
+	// StaticChunk deals fixed-size chunks round-robin.
+	StaticChunk
+	// Dynamic hands out fixed-size chunks first-come first-served.
+	Dynamic
+	// Guided hands out shrinking chunks (remaining / 2·size, floored at
+	// the chunk parameter).
+	Guided
+)
+
+// String returns the lower-case schedule name.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case StaticChunk:
+		return "static-chunk"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// Team is a resizable group of workers executing one parallel region.
+type Team struct {
+	barrier *Barrier
+	size    atomic.Int64 // active workers; ids 0..size-1 are active
+	nextID  atomic.Int64 // next worker id ever to be assigned
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	loops   map[uint64]*loopState
+	singles map[uint64]*singleState
+	xchgs   map[uint64]*xchgState
+	crits   map[string]*sync.Mutex
+	freeIDs []int // ids of retired workers, reusable by Spawn
+
+	decision atomic.Pointer[decision]
+}
+
+type decision struct {
+	phase   uint64
+	newSize int
+}
+
+// New creates a team of the given initial size. The team is inert until Run.
+func New(size int) *Team {
+	if size < 1 {
+		panic("team: size must be >= 1")
+	}
+	t := &Team{
+		barrier: NewBarrier(size),
+		loops:   map[uint64]*loopState{},
+		singles: map[uint64]*singleState{},
+		xchgs:   map[uint64]*xchgState{},
+		crits:   map[string]*sync.Mutex{},
+	}
+	t.size.Store(int64(size))
+	t.nextID.Store(int64(size))
+	return t
+}
+
+// Size reports the current active team size. Reading it after a barrier
+// observes any resize applied at that barrier.
+func (t *Team) Size() int { return int(t.size.Load()) }
+
+// Poison tears the team down: every worker blocked (now or later) on the
+// team barrier panics with Poisoned instead of waiting forever. Used when
+// one worker unwinds abnormally and its siblings must follow.
+func (t *Team) Poison() { t.barrier.Poison() }
+
+// Run executes region on every worker: worker 0 runs on the calling
+// goroutine (it is the master, as in OpenMP the encountering thread joins
+// the team) and size-1 further goroutines are spawned. Run returns when all
+// workers — including any spawned later by Grow — have returned.
+func (t *Team) Run(region func(w *Worker)) {
+	n := t.Size()
+	for id := 1; id < n; id++ {
+		w := &Worker{id: id, t: t}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			region(w)
+		}()
+	}
+	master := &Worker{id: 0, t: t}
+	region(master)
+	t.wg.Wait()
+}
+
+// Spawn launches an additional goroutine running start on a fresh worker.
+// The worker is NOT yet active: it does not count towards barriers until a
+// MasterResize activates it. The core engine uses Spawn+MasterResize to
+// implement region replay for expansion. Ids of previously retired workers
+// are reused (smallest first) so that the active id set stays contiguous —
+// the static work-sharing schedule depends on that invariant.
+func (t *Team) Spawn(start func(w *Worker)) *Worker {
+	t.mu.Lock()
+	var id int
+	if len(t.freeIDs) > 0 {
+		min := 0
+		for i := 1; i < len(t.freeIDs); i++ {
+			if t.freeIDs[i] < t.freeIDs[min] {
+				min = i
+			}
+		}
+		id = t.freeIDs[min]
+		t.freeIDs = append(t.freeIDs[:min], t.freeIDs[min+1:]...)
+	} else {
+		id = int(t.nextID.Add(1) - 1)
+	}
+	t.mu.Unlock()
+	w := &Worker{id: id, t: t}
+	w.replaying.Store(true)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		start(w)
+	}()
+	return w
+}
+
+// Worker is one line of execution inside a team.
+type Worker struct {
+	id        int
+	t         *Team
+	retired   bool
+	replaying atomic.Bool
+
+	loopSeq   uint64
+	singleSeq uint64
+	xchgSeq   uint64
+	tls       map[string]any
+}
+
+// ID reports the worker's id; id 0 is the master.
+func (w *Worker) ID() int { return w.id }
+
+// IsMaster reports whether this worker is the team master.
+func (w *Worker) IsMaster() bool { return w.id == 0 }
+
+// Retired reports whether this worker has been shut down by a contraction
+// and is running empty operations to the region end.
+func (w *Worker) Retired() bool { return w.retired }
+
+// Replaying reports whether the worker is replaying the region to join an
+// expanded team (it skips loop bodies and barriers until activated).
+func (w *Worker) Replaying() bool { return w.replaying.Load() }
+
+// SetReplaying flips the replay flag; the core engine calls this when a
+// replaying worker reaches the adaptation safe point and becomes active.
+func (w *Worker) SetReplaying(v bool) { w.replaying.Store(v) }
+
+// Team returns the worker's team.
+func (w *Worker) Team() *Team { return w.t }
+
+// Barrier synchronises the active team. Retired and replaying workers pass
+// through without synchronising (the former run "empty operations until the
+// thread gets to the end of the parallel region", §IV.B; the latter have not
+// yet joined). After the barrier the worker applies any team-resize decision
+// published for that phase, possibly retiring itself.
+func (w *Worker) Barrier() {
+	if w.retired || w.replaying.Load() {
+		return
+	}
+	phase := w.t.barrier.Wait()
+	w.applyDecision(phase)
+}
+
+func (w *Worker) applyDecision(phase uint64) {
+	d := w.t.decision.Load()
+	if d != nil && d.phase == phase && w.id >= d.newSize {
+		w.retired = true
+		w.t.mu.Lock()
+		w.t.freeIDs = append(w.t.freeIDs, w.id)
+		w.t.mu.Unlock()
+	}
+}
+
+// MasterResize must be called by the master in place of Barrier at an
+// adaptation point: it publishes the new team size, resizes the barrier at
+// this phase boundary, and updates Team.Size under the barrier lock so every
+// worker released from this barrier observes the new size. Workers whose id
+// is >= newSize retire. Newly spawned (replaying) workers must be activated
+// by the caller after MasterResize returns.
+func (w *Worker) MasterResize(newSize int) {
+	if !w.IsMaster() {
+		panic("team: MasterResize called by non-master worker")
+	}
+	if newSize < 1 {
+		panic("team: cannot resize team below 1")
+	}
+	t := w.t
+	// The phase about to complete is the barrier's current phase; workers
+	// blocked in it will compare against this number.
+	t.decision.Store(&decision{phase: t.barrier.phaseUnderLock(), newSize: newSize})
+	phase := t.barrier.WaitResize(newSize, func() {
+		t.size.Store(int64(newSize))
+	})
+	w.applyDecision(phase)
+}
+
+// phaseUnderLock reads the barrier phase. Publishing the decision with this
+// phase before the master arrives is safe: no release of the current phase
+// can happen until the master (a party) arrives.
+func (b *Barrier) phaseUnderLock() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.phase
+}
+
+// Master runs fn only on the master worker (the paper's master template).
+func (w *Worker) Master(fn func()) {
+	if w.retired || w.replaying.Load() {
+		return
+	}
+	if w.IsMaster() {
+		fn()
+	}
+}
+
+// Critical runs fn in mutual exclusion with all other workers executing a
+// Critical of the same name (the paper's synchronised template).
+func (w *Worker) Critical(name string, fn func()) {
+	if w.retired || w.replaying.Load() {
+		return
+	}
+	w.t.mu.Lock()
+	m, ok := w.t.crits[name]
+	if !ok {
+		m = &sync.Mutex{}
+		w.t.crits[name] = m
+	}
+	w.t.mu.Unlock()
+	m.Lock()
+	defer m.Unlock()
+	fn()
+}
+
+type singleState struct {
+	claimed bool
+	visits  int
+	parties int
+}
+
+// Single runs fn on exactly one worker — the first to arrive (the paper's
+// single template). All workers consume one "single instance" so that their
+// per-worker sequence numbers stay aligned; retired and replaying workers
+// skip without consuming shared state.
+func (w *Worker) Single(fn func()) {
+	w.singleSeq++
+	if w.retired || w.replaying.Load() {
+		return
+	}
+	seq := w.singleSeq
+	t := w.t
+	t.mu.Lock()
+	st, ok := t.singles[seq]
+	if !ok {
+		st = &singleState{parties: t.Size()}
+		t.singles[seq] = st
+	}
+	claim := !st.claimed
+	st.claimed = true
+	st.visits++
+	if st.visits >= st.parties {
+		delete(t.singles, seq)
+	}
+	t.mu.Unlock()
+	if claim {
+		fn()
+	}
+}
+
+// TLS returns the worker-local value stored under key, creating it with
+// mk on first access (the paper's thread-local-field template).
+func (w *Worker) TLS(key string, mk func() any) any {
+	if w.tls == nil {
+		w.tls = map[string]any{}
+	}
+	v, ok := w.tls[key]
+	if !ok {
+		v = mk()
+		w.tls[key] = v
+	}
+	return v
+}
+
+// SetTLS overwrites the worker-local value under key. The adaptation
+// protocol uses it to seed new workers "with the value of the main thread"
+// (§IV.B).
+func (w *Worker) SetTLS(key string, v any) {
+	if w.tls == nil {
+		w.tls = map[string]any{}
+	}
+	w.tls[key] = v
+}
+
+// TLSSnapshot returns a shallow copy of the worker's thread-local values.
+func (w *Worker) TLSSnapshot() map[string]any {
+	out := make(map[string]any, len(w.tls))
+	for k, v := range w.tls {
+		out[k] = v
+	}
+	return out
+}

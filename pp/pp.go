@@ -1,0 +1,130 @@
+// Package pp is the public API of the pluggable-parallelisation library: a
+// Go implementation of "Checkpoint and Run-Time Adaptation with Pluggable
+// Parallelisation" (Medeiros & Sobral, ICPP 2011).
+//
+// # Programming model
+//
+// Write your program as ordinary sequential Go. Route methods you may want
+// to advise through ctx.Call and loops through pp.For / pp.ForSpan:
+//
+//	type SOR struct {
+//		G [][]float64 // exported so modules can manage it
+//		N, Iters int
+//	}
+//
+//	func (s *SOR) Main(ctx *pp.Ctx) { ctx.Call("run", s.run) }
+//
+//	func (s *SOR) run(ctx *pp.Ctx) {
+//		for it := 0; it < s.Iters; it++ {
+//			ctx.Call("sweep", s.sweep)     // advisable method
+//			ctx.Call("iter", func(*pp.Ctx) {})
+//		}
+//	}
+//
+//	func (s *SOR) sweep(ctx *pp.Ctx) {
+//		pp.ForSpan(ctx, "rows", 1, s.N-1, func(lo, hi int) { ... })
+//	}
+//
+// With no modules plugged this runs strictly sequentially. Parallelisation,
+// checkpointing and adaptation are declared in separate modules:
+//
+//	smp := pp.NewModule("sor/smp").
+//		ParallelMethod("run").
+//		LoopSchedule("rows", pp.Static, 1)
+//
+//	ckpt := pp.NewModule("sor/ckpt").
+//		SafeData("G").            // what to save
+//		SafePointAfter("iter").   // where snapshots may be taken
+//		Ignorable("sweep")        // what replay may skip
+//
+//	eng, err := pp.New(pp.Config{
+//		Mode: pp.Shared, Threads: 8,
+//		Modules:       []*pp.Module{smp, ckpt},
+//		CheckpointDir: "/tmp/ckpt", CheckpointEvery: 10,
+//	}, func() pp.App { return NewSOR(...) })
+//	err = eng.Run()
+//
+// The same base code deploys Sequential, Shared (thread team), Distributed
+// (SPMD aggregate replicas) or Hybrid; checkpoints taken by the
+// gather-at-master protocol restart in ANY mode; and the running program
+// can expand or contract its thread team / replica world at safe points
+// (Config.AdaptAtSafePoint or Engine.RequestAdapt).
+package pp
+
+import (
+	"ppar/internal/core"
+	"ppar/internal/partition"
+	"ppar/internal/team"
+)
+
+// Re-exported engine types; see ppar/internal/core for full documentation.
+type (
+	// App is a base program.
+	App = core.App
+	// Factory creates one application instance (one per replica in
+	// distributed modes).
+	Factory = core.Factory
+	// Ctx is the execution context handed to the base program.
+	Ctx = core.Ctx
+	// Config assembles one deployment.
+	Config = core.Config
+	// Engine executes one deployment.
+	Engine = core.Engine
+	// Module is one pluggable parallelisation/fault-tolerance module.
+	Module = core.Module
+	// Mode selects the plugged machinery.
+	Mode = core.Mode
+	// AdaptTarget describes a requested reshaping.
+	AdaptTarget = core.AdaptTarget
+	// Report carries a run's measurements.
+	Report = core.Report
+	// ErrStopped reports a checkpoint-and-stop (adaptation by restart).
+	ErrStopped = core.ErrStopped
+)
+
+// Deployment modes.
+const (
+	Sequential  = core.Sequential
+	Shared      = core.Shared
+	Distributed = core.Distributed
+	Hybrid      = core.Hybrid
+)
+
+// Loop schedules (the for work-sharing construct).
+const (
+	Static      = team.Static
+	StaticChunk = team.StaticChunk
+	Dynamic     = team.Dynamic
+	Guided      = team.Guided
+)
+
+// Partition kinds for PartitionedField.
+const (
+	Block       = partition.Block
+	Cyclic      = partition.Cyclic
+	BlockCyclic = partition.BlockCyclic
+)
+
+// ErrInjectedFailure reports that a configured failure injection fired.
+var ErrInjectedFailure = core.ErrInjectedFailure
+
+// New builds an engine for one deployment of the base program.
+func New(cfg Config, factory Factory) (*Engine, error) { return core.New(cfg, factory) }
+
+// NewModule creates an empty pluggable module.
+func NewModule(name string) *Module { return core.NewModule(name) }
+
+// For executes an advisable loop body per index.
+func For(c *Ctx, id string, lo, hi int, body func(i int)) { core.For(c, id, lo, hi, body) }
+
+// ForSpan executes an advisable loop over contiguous sub-ranges.
+func ForSpan(c *Ctx, id string, lo, hi int, body func(lo, hi int)) {
+	core.ForSpan(c, id, lo, hi, body)
+}
+
+// SumAll computes a deterministic global sum over all active lines of
+// execution.
+func SumAll(c *Ctx, v float64) float64 { return core.SumAll(c, v) }
+
+// MaxAll computes a deterministic global maximum.
+func MaxAll(c *Ctx, v float64) float64 { return core.MaxAll(c, v) }

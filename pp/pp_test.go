@@ -1,0 +1,168 @@
+package pp_test
+
+import (
+	"errors"
+	"testing"
+
+	"ppar/pp"
+)
+
+// counter is a complete miniature application written against the public
+// API only: it accumulates i² over a partitioned range, with a safe point
+// per block.
+type counter struct {
+	Out    []float64
+	Blocks int
+
+	total *float64
+}
+
+func (c *counter) Main(ctx *pp.Ctx) {
+	ctx.Call("run", c.run)
+	ctx.Call("report", func(ctx *pp.Ctx) {
+		sum := 0.0
+		for _, v := range c.Out {
+			sum += v
+		}
+		*c.total = sum
+	})
+}
+
+func (c *counter) run(ctx *pp.Ctx) {
+	n := len(c.Out)
+	per := n / c.Blocks
+	for b := 0; b < c.Blocks; b++ {
+		lo, hi := b*per, (b+1)*per
+		if b == c.Blocks-1 {
+			hi = n
+		}
+		pp.ForSpan(ctx, "cells", lo, hi, func(a, z int) {
+			for i := a; i < z; i++ {
+				c.Out[i] = float64(i) * float64(i)
+			}
+		})
+		ctx.Call("block", func(*pp.Ctx) {})
+	}
+}
+
+func modules(mode pp.Mode) []*pp.Module {
+	par := pp.NewModule("counter/par").
+		ParallelMethod("run").
+		PartitionedField("Out", pp.Block).
+		LoopPartition("cells", "Out").
+		GatherAfter("run", "Out").
+		OnMaster("report").
+		LoopSchedule("cells", pp.Dynamic, 8)
+	ck := pp.NewModule("counter/ckpt").
+		SafeData("Out").
+		SafePointAfter("block")
+	if mode == pp.Sequential {
+		return []*pp.Module{ck}
+	}
+	return []*pp.Module{par, ck}
+}
+
+func run(t *testing.T, cfg pp.Config) float64 {
+	t.Helper()
+	var total float64
+	cfg.AppName = "pp-counter"
+	cfg.Modules = modules(cfg.Mode)
+	eng, err := pp.New(cfg, func() pp.App {
+		return &counter{Out: make([]float64, 120), Blocks: 6, total: &total}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+func TestPublicAPIAcrossModes(t *testing.T) {
+	want := 0.0
+	for i := 0; i < 120; i++ {
+		want += float64(i) * float64(i)
+	}
+	for _, cfg := range []pp.Config{
+		{Mode: pp.Sequential},
+		{Mode: pp.Shared, Threads: 3},
+		{Mode: pp.Distributed, Procs: 4},
+		{Mode: pp.Hybrid, Procs: 2, Threads: 2},
+	} {
+		if got := run(t, cfg); got != want {
+			t.Errorf("%v: total=%v want %v", cfg.Mode, got, want)
+		}
+	}
+}
+
+func TestPublicAPIFailureRecovery(t *testing.T) {
+	want := run(t, pp.Config{Mode: pp.Sequential})
+	dir := t.TempDir()
+	var total float64
+	factory := func() pp.App {
+		return &counter{Out: make([]float64, 120), Blocks: 6, total: &total}
+	}
+	cfg := pp.Config{
+		Mode: pp.Distributed, Procs: 3, AppName: "pp-counter",
+		Modules:       modules(pp.Distributed),
+		CheckpointDir: dir, CheckpointEvery: 2, FailAtSafePoint: 5,
+	}
+	eng, err := pp.New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); !errors.Is(err, pp.ErrInjectedFailure) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	cfg.FailAtSafePoint = 0
+	eng2, err := pp.New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != want {
+		t.Fatalf("recovered total=%v want %v", total, want)
+	}
+}
+
+func TestPublicAPIAdaptation(t *testing.T) {
+	want := run(t, pp.Config{Mode: pp.Sequential})
+	got := run(t, pp.Config{
+		Mode: pp.Shared, Threads: 2,
+		AdaptAtSafePoint: 3, AdaptTo: pp.AdaptTarget{Threads: 4},
+	})
+	if got != want {
+		t.Fatalf("adapted total=%v want %v", got, want)
+	}
+}
+
+func TestPublicAPIReductions(t *testing.T) {
+	var got float64
+	mod := pp.NewModule("red").ParallelMethod("run")
+	eng, err := pp.New(pp.Config{Mode: pp.Shared, Threads: 4, AppName: "pp-red",
+		Modules: []*pp.Module{mod}},
+		func() pp.App { return &sumApp{out: &got} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("SumAll over 4 threads = %v, want 4", got)
+	}
+}
+
+type sumApp struct{ out *float64 }
+
+func (a *sumApp) Main(ctx *pp.Ctx) {
+	ctx.Call("run", func(c *pp.Ctx) {
+		s := pp.SumAll(c, 1)
+		if c.IsMasterThread() {
+			*a.out = s
+		}
+	})
+}
