@@ -4,18 +4,19 @@ package ppar
 // the REAL engine at reduced scale, plus ablation benches for the design
 // choices DESIGN.md calls out. `go run ./cmd/ppbench` prints the same
 // series as tables (modelled at paper scale by default, -real for these
-// code paths).
+// code paths). Everything is written against the public options API of
+// ppar/pp.
 
 import (
 	"errors"
 	"fmt"
 	"testing"
 
-	"ppar/internal/core"
 	"ppar/internal/jgf"
 	"ppar/internal/jgf/invasive"
 	"ppar/internal/jgf/refimpl"
 	"ppar/internal/team"
+	"ppar/pp"
 )
 
 const (
@@ -23,21 +24,25 @@ const (
 	benchIters = 30
 )
 
-func benchCfg(mode core.Mode, pe int) core.Config {
-	cfg := core.Config{AppName: "bench-sor", Mode: mode, Modules: jgf.SORModules(mode)}
-	switch mode {
-	case core.Shared:
-		cfg.Threads = pe
-	case core.Distributed:
-		cfg.Procs = pe
+func benchOpts(mode pp.Mode, pe int, extra ...pp.Option) []pp.Option {
+	opts := []pp.Option{
+		pp.WithName("bench-sor"),
+		pp.WithMode(mode),
+		pp.WithModules(jgf.SORModules(mode)...),
 	}
-	return cfg
+	switch mode {
+	case pp.Shared:
+		opts = append(opts, pp.WithThreads(pe))
+	case pp.Distributed:
+		opts = append(opts, pp.WithProcs(pe))
+	}
+	return append(opts, extra...)
 }
 
-func runBench(b *testing.B, cfg core.Config, n, iters int) core.Report {
+func runBench(b *testing.B, n, iters int, opts ...pp.Option) pp.Report {
 	b.Helper()
 	res := &jgf.SORResult{}
-	eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(n, iters, res) })
+	eng, err := pp.New(func() pp.App { return jgf.NewSOR(n, iters, res) }, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -52,42 +57,41 @@ func runBench(b *testing.B, cfg core.Config, n, iters int) core.Report {
 func BenchmarkFig3_CheckpointOverhead(b *testing.B) {
 	envs := []struct {
 		name string
-		mode core.Mode
+		mode pp.Mode
 		pe   int
 	}{
-		{"seq", core.Sequential, 1},
-		{"2LE", core.Shared, 2}, {"4LE", core.Shared, 4},
-		{"2P", core.Distributed, 2}, {"4P", core.Distributed, 4},
+		{"seq", pp.Sequential, 1},
+		{"2LE", pp.Shared, 2}, {"4LE", pp.Shared, 4},
+		{"2P", pp.Distributed, 2}, {"4P", pp.Distributed, 4},
 	}
 	for _, e := range envs {
 		e := e
 		b.Run(e.name+"/original", func(b *testing.B) {
-			cfg := benchCfg(e.mode, e.pe)
-			cfg.Modules = nil
+			// Parallelisation only, no checkpoint module.
+			opts := []pp.Option{pp.WithName("bench-sor"), pp.WithMode(e.mode)}
 			switch e.mode {
-			case core.Shared:
-				cfg.Modules = []*core.Module{jgf.SORSharedModule()}
-			case core.Distributed:
-				cfg.Modules = []*core.Module{jgf.SORDistModule()}
+			case pp.Shared:
+				opts = append(opts, pp.WithThreads(e.pe), pp.WithModules(jgf.SORSharedModule()))
+			case pp.Distributed:
+				opts = append(opts, pp.WithProcs(e.pe), pp.WithModules(jgf.SORDistModule()))
 			}
 			for i := 0; i < b.N; i++ {
-				runBench(b, cfg, benchN, benchIters)
+				runBench(b, benchN, benchIters, opts...)
 			}
 		})
 		b.Run(e.name+"/ckpt0", func(b *testing.B) {
-			cfg := benchCfg(e.mode, e.pe)
-			cfg.CheckpointDir = b.TempDir()
+			opts := benchOpts(e.mode, e.pe, pp.WithCheckpointDir(b.TempDir()))
 			for i := 0; i < b.N; i++ {
-				runBench(b, cfg, benchN, benchIters)
+				runBench(b, benchN, benchIters, opts...)
 			}
 		})
 		b.Run(e.name+"/ckpt1", func(b *testing.B) {
-			cfg := benchCfg(e.mode, e.pe)
-			cfg.CheckpointDir = b.TempDir()
-			cfg.CheckpointEvery = benchIters / 2
-			cfg.MaxCheckpoints = 1
+			opts := benchOpts(e.mode, e.pe,
+				pp.WithCheckpointDir(b.TempDir()),
+				pp.WithCheckpointEvery(benchIters/2),
+				pp.WithMaxCheckpoints(1))
 			for i := 0; i < b.N; i++ {
-				runBench(b, cfg, benchN, benchIters)
+				runBench(b, benchN, benchIters, opts...)
 			}
 		})
 	}
@@ -110,23 +114,23 @@ func BenchmarkFig3_CheckpointOverhead(b *testing.B) {
 func BenchmarkFig4_SaveCheckpoint(b *testing.B) {
 	envs := []struct {
 		name string
-		mode core.Mode
+		mode pp.Mode
 		pe   int
 	}{
-		{"seq", core.Sequential, 1},
-		{"4LE", core.Shared, 4},
-		{"4P-gather", core.Distributed, 4},
+		{"seq", pp.Sequential, 1},
+		{"4LE", pp.Shared, 4},
+		{"4P-gather", pp.Distributed, 4},
 	}
 	for _, e := range envs {
 		e := e
 		b.Run(e.name, func(b *testing.B) {
-			cfg := benchCfg(e.mode, e.pe)
-			cfg.CheckpointDir = b.TempDir()
-			cfg.CheckpointEvery = benchIters / 2
-			cfg.MaxCheckpoints = 1
+			opts := benchOpts(e.mode, e.pe,
+				pp.WithCheckpointDir(b.TempDir()),
+				pp.WithCheckpointEvery(benchIters/2),
+				pp.WithMaxCheckpoints(1))
 			var save, bytes int64
 			for i := 0; i < b.N; i++ {
-				rep := runBench(b, cfg, benchN, benchIters)
+				rep := runBench(b, benchN, benchIters, opts...)
 				save += rep.SaveTotal.Nanoseconds()
 				bytes = int64(rep.SaveBytes)
 			}
@@ -141,32 +145,34 @@ func BenchmarkFig4_SaveCheckpoint(b *testing.B) {
 func BenchmarkFig5_Restart(b *testing.B) {
 	for _, e := range []struct {
 		name string
-		mode core.Mode
+		mode pp.Mode
 		pe   int
 	}{
-		{"seq", core.Sequential, 1},
-		{"4LE", core.Shared, 4},
-		{"4P", core.Distributed, 4},
+		{"seq", pp.Sequential, 1},
+		{"4LE", pp.Shared, 4},
+		{"4P", pp.Distributed, 4},
 	} {
 		e := e
 		b.Run(e.name, func(b *testing.B) {
 			var replay, load int64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				cfg := benchCfg(e.mode, e.pe)
-				cfg.CheckpointDir = b.TempDir()
-				cfg.CheckpointEvery = 10
-				cfg.FailAtSafePoint = benchIters - 5
+				dir := b.TempDir()
 				res := &jgf.SORResult{}
-				eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(benchN, benchIters, res) })
+				factory := func() pp.App { return jgf.NewSOR(benchN, benchIters, res) }
+				eng, err := pp.New(factory, benchOpts(e.mode, e.pe,
+					pp.WithCheckpointDir(dir),
+					pp.WithCheckpointEvery(10),
+					pp.WithFailureAt(benchIters-5, 0))...)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := eng.Run(); !errors.Is(err, core.ErrInjectedFailure) {
+				if err := eng.Run(); !errors.Is(err, pp.ErrInjectedFailure) {
 					b.Fatalf("failure did not fire: %v", err)
 				}
-				cfg.FailAtSafePoint = 0
-				eng2, err := core.New(cfg, func() core.App { return jgf.NewSOR(benchN, benchIters, res) })
+				eng2, err := pp.New(factory, benchOpts(e.mode, e.pe,
+					pp.WithCheckpointDir(dir),
+					pp.WithCheckpointEvery(10))...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -192,13 +198,9 @@ func BenchmarkFig6_RestartWider(b *testing.B) {
 		b.StopTimer()
 		dir := b.TempDir()
 		res := &jgf.SORResult{}
-		factory := func() core.App { return jgf.NewSOR(benchN, benchIters, res) }
-		narrow := core.Config{
-			AppName: "bench-sor", Mode: core.Distributed, Procs: 2,
-			Modules:       jgf.SORModules(core.Distributed),
-			CheckpointDir: dir, StopCheckpointAt: benchIters / 2,
-		}
-		eng, err := core.New(narrow, factory)
+		factory := func() pp.App { return jgf.NewSOR(benchN, benchIters, res) }
+		eng, err := pp.New(factory, benchOpts(pp.Distributed, 2,
+			pp.WithCheckpointDir(dir), pp.WithStopAt(benchIters/2))...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,10 +208,8 @@ func BenchmarkFig6_RestartWider(b *testing.B) {
 		if err := eng.Run(); err == nil {
 			b.Fatal("did not stop for adaptation")
 		}
-		wider := narrow
-		wider.StopCheckpointAt = 0
-		wider.Procs = 8
-		eng2, err := core.New(wider, factory)
+		eng2, err := pp.New(factory, benchOpts(pp.Distributed, 8,
+			pp.WithCheckpointDir(dir))...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,11 +225,10 @@ func BenchmarkFig7_RuntimeAdapt(b *testing.B) {
 	for _, from := range []int{2, 4} {
 		from := from
 		b.Run(fmt.Sprintf("from-%dLE", from), func(b *testing.B) {
-			cfg := benchCfg(core.Shared, from)
-			cfg.AdaptAtSafePoint = benchIters / 2
-			cfg.AdaptTo = core.AdaptTarget{Threads: 8}
+			opts := benchOpts(pp.Shared, from,
+				pp.WithAdaptAt(benchIters/2, pp.AdaptTarget{Threads: 8}))
 			for i := 0; i < b.N; i++ {
-				rep := runBench(b, cfg, benchN, benchIters)
+				rep := runBench(b, benchN, benchIters, opts...)
 				if !rep.Adapted {
 					b.Fatal("did not adapt")
 				}
@@ -246,13 +245,9 @@ func BenchmarkFig7_RestartAdapt(b *testing.B) {
 				b.StopTimer()
 				dir := b.TempDir()
 				res := &jgf.SORResult{}
-				factory := func() core.App { return jgf.NewSOR(benchN, benchIters, res) }
-				first := core.Config{
-					AppName: "bench-sor", Mode: core.Shared, Threads: from,
-					Modules:       jgf.SORModules(core.Shared),
-					CheckpointDir: dir, StopCheckpointAt: benchIters / 2,
-				}
-				eng, err := core.New(first, factory)
+				factory := func() pp.App { return jgf.NewSOR(benchN, benchIters, res) }
+				eng, err := pp.New(factory, benchOpts(pp.Shared, from,
+					pp.WithCheckpointDir(dir), pp.WithStopAt(benchIters/2))...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -260,10 +255,8 @@ func BenchmarkFig7_RestartAdapt(b *testing.B) {
 				if err := eng.Run(); err == nil {
 					b.Fatal("did not stop")
 				}
-				second := first
-				second.StopCheckpointAt = 0
-				second.Threads = 8
-				eng2, err := core.New(second, factory)
+				eng2, err := pp.New(factory, benchOpts(pp.Shared, 8,
+					pp.WithCheckpointDir(dir))...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -344,14 +337,14 @@ func BenchmarkFig9_JGFMPI(b *testing.B) {
 func BenchmarkFig9_Adaptive(b *testing.B) {
 	for _, tc := range []struct {
 		name string
-		mode core.Mode
+		mode pp.Mode
 		pe   int
-	}{{"seq", core.Sequential, 1}, {"4LE", core.Shared, 4}, {"4P", core.Distributed, 4}} {
+	}{{"seq", pp.Sequential, 1}, {"4LE", pp.Shared, 4}, {"4P", pp.Distributed, 4}} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
-			cfg := benchCfg(tc.mode, tc.pe)
+			opts := benchOpts(tc.mode, tc.pe)
 			for i := 0; i < b.N; i++ {
-				runBench(b, cfg, benchN, benchIters)
+				runBench(b, benchN, benchIters, opts...)
 			}
 		})
 	}
@@ -368,13 +361,55 @@ func BenchmarkAblation_DistCheckpointStrategy(b *testing.B) {
 	}{{"gather-at-master", false}, {"local-shards", true}} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
-			cfg := benchCfg(core.Distributed, 4)
-			cfg.CheckpointDir = b.TempDir()
-			cfg.CheckpointEvery = 10
-			cfg.ShardCheckpoints = tc.shards
+			opts := benchOpts(pp.Distributed, 4,
+				pp.WithCheckpointDir(b.TempDir()),
+				pp.WithCheckpointEvery(10))
+			if tc.shards {
+				opts = append(opts, pp.WithShardCheckpoints())
+			}
 			var save int64
 			for i := 0; i < b.N; i++ {
-				rep := runBench(b, cfg, benchN, benchIters)
+				rep := runBench(b, benchN, benchIters, opts...)
+				save += rep.SaveTotal.Nanoseconds()
+			}
+			b.ReportMetric(float64(save)/float64(b.N), "save-ns/op")
+		})
+	}
+}
+
+// Checkpoint backends: the pluggable Store swap (filesystem vs in-memory vs
+// gzip-compressed).
+func BenchmarkAblation_StoreBackend(b *testing.B) {
+	stores := []struct {
+		name string
+		mk   func(b *testing.B) pp.Store
+	}{
+		{"fs", func(b *testing.B) pp.Store {
+			s, err := pp.NewFSStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+		{"mem", func(b *testing.B) pp.Store { return pp.NewMemStore() }},
+		{"gzip-fs", func(b *testing.B) pp.Store {
+			s, err := pp.NewFSStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pp.NewGzipStore(s)
+		}},
+		{"gzip-mem", func(b *testing.B) pp.Store { return pp.NewGzipStore(pp.NewMemStore()) }},
+	}
+	for _, tc := range stores {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			opts := benchOpts(pp.Shared, 4,
+				pp.WithStore(tc.mk(b)),
+				pp.WithCheckpointEvery(10))
+			var save int64
+			for i := 0; i < b.N; i++ {
+				rep := runBench(b, benchN, benchIters, opts...)
 				save += rep.SaveTotal.Nanoseconds()
 			}
 			b.ReportMetric(float64(save)/float64(b.N), "save-ns/op")
@@ -388,11 +423,11 @@ func BenchmarkAblation_CheckpointInterval(b *testing.B) {
 	for _, every := range []uint64{5, 10, 15, 30} {
 		every := every
 		b.Run(fmt.Sprintf("every-%d", every), func(b *testing.B) {
-			cfg := benchCfg(core.Sequential, 1)
-			cfg.CheckpointDir = b.TempDir()
-			cfg.CheckpointEvery = every
+			opts := benchOpts(pp.Sequential, 1,
+				pp.WithCheckpointDir(b.TempDir()),
+				pp.WithCheckpointEvery(every))
 			for i := 0; i < b.N; i++ {
-				runBench(b, cfg, benchN, benchIters)
+				runBench(b, benchN, benchIters, opts...)
 			}
 		})
 	}
@@ -400,7 +435,7 @@ func BenchmarkAblation_CheckpointInterval(b *testing.B) {
 
 // Loop schedules: the pluggable module swap of §III.B.
 func BenchmarkAblation_LoopSchedule(b *testing.B) {
-	mods := map[string]*core.Module{
+	mods := map[string]*pp.Module{
 		"static":     jgf.SORSharedModule(),
 		"dynamic-8":  jgf.SORSharedDynamicModule(8),
 		"dynamic-32": jgf.SORSharedDynamicModule(32),
@@ -408,12 +443,13 @@ func BenchmarkAblation_LoopSchedule(b *testing.B) {
 	for name, mod := range mods {
 		mod := mod
 		b.Run(name, func(b *testing.B) {
-			cfg := core.Config{
-				AppName: "bench-sor", Mode: core.Shared, Threads: 4,
-				Modules: []*core.Module{mod, jgf.SORCheckpointModule()},
+			opts := []pp.Option{
+				pp.WithName("bench-sor"),
+				pp.WithMode(pp.Shared), pp.WithThreads(4),
+				pp.WithModules(mod, jgf.SORCheckpointModule()),
 			}
 			for i := 0; i < b.N; i++ {
-				runBench(b, cfg, benchN, benchIters)
+				runBench(b, benchN, benchIters, opts...)
 			}
 		})
 	}
@@ -427,10 +463,12 @@ func BenchmarkAblation_Transport(b *testing.B) {
 	}{{"inproc", false}, {"tcp", true}} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
-			cfg := benchCfg(core.Distributed, 4)
-			cfg.TCP = tc.tcp
+			opts := benchOpts(pp.Distributed, 4)
+			if tc.tcp {
+				opts = append(opts, pp.WithTCP())
+			}
 			for i := 0; i < b.N; i++ {
-				runBench(b, cfg, benchN, benchIters)
+				runBench(b, benchN, benchIters, opts...)
 			}
 		})
 	}
@@ -440,9 +478,9 @@ func BenchmarkAblation_Transport(b *testing.B) {
 // "pluggable" indirection itself costs.
 func BenchmarkAblation_CallOverhead(b *testing.B) {
 	b.Run("unplugged-engine", func(b *testing.B) {
-		cfg := core.Config{AppName: "bench-sor", Mode: core.Sequential}
+		opts := []pp.Option{pp.WithName("bench-sor"), pp.WithMode(pp.Sequential)}
 		for i := 0; i < b.N; i++ {
-			runBench(b, cfg, benchN, benchIters)
+			runBench(b, benchN, benchIters, opts...)
 		}
 	})
 	b.Run("hand-written", func(b *testing.B) {

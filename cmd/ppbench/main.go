@@ -17,6 +17,7 @@ import (
 
 	"ppar/internal/figures"
 	"ppar/internal/metrics"
+	"ppar/pp"
 )
 
 func main() { os.Exit(run()) }
@@ -30,6 +31,7 @@ func run() int {
 	maxpe := fs.Int("maxpe", 8, "largest PE count for -real")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	dir := fs.String("ckptdir", "", "checkpoint directory for -real (default: temp)")
+	storeKind := fs.String("store", "fs", "checkpoint backend for -real: fs | mem | gzip")
 	fs.Parse(os.Args[1:])
 
 	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir}
@@ -41,6 +43,22 @@ func run() int {
 		}
 		defer os.RemoveAll(tmp)
 		scale.Dir = tmp
+	}
+	switch *storeKind {
+	case "fs":
+		// Default: the engine builds a filesystem store in scale.Dir.
+	case "mem":
+		scale.Store = pp.NewMemStore()
+	case "gzip":
+		fsStore, err := pp.NewFSStore(scale.Dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		scale.Store = pp.NewGzipStore(fsStore)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -store %q (want fs, mem or gzip)\n", *storeKind)
+		return 2
 	}
 
 	type gen struct {

@@ -1,11 +1,14 @@
 // Command ppsor runs the JGF SOR benchmark under any deployment of the
-// pluggable-parallelisation engine, with checkpointing, failure injection
-// and run-time adaptation available from the command line:
+// pluggable-parallelisation engine, with checkpointing (through any of the
+// pluggable backends), failure injection and run-time adaptation available
+// from the command line:
 //
 //	ppsor -mode seq -n 500 -iters 100
 //	ppsor -mode smp -threads 8
 //	ppsor -mode dist -procs 4 -ckpt /tmp/ck -every 10
 //	ppsor -mode dist -procs 4 -ckpt /tmp/ck -every 10 -fail 25   # then re-run to recover
+//	ppsor -mode dist -procs 4 -ckpt /tmp/ck -store gzip -every 10
+//	ppsor -mode smp -threads 4 -store mem -every 10 -stop-at 26  # stop+restart, no filesystem
 //	ppsor -mode smp -threads 2 -adapt-at 50 -adapt-threads 8
 //	ppsor -mode dist -procs 2 -ckpt /tmp/ck -stop-at 26          # checkpoint & stop; re-run wider
 package main
@@ -16,8 +19,8 @@ import (
 	"fmt"
 	"os"
 
-	"ppar/internal/core"
 	"ppar/internal/jgf"
+	"ppar/pp"
 )
 
 func main() { os.Exit(run()) }
@@ -30,6 +33,7 @@ func run() int {
 	procs := flag.Int("procs", 4, "world size (dist/hybrid)")
 	tcp := flag.Bool("tcp", false, "use the TCP transport")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory (enables checkpointing)")
+	storeKind := flag.String("store", "fs", "checkpoint backend: fs | mem | gzip (mem and gzip-over-mem enable checkpointing without -ckpt)")
 	every := flag.Uint64("every", 0, "checkpoint every N safe points")
 	shards := flag.Bool("shards", false, "per-rank shard checkpoints instead of gather-at-master")
 	fail := flag.Uint64("fail", 0, "inject a failure at this safe point")
@@ -40,39 +44,74 @@ func run() int {
 	adaptProcs := flag.Int("adapt-procs", 0, "run-time adaptation target world size")
 	flag.Parse()
 
-	var m core.Mode
+	var m pp.Mode
 	switch *mode {
 	case "seq":
-		m = core.Sequential
+		m = pp.Sequential
 	case "smp":
-		m = core.Shared
+		m = pp.Shared
 	case "dist":
-		m = core.Distributed
+		m = pp.Distributed
 	case "hybrid":
-		m = core.Hybrid
+		m = pp.Hybrid
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		return 2
 	}
 
-	res := &jgf.SORResult{}
-	cfg := core.Config{
-		AppName: "ppsor", Mode: m, Threads: *threads, Procs: *procs, TCP: *tcp,
-		Modules:       jgf.SORModules(m),
-		CheckpointDir: *ckptDir, CheckpointEvery: *every, ShardCheckpoints: *shards,
-		FailAtSafePoint: *fail, FailRank: *failRank,
-		StopCheckpointAt: *stopAt,
-		AdaptAtSafePoint: *adaptAt,
-		AdaptTo:          core.AdaptTarget{Threads: *adaptThreads, Procs: *adaptProcs},
+	opts := []pp.Option{
+		pp.WithName("ppsor"),
+		pp.WithMode(m),
+		pp.WithThreads(*threads),
+		pp.WithProcs(*procs),
+		pp.WithModules(jgf.SORModules(m)...),
+		pp.WithCheckpointEvery(*every),
+		pp.WithFailureAt(*fail, *failRank),
+		pp.WithStopAt(*stopAt),
+		pp.WithAdaptAt(*adaptAt, pp.AdaptTarget{Threads: *adaptThreads, Procs: *adaptProcs}),
 	}
-	eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(*n, *iters, res) })
+	if *tcp {
+		opts = append(opts, pp.WithTCP())
+	}
+	if *shards {
+		opts = append(opts, pp.WithShardCheckpoints())
+	}
+	switch *storeKind {
+	case "fs":
+		if *ckptDir != "" {
+			opts = append(opts, pp.WithCheckpointDir(*ckptDir))
+		}
+	case "mem":
+		// An in-memory store lives only as long as this process: useful
+		// with -stop-at/-fail only to measure protocol costs, since a
+		// fresh process cannot see the snapshot.
+		opts = append(opts, pp.WithStore(pp.NewMemStore()))
+	case "gzip":
+		var inner pp.Store
+		if *ckptDir != "" {
+			var err error
+			if inner, err = pp.NewFSStore(*ckptDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		} else {
+			inner = pp.NewMemStore()
+		}
+		opts = append(opts, pp.WithStore(pp.NewGzipStore(inner)))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -store %q (want fs, mem or gzip)\n", *storeKind)
+		return 2
+	}
+
+	res := &jgf.SORResult{}
+	eng, err := pp.New(func() pp.App { return jgf.NewSOR(*n, *iters, res) }, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	err = eng.Run()
 	rep := eng.Report()
-	var stopped *core.ErrStopped
+	var stopped *pp.ErrStopped
 	switch {
 	case err == nil:
 		fmt.Printf("completed: Gtotal=%.12f safePoints=%d elapsed=%v\n",
@@ -80,7 +119,7 @@ func run() int {
 	case errors.As(err, &stopped):
 		fmt.Printf("checkpointed and stopped at safe point %d for adaptation by restart\n", stopped.SafePoint)
 		return 0
-	case errors.Is(err, core.ErrInjectedFailure):
+	case errors.Is(err, pp.ErrInjectedFailure):
 		fmt.Printf("failed at safe point %d (as requested); re-run to recover from the last checkpoint\n", *fail)
 		return 0
 	default:

@@ -2,9 +2,19 @@
 // Parallelisation" (Medeiros & Sobral, ICPP 2011) as a production-quality Go
 // library.
 //
-// Start with package ppar/pp (the public API), README.md (overview and
-// quickstart), DESIGN.md (system inventory and per-experiment index) and
-// EXPERIMENTS.md (paper-vs-measured for every figure). The benchmarks in
-// bench_test.go regenerate each figure of the paper's evaluation; the
-// ppbench command prints them as tables.
+// Start with package ppar/pp, the public API: engines are assembled from
+// functional options (pp.New(factory, pp.WithMode(...), pp.WithThreads(...),
+// pp.WithModules(...), ...)); checkpoint transport is a pluggable pp.Store
+// (filesystem, in-memory, or gzip-compressing wrapper, selected with
+// pp.WithStore); run-time adaptation and checkpoint-and-stop are decided by
+// a pluggable pp.AdaptPolicy (pp.WithAdaptPolicy); and runs are
+// context-aware (Engine.RunContext maps cancellation to a graceful
+// checkpoint-and-stop that a relaunched engine resumes from, in any mode).
+//
+// README.md has the overview and quickstart, DESIGN.md the system inventory
+// and per-experiment index, EXPERIMENTS.md the paper-vs-measured comparison
+// for every figure. The benchmarks in bench_test.go regenerate each figure
+// of the paper's evaluation; the ppbench command prints them as tables, and
+// ppsor runs the SOR benchmark under any deployment from the command line
+// (including -store=fs|mem|gzip backend selection).
 package ppar

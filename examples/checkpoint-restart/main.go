@@ -5,46 +5,50 @@
 // methods, loads the snapshot, and finishes with exactly the result an
 // uninterrupted run produces — then the same snapshot restarts the program
 // in a DIFFERENT execution mode (shared memory), showing the cross-mode
-// portability of the gather-at-master checkpoint.
+// portability of the gather-at-master checkpoint. Both demos checkpoint
+// through a pluggable backend: a gzip-compressed in-memory store, never
+// touching the filesystem.
 package main
 
 import (
 	"errors"
 	"fmt"
 	"log"
-	"os"
 
-	"ppar/internal/core"
 	"ppar/internal/jgf"
+	"ppar/pp"
 )
 
 func main() {
 	const n, iters = 200, 40
-	dir, err := os.MkdirTemp("", "ppar-ckpt-*")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(dir)
 
 	reference := jgf.SORReference(n, iters)
 	fmt.Printf("reference Gtotal (uninterrupted):      %.12f\n", reference)
 
+	// The pluggable backend shared by the runs that must see each other's
+	// checkpoints: gzip compression over the in-memory store.
+	store := pp.NewGzipStore(pp.NewMemStore())
+
+	res := &jgf.SORResult{}
+	factory := func() pp.App { return jgf.NewSOR(n, iters, res) }
+	common := func(mode pp.Mode, extra ...pp.Option) []pp.Option {
+		return append([]pp.Option{
+			pp.WithName("ckpt-demo"),
+			pp.WithMode(mode),
+			pp.WithModules(jgf.SORModules(mode)...),
+			pp.WithStore(store),
+			pp.WithCheckpointEvery(10),
+		}, extra...)
+	}
+
 	// Run 1: distributed on 4 replicas, checkpoint every 10 safe points,
 	// injected failure at safe point 25 (after the second checkpoint).
-	res := &jgf.SORResult{}
-	factory := func() core.App { return jgf.NewSOR(n, iters, res) }
-	cfg := core.Config{
-		Mode: core.Distributed, Procs: 4, AppName: "ckpt-demo",
-		Modules:       jgf.SORModules(core.Distributed),
-		CheckpointDir: dir, CheckpointEvery: 10,
-		FailAtSafePoint: 25, FailRank: 2,
-	}
-	eng, err := core.New(cfg, factory)
+	eng, err := pp.New(factory, common(pp.Distributed, pp.WithProcs(4),
+		pp.WithFailureAt(25, 2))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	err = eng.Run()
-	if !errors.Is(err, core.ErrInjectedFailure) {
+	if err := eng.Run(); !errors.Is(err, pp.ErrInjectedFailure) {
 		log.Fatalf("expected the injected failure, got: %v", err)
 	}
 	fmt.Printf("run 1: rank 2 died at safe point 25 (checkpoints taken: %d)\n",
@@ -52,8 +56,7 @@ func main() {
 
 	// Run 2: same deployment; the pcr module detects the failed run and
 	// replays to the snapshot taken at safe point 20.
-	cfg.FailAtSafePoint = 0
-	eng2, err := core.New(cfg, factory)
+	eng2, err := pp.New(factory, common(pp.Distributed, pp.WithProcs(4))...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,23 +72,16 @@ func main() {
 
 	// Run 3: cross-mode restart. Kill a fresh distributed run, then
 	// restart it as a SHARED-MEMORY run from the same canonical snapshot.
-	if err := os.RemoveAll(dir); err != nil {
-		log.Fatal(err)
-	}
-	cfg.FailAtSafePoint = 25
-	eng3, err := core.New(cfg, factory)
+	store = pp.NewGzipStore(pp.NewMemStore()) // fresh backend, fresh history
+	eng3, err := pp.New(factory, common(pp.Distributed, pp.WithProcs(4),
+		pp.WithFailureAt(25, 2))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng3.Run(); !errors.Is(err, core.ErrInjectedFailure) {
+	if err := eng3.Run(); !errors.Is(err, pp.ErrInjectedFailure) {
 		log.Fatalf("expected the injected failure, got: %v", err)
 	}
-	smp := core.Config{
-		Mode: core.Shared, Threads: 4, AppName: "ckpt-demo",
-		Modules:       jgf.SORModules(core.Shared),
-		CheckpointDir: dir, CheckpointEvery: 10,
-	}
-	eng4, err := core.New(smp, factory)
+	eng4, err := pp.New(factory, common(pp.Shared, pp.WithThreads(4))...)
 	if err != nil {
 		log.Fatal(err)
 	}

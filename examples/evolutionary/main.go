@@ -9,19 +9,22 @@ import (
 	"fmt"
 	"log"
 
-	"ppar/internal/core"
 	"ppar/internal/ea"
+	"ppar/pp"
 )
 
 func main() {
 	problem := ea.Rastrigin{D: 8}
 	const pop, gens, seed = 64, 40, 7
 
-	run := func(label string, cfg core.Config) float64 {
+	run := func(label string, mode pp.Mode, opts ...pp.Option) float64 {
 		res := &ea.Result{}
-		cfg.AppName = "ea-demo"
-		cfg.Modules = ea.Modules(cfg.Mode)
-		eng, err := core.New(cfg, func() core.App { return ea.New(problem, pop, gens, seed, res) })
+		opts = append([]pp.Option{
+			pp.WithName("ea-demo"),
+			pp.WithMode(mode),
+			pp.WithModules(ea.Modules(mode)...),
+		}, opts...)
+		eng, err := pp.New(func() pp.App { return ea.New(problem, pop, gens, seed, res) }, opts...)
 		if err != nil {
 			log.Fatalf("%s: %v", label, err)
 		}
@@ -32,18 +35,19 @@ func main() {
 		return res.Best
 	}
 
-	ref := run("sequential", core.Config{Mode: core.Sequential})
+	ref := run("sequential", pp.Sequential)
 	variants := []struct {
 		label string
-		cfg   core.Config
+		mode  pp.Mode
+		opts  []pp.Option
 	}{
-		{"4 threads", core.Config{Mode: core.Shared, Threads: 4}},
-		{"4 replicas", core.Config{Mode: core.Distributed, Procs: 4}},
-		{"2 replicas -> 4 mid-run", core.Config{Mode: core.Distributed, Procs: 2,
-			AdaptAtSafePoint: 20, AdaptTo: core.AdaptTarget{Procs: 4}}},
+		{"4 threads", pp.Shared, []pp.Option{pp.WithThreads(4)}},
+		{"4 replicas", pp.Distributed, []pp.Option{pp.WithProcs(4)}},
+		{"2 replicas -> 4 mid-run", pp.Distributed, []pp.Option{pp.WithProcs(2),
+			pp.WithAdaptAt(20, pp.AdaptTarget{Procs: 4})}},
 	}
 	for _, v := range variants {
-		if got := run(v.label, v.cfg); got != ref {
+		if got := run(v.label, v.mode, v.opts...); got != ref {
 			log.Fatalf("%s: best %v differs from sequential %v", v.label, got, ref)
 		}
 	}

@@ -1,29 +1,30 @@
 // Command moldyn runs the pluggable molecular-dynamics framework (the
 // paper's case study [21]): a Lennard-Jones simulation deployed across
 // modes with checkpointing, surviving an injected failure without changing
-// the trajectory.
+// the trajectory. Checkpoints go through the in-memory store — no
+// filesystem involved.
 package main
 
 import (
 	"errors"
 	"fmt"
 	"log"
-	"os"
 
-	"ppar/internal/core"
 	"ppar/internal/md"
+	"ppar/pp"
 )
 
 func main() {
 	const atoms, steps = 64, 20
 	pot := md.LennardJones{}
 
-	run := func(label string, cfg core.Config, res *md.Observables, factory core.Factory) *core.Engine {
-		cfg.AppName = "md-demo"
-		if cfg.Modules == nil {
-			cfg.Modules = md.Modules(cfg.Mode)
-		}
-		eng, err := core.New(cfg, factory)
+	run := func(label string, res *md.Observables, factory pp.Factory, mode pp.Mode, opts ...pp.Option) *pp.Engine {
+		opts = append([]pp.Option{
+			pp.WithName("md-demo"),
+			pp.WithMode(mode),
+			pp.WithModules(md.Modules(mode)...),
+		}, opts...)
+		eng, err := pp.New(factory, opts...)
 		if err != nil {
 			log.Fatalf("%s: %v", label, err)
 		}
@@ -35,44 +36,43 @@ func main() {
 	}
 
 	seq := &md.Observables{}
-	run("sequential", core.Config{Mode: core.Sequential}, seq,
-		func() core.App { return md.New(pot, atoms, steps, seq) })
+	run("sequential", seq, func() pp.App { return md.New(pot, atoms, steps, seq) }, pp.Sequential)
 
 	smp := &md.Observables{}
-	run("4 threads", core.Config{Mode: core.Shared, Threads: 4}, smp,
-		func() core.App { return md.New(pot, atoms, steps, smp) })
+	run("4 threads", smp, func() pp.App { return md.New(pot, atoms, steps, smp) },
+		pp.Shared, pp.WithThreads(4))
 
 	dist := &md.Observables{}
-	run("4 replicas", core.Config{Mode: core.Distributed, Procs: 4}, dist,
-		func() core.App { return md.New(pot, atoms, steps, dist) })
+	run("4 replicas", dist, func() pp.App { return md.New(pot, atoms, steps, dist) },
+		pp.Distributed, pp.WithProcs(4))
 
 	if *smp != *seq || *dist != *seq {
 		log.Fatal("deployments disagree on the trajectory")
 	}
 
-	// Failure + recovery: the trajectory must continue bit-identically.
-	dir, err := os.MkdirTemp("", "ppar-md-*")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(dir)
+	// Failure + recovery: the trajectory must continue bit-identically,
+	// through a pluggable non-filesystem checkpoint backend.
+	store := pp.NewMemStore()
 	rec := &md.Observables{}
-	factory := func() core.App { return md.New(pot, atoms, steps, rec) }
-	cfg := core.Config{
-		Mode: core.Distributed, Procs: 4, AppName: "md-demo",
-		Modules:       md.Modules(core.Distributed),
-		CheckpointDir: dir, CheckpointEvery: 5, FailAtSafePoint: 13, FailRank: 1,
-	}
-	eng, err := core.New(cfg, factory)
+	factory := func() pp.App { return md.New(pot, atoms, steps, rec) }
+	eng, err := pp.New(factory,
+		pp.WithName("md-demo"),
+		pp.WithMode(pp.Distributed), pp.WithProcs(4),
+		pp.WithModules(md.Modules(pp.Distributed)...),
+		pp.WithStore(store), pp.WithCheckpointEvery(5),
+		pp.WithFailureAt(13, 1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.Run(); !errors.Is(err, core.ErrInjectedFailure) {
+	if err := eng.Run(); !errors.Is(err, pp.ErrInjectedFailure) {
 		log.Fatalf("expected the injected failure, got %v", err)
 	}
 	fmt.Println("replica 1 died at step 13; restarting from the step-10 snapshot")
-	cfg.FailAtSafePoint = 0
-	eng2, err := core.New(cfg, factory)
+	eng2, err := pp.New(factory,
+		pp.WithName("md-demo"),
+		pp.WithMode(pp.Distributed), pp.WithProcs(4),
+		pp.WithModules(md.Modules(pp.Distributed)...),
+		pp.WithStore(store), pp.WithCheckpointEvery(5))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,8 +8,8 @@ import (
 	"fmt"
 	"log"
 
-	"ppar/internal/core"
 	"ppar/internal/jgf"
+	"ppar/pp"
 )
 
 func main() {
@@ -17,21 +17,24 @@ func main() {
 
 	deployments := []struct {
 		label string
-		cfg   core.Config
+		mode  pp.Mode
+		opts  []pp.Option
 	}{
-		{"sequential (unplugged)", core.Config{Mode: core.Sequential}},
-		{"shared memory, 4 threads", core.Config{Mode: core.Shared, Threads: 4}},
-		{"distributed, 4 replicas", core.Config{Mode: core.Distributed, Procs: 4}},
-		{"hybrid, 2 replicas x 2 threads", core.Config{Mode: core.Hybrid, Procs: 2, Threads: 2}},
+		{"sequential (unplugged)", pp.Sequential, nil},
+		{"shared memory, 4 threads", pp.Shared, []pp.Option{pp.WithThreads(4)}},
+		{"distributed, 4 replicas", pp.Distributed, []pp.Option{pp.WithProcs(4)}},
+		{"hybrid, 2 replicas x 2 threads", pp.Hybrid, []pp.Option{pp.WithProcs(2), pp.WithThreads(2)}},
 	}
 
 	var reference float64
 	for i, d := range deployments {
 		res := &jgf.SeriesResult{}
-		cfg := d.cfg
-		cfg.AppName = "quickstart-series"
-		cfg.Modules = jgf.SeriesModules(cfg.Mode)
-		eng, err := core.New(cfg, func() core.App { return jgf.NewSeries(terms, res) })
+		opts := append([]pp.Option{
+			pp.WithName("quickstart-series"),
+			pp.WithMode(d.mode),
+			pp.WithModules(jgf.SeriesModules(d.mode)...),
+		}, d.opts...)
+		eng, err := pp.New(func() pp.App { return jgf.NewSeries(terms, res) }, opts...)
 		if err != nil {
 			log.Fatalf("%s: %v", d.label, err)
 		}

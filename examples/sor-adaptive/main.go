@@ -3,15 +3,16 @@
 // team/world and, at a safe point mid-run, expands to use newly available
 // resources — without restarting and without changing the result. Both
 // directions are shown (expansion and contraction), for threads and for
-// replicas.
+// replicas, driven by pluggable adaptation policies.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
-	"ppar/internal/core"
 	"ppar/internal/jgf"
+	"ppar/pp"
 )
 
 func main() {
@@ -21,35 +22,51 @@ func main() {
 
 	scenarios := []struct {
 		label string
-		cfg   core.Config
+		mode  pp.Mode
+		opts  []pp.Option
 	}{
 		{
 			"threads 2 -> 8 at safe point 20 (expansion)",
-			core.Config{Mode: core.Shared, Threads: 2,
-				AdaptAtSafePoint: 20, AdaptTo: core.AdaptTarget{Threads: 8}},
+			pp.Shared,
+			[]pp.Option{pp.WithThreads(2),
+				pp.WithAdaptPolicy(pp.AdaptAt(20, pp.AdaptTarget{Threads: 8}))},
 		},
 		{
 			"threads 8 -> 2 at safe point 20 (contraction)",
-			core.Config{Mode: core.Shared, Threads: 8,
-				AdaptAtSafePoint: 20, AdaptTo: core.AdaptTarget{Threads: 2}},
+			pp.Shared,
+			[]pp.Option{pp.WithThreads(8),
+				pp.WithAdaptPolicy(pp.AdaptAt(20, pp.AdaptTarget{Threads: 2}))},
 		},
 		{
 			"replicas 2 -> 6 at safe point 20 (expansion)",
-			core.Config{Mode: core.Distributed, Procs: 2,
-				AdaptAtSafePoint: 20, AdaptTo: core.AdaptTarget{Procs: 6}},
+			pp.Distributed,
+			[]pp.Option{pp.WithProcs(2),
+				pp.WithAdaptPolicy(pp.AdaptAt(20, pp.AdaptTarget{Procs: 6}))},
 		},
 		{
 			"replicas 6 -> 2 at safe point 20 (contraction)",
-			core.Config{Mode: core.Distributed, Procs: 6,
-				AdaptAtSafePoint: 20, AdaptTo: core.AdaptTarget{Procs: 2}},
+			pp.Distributed,
+			[]pp.Option{pp.WithProcs(6),
+				pp.WithAdaptPolicy(pp.AdaptAt(20, pp.AdaptTarget{Procs: 2}))},
+		},
+		{
+			"threads 2 -> 6 -> 4 (Schedule policy)",
+			pp.Shared,
+			[]pp.Option{pp.WithThreads(2),
+				pp.WithAdaptPolicy(pp.Schedule(
+					pp.AdaptStep{At: 10, Target: pp.AdaptTarget{Threads: 6}},
+					pp.AdaptStep{At: 30, Target: pp.AdaptTarget{Threads: 4}},
+				))},
 		},
 	}
 	for _, sc := range scenarios {
 		res := &jgf.SORResult{}
-		cfg := sc.cfg
-		cfg.AppName = "sor-adaptive"
-		cfg.Modules = jgf.SORModules(cfg.Mode)
-		eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(n, iters, res) })
+		opts := append([]pp.Option{
+			pp.WithName("sor-adaptive"),
+			pp.WithMode(sc.mode),
+			pp.WithModules(jgf.SORModules(sc.mode)...),
+		}, sc.opts...)
+		eng, err := pp.New(func() pp.App { return jgf.NewSOR(n, iters, res) }, opts...)
 		if err != nil {
 			log.Fatalf("%s: %v", sc.label, err)
 		}
@@ -67,24 +84,24 @@ func main() {
 		}
 	}
 
-	// The RequestAdapt path: a "resource manager" grants more threads
-	// while the program runs; the coordinator applies the change at the
-	// next safe point it reaches.
+	// The asynchronous path: a simulated resource manager grants more
+	// threads while the program runs; the coordinator applies the change at
+	// the next safe point it reaches.
 	res := &jgf.SORResult{}
-	cfg := core.Config{
-		Mode: core.Shared, Threads: 2, AppName: "sor-adaptive",
-		Modules: jgf.SORModules(core.Shared),
-	}
-	eng, err := core.New(cfg, func() core.App { return jgf.NewSOR(n, iters, res) })
+	manager := pp.NewAdaptManager(pp.Grant(0*time.Millisecond, pp.AdaptTarget{Threads: 6}))
+	eng, err := pp.New(func() pp.App { return jgf.NewSOR(n, iters, res) },
+		pp.WithName("sor-adaptive"),
+		pp.WithMode(pp.Shared), pp.WithThreads(2),
+		pp.WithModules(jgf.SORModules(pp.Shared)...),
+		pp.WithAdaptManager(manager))
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng.RequestAdapt(core.AdaptTarget{Threads: 6}) // resources became available
 	if err := eng.Run(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-48s adapted=%v  identical result\n",
-		"RequestAdapt: threads 2 -> 6 (asynchronous)", eng.Report().Adapted)
+		"AdaptManager: threads 2 -> 6 (asynchronous)", eng.Report().Adapted)
 	if res.Gtotal != reference {
 		log.Fatal("asynchronous adaptation changed the computation")
 	}

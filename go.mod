@@ -1,0 +1,3 @@
+module ppar
+
+go 1.24

@@ -39,7 +39,9 @@ func Revoke(after time.Duration, target core.AdaptTarget) Event {
 	return Event{After: after, Target: target, Reason: "resources revoked for a higher-priority job"}
 }
 
-// Manager replays availability events against an engine.
+// Manager replays availability events against an engine. It implements
+// core.AdaptDriver, so it can be attached to a deployment directly (the
+// public pp.WithAdaptManager option) instead of being driven by hand.
 type Manager struct {
 	events []Event
 
@@ -48,6 +50,8 @@ type Manager struct {
 	stop  chan struct{}
 	done  chan struct{}
 }
+
+var _ core.AdaptDriver = (*Manager)(nil)
 
 // NewManager creates a manager for the given schedule.
 func NewManager(events ...Event) *Manager {

@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,85 +9,195 @@ import (
 	"ppar/internal/serial"
 )
 
-func newStore(t *testing.T) *Store {
+// stores returns one instance of every Store implementation, keyed by name,
+// so the shared conformance tests below cover all of them.
+func stores(t *testing.T) map[string]Store {
 	t.Helper()
-	s, err := NewStore(t.TempDir())
+	fsStore, err := NewFS(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s
+	return map[string]Store{
+		"fs":        fsStore,
+		"mem":       NewMem(),
+		"gzip-mem":  NewGzip(NewMem(), 0),
+		"gzip-fs":   newGzipFS(t),
+		"gzip-fast": NewGzip(NewMem(), 1),
+	}
+}
+
+func newGzipFS(t *testing.T) Store {
+	t.Helper()
+	fsStore, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGzip(fsStore, 0)
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
-	s := newStore(t)
-	snap := serial.NewSnapshot("app", "seq", 50)
-	snap.Fields["x"] = serial.Float64s([]float64{1, 2, 3})
-	if err := s.Save(snap); err != nil {
-		t.Fatal(err)
-	}
-	got, found, err := s.Load("app")
-	if err != nil || !found {
-		t.Fatalf("load: found=%v err=%v", found, err)
-	}
-	if got.SafePoints != 50 || got.Fields["x"].Fs[2] != 3 {
-		t.Fatalf("bad snapshot: %+v", got)
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			snap := serial.NewSnapshot("app", "seq", 50)
+			snap.Fields["x"] = serial.Float64s([]float64{1, 2, 3})
+			if err := s.Save(snap); err != nil {
+				t.Fatal(err)
+			}
+			got, found, err := s.Load("app")
+			if err != nil || !found {
+				t.Fatalf("load: found=%v err=%v", found, err)
+			}
+			if got.SafePoints != 50 || got.Fields["x"].Fs[2] != 3 {
+				t.Fatalf("bad snapshot: %+v", got)
+			}
+			if got.Mode != "seq" {
+				t.Fatalf("mode %q survived round-trip as %q", "seq", got.Mode)
+			}
+		})
 	}
 }
 
 func TestLoadMissing(t *testing.T) {
-	s := newStore(t)
-	_, found, err := s.Load("nothing")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if found {
-		t.Fatal("found a snapshot that was never saved")
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, found, err := s.Load("nothing"); err != nil || found {
+				t.Fatalf("found=%v err=%v for a snapshot that was never saved", found, err)
+			}
+			if _, found, err := s.LoadShard("nothing", 3); err != nil || found {
+				t.Fatalf("shard: found=%v err=%v for a shard that was never saved", found, err)
+			}
+		})
 	}
 }
 
 func TestShards(t *testing.T) {
-	s := newStore(t)
-	for r := 0; r < 3; r++ {
-		snap := serial.NewSnapshot("app", "dist", 10)
-		snap.Fields["r"] = serial.Int64(int64(r))
-		if err := s.SaveShard(snap, r); err != nil {
-			t.Fatal(err)
-		}
-	}
-	for r := 0; r < 3; r++ {
-		got, found, err := s.LoadShard("app", r)
-		if err != nil || !found {
-			t.Fatalf("shard %d: found=%v err=%v", r, found, err)
-		}
-		if got.Fields["r"].I != int64(r) {
-			t.Errorf("shard %d holds %d", r, got.Fields["r"].I)
-		}
-	}
-	// Canonical and shard namespaces are separate.
-	if _, found, _ := s.Load("app"); found {
-		t.Error("canonical snapshot should not exist")
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for r := 0; r < 3; r++ {
+				snap := serial.NewSnapshot("app", "dist", 10)
+				snap.Fields["r"] = serial.Int64(int64(r))
+				if err := s.SaveShard(snap, r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for r := 0; r < 3; r++ {
+				got, found, err := s.LoadShard("app", r)
+				if err != nil || !found {
+					t.Fatalf("shard %d: found=%v err=%v", r, found, err)
+				}
+				if got.Fields["r"].I != int64(r) {
+					t.Errorf("shard %d holds %d", r, got.Fields["r"].I)
+				}
+			}
+			// Canonical and shard namespaces are separate.
+			if _, found, _ := s.Load("app"); found {
+				t.Error("canonical snapshot should not exist")
+			}
+		})
 	}
 }
 
 func TestOverwriteKeepsLatest(t *testing.T) {
-	s := newStore(t)
-	for i := uint64(1); i <= 3; i++ {
-		snap := serial.NewSnapshot("app", "seq", i)
-		if err := s.Save(snap); err != nil {
-			t.Fatal(err)
-		}
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := uint64(1); i <= 3; i++ {
+				snap := serial.NewSnapshot("app", "seq", i)
+				if err := s.Save(snap); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, _, err := s.Load("app")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.SafePoints != 3 {
+				t.Fatalf("latest snapshot has %d safe points, want 3", got.SafePoints)
+			}
+		})
 	}
-	got, _, err := s.Load("app")
-	if err != nil {
-		t.Fatal(err)
+}
+
+func TestClear(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			snap := serial.NewSnapshot("app", "seq", 1)
+			if err := s.Save(snap); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SaveShard(snap, 0); err != nil {
+				t.Fatal(err)
+			}
+			other := serial.NewSnapshot("other", "seq", 2)
+			if err := s.Save(other); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Clear("app"); err != nil {
+				t.Fatal(err)
+			}
+			if _, found, _ := s.Load("app"); found {
+				t.Error("canonical snapshot survived Clear")
+			}
+			if _, found, _ := s.LoadShard("app", 0); found {
+				t.Error("shard survived Clear")
+			}
+			if _, found, _ := s.Load("other"); !found {
+				t.Error("Clear removed another application's snapshot")
+			}
+		})
 	}
-	if got.SafePoints != 3 {
-		t.Fatalf("latest snapshot has %d safe points, want 3", got.SafePoints)
+}
+
+func TestLedgerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	fresh := map[string]func() Store{
+		"fs": func() Store {
+			s, err := NewFS(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	// Mem and Gzip keep ledger state inside the instance, so "the next run"
+	// shares the same store value.
+	mem := NewMem()
+	fresh["mem"] = func() Store { return mem }
+	gz := NewGzip(NewMem(), 0)
+	fresh["gzip"] = func() Store { return gz }
+
+	for name, mk := range fresh {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if crashed, _ := s.Crashed("app"); crashed {
+				t.Fatal("fresh ledger reports crash")
+			}
+			if err := s.LedgerStart("app"); err != nil {
+				t.Fatal(err)
+			}
+			// Simulate a crash: the next run's view sees the marker.
+			s2 := mk()
+			if crashed, _ := s2.Crashed("app"); !crashed {
+				t.Fatal("crash not detected")
+			}
+			if err := s2.LedgerFinish("app"); err != nil {
+				t.Fatal(err)
+			}
+			if crashed, _ := s2.Crashed("app"); crashed {
+				t.Fatal("crash reported after clean finish")
+			}
+			// Finish is idempotent.
+			if err := s2.LedgerFinish("app"); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
 func TestCorruptFileSurfacesError(t *testing.T) {
-	s := newStore(t)
+	s, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
 	snap := serial.NewSnapshot("app", "seq", 1)
 	if err := s.Save(snap); err != nil {
 		t.Fatal(err)
@@ -105,52 +216,77 @@ func TestCorruptFileSurfacesError(t *testing.T) {
 	}
 }
 
-func TestClear(t *testing.T) {
-	s := newStore(t)
+func TestMemLoadDoesNotAliasSaver(t *testing.T) {
+	s := NewMem()
+	data := []float64{1, 2, 3}
 	snap := serial.NewSnapshot("app", "seq", 1)
+	snap.Fields["x"] = serial.Float64s(data)
 	if err := s.Save(snap); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SaveShard(snap, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Clear("app"); err != nil {
-		t.Fatal(err)
-	}
-	if _, found, _ := s.Load("app"); found {
-		t.Error("canonical snapshot survived Clear")
-	}
-	if _, found, _ := s.LoadShard("app", 0); found {
-		t.Error("shard survived Clear")
-	}
-}
-
-func TestLedgerLifecycle(t *testing.T) {
-	dir := t.TempDir()
-	l, err := NewLedger(dir, "app")
+	data[0] = 99 // mutate after save; the store must hold the old value
+	got, _, err := s.Load("app")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if crashed, _ := l.Crashed(); crashed {
-		t.Fatal("fresh ledger reports crash")
+	if got.Fields["x"].Fs[0] != 1 {
+		t.Fatalf("stored snapshot aliased the saver's slice: %v", got.Fields["x"].Fs)
 	}
-	if err := l.Start(); err != nil {
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	inner := NewMem()
+	gz := NewGzip(inner, 0)
+	snap := serial.NewSnapshot("app", "smp", 7)
+	// Highly compressible payload.
+	big := make([]float64, 1<<14)
+	snap.Fields["G"] = serial.Float64s(big)
+	if err := gz.Save(snap); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate a crash: a new ledger instance sees the marker.
-	l2, _ := NewLedger(dir, "app")
-	if crashed, _ := l2.Crashed(); !crashed {
-		t.Fatal("crash not detected")
+	env, found, err := inner.Load("app")
+	if err != nil || !found {
+		t.Fatalf("envelope: found=%v err=%v", found, err)
 	}
-	if err := l2.Finish(); err != nil {
+	if env.Mode != gzipMode {
+		t.Fatalf("envelope mode %q, want %q", env.Mode, gzipMode)
+	}
+	var rawLen int
+	{
+		var buf bytes.Buffer
+		if err := snap.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rawLen = buf.Len()
+	}
+	if got := env.DataBytes(); got >= rawLen/10 {
+		t.Fatalf("compressed payload %d bytes, raw %d — no real compression", got, rawLen)
+	}
+	// And the round trip restores the original.
+	back, found, err := gz.Load("app")
+	if err != nil || !found {
+		t.Fatalf("load: found=%v err=%v", found, err)
+	}
+	if back.Mode != "smp" || back.SafePoints != 7 || len(back.Fields["G"].Fs) != 1<<14 {
+		t.Fatalf("bad round trip: %+v", back)
+	}
+}
+
+func TestGzipPassesThroughUncompressed(t *testing.T) {
+	inner := NewMem()
+	plain := serial.NewSnapshot("app", "seq", 3)
+	plain.Fields["x"] = serial.Int64(42)
+	if err := inner.Save(plain); err != nil {
 		t.Fatal(err)
 	}
-	if crashed, _ := l2.Crashed(); crashed {
-		t.Fatal("crash reported after clean finish")
+	// Upgrading a store to compression must not invalidate old snapshots.
+	gz := NewGzip(inner, 0)
+	got, found, err := gz.Load("app")
+	if err != nil || !found {
+		t.Fatalf("load: found=%v err=%v", found, err)
 	}
-	// Finish is idempotent.
-	if err := l2.Finish(); err != nil {
-		t.Fatal(err)
+	if got.Fields["x"].I != 42 {
+		t.Fatalf("pass-through snapshot mangled: %+v", got)
 	}
 }
 

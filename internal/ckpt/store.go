@@ -1,38 +1,74 @@
-// Package ckpt implements the checkpoint machinery of §IV.A: a snapshot
-// store with atomic writes, the run ledger (the paper's pcr module, which
-// "verifies if the last execution was concluded without failures" by
-// rewriting main), the checkpoint policy ("a checkpoint might be taken only
-// after a set of safe points"), and the replay state machine used for
-// restart and for bootstrapping new threads/processes during run-time
-// adaptation.
+// Package ckpt implements the checkpoint machinery of §IV.A: pluggable
+// snapshot stores (filesystem, in-memory, and a gzip-compressing wrapper),
+// the run ledger (the paper's pcr module, which "verifies if the last
+// execution was concluded without failures" by rewriting main), the
+// checkpoint policy ("a checkpoint might be taken only after a set of safe
+// points"), and the replay state machine used for restart and for
+// bootstrapping new threads/processes during run-time adaptation.
 package ckpt
 
 import (
+	"bytes"
+	"compress/gzip"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"ppar/internal/serial"
 )
 
-// Store persists snapshots in a directory, one file per application, with
+// Store is a pluggable checkpoint backend: it persists canonical and
+// per-rank shard snapshots and keeps the crash ledger that decides whether
+// the next run must replay. Implementations must be safe for concurrent use
+// by multiple ranks (SaveShard/LoadShard are called from every replica of a
+// distributed run).
+type Store interface {
+	// Save atomically writes the canonical (whole-application) snapshot,
+	// replacing any previous one for the same application.
+	Save(snap *serial.Snapshot) error
+	// SaveShard atomically writes one rank's local snapshot (the paper's
+	// first distributed-memory alternative, where "each process takes a
+	// local snapshot").
+	SaveShard(snap *serial.Snapshot, rank int) error
+	// Load reads the canonical snapshot for app. found=false (with nil
+	// error) means no checkpoint exists.
+	Load(app string) (snap *serial.Snapshot, found bool, err error)
+	// LoadShard reads rank's local snapshot.
+	LoadShard(app string, rank int) (snap *serial.Snapshot, found bool, err error)
+	// Clear removes all snapshots (canonical and shards) for app.
+	Clear(app string) error
+
+	// LedgerStart marks a run of app as in progress (the pcr module).
+	LedgerStart(app string) error
+	// LedgerFinish marks the run as cleanly completed.
+	LedgerFinish(app string) error
+	// Crashed reports whether the previous run of app failed to conclude —
+	// a start marker with no matching finish.
+	Crashed(app string) (bool, error)
+}
+
+// FS is the filesystem Store: one file per snapshot inside Dir, with
 // write-to-temp-then-rename atomicity so a failure during checkpointing
-// never destroys the previous valid checkpoint.
-type Store struct {
+// never destroys the previous valid checkpoint. The ledger is a marker
+// file created at LedgerStart and removed at LedgerFinish.
+type FS struct {
 	Dir string
 }
 
-// NewStore creates the directory if needed.
-func NewStore(dir string) (*Store, error) {
+var _ Store = (*FS)(nil)
+
+// NewFS creates a filesystem store rooted at dir, creating it if needed.
+func NewFS(dir string) (*FS, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ckpt: creating store dir: %w", err)
 	}
-	return &Store{Dir: dir}, nil
+	return &FS{Dir: dir}, nil
 }
 
-func (s *Store) path(app string, shard int) string {
+func (s *FS) path(app string, shard int) string {
 	if shard < 0 {
 		return filepath.Join(s.Dir, app+".ckpt")
 	}
@@ -40,18 +76,16 @@ func (s *Store) path(app string, shard int) string {
 }
 
 // Save atomically writes a canonical (whole-application) snapshot.
-func (s *Store) Save(snap *serial.Snapshot) error {
+func (s *FS) Save(snap *serial.Snapshot) error {
 	return s.save(snap, -1)
 }
 
-// SaveShard atomically writes one rank's local snapshot (the paper's first
-// distributed-memory alternative, where "each process takes a local
-// snapshot").
-func (s *Store) SaveShard(snap *serial.Snapshot, rank int) error {
+// SaveShard atomically writes one rank's local snapshot.
+func (s *FS) SaveShard(snap *serial.Snapshot, rank int) error {
 	return s.save(snap, rank)
 }
 
-func (s *Store) save(snap *serial.Snapshot, shard int) error {
+func (s *FS) save(snap *serial.Snapshot, shard int) error {
 	final := s.path(snap.App, shard)
 	tmp, err := os.CreateTemp(s.Dir, ".ckpt-*")
 	if err != nil {
@@ -75,18 +109,17 @@ func (s *Store) save(snap *serial.Snapshot, shard int) error {
 	return nil
 }
 
-// Load reads the canonical snapshot for app. found=false (with nil error)
-// means no checkpoint exists.
-func (s *Store) Load(app string) (snap *serial.Snapshot, found bool, err error) {
+// Load reads the canonical snapshot for app.
+func (s *FS) Load(app string) (snap *serial.Snapshot, found bool, err error) {
 	return s.load(app, -1)
 }
 
 // LoadShard reads rank's local snapshot.
-func (s *Store) LoadShard(app string, rank int) (snap *serial.Snapshot, found bool, err error) {
+func (s *FS) LoadShard(app string, rank int) (snap *serial.Snapshot, found bool, err error) {
 	return s.load(app, rank)
 }
 
-func (s *Store) load(app string, shard int) (*serial.Snapshot, bool, error) {
+func (s *FS) load(app string, shard int) (*serial.Snapshot, bool, error) {
 	f, err := os.Open(s.path(app, shard))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, false, nil
@@ -103,7 +136,7 @@ func (s *Store) load(app string, shard int) (*serial.Snapshot, bool, error) {
 }
 
 // Clear removes all snapshots (canonical and shards) for app.
-func (s *Store) Clear(app string) error {
+func (s *FS) Clear(app string) error {
 	matches, err := filepath.Glob(filepath.Join(s.Dir, app+"*.ckpt"))
 	if err != nil {
 		return err
@@ -116,36 +149,11 @@ func (s *Store) Clear(app string) error {
 	return nil
 }
 
-// Ledger is the pcr module: a marker file records that a run started; the
-// marker is removed on clean completion. A marker left behind at start-up
-// means the previous execution failed, which activates replay mode.
-type Ledger struct {
-	path string
-}
+func (s *FS) ledgerPath(app string) string { return filepath.Join(s.Dir, app+".run") }
 
-// NewLedger creates a ledger for app inside dir.
-func NewLedger(dir, app string) (*Ledger, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("ckpt: ledger dir: %w", err)
-	}
-	return &Ledger{path: filepath.Join(dir, app+".run")}, nil
-}
-
-// Crashed reports whether the previous execution failed to conclude.
-func (l *Ledger) Crashed() (bool, error) {
-	_, err := os.Stat(l.path)
-	if err == nil {
-		return true, nil
-	}
-	if errors.Is(err, fs.ErrNotExist) {
-		return false, nil
-	}
-	return false, fmt.Errorf("ckpt: ledger stat: %w", err)
-}
-
-// Start marks the run as in progress.
-func (l *Ledger) Start() error {
-	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+// LedgerStart marks the run as in progress.
+func (s *FS) LedgerStart(app string) error {
+	f, err := os.OpenFile(s.ledgerPath(app), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("ckpt: ledger start: %w", err)
 	}
@@ -157,10 +165,240 @@ func (l *Ledger) Start() error {
 	return cerr
 }
 
-// Finish marks the run as cleanly completed.
-func (l *Ledger) Finish() error {
-	if err := os.Remove(l.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+// LedgerFinish marks the run as cleanly completed; it is idempotent.
+func (s *FS) LedgerFinish(app string) error {
+	if err := os.Remove(s.ledgerPath(app)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("ckpt: ledger finish: %w", err)
 	}
 	return nil
 }
+
+// Crashed reports whether the previous execution failed to conclude.
+func (s *FS) Crashed(app string) (bool, error) {
+	_, err := os.Stat(s.ledgerPath(app))
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	return false, fmt.Errorf("ckpt: ledger stat: %w", err)
+}
+
+// Mem is an in-memory Store for fast tests and embedded use. Snapshots are
+// kept in their encoded container form, so Save/Load exercise the same
+// serialisation path as the filesystem store and loaded snapshots never
+// alias the saver's field slices. A Mem value must be shared (not copied)
+// between the runs that are meant to see each other's checkpoints.
+type Mem struct {
+	mu      sync.Mutex
+	blobs   map[string][]byte
+	running map[string]bool
+}
+
+var _ Store = (*Mem)(nil)
+
+// NewMem creates an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{blobs: map[string][]byte{}, running: map[string]bool{}}
+}
+
+func memKey(app string, shard int) string {
+	if shard < 0 {
+		return app + ".ckpt"
+	}
+	return fmt.Sprintf("%s.r%d.ckpt", app, shard)
+}
+
+func (s *Mem) put(snap *serial.Snapshot, shard int) error {
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		return fmt.Errorf("ckpt: encoding snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[memKey(snap.App, shard)] = buf.Bytes()
+	return nil
+}
+
+func (s *Mem) get(app string, shard int) (*serial.Snapshot, bool, error) {
+	s.mu.Lock()
+	blob, ok := s.blobs[memKey(app, shard)]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	snap, err := serial.Decode(bytes.NewReader(blob))
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: decode %s: %w", memKey(app, shard), err)
+	}
+	return snap, true, nil
+}
+
+// Save stores the canonical snapshot.
+func (s *Mem) Save(snap *serial.Snapshot) error { return s.put(snap, -1) }
+
+// SaveShard stores one rank's snapshot.
+func (s *Mem) SaveShard(snap *serial.Snapshot, rank int) error { return s.put(snap, rank) }
+
+// Load reads the canonical snapshot.
+func (s *Mem) Load(app string) (*serial.Snapshot, bool, error) { return s.get(app, -1) }
+
+// LoadShard reads rank's snapshot.
+func (s *Mem) LoadShard(app string, rank int) (*serial.Snapshot, bool, error) {
+	return s.get(app, rank)
+}
+
+// Clear removes all snapshots for app.
+func (s *Mem) Clear(app string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, memKey(app, -1))
+	for k := range s.blobs {
+		var rank int
+		if n, _ := fmt.Sscanf(k, app+".r%d.ckpt", &rank); n == 1 {
+			delete(s.blobs, k)
+		}
+	}
+	return nil
+}
+
+// LedgerStart marks the run as in progress.
+func (s *Mem) LedgerStart(app string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running[app] = true
+	return nil
+}
+
+// LedgerFinish marks the run as cleanly completed.
+func (s *Mem) LedgerFinish(app string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, app)
+	return nil
+}
+
+// Crashed reports whether a run was started and never finished.
+func (s *Mem) Crashed(app string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running[app], nil
+}
+
+// gzipMode marks envelope snapshots written by the Gzip wrapper.
+const gzipMode = "gzip"
+
+// gzipField is the single field of an envelope snapshot, holding the
+// compressed container bytes of the real snapshot.
+const gzipField = "__gz"
+
+// Gzip wraps an inner Store with transparent gzip compression: snapshots
+// are encoded, compressed, and stored through the inner store as a small
+// envelope snapshot (one bytes field holding the compressed container).
+// Loads pass envelopes back through gunzip and decode; snapshots written
+// without the wrapper are returned unchanged, so a store can be upgraded to
+// compression without invalidating existing checkpoints.
+type Gzip struct {
+	inner Store
+	// Level is the gzip compression level (gzip.DefaultCompression when 0
+	// is passed to NewGzip).
+	level int
+}
+
+var _ Store = (*Gzip)(nil)
+
+// NewGzip wraps inner with gzip compression at the given level; level 0
+// selects gzip.DefaultCompression.
+func NewGzip(inner Store, level int) *Gzip {
+	if level == 0 {
+		level = gzip.DefaultCompression
+	}
+	return &Gzip{inner: inner, level: level}
+}
+
+func (s *Gzip) compress(snap *serial.Snapshot) (*serial.Snapshot, error) {
+	// Stream the container straight through the codec: no uncompressed
+	// copy of the (potentially large) application state is materialised.
+	var gz bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&gz, s.level)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: gzip writer: %w", err)
+	}
+	if err := snap.Encode(zw); err != nil {
+		return nil, fmt.Errorf("ckpt: gzip encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("ckpt: gzip close: %w", err)
+	}
+	env := serial.NewSnapshot(snap.App, gzipMode, snap.SafePoints)
+	env.Fields[gzipField] = serial.Bytes(gz.Bytes())
+	return env, nil
+}
+
+func decompress(env *serial.Snapshot) (*serial.Snapshot, error) {
+	v, ok := env.Fields[gzipField]
+	if env.Mode != gzipMode || !ok {
+		return env, nil // written without the wrapper: pass through
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(v.B))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: gunzip: %w", err)
+	}
+	defer zr.Close()
+	snap, err := serial.Decode(zr)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: decode compressed snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// Save compresses and stores the canonical snapshot.
+func (s *Gzip) Save(snap *serial.Snapshot) error {
+	env, err := s.compress(snap)
+	if err != nil {
+		return err
+	}
+	return s.inner.Save(env)
+}
+
+// SaveShard compresses and stores one rank's snapshot.
+func (s *Gzip) SaveShard(snap *serial.Snapshot, rank int) error {
+	env, err := s.compress(snap)
+	if err != nil {
+		return err
+	}
+	return s.inner.SaveShard(env, rank)
+}
+
+// Load reads and decompresses the canonical snapshot.
+func (s *Gzip) Load(app string) (*serial.Snapshot, bool, error) {
+	env, found, err := s.inner.Load(app)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	snap, err := decompress(env)
+	return snap, err == nil, err
+}
+
+// LoadShard reads and decompresses rank's snapshot.
+func (s *Gzip) LoadShard(app string, rank int) (*serial.Snapshot, bool, error) {
+	env, found, err := s.inner.LoadShard(app, rank)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	snap, err := decompress(env)
+	return snap, err == nil, err
+}
+
+// Clear delegates to the inner store.
+func (s *Gzip) Clear(app string) error { return s.inner.Clear(app) }
+
+// LedgerStart delegates to the inner store.
+func (s *Gzip) LedgerStart(app string) error { return s.inner.LedgerStart(app) }
+
+// LedgerFinish delegates to the inner store.
+func (s *Gzip) LedgerFinish(app string) error { return s.inner.LedgerFinish(app) }
+
+// Crashed delegates to the inner store.
+func (s *Gzip) Crashed(app string) (bool, error) { return s.inner.Crashed(app) }

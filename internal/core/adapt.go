@@ -9,8 +9,20 @@ import (
 func newJoinReplay(target uint64) *ckpt.Replay { return ckpt.NewReplay(target) }
 
 // adaptNow applies an adaptation at safe point sp. Inside a region it
-// reshapes the thread team; at rank level it reshapes the world.
+// reshapes the thread team; at rank level it reshapes the world. Targets
+// the deployment cannot honour abort the run loudly: the legacy config
+// fields are rejected statically in normalize, but policy- and
+// RequestAdapt-sourced targets are only seen here.
 func (c *Ctx) adaptNow(sp uint64, t AdaptTarget) {
+	e := c.eng
+	switch {
+	case e.cfg.Mode == Sequential && (t.Threads > 0 || t.Procs > 0):
+		panic(abortToken{msg: "core: Sequential mode cannot adapt at run time (it has no machinery); use Shared with Threads=1 or adaptation by restart"})
+	case t.Procs > 0 && e.cfg.Mode == Hybrid:
+		panic(abortToken{msg: "core: hybrid mode supports run-time thread adaptation and restart-based adaptation, not run-time world resizing"})
+	case t.Procs > 0 && t.Procs != c.Procs() && e.cfg.TCP:
+		panic(abortToken{msg: "core: the TCP transport has a fixed world size; use the in-process transport or adaptation by restart"})
+	}
 	if c.worker != nil {
 		if t.Threads > 0 {
 			c.adaptThreads(sp, t.Threads)

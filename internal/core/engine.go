@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -60,12 +61,24 @@ type App interface {
 type Factory func() App
 
 // AdaptTarget describes a requested reshaping of the parallelism structure.
+// The zero value requests nothing.
 type AdaptTarget struct {
 	// Threads is the desired team size (0 = unchanged).
 	Threads int
 	// Procs is the desired world size (0 = unchanged).
 	Procs int
+	// Stop requests a canonical checkpoint followed by a stop of the run —
+	// the paper's adaptation-by-restart: the caller relaunches a
+	// differently-configured engine which replays from the snapshot
+	// (Figures 6 and 7). When Stop is set, Threads/Procs are ignored.
+	Stop bool
 }
+
+// IsZero reports whether the target requests no change at all.
+func (t AdaptTarget) IsZero() bool { return !t.Stop && t.Threads == 0 && t.Procs == 0 }
+
+// DelayFunc models per-message link costs on the transport.
+type DelayFunc = mp.DelayFunc
 
 // Config assembles one deployment of a base program.
 type Config struct {
@@ -83,7 +96,13 @@ type Config struct {
 	// Modules are the pluggable parallelisation/fault-tolerance modules.
 	Modules []*Module
 
-	// CheckpointDir enables checkpointing when non-empty.
+	// Store, when non-nil, is the pluggable checkpoint backend. Set it to
+	// an in-memory or compressing store (or any custom implementation) to
+	// decouple checkpointing from the filesystem.
+	Store ckpt.Store
+	// CheckpointDir is sugar for Store: when Store is nil and
+	// CheckpointDir is non-empty, a filesystem store rooted there is used.
+	// Either one enables checkpointing.
 	CheckpointDir string
 	// CheckpointEvery takes a snapshot each time the safe-point count is a
 	// multiple of this value (0 disables periodic checkpoints).
@@ -98,14 +117,27 @@ type Config struct {
 	// cross-mode restart.
 	ShardCheckpoints bool
 
+	// Policy, when non-nil, is consulted at every safe point to decide
+	// run-time adaptations and checkpoint-and-stop (see AdaptPolicy). It
+	// composes with the legacy one-shot fields below: all are folded into
+	// one chained policy, legacy fields first.
+	Policy AdaptPolicy
+	// Driver, when non-nil, is started when the run starts and stopped
+	// when it ends. It models an external resource manager feeding
+	// RequestAdapt/RequestStop from outside the deterministic policy path
+	// (ppar/internal/adapt.Manager implements it).
+	Driver AdaptDriver
+
 	// AdaptAt schedules a run-time adaptation at an absolute safe point.
+	//
+	// Deprecated-style sugar: equivalent to Policy: AdaptAt(sp, AdaptTo).
 	AdaptAtSafePoint uint64
 	// AdaptTo is the target applied at AdaptAtSafePoint.
 	AdaptTo AdaptTarget
 	// StopCheckpointAt takes a canonical checkpoint at the given safe
 	// point and stops the run — the paper's adaptation-by-restart: the
 	// caller relaunches a differently-configured engine which replays
-	// from the snapshot (Figures 6 and 7).
+	// from the snapshot (Figures 6 and 7). Sugar for Policy: StopAt(sp).
 	StopCheckpointAt uint64
 
 	// FailAtSafePoint injects a failure (process death) at the given safe
@@ -168,12 +200,24 @@ type Report struct {
 var ErrInjectedFailure = errors.New("core: injected failure")
 
 // ErrStopped reports that the run checkpointed and stopped for
-// adaptation-by-restart.
-type ErrStopped struct{ SafePoint uint64 }
+// adaptation-by-restart. When the stop was triggered by context
+// cancellation, Cause carries the context's cause so that
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) holds.
+type ErrStopped struct {
+	SafePoint uint64
+	Cause     error
+}
 
 func (e *ErrStopped) Error() string {
-	return fmt.Sprintf("core: run checkpointed and stopped at safe point %d for adaptation by restart", e.SafePoint)
+	msg := fmt.Sprintf("core: run checkpointed and stopped at safe point %d for adaptation by restart", e.SafePoint)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
 }
+
+// Unwrap exposes the cancellation cause, if any.
+func (e *ErrStopped) Unwrap() error { return e.Cause }
 
 type stopToken struct{ sp uint64 }
 type failToken struct {
@@ -199,9 +243,9 @@ type Engine struct {
 	cfg     Config
 	factory Factory
 	adv     *adviceTable
+	policy  AdaptPolicy
 
-	store  *ckpt.Store
-	ledger *ckpt.Ledger
+	store ckpt.Store
 
 	resumeSnap   *serial.Snapshot // canonical snapshot found at start-up
 	shardResume  bool             // restart from per-rank shards instead
@@ -217,8 +261,9 @@ type Engine struct {
 	syncMu sync.Mutex
 	crits  map[string]*sync.Mutex
 
-	stopped atomic.Pointer[stopToken]
-	failed  atomic.Bool
+	stopped   atomic.Pointer[stopToken]
+	failed    atomic.Bool
+	cancelled atomic.Bool
 
 	repMu   sync.Mutex
 	report  Report
@@ -239,6 +284,19 @@ func New(cfg Config, factory Factory) (*Engine, error) {
 		adv:     mergeModules(cfg.Modules),
 		crits:   map[string]*sync.Mutex{},
 	}
+	// Fold the legacy one-shot trigger fields and the pluggable policy
+	// into one chain (legacy triggers first, matching their old priority).
+	var ps []AdaptPolicy
+	if cfg.StopCheckpointAt > 0 {
+		ps = append(ps, StopAt(cfg.StopCheckpointAt))
+	}
+	if cfg.AdaptAtSafePoint > 0 {
+		ps = append(ps, AdaptAt(cfg.AdaptAtSafePoint, cfg.AdaptTo))
+	}
+	if cfg.Policy != nil {
+		ps = append(ps, cfg.Policy)
+	}
+	e.policy = Policies(ps...)
 	e.curThreads.Store(int64(cfg.Threads))
 	return e, nil
 }
@@ -246,11 +304,19 @@ func New(cfg Config, factory Factory) (*Engine, error) {
 // RequestAdapt asks for a run-time adaptation; it is applied at the next
 // safe point the coordinator reaches (Shared mode) — the path a resource
 // manager uses when "availability of new resources" is detected (§I).
-// Distributed adaptation must be scheduled at an absolute safe point via
-// Config.AdaptAtSafePoint, because ranks only synchronise their safe-point
-// counters at collectives.
+// Distributed adaptation must be scheduled at an absolute safe point via an
+// AdaptPolicy (AdaptAt, Schedule, ...), because ranks only synchronise
+// their safe-point counters at collectives. A target with Stop set is a
+// graceful checkpoint-and-stop request (see RequestStop).
 func (e *Engine) RequestAdapt(t AdaptTarget) {
 	e.pending.Store(&t)
+}
+
+// RequestStop asks the run to take a canonical checkpoint and stop at the
+// next safe point the coordinator reaches — programmatic graceful shutdown,
+// equivalent to cancelling the context passed to RunContext.
+func (e *Engine) RequestStop() {
+	e.cancelled.Store(true)
 }
 
 // Report returns the measurements collected by the last Run.
@@ -261,20 +327,48 @@ func (e *Engine) Report() Report {
 }
 
 // Run executes the deployment to completion, restart, stop or failure.
-func (e *Engine) Run() error {
+func (e *Engine) Run() error { return e.RunContext(context.Background()) }
+
+// RunContext is Run under a context. Cancellation maps to graceful
+// checkpoint-and-stop: at the next safe point the coordinator reaches, a
+// canonical snapshot is taken (if a store is configured) and every line of
+// execution unwinds; RunContext then returns an *ErrStopped wrapping the
+// context's cause, and a relaunched engine replays from the snapshot. In
+// distributed modes the stop is scheduled at the coordinator's next safe
+// point, so — like RequestAdapt — it relies on ranks keeping in loose
+// lockstep through the application's collectives.
+func (e *Engine) RunContext(ctx context.Context) error {
 	e.started = time.Now()
 	defer func() {
 		e.repMu.Lock()
 		e.report.Elapsed = time.Since(e.started)
 		e.repMu.Unlock()
 	}()
-	if e.cfg.CheckpointDir != "" {
+	if e.cfg.Store != nil || e.cfg.CheckpointDir != "" {
 		if err := e.openCheckpointing(); err != nil {
 			return err
 		}
-		if err := e.ledger.Start(); err != nil {
+		if err := e.store.LedgerStart(e.cfg.AppName); err != nil {
 			return err
 		}
+	}
+	if ctx.Err() != nil {
+		// Already cancelled: stop at the first scheduled safe point.
+		e.cancelled.Store(true)
+	} else if ctx.Done() != nil {
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-ctx.Done():
+				e.cancelled.Store(true)
+			case <-finished:
+			}
+		}()
+	}
+	if e.cfg.Driver != nil {
+		stop := e.cfg.Driver.Drive(e)
+		defer stop()
 	}
 	var err error
 	switch e.cfg.Mode {
@@ -292,7 +386,11 @@ func (e *Engine) Run() error {
 		e.report.Stopped = true
 		e.report.StoppedAt = tok.sp
 		e.repMu.Unlock()
-		return &ErrStopped{SafePoint: tok.sp}
+		serr := &ErrStopped{SafePoint: tok.sp}
+		if ctx.Err() != nil {
+			serr.Cause = context.Cause(ctx)
+		}
+		return serr
 	}
 	if e.failed.Load() {
 		e.repMu.Lock()
@@ -300,8 +398,8 @@ func (e *Engine) Run() error {
 		e.repMu.Unlock()
 		return ErrInjectedFailure
 	}
-	if e.ledger != nil {
-		if err := e.ledger.Finish(); err != nil {
+	if e.store != nil {
+		if err := e.store.LedgerFinish(e.cfg.AppName); err != nil {
 			return err
 		}
 	}
@@ -311,16 +409,15 @@ func (e *Engine) Run() error {
 // openCheckpointing sets up the store and the pcr module, detecting whether
 // the previous execution crashed and, if so, arming replay (§IV.A, Fig. 2b).
 func (e *Engine) openCheckpointing() error {
-	var err error
-	e.store, err = ckpt.NewStore(e.cfg.CheckpointDir)
-	if err != nil {
-		return err
+	e.store = e.cfg.Store
+	if e.store == nil {
+		fsStore, err := ckpt.NewFS(e.cfg.CheckpointDir)
+		if err != nil {
+			return err
+		}
+		e.store = fsStore
 	}
-	e.ledger, err = ckpt.NewLedger(e.cfg.CheckpointDir, e.cfg.AppName)
-	if err != nil {
-		return err
-	}
-	crashed, err := e.ledger.Crashed()
+	crashed, err := e.store.Crashed(e.cfg.AppName)
 	if err != nil {
 		return err
 	}

@@ -36,22 +36,39 @@ func (c *Ctx) SafePoint() {
 		e.failed.Store(true)
 		panic(failToken{sp: sp, rank: c.Rank()})
 	}
-	if e.cfg.StopCheckpointAt == sp {
-		c.stopCheckpoint(sp)
+	// Policy-driven adaptation: Decide is a pure function of deterministic
+	// run stats, so every line of execution (and, in hybrid deployments,
+	// every rank's team) triggers independently without shared mutable
+	// state — exactly like the former config-scheduled triggers it
+	// subsumes.
+	fired := false
+	if p := e.policy; p != nil {
+		switch t := p.Decide(c.runStats(sp)); {
+		case t.Stop:
+			c.stopCheckpoint(sp)
+		case !t.IsZero():
+			c.adaptNow(sp, t)
+			fired = true
+		}
 	}
-	// Config-scheduled adaptation: a pure function of sp, so every line of
-	// execution (and, in hybrid deployments, every rank's team) triggers
-	// independently without shared mutable state.
-	if e.cfg.AdaptAtSafePoint == sp {
-		c.adaptNow(sp, e.cfg.AdaptTo)
-	} else if at := e.scheduled.Load(); at != 0 && at == sp {
-		// Dynamically scheduled adaptation (RequestAdapt path).
-		if t := e.pending.Load(); t != nil {
-			c.adaptNow(sp, *t)
+	if at := e.scheduled.Load(); at != 0 && at == sp {
+		// Dynamically scheduled request (RequestAdapt / RequestStop /
+		// context cancellation path).
+		if t := e.pending.Load(); t != nil && !fired {
+			if t.Stop {
+				c.stopCheckpoint(sp)
+			} else {
+				c.adaptNow(sp, *t)
+			}
 		}
 	} else if c.isCoordinator() {
 		switch {
 		case at == 0:
+			if e.cancelled.Load() && e.pending.Load() == nil {
+				// Context cancellation / RequestStop turns into a
+				// scheduled checkpoint-and-stop request.
+				e.pending.Store(&AdaptTarget{Stop: true})
+			}
 			if t := e.pending.Load(); t != nil {
 				// Schedule for the NEXT safe point: every other thread
 				// is guaranteed to observe the schedule before reaching
@@ -70,6 +87,20 @@ func (c *Ctx) SafePoint() {
 	}
 	if e.dueAt(sp) {
 		c.checkpoint(sp)
+	}
+}
+
+// runStats assembles the deterministic policy view at safe point sp. Every
+// field is identical on every line of execution at the same safe point, as
+// AdaptPolicy.Decide requires.
+func (c *Ctx) runStats(sp uint64) RunStats {
+	e := c.eng
+	return RunStats{
+		SafePoint: sp,
+		Mode:      e.cfg.Mode,
+		Threads:   c.Threads(),
+		Procs:     c.Procs(),
+		Restarted: e.resumeSnap != nil || e.shardResume,
 	}
 }
 
@@ -112,8 +143,13 @@ func (c *Ctx) checkpoint(sp uint64) {
 	}
 }
 
-// localSave writes a canonical snapshot from this process's fields.
+// localSave writes a canonical snapshot from this process's fields. With no
+// store configured (a context-cancelled run without checkpointing) it is a
+// no-op: the run still stops gracefully, it just leaves nothing to replay.
 func (c *Ctx) localSave(sp uint64) {
+	if c.eng.store == nil {
+		return
+	}
 	start := time.Now()
 	snap, err := c.fields.snapshot(c.eng.cfg.AppName, c.eng.cfg.Mode.String(), sp)
 	c.must(err)
@@ -174,6 +210,9 @@ func (c *Ctx) stopCheckpoint(sp uint64) {
 }
 
 func (c *Ctx) stopSaveDist(sp uint64) {
+	if c.eng.store == nil {
+		return // all ranks agree: stop without a snapshot
+	}
 	start := time.Now()
 	for _, f := range c.fields.partitionedNames() {
 		c.must(c.fields.gatherAt(f, c.comm, 0, c.Procs()))

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"ppar/internal/ckpt"
 	"ppar/internal/cluster"
 	"ppar/internal/core"
 	"ppar/internal/jgf"
@@ -40,7 +41,11 @@ type RealScale struct {
 	// MaxPE caps the environment list (goroutine worlds beyond the host's
 	// cores still execute correctly, just without wall-clock speedup).
 	MaxPE int
-	Dir   string // checkpoint directory
+	Dir   string // checkpoint directory (used when Store is nil)
+	// Store, when non-nil, is the checkpoint backend used instead of a
+	// filesystem store in Dir (the ppbench -store flag plugs in the
+	// in-memory or gzip store here).
+	Store ckpt.Store
 }
 
 // DefaultRealScale suits a small container.
@@ -93,6 +98,7 @@ func cfgFor(e env, scale RealScale, withCkpt bool, every uint64, maxCkpt int) co
 	}
 	if withCkpt {
 		cfg.Modules = jgf.SORModules(cfg.Mode)
+		cfg.Store = scale.Store
 		cfg.CheckpointDir = scale.Dir
 		cfg.CheckpointEvery = every
 		cfg.MaxCheckpoints = maxCkpt
@@ -273,8 +279,8 @@ func Fig6Real(scale RealScale) (*metrics.Table, error) {
 
 	cfg := core.Config{
 		Mode: core.Distributed, Procs: 2, AppName: "fig6-sor",
-		Modules:       jgf.SORModules(core.Distributed),
-		CheckpointDir: scale.Dir, StopCheckpointAt: stopAt,
+		Modules: jgf.SORModules(core.Distributed),
+		Store:   scale.Store, CheckpointDir: scale.Dir, StopCheckpointAt: stopAt,
 	}
 	eng, err := core.New(cfg, factory)
 	if err != nil {
@@ -346,8 +352,8 @@ func Fig7Real(scale RealScale) (*metrics.Table, error) {
 		factory := func() core.App { return jgf.NewSOR(scale.N, scale.Iters, res) }
 		first := core.Config{
 			Mode: core.Shared, Threads: from, AppName: "fig7-sor",
-			Modules:       jgf.SORModules(core.Shared),
-			CheckpointDir: scale.Dir, StopCheckpointAt: adaptAt,
+			Modules: jgf.SORModules(core.Shared),
+			Store:   scale.Store, CheckpointDir: scale.Dir, StopCheckpointAt: adaptAt,
 		}
 		start := time.Now()
 		eng, err := core.New(first, factory)

@@ -24,7 +24,7 @@ type SOR struct {
 	Omega float64
 
 	// Checkpoint machinery, living invasively inside the domain type.
-	Store *ckpt.Store
+	Store *ckpt.FS
 	Every uint64
 	Max   int
 
@@ -50,7 +50,7 @@ func New(n, iters int) *SOR {
 
 // EnableCheckpoints turns on invasive checkpointing into dir.
 func (s *SOR) EnableCheckpoints(dir string, every uint64, max int) error {
-	st, err := ckpt.NewStore(dir)
+	st, err := ckpt.NewFS(dir)
 	if err != nil {
 		return err
 	}

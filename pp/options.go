@@ -1,0 +1,156 @@
+package pp
+
+import "ppar/internal/core"
+
+// Option configures one aspect of a deployment. Options are applied in
+// order by New; later options win where they overlap.
+type Option func(*core.Config)
+
+// New builds an engine for one deployment of the base program, assembled
+// from functional options:
+//
+//	eng, err := pp.New(factory,
+//		pp.WithMode(pp.Hybrid), pp.WithProcs(4), pp.WithThreads(2),
+//		pp.WithModules(smp, ckpt),
+//		pp.WithStore(pp.NewMemStore()), pp.WithCheckpointEvery(10),
+//	)
+//
+// With no options it is the unplugged sequential deployment.
+func New(factory Factory, opts ...Option) (*Engine, error) {
+	var cfg core.Config
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return core.New(cfg, factory)
+}
+
+// NewFromConfig builds an engine from a raw Config — the pre-options entry
+// point, kept for callers that assemble configurations as data. New is the
+// primary API.
+func NewFromConfig(cfg Config, factory Factory) (*Engine, error) {
+	return core.New(cfg, factory)
+}
+
+// WithName identifies checkpoint snapshots and the run ledger; two runs
+// that must see each other's checkpoints need the same name (default
+// "app").
+func WithName(name string) Option {
+	return func(c *core.Config) { c.AppName = name }
+}
+
+// WithMode selects the plugged machinery: Sequential, Shared, Distributed
+// or Hybrid.
+func WithMode(m Mode) Option {
+	return func(c *core.Config) { c.Mode = m }
+}
+
+// WithThreads sets the team size for Shared and Hybrid deployments.
+func WithThreads(n int) Option {
+	return func(c *core.Config) { c.Threads = n }
+}
+
+// WithProcs sets the world size for Distributed and Hybrid deployments.
+func WithProcs(n int) Option {
+	return func(c *core.Config) { c.Procs = n }
+}
+
+// WithTCP selects the TCP transport for distributed modes (default: the
+// in-process transport, which also supports run-time world resizing).
+func WithTCP() Option {
+	return func(c *core.Config) { c.TCP = true }
+}
+
+// WithDelay injects modelled link costs into the transport.
+func WithDelay(d DelayFunc) Option {
+	return func(c *core.Config) { c.Delay = d }
+}
+
+// WithModules plugs parallelisation/fault-tolerance modules onto the base
+// program. Repeated uses accumulate.
+func WithModules(mods ...*Module) Option {
+	return func(c *core.Config) { c.Modules = append(c.Modules, mods...) }
+}
+
+// WithStore selects the checkpoint backend and enables checkpointing. See
+// NewFSStore, NewMemStore and NewGzipStore for the stock implementations.
+func WithStore(s Store) Option {
+	return func(c *core.Config) { c.Store = s }
+}
+
+// WithCheckpointDir enables checkpointing into a filesystem store rooted at
+// dir — sugar for WithStore over the stock filesystem backend.
+func WithCheckpointDir(dir string) Option {
+	return func(c *core.Config) { c.CheckpointDir = dir }
+}
+
+// WithCheckpointEvery takes a snapshot each time the safe-point count is a
+// multiple of every (0 disables periodic checkpoints).
+func WithCheckpointEvery(every uint64) Option {
+	return func(c *core.Config) { c.CheckpointEvery = every }
+}
+
+// WithMaxCheckpoints caps the number of periodic snapshots (0 = no cap).
+func WithMaxCheckpoints(n int) Option {
+	return func(c *core.Config) { c.MaxCheckpoints = n }
+}
+
+// WithShardCheckpoints selects the paper's first distributed alternative
+// (each process saves a local snapshot between two barriers) instead of the
+// default gather-at-master canonical snapshot that enables cross-mode
+// restart.
+func WithShardCheckpoints() Option {
+	return func(c *core.Config) { c.ShardCheckpoints = true }
+}
+
+// WithAdaptPolicy consults p at every safe point to decide run-time
+// adaptations and checkpoint-and-stop. Repeated uses (and the sugar
+// WithAdaptAt/WithStopAt) chain; the first non-zero decision wins.
+func WithAdaptPolicy(p AdaptPolicy) Option {
+	return func(c *core.Config) {
+		if c.Policy == nil {
+			c.Policy = p
+			return
+		}
+		c.Policy = core.Policies(c.Policy, p)
+	}
+}
+
+// WithAdaptAt schedules one run-time adaptation at an absolute safe point —
+// sugar for WithAdaptPolicy(AdaptAt(sp, target)), so repeated uses chain.
+// A target the deployment cannot honour (adapting a Sequential run,
+// resizing a Hybrid or TCP world) aborts the run with a descriptive error
+// when it fires. sp 0 is a no-op.
+func WithAdaptAt(sp uint64, target AdaptTarget) Option {
+	if sp == 0 {
+		return nil
+	}
+	return WithAdaptPolicy(core.AdaptAt(sp, target))
+}
+
+// WithStopAt takes a canonical checkpoint at the given safe point and stops
+// the run — the paper's adaptation by restart; sugar for
+// WithAdaptPolicy(StopAt(sp)), so repeated uses chain. sp 0 is a no-op.
+func WithStopAt(sp uint64) Option {
+	if sp == 0 {
+		return nil
+	}
+	return WithAdaptPolicy(core.StopAt(sp))
+}
+
+// WithAdaptManager attaches an external adaptation driver (such as
+// *AdaptManager, the simulated resource manager): it is started when the
+// run starts, feeds RequestAdapt/RequestStop asynchronously, and is stopped
+// when the run ends.
+func WithAdaptManager(d AdaptDriver) Option {
+	return func(c *core.Config) { c.Driver = d }
+}
+
+// WithFailureAt injects a process failure at the given safe point, on rank
+// in distributed modes — the fault-injection harness used to exercise
+// restart. The ledger is left dirty so the next run replays from the last
+// checkpoint.
+func WithFailureAt(sp uint64, rank int) Option {
+	return func(c *core.Config) { c.FailAtSafePoint, c.FailRank = sp, rank }
+}

@@ -37,18 +37,54 @@
 //		SafePointAfter("iter").   // where snapshots may be taken
 //		Ignorable("sweep")        // what replay may skip
 //
-//	eng, err := pp.New(pp.Config{
-//		Mode: pp.Shared, Threads: 8,
-//		Modules:       []*pp.Module{smp, ckpt},
-//		CheckpointDir: "/tmp/ckpt", CheckpointEvery: 10,
-//	}, func() pp.App { return NewSOR(...) })
+// # Deployments are assembled from functional options
+//
+//	eng, err := pp.New(func() pp.App { return NewSOR(...) },
+//		pp.WithMode(pp.Shared), pp.WithThreads(8),
+//		pp.WithModules(smp, ckpt),
+//		pp.WithCheckpointDir("/tmp/ckpt"), pp.WithCheckpointEvery(10),
+//	)
 //	err = eng.Run()
 //
 // The same base code deploys Sequential, Shared (thread team), Distributed
 // (SPMD aggregate replicas) or Hybrid; checkpoints taken by the
 // gather-at-master protocol restart in ANY mode; and the running program
-// can expand or contract its thread team / replica world at safe points
-// (Config.AdaptAtSafePoint or Engine.RequestAdapt).
+// can expand or contract its thread team / replica world at safe points.
+//
+// # Pluggable checkpoint backends
+//
+// Checkpoint transport is a Store interface with three stock
+// implementations — filesystem (NewFSStore), in-memory (NewMemStore) and a
+// gzip-compressing wrapper (NewGzipStore) — selected with WithStore:
+//
+//	store := pp.NewGzipStore(pp.NewMemStore())
+//	eng, err := pp.New(factory, pp.WithMode(pp.Distributed), pp.WithProcs(4),
+//		pp.WithModules(mods...), pp.WithStore(store), pp.WithCheckpointEvery(10))
+//
+// WithCheckpointDir(dir) remains as sugar for WithStore(filesystem store).
+// Because the canonical snapshot format is mode-independent, a checkpoint
+// written through any Store restarts under any mode — including through a
+// purely in-memory store shared by the two engines.
+//
+// # Pluggable adaptation policies
+//
+// Run-time adaptation and checkpoint-and-stop are decided by an
+// AdaptPolicy consulted at every safe point. Stock policies: AdaptAt
+// (reshape at a safe point), StopAt (checkpoint-and-stop at a safe point,
+// the paper's adaptation by restart), Schedule (a fixed sequence of
+// reshapings) and Policies (chaining). Asynchronous, wall-clock sources —
+// a resource manager granting or revoking nodes — use WithAdaptManager or
+// Engine.RequestAdapt / Engine.RequestStop instead.
+//
+// # Lifecycle
+//
+// Engine.RunContext(ctx) runs under a context; cancellation maps to a
+// graceful checkpoint-and-stop at the next safe point, after which the run
+// returns *ErrStopped (wrapping the context cause) and a relaunched engine
+// — in any mode — replays from the snapshot.
+//
+// Callers that still hold a raw Config can use NewFromConfig, the
+// compatibility entry point; New with options is the primary API.
 package pp
 
 import (
@@ -66,7 +102,8 @@ type (
 	Factory = core.Factory
 	// Ctx is the execution context handed to the base program.
 	Ctx = core.Ctx
-	// Config assembles one deployment.
+	// Config assembles one deployment (legacy struct form; prefer the
+	// functional options of New).
 	Config = core.Config
 	// Engine executes one deployment.
 	Engine = core.Engine
@@ -74,12 +111,15 @@ type (
 	Module = core.Module
 	// Mode selects the plugged machinery.
 	Mode = core.Mode
-	// AdaptTarget describes a requested reshaping.
+	// AdaptTarget describes a requested reshaping (or, with Stop set, a
+	// checkpoint-and-stop).
 	AdaptTarget = core.AdaptTarget
 	// Report carries a run's measurements.
 	Report = core.Report
 	// ErrStopped reports a checkpoint-and-stop (adaptation by restart).
 	ErrStopped = core.ErrStopped
+	// DelayFunc models per-message link costs on the transport.
+	DelayFunc = core.DelayFunc
 )
 
 // Deployment modes.
@@ -107,9 +147,6 @@ const (
 
 // ErrInjectedFailure reports that a configured failure injection fired.
 var ErrInjectedFailure = core.ErrInjectedFailure
-
-// New builds an engine for one deployment of the base program.
-func New(cfg Config, factory Factory) (*Engine, error) { return core.New(cfg, factory) }
 
 // NewModule creates an empty pluggable module.
 func NewModule(name string) *Module { return core.NewModule(name) }

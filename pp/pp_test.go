@@ -1,7 +1,9 @@
 package pp_test
 
 import (
+	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"ppar/pp"
@@ -62,64 +64,71 @@ func modules(mode pp.Mode) []*pp.Module {
 	return []*pp.Module{par, ck}
 }
 
-func run(t *testing.T, cfg pp.Config) float64 {
+// deploy builds the counter deployment from functional options, appending
+// the mode's modules and a stable name.
+func deploy(t *testing.T, total *float64, mode pp.Mode, opts ...pp.Option) *pp.Engine {
 	t.Helper()
-	var total float64
-	cfg.AppName = "pp-counter"
-	cfg.Modules = modules(cfg.Mode)
-	eng, err := pp.New(cfg, func() pp.App {
-		return &counter{Out: make([]float64, 120), Blocks: 6, total: &total}
-	})
+	opts = append([]pp.Option{
+		pp.WithName("pp-counter"),
+		pp.WithMode(mode),
+		pp.WithModules(modules(mode)...),
+	}, opts...)
+	eng, err := pp.New(func() pp.App {
+		return &counter{Out: make([]float64, 120), Blocks: 6, total: total}
+	}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return eng
+}
+
+func run(t *testing.T, mode pp.Mode, opts ...pp.Option) float64 {
+	t.Helper()
+	var total float64
+	eng := deploy(t, &total, mode, opts...)
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
 	return total
 }
 
-func TestPublicAPIAcrossModes(t *testing.T) {
+func wantTotal() float64 {
 	want := 0.0
 	for i := 0; i < 120; i++ {
 		want += float64(i) * float64(i)
 	}
-	for _, cfg := range []pp.Config{
-		{Mode: pp.Sequential},
-		{Mode: pp.Shared, Threads: 3},
-		{Mode: pp.Distributed, Procs: 4},
-		{Mode: pp.Hybrid, Procs: 2, Threads: 2},
+	return want
+}
+
+func TestPublicAPIAcrossModes(t *testing.T) {
+	want := wantTotal()
+	for _, d := range []struct {
+		mode pp.Mode
+		opts []pp.Option
+	}{
+		{pp.Sequential, nil},
+		{pp.Shared, []pp.Option{pp.WithThreads(3)}},
+		{pp.Distributed, []pp.Option{pp.WithProcs(4)}},
+		{pp.Hybrid, []pp.Option{pp.WithProcs(2), pp.WithThreads(2)}},
 	} {
-		if got := run(t, cfg); got != want {
-			t.Errorf("%v: total=%v want %v", cfg.Mode, got, want)
+		if got := run(t, d.mode, d.opts...); got != want {
+			t.Errorf("%v: total=%v want %v", d.mode, got, want)
 		}
 	}
 }
 
 func TestPublicAPIFailureRecovery(t *testing.T) {
-	want := run(t, pp.Config{Mode: pp.Sequential})
+	want := run(t, pp.Sequential)
 	dir := t.TempDir()
 	var total float64
-	factory := func() pp.App {
-		return &counter{Out: make([]float64, 120), Blocks: 6, total: &total}
-	}
-	cfg := pp.Config{
-		Mode: pp.Distributed, Procs: 3, AppName: "pp-counter",
-		Modules:       modules(pp.Distributed),
-		CheckpointDir: dir, CheckpointEvery: 2, FailAtSafePoint: 5,
-	}
-	eng, err := pp.New(cfg, factory)
-	if err != nil {
-		t.Fatal(err)
-	}
+	eng := deploy(t, &total, pp.Distributed, pp.WithProcs(3),
+		pp.WithCheckpointDir(dir), pp.WithCheckpointEvery(2),
+		pp.WithFailureAt(5, 0))
 	if err := eng.Run(); !errors.Is(err, pp.ErrInjectedFailure) {
 		t.Fatalf("want injected failure, got %v", err)
 	}
-	cfg.FailAtSafePoint = 0
-	eng2, err := pp.New(cfg, factory)
-	if err != nil {
-		t.Fatal(err)
-	}
+	eng2 := deploy(t, &total, pp.Distributed, pp.WithProcs(3),
+		pp.WithCheckpointDir(dir), pp.WithCheckpointEvery(2))
 	if err := eng2.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -129,22 +138,73 @@ func TestPublicAPIFailureRecovery(t *testing.T) {
 }
 
 func TestPublicAPIAdaptation(t *testing.T) {
-	want := run(t, pp.Config{Mode: pp.Sequential})
-	got := run(t, pp.Config{
-		Mode: pp.Shared, Threads: 2,
-		AdaptAtSafePoint: 3, AdaptTo: pp.AdaptTarget{Threads: 4},
-	})
+	want := run(t, pp.Sequential)
+	got := run(t, pp.Shared, pp.WithThreads(2),
+		pp.WithAdaptAt(3, pp.AdaptTarget{Threads: 4}))
 	if got != want {
 		t.Fatalf("adapted total=%v want %v", got, want)
+	}
+}
+
+func TestPublicAPIAdaptPolicy(t *testing.T) {
+	want := run(t, pp.Sequential)
+	var eng *pp.Engine
+	got := func() float64 {
+		var total float64
+		eng = deploy(t, &total, pp.Shared, pp.WithThreads(2),
+			pp.WithAdaptPolicy(pp.Schedule(
+				pp.AdaptStep{At: 2, Target: pp.AdaptTarget{Threads: 4}},
+				pp.AdaptStep{At: 4, Target: pp.AdaptTarget{Threads: 2}},
+			)))
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}()
+	if got != want {
+		t.Fatalf("adapted total=%v want %v", got, want)
+	}
+	if !eng.Report().Adapted {
+		t.Fatal("schedule policy did not adapt")
+	}
+}
+
+func TestChainedAdaptSugar(t *testing.T) {
+	// Repeated WithAdaptAt calls chain: both reshapings fire.
+	want := run(t, pp.Sequential)
+	var total float64
+	eng := deploy(t, &total, pp.Shared, pp.WithThreads(2),
+		pp.WithAdaptAt(2, pp.AdaptTarget{Threads: 4}),
+		pp.WithAdaptAt(4, pp.AdaptTarget{Threads: 2}))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Report().Adapted {
+		t.Fatal("chained WithAdaptAt did not adapt")
+	}
+	if total != want {
+		t.Fatalf("total=%v want %v", total, want)
+	}
+}
+
+func TestSequentialAdaptPolicyAbortsLoudly(t *testing.T) {
+	// A policy requesting an adaptation that Sequential mode cannot honour
+	// must abort the run with a descriptive error, not silently no-op.
+	var total float64
+	eng := deploy(t, &total, pp.Sequential,
+		pp.WithAdaptPolicy(pp.AdaptAt(2, pp.AdaptTarget{Threads: 4})))
+	err := eng.Run()
+	if err == nil || !strings.Contains(err.Error(), "Sequential mode cannot adapt") {
+		t.Fatalf("want a loud Sequential-cannot-adapt error, got %v", err)
 	}
 }
 
 func TestPublicAPIReductions(t *testing.T) {
 	var got float64
 	mod := pp.NewModule("red").ParallelMethod("run")
-	eng, err := pp.New(pp.Config{Mode: pp.Shared, Threads: 4, AppName: "pp-red",
-		Modules: []*pp.Module{mod}},
-		func() pp.App { return &sumApp{out: &got} })
+	eng, err := pp.New(func() pp.App { return &sumApp{out: &got} },
+		pp.WithName("pp-red"), pp.WithMode(pp.Shared), pp.WithThreads(4),
+		pp.WithModules(mod))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,4 +225,85 @@ func (a *sumApp) Main(ctx *pp.Ctx) {
 			*a.out = s
 		}
 	})
+}
+
+func TestNewFromConfigCompat(t *testing.T) {
+	// The pre-options entry point still assembles the same deployment.
+	var total float64
+	cfg := pp.Config{
+		AppName: "pp-counter", Mode: pp.Shared, Threads: 3,
+		Modules: modules(pp.Shared),
+	}
+	eng, err := pp.NewFromConfig(cfg, func() pp.App {
+		return &counter{Out: make([]float64, 120), Blocks: 6, total: &total}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := wantTotal(); total != want {
+		t.Fatalf("total=%v want %v", total, want)
+	}
+}
+
+func TestRunContextCancelStopsAndResumes(t *testing.T) {
+	want := run(t, pp.Sequential)
+	store := pp.NewMemStore()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run: stop at the first scheduled safe point
+	var total float64
+	eng := deploy(t, &total, pp.Shared, pp.WithThreads(2), pp.WithStore(store))
+	err := eng.RunContext(ctx)
+	var stopped *pp.ErrStopped
+	if !errors.As(err, &stopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stop error does not wrap the context cause: %v", err)
+	}
+	if sp := stopped.SafePoint; sp == 0 || sp >= 6 {
+		t.Fatalf("stopped at safe point %d, want an early one", sp)
+	}
+
+	// Relaunch (any mode): replays from the snapshot and completes.
+	eng2 := deploy(t, &total, pp.Shared, pp.WithThreads(4), pp.WithStore(store))
+	if err := eng2.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if total != want {
+		t.Fatalf("resumed total=%v want %v", total, want)
+	}
+	if !eng2.Report().Restarted {
+		t.Fatal("second run did not restart from the snapshot")
+	}
+}
+
+func TestRunContextCancelWithoutStore(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var total float64
+	eng := deploy(t, &total, pp.Sequential)
+	err := eng.RunContext(ctx)
+	var stopped *pp.ErrStopped
+	if !errors.As(err, &stopped) {
+		t.Fatalf("want graceful stop without a store, got %v", err)
+	}
+}
+
+func TestRequestStop(t *testing.T) {
+	store := pp.NewMemStore()
+	var total float64
+	eng := deploy(t, &total, pp.Shared, pp.WithThreads(2), pp.WithStore(store))
+	eng.RequestStop() // before the run: honoured at the first scheduled safe point
+	err := eng.Run()
+	var stopped *pp.ErrStopped
+	if !errors.As(err, &stopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("RequestStop must not report a context cause")
+	}
 }

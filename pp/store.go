@@ -1,0 +1,40 @@
+package pp
+
+import (
+	"ppar/internal/ckpt"
+	"ppar/internal/serial"
+)
+
+// Store is the pluggable checkpoint backend: it persists canonical and
+// per-rank shard snapshots and keeps the crash ledger that decides whether
+// the next run must replay. Select one with WithStore; implement it to
+// target remote or sharded storage. Implementations must be safe for
+// concurrent use by multiple ranks.
+type Store = ckpt.Store
+
+// Snapshot is the portable in-memory form of one checkpoint (see
+// ppar/internal/serial for the container format). Custom Store
+// implementations receive and return snapshots.
+type Snapshot = serial.Snapshot
+
+// NewFSStore creates the stock filesystem store rooted at dir: one file per
+// snapshot, written with temp-then-rename atomicity, plus a marker-file
+// crash ledger. WithCheckpointDir(dir) is sugar for WithStore(NewFSStore(dir)).
+func NewFSStore(dir string) (Store, error) { return ckpt.NewFS(dir) }
+
+// NewMemStore creates the stock in-memory store: snapshots are held in
+// their encoded container form inside the process. It makes tests fast and
+// lets embedded uses checkpoint/restart (including across modes) without
+// touching a filesystem; share the same value between the runs that must
+// see each other's checkpoints.
+func NewMemStore() Store { return ckpt.NewMem() }
+
+// NewGzipStore wraps any Store with transparent gzip compression of the
+// encoded snapshot container. Snapshots written without the wrapper are
+// still readable through it, so a deployment can be upgraded to compression
+// in place.
+func NewGzipStore(inner Store) Store { return ckpt.NewGzip(inner, 0) }
+
+// NewGzipStoreLevel is NewGzipStore with an explicit gzip compression level
+// (gzip.BestSpeed..gzip.BestCompression; 0 selects the default).
+func NewGzipStoreLevel(inner Store, level int) Store { return ckpt.NewGzip(inner, level) }
