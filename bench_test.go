@@ -15,6 +15,7 @@ import (
 	"ppar/internal/jgf"
 	"ppar/internal/jgf/invasive"
 	"ppar/internal/jgf/refimpl"
+	"ppar/internal/md"
 	"ppar/internal/team"
 	"ppar/pp"
 )
@@ -488,4 +489,85 @@ func BenchmarkAblation_CallOverhead(b *testing.B) {
 			refimpl.Sequential(benchN, benchIters)
 		}
 	})
+}
+
+// --- Asynchronous checkpoint pipeline -----------------------------------
+
+// Sync vs async checkpointing on the SOR kernel. SaveTotal is the time
+// lines of execution stood blocked at the save barrier: synchronous saves
+// pay encode+fsync there, the async pipeline only the double-buffer
+// capture (the persist overlaps computation and lands in AsyncSaveTotal).
+func BenchmarkAsyncCheckpointSOR(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		async bool
+	}{{"sync", false}, {"async", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			opts := benchOpts(pp.Shared, 4,
+				pp.WithCheckpointDir(b.TempDir()),
+				pp.WithCheckpointEvery(5))
+			if tc.async {
+				opts = append(opts, pp.WithAsyncCheckpoint())
+			}
+			var blocked, background, drain, ckpts int64
+			for i := 0; i < b.N; i++ {
+				rep := runBench(b, benchN, benchIters, opts...)
+				blocked += rep.SaveTotal.Nanoseconds()
+				background += rep.AsyncSaveTotal.Nanoseconds()
+				drain += rep.DrainTotal.Nanoseconds()
+				ckpts += int64(rep.Checkpoints)
+			}
+			if ckpts == 0 {
+				b.Fatal("no checkpoints persisted")
+			}
+			b.ReportMetric(float64(blocked)/float64(b.N), "blocked-ns/op")
+			b.ReportMetric(float64(blocked)/float64(ckpts), "blocked-ns/ckpt")
+			b.ReportMetric(float64(background)/float64(b.N), "bg-write-ns/op")
+			b.ReportMetric(float64(drain)/float64(b.N), "drain-ns/op")
+		})
+	}
+}
+
+// The same comparison on the molecular-dynamics kernel, whose safe data is
+// three flat phase-space arrays instead of one matrix.
+func BenchmarkAsyncCheckpointMD(b *testing.B) {
+	const atoms, steps = 512, 20
+	for _, tc := range []struct {
+		name  string
+		async bool
+	}{{"sync", false}, {"async", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			opts := []pp.Option{
+				pp.WithName("bench-md"),
+				pp.WithMode(pp.Shared), pp.WithThreads(4),
+				pp.WithModules(md.Modules(pp.Shared)...),
+				pp.WithCheckpointDir(b.TempDir()),
+				pp.WithCheckpointEvery(5),
+			}
+			if tc.async {
+				opts = append(opts, pp.WithAsyncCheckpoint())
+			}
+			var blocked, background int64
+			for i := 0; i < b.N; i++ {
+				res := &md.Observables{}
+				eng, err := pp.New(func() pp.App { return md.New(md.LennardJones{}, atoms, steps, res) }, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				rep := eng.Report()
+				if rep.Checkpoints == 0 {
+					b.Fatal("no checkpoints persisted")
+				}
+				blocked += rep.SaveTotal.Nanoseconds()
+				background += rep.AsyncSaveTotal.Nanoseconds()
+			}
+			b.ReportMetric(float64(blocked)/float64(b.N), "blocked-ns/op")
+			b.ReportMetric(float64(background)/float64(b.N), "bg-write-ns/op")
+		})
+	}
 }

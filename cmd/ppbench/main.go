@@ -32,9 +32,10 @@ func run() int {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	dir := fs.String("ckptdir", "", "checkpoint directory for -real (default: temp)")
 	storeKind := fs.String("store", "fs", "checkpoint backend for -real: fs | mem | gzip")
+	async := fs.Bool("async", false, "asynchronous double-buffered checkpointing for -real")
 	fs.Parse(os.Args[1:])
 
-	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir}
+	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir, Async: *async}
 	if scale.Dir == "" {
 		tmp, err := os.MkdirTemp("", "ppbench-*")
 		if err != nil {

@@ -6,15 +6,19 @@
 // functional options (pp.New(factory, pp.WithMode(...), pp.WithThreads(...),
 // pp.WithModules(...), ...)); checkpoint transport is a pluggable pp.Store
 // (filesystem, in-memory, or gzip-compressing wrapper, selected with
-// pp.WithStore); run-time adaptation and checkpoint-and-stop are decided by
-// a pluggable pp.AdaptPolicy (pp.WithAdaptPolicy); and runs are
-// context-aware (Engine.RunContext maps cancellation to a graceful
-// checkpoint-and-stop that a relaunched engine resumes from, in any mode).
+// pp.WithStore); checkpointing is synchronous at the safe-point barrier by
+// default or asynchronous and double-buffered with pp.WithAsyncCheckpoint
+// (capture at the barrier, encode+persist overlapped with computation);
+// run-time adaptation and checkpoint-and-stop are decided by a pluggable
+// pp.AdaptPolicy (pp.WithAdaptPolicy); and runs are context-aware
+// (Engine.RunContext maps cancellation to a graceful checkpoint-and-stop
+// that a relaunched engine resumes from, in any mode).
 //
 // README.md has the overview and quickstart, DESIGN.md the system inventory
 // and per-experiment index, EXPERIMENTS.md the paper-vs-measured comparison
 // for every figure. The benchmarks in bench_test.go regenerate each figure
 // of the paper's evaluation; the ppbench command prints them as tables, and
 // ppsor runs the SOR benchmark under any deployment from the command line
-// (including -store=fs|mem|gzip backend selection).
+// (including -store=fs|mem|gzip backend selection and -async
+// checkpointing).
 package ppar

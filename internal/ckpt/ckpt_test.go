@@ -211,8 +211,8 @@ func TestCorruptFileSurfacesError(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Load("app"); err == nil {
-		t.Fatal("corrupt checkpoint loaded without error")
+	if _, found, err := s.Load("app"); err == nil || !found {
+		t.Fatalf("corrupt checkpoint: found=%v err=%v, want found=true with error", found, err)
 	}
 }
 
@@ -381,5 +381,89 @@ func TestCounter(t *testing.T) {
 	c.Set(100)
 	if c.Load() != 100 {
 		t.Fatal("Set/Load wrong")
+	}
+}
+
+// Clearing one application must not touch another whose name shares the
+// prefix: the old glob implementation of FS.Clear turned Clear("sor") into
+// rm sor*.ckpt, wiping "sor-large" too.
+func TestClearIsolatesPrefixSharingApps(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, app := range []string{"sor", "sor-large", "sor.r2x"} {
+				snap := serial.NewSnapshot(app, "seq", 1)
+				if err := s.Save(snap); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.SaveShard(snap, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Clear("sor"); err != nil {
+				t.Fatal(err)
+			}
+			if _, found, _ := s.Load("sor"); found {
+				t.Error(`canonical "sor" snapshot survived Clear`)
+			}
+			if _, found, _ := s.LoadShard("sor", 1); found {
+				t.Error(`"sor" shard survived Clear`)
+			}
+			for _, app := range []string{"sor-large", "sor.r2x"} {
+				if _, found, _ := s.Load(app); !found {
+					t.Errorf("Clear(%q) deleted %q's canonical snapshot", "sor", app)
+				}
+				if _, found, _ := s.LoadShard(app, 1); !found {
+					t.Errorf("Clear(%q) deleted %q's shard", "sor", app)
+				}
+			}
+		})
+	}
+}
+
+// A corrupt compressed snapshot exists — Load must say so (found=true) while
+// reporting the error, so callers can distinguish "no restart point" from
+// "restart point damaged".
+func TestGzipCorruptEnvelopeReportsFound(t *testing.T) {
+	inner := NewMem()
+	env := serial.NewSnapshot("app", gzipMode, 4)
+	env.Fields[gzipField] = serial.Bytes([]byte("this is not gzip data"))
+	if err := inner.Save(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.SaveShard(env, 2); err != nil {
+		t.Fatal(err)
+	}
+	gz := NewGzip(inner, 0)
+	if _, found, err := gz.Load("app"); !found || err == nil {
+		t.Fatalf("Load: found=%v err=%v, want found=true with error", found, err)
+	}
+	if _, found, err := gz.LoadShard("app", 2); !found || err == nil {
+		t.Fatalf("LoadShard: found=%v err=%v, want found=true with error", found, err)
+	}
+}
+
+// A write killed mid-flight leaves only a temp file; the previous, fully
+// persisted checkpoint must remain loadable — no torn state observable
+// through Load.
+func TestStaleTempFileDoesNotBreakLoad(t *testing.T) {
+	s, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := serial.NewSnapshot("app", "seq", 6)
+	snap.Fields["x"] = serial.Float64(1)
+	if err := s.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash during the next save: a half-written temp file.
+	if err := os.WriteFile(filepath.Join(s.Dir, ".ckpt-123456"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := s.Load("app")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if got.SafePoints != 6 {
+		t.Fatalf("loaded snapshot at sp %d, want 6", got.SafePoints)
 	}
 }

@@ -15,6 +15,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"sync"
 
 	"ppar/internal/serial"
@@ -106,7 +108,30 @@ func (s *FS) save(snap *serial.Snapshot, shard int) error {
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		return fmt.Errorf("ckpt: rename: %w", err)
 	}
+	// The rename is only durable once the directory entry itself is on
+	// disk: without the parent fsync a power failure can lose the
+	// just-renamed checkpoint even though the data blocks were synced.
+	if err := syncDir(s.Dir); err != nil {
+		return fmt.Errorf("ckpt: sync dir: %w", err)
+	}
 	return nil
+}
+
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		// Directory handles cannot be fsynced on Windows; the rename
+		// itself is the best durability available there.
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load reads the canonical snapshot for app.
@@ -130,23 +155,50 @@ func (s *FS) load(app string, shard int) (*serial.Snapshot, bool, error) {
 	defer f.Close()
 	snap, err := serial.Decode(f)
 	if err != nil {
-		return nil, false, fmt.Errorf("ckpt: decode %s: %w", s.path(app, shard), err)
+		// The snapshot exists but is damaged: found=true, so callers can
+		// distinguish "no restart point" from "restart point corrupt".
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", s.path(app, shard), err)
 	}
 	return snap, true, nil
 }
 
-// Clear removes all snapshots (canonical and shards) for app.
+// Clear removes all snapshots (canonical and shards) for app. Only the
+// exact app.ckpt / app.rN.ckpt names are matched: a prefix glob would also
+// delete checkpoints of any application whose name merely starts with app
+// (clearing "sor" must not wipe "sor-large").
 func (s *FS) Clear(app string) error {
-	matches, err := filepath.Glob(filepath.Join(s.Dir, app+"*.ckpt"))
+	entries, err := os.ReadDir(s.Dir)
 	if err != nil {
-		return err
+		return fmt.Errorf("ckpt: clear: %w", err)
 	}
-	for _, m := range matches {
-		if err := os.Remove(m); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	for _, e := range entries {
+		name := e.Name()
+		if name != app+".ckpt" && !isShardFile(name, app) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.Dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("ckpt: clear: %w", err)
 		}
 	}
 	return nil
+}
+
+// isShardFile reports whether name is exactly app.rN.ckpt for a decimal N.
+func isShardFile(name, app string) bool {
+	rest, ok := strings.CutPrefix(name, app+".r")
+	if !ok {
+		return false
+	}
+	digits, ok := strings.CutSuffix(rest, ".ckpt")
+	if !ok || digits == "" {
+		return false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *FS) ledgerPath(app string) string { return filepath.Join(s.Dir, app+".run") }
@@ -230,7 +282,8 @@ func (s *Mem) get(app string, shard int) (*serial.Snapshot, bool, error) {
 	}
 	snap, err := serial.Decode(bytes.NewReader(blob))
 	if err != nil {
-		return nil, false, fmt.Errorf("ckpt: decode %s: %w", memKey(app, shard), err)
+		// Exists but damaged: found=true, matching FS and Gzip.
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", memKey(app, shard), err)
 	}
 	return snap, true, nil
 }
@@ -249,14 +302,15 @@ func (s *Mem) LoadShard(app string, rank int) (*serial.Snapshot, bool, error) {
 	return s.get(app, rank)
 }
 
-// Clear removes all snapshots for app.
+// Clear removes all snapshots for app. Keys are matched exactly (canonical
+// and app.rN.ckpt shards): parsing with Sscanf would treat app as format
+// text (mangling names containing %) and accept keys with trailing junk.
 func (s *Mem) Clear(app string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.blobs, memKey(app, -1))
 	for k := range s.blobs {
-		var rank int
-		if n, _ := fmt.Sscanf(k, app+".r%d.ckpt", &rank); n == 1 {
+		if isShardFile(k, app) {
 			delete(s.blobs, k)
 		}
 	}
@@ -371,24 +425,34 @@ func (s *Gzip) SaveShard(snap *serial.Snapshot, rank int) error {
 	return s.inner.SaveShard(env, rank)
 }
 
-// Load reads and decompresses the canonical snapshot.
+// Load reads and decompresses the canonical snapshot. A snapshot that
+// exists but fails to decompress reports found=true alongside the error —
+// found=false means (only) that no checkpoint exists, and callers use it to
+// decide whether a restart point is available at all.
 func (s *Gzip) Load(app string) (*serial.Snapshot, bool, error) {
 	env, found, err := s.inner.Load(app)
 	if err != nil || !found {
 		return nil, found, err
 	}
 	snap, err := decompress(env)
-	return snap, err == nil, err
+	if err != nil {
+		return nil, true, err
+	}
+	return snap, true, nil
 }
 
-// LoadShard reads and decompresses rank's snapshot.
+// LoadShard reads and decompresses rank's snapshot; like Load, a corrupt
+// snapshot reports found=true with the error.
 func (s *Gzip) LoadShard(app string, rank int) (*serial.Snapshot, bool, error) {
 	env, found, err := s.inner.LoadShard(app, rank)
 	if err != nil || !found {
 		return nil, found, err
 	}
 	snap, err := decompress(env)
-	return snap, err == nil, err
+	if err != nil {
+		return nil, true, err
+	}
+	return snap, true, nil
 }
 
 // Clear delegates to the inner store.

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"ppar/internal/ckpt"
+	"ppar/internal/serial"
+)
+
+// asyncWriter is the background half of the asynchronous double-buffered
+// checkpoint pipeline (Config.AsyncCheckpoint). The safe-point protocol
+// only captures a deep copy of the safe data (the "double buffer") and
+// hands it here; a single goroutine encodes and persists snapshots through
+// the Store while computation proceeds.
+//
+// Backpressure: at most one snapshot is in flight. A capture submitted
+// while a write is running parks in the pending slot; a newer capture
+// supersedes a parked one (the superseded snapshot is never persisted —
+// only the most recent capture matters as a restart point).
+type asyncWriter struct {
+	store       ckpt.Store
+	onSave      func(d time.Duration, bytes int) // successful background write
+	onSupersede func()
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  *serial.Snapshot
+	inFlight bool
+	err      error // first write error since the last takeErr/drain
+	closed   bool
+	done     chan struct{}
+}
+
+func newAsyncWriter(store ckpt.Store, onSave func(time.Duration, int), onSupersede func()) *asyncWriter {
+	w := &asyncWriter{store: store, onSave: onSave, onSupersede: onSupersede, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+func (w *asyncWriter) loop() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for w.pending == nil && !w.closed {
+			w.cond.Wait()
+		}
+		if w.pending == nil {
+			w.mu.Unlock()
+			return // closed and drained
+		}
+		snap := w.pending
+		w.pending = nil
+		w.inFlight = true
+		w.mu.Unlock()
+
+		start := time.Now()
+		err := w.store.Save(snap)
+
+		w.mu.Lock()
+		w.inFlight = false
+		if err != nil {
+			if w.err == nil {
+				w.err = err
+			}
+		} else if w.onSave != nil {
+			w.onSave(time.Since(start), snap.DataBytes())
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// submit hands a captured snapshot to the writer without blocking; a
+// capture already parked behind the in-flight write is superseded.
+func (w *asyncWriter) submit(snap *serial.Snapshot) {
+	w.mu.Lock()
+	if w.pending != nil && w.onSupersede != nil {
+		w.onSupersede()
+	}
+	w.pending = snap
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// drain blocks until no snapshot is pending or in flight, then returns
+// (and clears) the first write error recorded since the last drain/takeErr.
+// Stop snapshots are written synchronously AFTER a drain so that an older
+// in-flight snapshot can never land on top of them.
+func (w *asyncWriter) drain() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.pending != nil || w.inFlight {
+		w.cond.Wait()
+	}
+	err := w.err
+	w.err = nil
+	return err
+}
+
+// takeErr returns (and clears) the first write error without waiting — the
+// safe-point hook that surfaces failures while the run is still going.
+func (w *asyncWriter) takeErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.err
+	w.err = nil
+	return err
+}
+
+// close drains outstanding writes, stops the goroutine and returns any
+// write error. Called once, at engine exit.
+func (w *asyncWriter) close() error {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.err
+	w.err = nil
+	return err
+}

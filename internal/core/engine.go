@@ -116,6 +116,19 @@ type Config struct {
 	// of the default gather-at-master canonical snapshot that enables
 	// cross-mode restart.
 	ShardCheckpoints bool
+	// AsyncCheckpoint enables the asynchronous double-buffered checkpoint
+	// pipeline: at the safe point the master only captures an in-memory
+	// copy of the safe data and releases the barrier immediately; a
+	// background writer encodes and persists the copy through the Store
+	// while computation proceeds. At most one snapshot is in flight — a
+	// newer capture supersedes one still parked behind the in-flight
+	// write. The writer is drained at Run/RunContext exit and before
+	// checkpoint-and-stop snapshots (which stay synchronous: they are the
+	// restart point); write errors surface at the next safe point the
+	// coordinator reaches or at engine exit. Incompatible with
+	// ShardCheckpoints, whose saves are synchronous between their two
+	// barriers by design.
+	AsyncCheckpoint bool
 
 	// Policy, when non-nil, is consulted at every safe point to decide
 	// run-time adaptations and checkpoint-and-stop (see AdaptPolicy). It
@@ -177,14 +190,17 @@ func (c *Config) normalize() error {
 	if c.TCP && c.AdaptTo.Procs > 0 {
 		return errors.New("core: the TCP transport has a fixed world size; use the in-process transport or adaptation by restart")
 	}
+	if c.AsyncCheckpoint && c.ShardCheckpoints {
+		return errors.New("core: AsyncCheckpoint requires canonical snapshots; shard checkpoints are saved synchronously between their two barriers")
+	}
 	return nil
 }
 
 // Report carries the measurements the figure harness consumes.
 type Report struct {
 	SafePoints  uint64        // safe points executed by the master
-	Checkpoints int           // snapshots taken
-	SaveTotal   time.Duration // total time in checkpoint-save protocols
+	Checkpoints int           // snapshots persisted
+	SaveTotal   time.Duration // time lines of execution were blocked in save protocols (sync: gather+encode+persist; async: gather+capture only)
 	SaveBytes   int           // payload bytes of the last snapshot
 	LoadTotal   time.Duration // time restoring data at the replay target
 	ReplayTime  time.Duration // run start -> replay target reached (excl. load)
@@ -194,6 +210,12 @@ type Report struct {
 	StoppedAt   uint64
 	Failed      bool // an injected failure occurred
 	Restarted   bool // this run replayed from a checkpoint
+
+	// Asynchronous checkpoint pipeline measurements (AsyncCheckpoint).
+	CaptureTotal   time.Duration // blocked time capturing double buffers (a subset of SaveTotal)
+	AsyncSaveTotal time.Duration // background encode+persist time, overlapped with computation
+	DrainTotal     time.Duration // blocked time draining the writer (stop snapshots and engine exit)
+	Superseded     int           // captures superseded before being persisted
 }
 
 // ErrInjectedFailure reports that the configured failure fired.
@@ -246,6 +268,7 @@ type Engine struct {
 	policy  AdaptPolicy
 
 	store ckpt.Store
+	aw    *asyncWriter // background checkpoint writer (AsyncCheckpoint)
 
 	resumeSnap   *serial.Snapshot // canonical snapshot found at start-up
 	shardResume  bool             // restart from per-rank shards instead
@@ -351,6 +374,9 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		if err := e.store.LedgerStart(e.cfg.AppName); err != nil {
 			return err
 		}
+		if e.cfg.AsyncCheckpoint {
+			e.aw = newAsyncWriter(e.store, e.recordAsyncSave, e.recordSuperseded)
+		}
 	}
 	if ctx.Err() != nil {
 		// Already cancelled: stop at the first scheduled safe point.
@@ -377,8 +403,28 @@ func (e *Engine) RunContext(ctx context.Context) error {
 	case Distributed, Hybrid:
 		err = e.runDistributed()
 	}
+	// Drain the asynchronous checkpoint writer before deciding the run's
+	// outcome: the last capture must persist even when the run failed (it
+	// is the restart point), and write errors must surface instead of
+	// being dropped with the goroutine. When the run itself also erred,
+	// the run's outcome wins but carries the write failure in its message
+	// — whoever acts on the error must know the newest snapshot is not
+	// the one on disk. errors.Is/As still see the wrapped outcome.
+	var drainErr error
+	if e.aw != nil {
+		start := time.Now()
+		drainErr = e.aw.close()
+		e.aw = nil
+		e.recordDrain(time.Since(start))
+	}
+	withDrain := func(base error) error {
+		if drainErr != nil {
+			return fmt.Errorf("%w (additionally, an async checkpoint write failed, so the last persisted snapshot is older than the last capture: %v)", base, drainErr)
+		}
+		return base
+	}
 	if err != nil {
-		return err
+		return withDrain(err)
 	}
 	if tok := e.stopped.Load(); tok != nil {
 		// Ledger stays dirty: the relaunched engine must replay.
@@ -390,13 +436,19 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		if ctx.Err() != nil {
 			serr.Cause = context.Cause(ctx)
 		}
-		return serr
+		return withDrain(serr)
 	}
 	if e.failed.Load() {
 		e.repMu.Lock()
 		e.report.Failed = true
 		e.repMu.Unlock()
-		return ErrInjectedFailure
+		return withDrain(ErrInjectedFailure)
+	}
+	if drainErr != nil {
+		// The ledger stays dirty too: the run's final snapshot never
+		// persisted, so the previous checkpoint must remain the replay
+		// point for whoever acts on this error.
+		return fmt.Errorf("core: async checkpoint write failed: %w", drainErr)
 	}
 	if e.store != nil {
 		if err := e.store.LedgerFinish(e.cfg.AppName); err != nil {
@@ -595,6 +647,37 @@ func (e *Engine) recordSave(d time.Duration, bytes int) {
 	e.report.SaveTotal += d
 	e.report.SaveBytes = bytes
 	e.report.Checkpoints++
+}
+
+// recordCapture accounts the blocked portion of an asynchronous checkpoint:
+// the in-memory double-buffer copy taken at the safe point. The matching
+// persist is recorded by recordAsyncSave when the background write lands.
+func (e *Engine) recordCapture(d time.Duration, bytes int) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.SaveTotal += d
+	e.report.CaptureTotal += d
+	e.report.SaveBytes = bytes
+}
+
+func (e *Engine) recordAsyncSave(d time.Duration, bytes int) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.AsyncSaveTotal += d
+	e.report.SaveBytes = bytes // the persisted size, in case the capture was superseded
+	e.report.Checkpoints++
+}
+
+func (e *Engine) recordSuperseded() {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.Superseded++
+}
+
+func (e *Engine) recordDrain(d time.Duration) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.DrainTotal += d
 }
 
 func (e *Engine) recordLoad(replayDone time.Time, load time.Duration) {

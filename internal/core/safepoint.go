@@ -32,6 +32,14 @@ func (c *Ctx) SafePoint() {
 	sp := c.spCount
 	e := c.eng
 
+	// Surface background checkpoint-write failures at the next safe point
+	// the coordinator reaches, rather than only at engine exit.
+	if aw := e.aw; aw != nil && c.isCoordinator() {
+		if err := aw.takeErr(); err != nil {
+			c.must(fmt.Errorf("async checkpoint write failed: %w", err))
+		}
+	}
+
 	if e.cfg.FailAtSafePoint == sp && c.failHere() {
 		e.failed.Store(true)
 		panic(failToken{sp: sp, rank: c.Rank()})
@@ -126,33 +134,45 @@ func (c *Ctx) checkpoint(sp uint64) {
 	case c.worker != nil:
 		// Shared memory (and hybrid): "we introduce a barrier before and
 		// another after the safe point. When all threads have reached
-		// the first barrier the master thread saves the data".
+		// the first barrier the master thread saves the data". With
+		// AsyncCheckpoint the master only captures the double buffer
+		// between the barriers; the encode+persist overlaps computation.
 		c.worker.Barrier()
 		if c.worker.IsMaster() {
 			if c.commActive() {
 				c.distSave(sp)
 			} else {
-				c.localSave(sp)
+				c.localSave(sp, true)
 			}
 		}
 		c.worker.Barrier()
 	case c.commActive():
 		c.distSave(sp)
 	default:
-		c.localSave(sp)
+		c.localSave(sp, true)
 	}
 }
 
 // localSave writes a canonical snapshot from this process's fields. With no
 // store configured (a context-cancelled run without checkpointing) it is a
 // no-op: the run still stops gracefully, it just leaves nothing to replay.
-func (c *Ctx) localSave(sp uint64) {
+// allowAsync selects the double-buffered pipeline when it is enabled;
+// checkpoint-and-stop saves pass false — a stop snapshot is the restart
+// point and must be on stable storage before the run unwinds.
+func (c *Ctx) localSave(sp uint64, allowAsync bool) {
 	if c.eng.store == nil {
 		return
 	}
 	start := time.Now()
 	snap, err := c.fields.snapshot(c.eng.cfg.AppName, c.eng.cfg.Mode.String(), sp)
 	c.must(err)
+	if aw := c.eng.aw; aw != nil && allowAsync {
+		// Capture: deep-copy the named fields so computation can mutate
+		// the live arrays the moment the barrier releases.
+		aw.submit(snap.Clone())
+		c.eng.recordCapture(time.Since(start), snap.DataBytes())
+		return
+	}
 	c.must(c.eng.store.Save(snap))
 	c.eng.recordSave(time.Since(start), snap.DataBytes())
 }
@@ -181,6 +201,11 @@ func (c *Ctx) distSave(sp uint64) {
 	if c.IsMasterRank() {
 		snap, err := c.fields.snapshot(e.cfg.AppName, "canonical", sp)
 		c.must(err)
+		if aw := e.aw; aw != nil {
+			aw.submit(snap.Clone())
+			e.recordCapture(time.Since(start), snap.DataBytes())
+			return
+		}
 		c.must(e.store.Save(snap))
 		e.recordSave(time.Since(start), snap.DataBytes())
 	}
@@ -188,7 +213,10 @@ func (c *Ctx) distSave(sp uint64) {
 
 // stopCheckpoint takes a canonical snapshot and stops the run — the
 // adaptation-by-restart path (Figures 6 and 7). All lines of execution
-// reach the same safe point and unwind together.
+// reach the same safe point and unwind together. Stop snapshots are always
+// written synchronously — they are the restart point — after draining the
+// asynchronous writer, so an older in-flight snapshot can never land on
+// top of them.
 func (c *Ctx) stopCheckpoint(sp uint64) {
 	switch {
 	case c.worker != nil:
@@ -197,16 +225,33 @@ func (c *Ctx) stopCheckpoint(sp uint64) {
 			if c.commActive() {
 				c.stopSaveDist(sp)
 			} else {
-				c.localSave(sp)
+				c.drainAsync()
+				c.localSave(sp, false)
 			}
 		}
 		c.worker.Barrier()
 	case c.commActive():
 		c.stopSaveDist(sp)
 	default:
-		c.localSave(sp)
+		c.drainAsync()
+		c.localSave(sp, false)
 	}
 	panic(stopToken{sp: sp})
+}
+
+// drainAsync blocks until the background checkpoint writer is idle,
+// surfacing any write error it was holding.
+func (c *Ctx) drainAsync() {
+	aw := c.eng.aw
+	if aw == nil {
+		return
+	}
+	start := time.Now()
+	err := aw.drain()
+	c.eng.recordDrain(time.Since(start))
+	if err != nil {
+		c.must(fmt.Errorf("async checkpoint write failed: %w", err))
+	}
 }
 
 func (c *Ctx) stopSaveDist(sp uint64) {
@@ -218,6 +263,7 @@ func (c *Ctx) stopSaveDist(sp uint64) {
 		c.must(c.fields.gatherAt(f, c.comm, 0, c.Procs()))
 	}
 	if c.IsMasterRank() {
+		c.drainAsync()
 		snap, err := c.fields.snapshot(c.eng.cfg.AppName, "canonical", sp)
 		c.must(err)
 		c.must(c.eng.store.Save(snap))

@@ -1,0 +1,91 @@
+package serial
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// parallelEncodeThreshold is the snapshot payload size above which Encode
+// switches to the worker-pool encoder. Below it the fan-out costs more than
+// the float-to-byte conversion it parallelises.
+const parallelEncodeThreshold = 1 << 20
+
+// EncodeParallel writes the snapshot to w in the container format, encoding
+// the fields with a pool of workers (0 selects GOMAXPROCS). Each field —
+// name, tag, length, payload CRC and payload — is framed independently, so
+// workers encode into private buffers that are streamed out in the
+// canonical field order; the bytes written are identical to Encode's.
+//
+// Only the per-field work (float conversion, payload CRC) runs in parallel;
+// the trailing container CRC is accumulated over the assembled stream,
+// which is cheap relative to encoding. Memory stays bounded: at most
+// 2×workers encoded fields exist at once — buffers are released as soon as
+// they are written, rather than materialising the whole container.
+func (s *Snapshot) EncodeParallel(w io.Writer, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	names := s.fieldNames()
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers <= 1 {
+		return s.encodeSequential(w)
+	}
+
+	n := len(names)
+	bufs := make([][]byte, n)
+	errs := make([]error, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	// sem bounds the number of encoded-but-unwritten buffers; the feeder
+	// below blocks dispatching new fields until the writer loop catches up.
+	sem := make(chan struct{}, 2*workers)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				var b bytes.Buffer
+				errs[idx] = encodeField(&b, names[idx], s.Fields[names[idx]])
+				bufs[idx] = b.Bytes()
+				close(ready[idx])
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			sem <- struct{}{}
+			next <- i
+		}
+		close(next)
+	}()
+
+	cw := &crcWriter{w: w}
+	err := s.encodeHeader(cw)
+	for i := 0; i < n; i++ {
+		// Consume every field in order even after an error, so the feeder
+		// and workers always drain.
+		<-ready[i]
+		if err == nil && errs[i] != nil {
+			err = fmt.Errorf("serial: field %q: %w", names[i], errs[i])
+		}
+		if err == nil {
+			_, err = cw.Write(bufs[i])
+		}
+		bufs[i] = nil // release as soon as written
+		<-sem
+	}
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	return writeU32(w, cw.crc)
+}

@@ -139,6 +139,38 @@ func (s *Snapshot) DataBytes() int {
 	return n
 }
 
+// Clone deep-copies the snapshot: every slice, matrix row and byte payload
+// gets fresh backing storage. The asynchronous checkpoint pipeline captures
+// a clone at the safe point so computation can keep mutating the live
+// fields while the copy is encoded and persisted in the background.
+func (s *Snapshot) Clone() *Snapshot {
+	c := NewSnapshot(s.App, s.Mode, s.SafePoints)
+	for name, v := range s.Fields {
+		c.Fields[name] = v.clone()
+	}
+	return c
+}
+
+func (v Value) clone() Value {
+	out := v
+	if v.Fs != nil {
+		out.Fs = append([]float64(nil), v.Fs...)
+	}
+	if v.Is != nil {
+		out.Is = append([]int64(nil), v.Is...)
+	}
+	if v.B != nil {
+		out.B = append([]byte(nil), v.B...)
+	}
+	if v.F2 != nil {
+		out.F2 = make([][]float64, len(v.F2))
+		for i, row := range v.F2 {
+			out.F2[i] = append([]float64(nil), row...)
+		}
+	}
+	return out
+}
+
 var order = binary.LittleEndian
 
 type crcWriter struct {
@@ -194,9 +226,32 @@ func writeI64s(w io.Writer, v []int64) error {
 	return err
 }
 
-// Encode writes the snapshot to w in the container format.
+// Encode writes the snapshot to w in the container format. Snapshots large
+// enough to make encoding a bottleneck are encoded with a worker pool (see
+// EncodeParallel); the bytes produced are identical either way.
 func (s *Snapshot) Encode(w io.Writer) error {
+	if s.DataBytes() >= parallelEncodeThreshold && len(s.Fields) > 1 {
+		return s.EncodeParallel(w, 0)
+	}
+	return s.encodeSequential(w)
+}
+
+func (s *Snapshot) encodeSequential(w io.Writer) error {
 	cw := &crcWriter{w: w}
+	if err := s.encodeHeader(cw); err != nil {
+		return err
+	}
+	for _, name := range s.fieldNames() {
+		if err := encodeField(cw, name, s.Fields[name]); err != nil {
+			return fmt.Errorf("serial: field %q: %w", name, err)
+		}
+	}
+	// Trailer: CRC of everything written so far.
+	return writeU32(w, cw.crc)
+}
+
+// encodeHeader writes the magic and header through the container CRC.
+func (s *Snapshot) encodeHeader(cw *crcWriter) error {
 	if _, err := io.WriteString(cw, Magic); err != nil {
 		return err
 	}
@@ -209,21 +264,18 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	if err := writeU64(cw, s.SafePoints); err != nil {
 		return err
 	}
-	if err := writeU32(cw, uint32(len(s.Fields))); err != nil {
-		return err
-	}
+	return writeU32(cw, uint32(len(s.Fields)))
+}
+
+// fieldNames returns the field names in the canonical (sorted) container
+// order.
+func (s *Snapshot) fieldNames() []string {
 	names := make([]string, 0, len(s.Fields))
 	for k := range s.Fields {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		if err := encodeField(cw, name, s.Fields[name]); err != nil {
-			return fmt.Errorf("serial: field %q: %w", name, err)
-		}
-	}
-	// Trailer: CRC of everything written so far.
-	return writeU32(w, cw.crc)
+	return names
 }
 
 func encodeField(w io.Writer, name string, v Value) error {
@@ -282,6 +334,11 @@ func encodeField(w io.Writer, name string, v Value) error {
 		}
 	default:
 		return fmt.Errorf("unknown tag %d", v.Tag)
+	}
+	if uint64(payload.Len()) > math.MaxUint32 {
+		// The container frames each payload with a u32 length; silently
+		// truncating the cast would write a corrupt field.
+		return fmt.Errorf("payload is %d bytes, exceeding the container's 4 GiB field limit", payload.Len())
 	}
 	if err := writeU32(w, uint32(payload.Len())); err != nil {
 		return err
@@ -423,8 +480,8 @@ func decodeField(r io.Reader) (string, Value, error) {
 	if err != nil {
 		return "", Value{}, err
 	}
-	payload := make([]byte, plen)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readPayload(r, plen)
+	if err != nil {
 		return "", Value{}, err
 	}
 	if c := crc32.ChecksumIEEE(payload); c != pcrc {
@@ -446,31 +503,27 @@ func decodeField(r io.Reader) (string, Value, error) {
 		}
 		v.I = is[0]
 	case TFloat64s:
-		n, err := readU64(pr)
+		n, err := readCount(pr, name, 8)
 		if err != nil {
 			return "", Value{}, err
 		}
-		if v.Fs, err = readF64s(pr, int(n)); err != nil {
+		if v.Fs, err = readF64s(pr, n); err != nil {
 			return "", Value{}, err
 		}
 	case TInt64s:
-		n, err := readU64(pr)
+		n, err := readCount(pr, name, 8)
 		if err != nil {
 			return "", Value{}, err
 		}
-		if v.Is, err = readI64s(pr, int(n)); err != nil {
+		if v.Is, err = readI64s(pr, n); err != nil {
 			return "", Value{}, err
 		}
 	case TFloat64_2:
-		rows, err := readU64(pr)
+		rows, cols, err := readMatrixShape(pr, name)
 		if err != nil {
 			return "", Value{}, err
 		}
-		cols, err := readU64(pr)
-		if err != nil {
-			return "", Value{}, err
-		}
-		v.Rows, v.Cols = int(rows), int(cols)
+		v.Rows, v.Cols = rows, cols
 		v.F2 = make([][]float64, v.Rows)
 		for i := 0; i < v.Rows; i++ {
 			if v.F2[i], err = readF64s(pr, v.Cols); err != nil {
@@ -478,7 +531,7 @@ func decodeField(r io.Reader) (string, Value, error) {
 			}
 		}
 	case TBytes, TGob:
-		n, err := readU64(pr)
+		n, err := readCount(pr, name, 1)
 		if err != nil {
 			return "", Value{}, err
 		}
@@ -490,4 +543,69 @@ func decodeField(r io.Reader) (string, Value, error) {
 		return "", Value{}, fmt.Errorf("%q: unknown tag %d", name, tag)
 	}
 	return name, v, nil
+}
+
+// maxEagerPayload is the largest field payload read with a single up-front
+// allocation; larger (claimed) payloads are read incrementally so that a
+// corrupt length cannot force a huge allocation before the data runs out.
+const maxEagerPayload = 16 << 20
+
+func readPayload(r io.Reader, plen uint32) ([]byte, error) {
+	if plen <= maxEagerPayload {
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(plen)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// readCount reads an element count and bounds it by the payload bytes that
+// remain: counts are untrusted input, and a crafted 2^60 must error cleanly
+// instead of attempting the allocation.
+func readCount(pr *bytes.Reader, name string, elemSize uint64) (int, error) {
+	n, err := readU64(pr)
+	if err != nil {
+		return 0, err
+	}
+	if rem := uint64(pr.Len()); n > rem/elemSize {
+		return 0, fmt.Errorf("%q: element count %d exceeds the %d payload bytes that remain", name, n, rem)
+	}
+	return int(n), nil
+}
+
+// readMatrixShape reads and bounds a matrix shape: rows*cols*8 must fit in
+// the remaining payload, and a zero-column matrix may not claim more rows
+// than could plausibly have been framed.
+func readMatrixShape(pr *bytes.Reader, name string) (int, int, error) {
+	rows, err := readU64(pr)
+	if err != nil {
+		return 0, 0, err
+	}
+	cols, err := readU64(pr)
+	if err != nil {
+		return 0, 0, err
+	}
+	rem := uint64(pr.Len())
+	if cols > rem/8 {
+		return 0, 0, fmt.Errorf("%q: column count %d exceeds the %d payload bytes that remain", name, cols, rem)
+	}
+	if cols > 0 && rows > rem/(8*cols) {
+		return 0, 0, fmt.Errorf("%q: %dx%d matrix exceeds the %d payload bytes that remain", name, rows, cols, rem)
+	}
+	// cols == 0 carries no per-row bytes, so the payload cannot bound rows;
+	// cap it so a crafted shape cannot force a huge row-header allocation.
+	const maxEmptyRows = 1 << 20
+	if cols == 0 && rows > maxEmptyRows {
+		return 0, 0, fmt.Errorf("%q: %d empty rows exceed the zero-column row limit", name, rows)
+	}
+	return int(rows), int(cols), nil
 }

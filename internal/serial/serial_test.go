@@ -2,10 +2,14 @@ package serial
 
 import (
 	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
 	"math"
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func roundTrip(t *testing.T, s *Snapshot) *Snapshot {
@@ -225,5 +229,159 @@ func TestQuickRoundTripMatrix(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// craftContainer hand-assembles a one-field container so tests can plant
+// hostile values (the per-field CRC is made valid so decoding reaches the
+// count checks; the trailer CRC is valid too).
+func craftContainer(t *testing.T, tag uint8, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw := &crcWriter{w: &buf}
+	for _, step := range []error{
+		func() error { _, err := io.WriteString(cw, Magic); return err }(),
+		writeString(cw, "app"),
+		writeString(cw, "seq"),
+		writeU64(cw, 1),
+		writeU32(cw, 1), // one field
+		writeString(cw, "f"),
+		writeU8(cw, tag),
+		writeU32(cw, uint32(len(payload))),
+		writeU32(cw, crc32.ChecksumIEEE(payload)),
+		func() error { _, err := cw.Write(payload); return err }(),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	if err := writeU32(&buf, cw.crc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func u64le(v uint64) []byte {
+	var b [8]byte
+	order.PutUint64(b[:], v)
+	return b[:]
+}
+
+// Crafted element counts far beyond the payload must error cleanly instead
+// of attempting the allocation (a claimed 2^60 would otherwise try an
+// 8-exabyte make before any read could fail).
+func TestOversizedCountsRejected(t *testing.T) {
+	huge := uint64(1) << 60
+	cases := []struct {
+		name    string
+		tag     uint8
+		payload []byte
+	}{
+		{"float64s", TFloat64s, append(u64le(huge), make([]byte, 16)...)},
+		{"int64s", TInt64s, append(u64le(huge), make([]byte, 16)...)},
+		{"bytes", TBytes, append(u64le(huge), []byte("xx")...)},
+		{"gob", TGob, u64le(huge)},
+		{"matrix-rows", TFloat64_2, append(append(u64le(1<<40), u64le(8)...), make([]byte, 64)...)},
+		{"matrix-cols", TFloat64_2, append(append(u64le(2), u64le(huge)...), make([]byte, 64)...)},
+		{"matrix-empty-rows", TFloat64_2, append(u64le(1<<40), u64le(0)...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := craftContainer(t, tc.tag, tc.payload)
+			done := make(chan error, 1)
+			go func() {
+				_, err := Decode(bytes.NewReader(raw))
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("decode accepted an oversized count")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("decode hung (or allocated its way to a crawl) on an oversized count")
+			}
+		})
+	}
+}
+
+// A claimed payload length far beyond the actual data must fail on the read
+// rather than allocate the claimed size up front.
+func TestOversizedPayloadLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	cw := &crcWriter{w: &buf}
+	io.WriteString(cw, Magic)
+	writeString(cw, "app")
+	writeString(cw, "seq")
+	writeU64(cw, 1)
+	writeU32(cw, 1)
+	writeString(cw, "f")
+	writeU8(cw, TBytes)
+	writeU32(cw, 1<<31) // 2 GiB claimed, nothing behind it
+	writeU32(cw, 0)
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("decode accepted a truncated 2 GiB payload claim")
+	}
+}
+
+// EncodeParallel must produce byte-identical output to the sequential
+// encoder — the on-disk container format is the contract.
+func TestParallelEncodeMatchesSequential(t *testing.T) {
+	s := NewSnapshot("app", "smp", 99)
+	s.Fields["a"] = Float64(1.5)
+	s.Fields["b"] = Int64(-3)
+	s.Fields["c"] = Float64s([]float64{1, 2, 3, math.NaN()})
+	s.Fields["d"] = Int64s([]int64{-1, 0, 1})
+	s.Fields["e"] = Float64Matrix([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	s.Fields["f"] = Bytes([]byte("hello"))
+	for i := 0; i < 40; i++ {
+		big := make([]float64, 4096)
+		for j := range big {
+			big[j] = float64(i*j) * 0.25
+		}
+		s.Fields[fmt.Sprintf("g%02d", i)] = Float64s(big)
+	}
+	var seq bytes.Buffer
+	if err := s.encodeSequential(&seq); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 7} {
+		var par bytes.Buffer
+		if err := s.EncodeParallel(&par, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Fatalf("workers=%d: parallel encoding diverged from sequential (%d vs %d bytes)",
+				workers, par.Len(), seq.Len())
+		}
+	}
+	// And the auto-selecting Encode (this snapshot crosses the threshold)
+	// still round-trips.
+	if s.DataBytes() < parallelEncodeThreshold {
+		t.Fatalf("test snapshot too small (%d bytes) to exercise the parallel path", s.DataBytes())
+	}
+	got := roundTrip(t, s)
+	if len(got.Fields) != len(s.Fields) {
+		t.Fatalf("round trip lost fields: %d vs %d", len(got.Fields), len(s.Fields))
+	}
+}
+
+// Clone must produce fully independent storage: the async checkpoint
+// pipeline mutates the originals while the clone is being persisted.
+func TestCloneIndependent(t *testing.T) {
+	fs := []float64{1, 2}
+	is := []int64{3, 4}
+	bs := []byte{5, 6}
+	m := [][]float64{{7, 8}, {9, 10}}
+	s := NewSnapshot("app", "seq", 1)
+	s.Fields["fs"] = Float64s(fs)
+	s.Fields["is"] = Int64s(is)
+	s.Fields["bs"] = Bytes(bs)
+	s.Fields["m"] = Float64Matrix(m)
+	c := s.Clone()
+	fs[0], is[0], bs[0], m[0][0] = 99, 99, 99, 99
+	if c.Fields["fs"].Fs[0] != 1 || c.Fields["is"].Is[0] != 3 ||
+		c.Fields["bs"].B[0] != 5 || c.Fields["m"].F2[0][0] != 7 {
+		t.Fatalf("clone aliased the original: %+v", c.Fields)
 	}
 }

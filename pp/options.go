@@ -104,6 +104,20 @@ func WithShardCheckpoints() Option {
 	return func(c *core.Config) { c.ShardCheckpoints = true }
 }
 
+// WithAsyncCheckpoint enables the asynchronous double-buffered checkpoint
+// pipeline (default off): at the safe point the master only captures an
+// in-memory copy of the safe data and releases the barrier immediately; a
+// background writer encodes and persists the copy through the Store while
+// computation proceeds. At most one snapshot is in flight — a newer capture
+// supersedes one still parked behind the in-flight write. The writer drains
+// at Run/RunContext exit and before checkpoint-and-stop snapshots (which
+// stay synchronous: they are the restart point); write errors surface at
+// the next safe point or at engine exit. Incompatible with
+// WithShardCheckpoints.
+func WithAsyncCheckpoint() Option {
+	return func(c *core.Config) { c.AsyncCheckpoint = true }
+}
+
 // WithAdaptPolicy consults p at every safe point to decide run-time
 // adaptations and checkpoint-and-stop. Repeated uses (and the sugar
 // WithAdaptAt/WithStopAt) chain; the first non-zero decision wins.

@@ -66,6 +66,30 @@
 // written through any Store restarts under any mode — including through a
 // purely in-memory store shared by the two engines.
 //
+// Store guarantees: Save is atomic (the filesystem store writes to a temp
+// file, fsyncs it, renames, and fsyncs the directory, so a crash mid-write
+// never damages the previous checkpoint), Clear removes only the named
+// application's snapshots (never another app whose name shares a prefix),
+// and Load reports found=false only when no checkpoint exists — a snapshot
+// that exists but fails to decode reports found=true with the error.
+// Decoding validates every checksum and bounds every length against the
+// data actually present, so corrupt or crafted snapshots fail cleanly.
+//
+// # Asynchronous checkpointing
+//
+// By default every save blocks all lines of execution at the safe-point
+// barrier for the full encode+persist. WithAsyncCheckpoint switches to a
+// double-buffered pipeline: the master captures an in-memory copy at the
+// barrier and releases it immediately, while a background writer encodes
+// (in parallel, field by field) and persists through the Store. At most
+// one snapshot is in flight — a newer capture supersedes one still parked
+// behind the in-flight write — and the writer drains at Run/RunContext
+// exit and before checkpoint-and-stop snapshots, which stay synchronous
+// because they are the restart point. Write errors surface at the next
+// safe point or at engine exit. Report splits the accounting: SaveTotal
+// (blocked time), AsyncSaveTotal (overlapped background writes),
+// DrainTotal and Superseded.
+//
 // # Pluggable adaptation policies
 //
 // Run-time adaptation and checkpoint-and-stop are decided by an

@@ -307,3 +307,43 @@ func TestRequestStop(t *testing.T) {
 		t.Fatal("RequestStop must not report a context cause")
 	}
 }
+
+// The asynchronous pipeline through the public API: captures overlap
+// computation, the writer drains at exit, and crash recovery still lands on
+// the uninterrupted result.
+func TestPublicAPIAsyncCheckpoint(t *testing.T) {
+	want := run(t, pp.Sequential)
+	dir := t.TempDir()
+	var total float64
+	eng := deploy(t, &total, pp.Shared, pp.WithThreads(3),
+		pp.WithCheckpointDir(dir), pp.WithCheckpointEvery(2),
+		pp.WithAsyncCheckpoint(), pp.WithFailureAt(5, 0))
+	if err := eng.Run(); !errors.Is(err, pp.ErrInjectedFailure) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	if eng.Report().Checkpoints == 0 {
+		t.Fatal("no checkpoint persisted before the failure")
+	}
+	eng2 := deploy(t, &total, pp.Shared, pp.WithThreads(3),
+		pp.WithCheckpointDir(dir), pp.WithCheckpointEvery(2),
+		pp.WithAsyncCheckpoint())
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != want {
+		t.Fatalf("recovered total=%v want %v", total, want)
+	}
+	if !eng2.Report().Restarted {
+		t.Fatal("restart not recorded")
+	}
+}
+
+// Async + shard checkpoints is a configuration error, surfaced at New.
+func TestAsyncShardConfigRejected(t *testing.T) {
+	_, err := pp.New(func() pp.App { return &counter{Out: make([]float64, 12), Blocks: 2} },
+		pp.WithMode(pp.Distributed), pp.WithProcs(2),
+		pp.WithShardCheckpoints(), pp.WithAsyncCheckpoint())
+	if err == nil || !strings.Contains(err.Error(), "canonical") {
+		t.Fatalf("want the shard/async config error, got %v", err)
+	}
+}
