@@ -16,6 +16,7 @@ import (
 	"ppar/internal/jgf/invasive"
 	"ppar/internal/jgf/refimpl"
 	"ppar/internal/md"
+	"ppar/internal/serial"
 	"ppar/internal/team"
 	"ppar/pp"
 )
@@ -525,6 +526,87 @@ func BenchmarkAsyncCheckpointSOR(b *testing.B) {
 			b.ReportMetric(float64(blocked)/float64(ckpts), "blocked-ns/ckpt")
 			b.ReportMetric(float64(background)/float64(b.N), "bg-write-ns/op")
 			b.ReportMetric(float64(drain)/float64(b.N), "drain-ns/op")
+		})
+	}
+}
+
+// --- Incremental (delta) checkpoint pipeline ------------------------------
+
+// stripeBench is a workload with mostly-stable safe data: one large state
+// vector of which each iteration rewrites exactly one diff chunk — the
+// shape incremental checkpointing is built for. The benchmark compares
+// bytes written per checkpoint (and blocked save time) for full vs delta
+// pipelines.
+type stripeBench struct {
+	State []float64
+	It    int
+	iters int
+}
+
+func (s *stripeBench) Main(ctx *pp.Ctx) {
+	ctx.Call("run", func(ctx *pp.Ctx) {
+		chunks := len(s.State) / serial.DeltaChunkElems
+		for it := 0; it < s.iters; it++ {
+			s.It = it
+			off := (it % chunks) * serial.DeltaChunkElems
+			pp.ForSpan(ctx, "stripe", off, off+serial.DeltaChunkElems, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s.State[i] = float64(it*1000 + i)
+				}
+			})
+			ctx.Call("iter", func(*pp.Ctx) {})
+		}
+	})
+}
+
+func BenchmarkDeltaCheckpoint(b *testing.B) {
+	const stripeChunks, stripeIters = 16, 32
+	mods := []*pp.Module{pp.NewModule("stripe/ckpt").
+		SafeData("State").SafeData("It").
+		SafePointAfter("iter")}
+	for _, tc := range []struct {
+		name string
+		opts []pp.Option
+	}{
+		{"full", []pp.Option{pp.WithCheckpointEvery(1)}},
+		{"delta", []pp.Option{pp.WithDeltaCheckpoint(1, 8)}},
+		{"delta-async", []pp.Option{pp.WithDeltaCheckpoint(1, 8), pp.WithAsyncCheckpoint()}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			opts := append([]pp.Option{
+				pp.WithName("bench-stripe"),
+				pp.WithModules(mods...),
+				pp.WithCheckpointDir(b.TempDir()),
+			}, tc.opts...)
+			var blocked, bytes, ckpts int64
+			for i := 0; i < b.N; i++ {
+				eng, err := pp.New(func() pp.App {
+					return &stripeBench{State: make([]float64, stripeChunks*serial.DeltaChunkElems), iters: stripeIters}
+				}, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				rep := eng.Report()
+				if rep.Checkpoints == 0 {
+					b.Fatal("no checkpoints persisted")
+				}
+				blocked += rep.SaveTotal.Nanoseconds()
+				ckpts += int64(rep.Checkpoints)
+				full := rep.FullSaves
+				if rep.DeltaSaves == 0 {
+					// Full pipeline: every persisted snapshot is SaveBytes.
+					bytes += int64(rep.SaveBytes) * int64(full)
+					continue
+				}
+				fullSize := stripeChunks*serial.DeltaChunkElems*8 + 8 // State + It payloads
+				bytes += int64(fullSize)*int64(full) + int64(rep.DeltaBytes)
+			}
+			b.ReportMetric(float64(bytes)/float64(ckpts), "bytes/ckpt")
+			b.ReportMetric(float64(blocked)/float64(ckpts), "blocked-ns/ckpt")
 		})
 	}
 }

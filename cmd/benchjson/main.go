@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can upload machine-readable benchmark results
+// (the BENCH_*.json perf trajectory) instead of free-form text:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | go run ./cmd/benchjson > BENCH_results.json
+//
+// Each benchmark line becomes one record with the run count, ns/op, and
+// every custom metric reported via b.ReportMetric (bytes/ckpt,
+// blocked-ns/ckpt, ...). Non-benchmark lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the uploaded document: environment header lines plus results.
+type Doc struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	doc := parse(bufio.NewScanner(os.Stdin))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) *Doc {
+	doc := &Doc{Results: []Result{}}
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	return doc
+}
+
+// parseBench parses one "BenchmarkName-8  N  V unit  V unit ..." line.
+func parseBench(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -33,9 +33,10 @@ func run() int {
 	dir := fs.String("ckptdir", "", "checkpoint directory for -real (default: temp)")
 	storeKind := fs.String("store", "fs", "checkpoint backend for -real: fs | mem | gzip")
 	async := fs.Bool("async", false, "asynchronous double-buffered checkpointing for -real")
+	delta := fs.Bool("delta", false, "incremental (delta) checkpointing for -real")
 	fs.Parse(os.Args[1:])
 
-	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir, Async: *async}
+	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir, Async: *async, Delta: *delta}
 	if scale.Dir == "" {
 		tmp, err := os.MkdirTemp("", "ppbench-*")
 		if err != nil {

@@ -9,6 +9,7 @@
 //	ppsor -mode dist -procs 4 -ckpt /tmp/ck -every 10 -fail 25   # then re-run to recover
 //	ppsor -mode dist -procs 4 -ckpt /tmp/ck -store gzip -every 10
 //	ppsor -mode smp -threads 8 -ckpt /tmp/ck -every 10 -async     # non-blocking saves
+//	ppsor -mode smp -threads 8 -ckpt /tmp/ck -every 10 -delta     # incremental saves
 //	ppsor -mode smp -threads 4 -store mem -every 10 -stop-at 26  # stop+restart, no filesystem
 //	ppsor -mode smp -threads 2 -adapt-at 50 -adapt-threads 8
 //	ppsor -mode dist -procs 2 -ckpt /tmp/ck -stop-at 26          # checkpoint & stop; re-run wider
@@ -37,6 +38,8 @@ func run() int {
 	storeKind := flag.String("store", "fs", "checkpoint backend: fs | mem | gzip (mem and gzip-over-mem enable checkpointing without -ckpt)")
 	every := flag.Uint64("every", 0, "checkpoint every N safe points")
 	async := flag.Bool("async", false, "asynchronous double-buffered checkpointing (capture at the safe point, persist in the background)")
+	delta := flag.Bool("delta", false, "incremental (delta) checkpointing: persist only changed fields/chunks, compacting every -compact deltas (pays off when much of the state is stable between checkpoints)")
+	compact := flag.Int("compact", 8, "with -delta, number of deltas between full snapshots")
 	shards := flag.Bool("shards", false, "per-rank shard checkpoints instead of gather-at-master")
 	fail := flag.Uint64("fail", 0, "inject a failure at this safe point")
 	failRank := flag.Int("fail-rank", 0, "rank that fails")
@@ -80,6 +83,9 @@ func run() int {
 	}
 	if *async {
 		opts = append(opts, pp.WithAsyncCheckpoint())
+	}
+	if *delta {
+		opts = append(opts, pp.WithDeltaCheckpoint(*every, *compact))
 	}
 	switch *storeKind {
 	case "fs":
@@ -143,6 +149,10 @@ func run() int {
 	if *async && (rep.Checkpoints > 0 || rep.Superseded > 0) {
 		fmt.Printf("async: capture %v, background write %v, drain %v, superseded %d\n",
 			rep.CaptureTotal, rep.AsyncSaveTotal, rep.DrainTotal, rep.Superseded)
+	}
+	if *delta && rep.Checkpoints > 0 {
+		fmt.Printf("delta: %d full + %d delta saves, %d delta bytes\n",
+			rep.FullSaves, rep.DeltaSaves, rep.DeltaBytes)
 	}
 	return 0
 }

@@ -7,9 +7,12 @@
 // pp.WithModules(...), ...)); checkpoint transport is a pluggable pp.Store
 // (filesystem, in-memory, or gzip-compressing wrapper, selected with
 // pp.WithStore); checkpointing is synchronous at the safe-point barrier by
-// default or asynchronous and double-buffered with pp.WithAsyncCheckpoint
-// (capture at the barrier, encode+persist overlapped with computation);
-// run-time adaptation and checkpoint-and-stop are decided by a pluggable
+// default, asynchronous and double-buffered with pp.WithAsyncCheckpoint
+// (capture at the barrier, encode+persist overlapped with computation), or
+// incremental with pp.WithDeltaCheckpoint (persist only the fields/chunks
+// whose content hash changed, as a delta chain compacted back into a full
+// snapshot every K links — see the migration note in CHANGES.md); run-time
+// adaptation and checkpoint-and-stop are decided by a pluggable
 // pp.AdaptPolicy (pp.WithAdaptPolicy); and runs are context-aware
 // (Engine.RunContext maps cancellation to a graceful checkpoint-and-stop
 // that a relaunched engine resumes from, in any mode).
@@ -19,6 +22,7 @@
 // for every figure. The benchmarks in bench_test.go regenerate each figure
 // of the paper's evaluation; the ppbench command prints them as tables, and
 // ppsor runs the SOR benchmark under any deployment from the command line
-// (including -store=fs|mem|gzip backend selection and -async
-// checkpointing).
+// (including -store=fs|mem|gzip backend selection and -async/-delta
+// checkpointing). The benchjson command turns `go test -bench` output into
+// the BENCH_*.json documents CI uploads as the perf trajectory.
 package ppar

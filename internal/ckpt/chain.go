@@ -1,0 +1,31 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"ppar/internal/serial"
+)
+
+// LoadResume materialises the restart point of app from store s: the
+// canonical base snapshot with its delta chain replayed on top, in order.
+// The result is a plain full snapshot — the state at the last consistent
+// link — so every consumer of canonical snapshots (cross-mode restart
+// included) works unchanged whether the run that produced it checkpointed
+// incrementally or not. found/err follow the Load conventions: found=false
+// means no restart point exists, found=true with an error means one exists
+// but is damaged.
+func LoadResume(s Store, app string) (*serial.Snapshot, bool, error) {
+	base, deltas, found, err := s.LoadChain(app)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	for _, d := range deltas {
+		if err := d.Apply(base); err != nil {
+			// LoadChain only returns structurally valid links, so a failed
+			// apply means the chain itself is inconsistent — surface it
+			// rather than restart from silently half-applied state.
+			return nil, true, fmt.Errorf("ckpt: applying delta %d: %w", d.Seq, err)
+		}
+	}
+	return base, true, nil
+}

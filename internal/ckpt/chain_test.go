@@ -1,0 +1,206 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppar/internal/serial"
+)
+
+// chainBase saves a base snapshot at sp with one large (chunked) field and
+// one scalar, returning the live state for building deltas against.
+func chainBase(t *testing.T, s Store, sp uint64) *serial.Snapshot {
+	t.Helper()
+	snap := serial.NewSnapshot("app", "seq", sp)
+	vec := make([]float64, 2*serial.DeltaChunkElems)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	snap.Fields["vec"] = serial.Float64s(vec)
+	snap.Fields["it"] = serial.Int64(int64(sp))
+	if err := s.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// chainDelta builds and saves the next delta: it bumps the scalar and one
+// slice chunk, mirroring the change into live.
+func chainDelta(t *testing.T, s Store, live *serial.Snapshot, baseSP, seq, sp uint64) {
+	t.Helper()
+	d := serial.NewDelta("app", "seq", sp, baseSP)
+	d.Seq = seq
+	d.Full["it"] = serial.Int64(int64(sp))
+	live.Fields["it"] = serial.Int64(int64(sp))
+	chunk := make([]float64, 4)
+	for i := range chunk {
+		chunk[i] = float64(sp*100 + uint64(i))
+		live.Fields["vec"].Fs[serial.DeltaChunkElems+i] = chunk[i]
+	}
+	d.Slices["vec"] = serial.SliceDelta{Len: len(live.Fields["vec"].Fs), Chunks: []serial.SliceChunk{
+		{Off: serial.DeltaChunkElems, Data: chunk},
+	}}
+	live.SafePoints = sp
+	if err := s.SaveDelta(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaChainRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			live := chainBase(t, s, 10)
+			chainDelta(t, s, live, 10, 1, 12)
+			chainDelta(t, s, live, 10, 2, 14)
+
+			base, deltas, found, err := s.LoadChain("app")
+			if err != nil || !found {
+				t.Fatalf("LoadChain: found=%v err=%v", found, err)
+			}
+			if base.SafePoints != 10 || len(deltas) != 2 {
+				t.Fatalf("base sp=%d deltas=%d, want 10/2", base.SafePoints, len(deltas))
+			}
+			snap, found, err := LoadResume(s, "app")
+			if err != nil || !found {
+				t.Fatalf("LoadResume: found=%v err=%v", found, err)
+			}
+			if snap.SafePoints != 14 {
+				t.Fatalf("materialised sp=%d, want 14", snap.SafePoints)
+			}
+			if got := snap.Fields["it"].I; got != 14 {
+				t.Fatalf("it=%d, want 14", got)
+			}
+			for i := 0; i < 4; i++ {
+				if got, want := snap.Fields["vec"].Fs[serial.DeltaChunkElems+i], live.Fields["vec"].Fs[serial.DeltaChunkElems+i]; got != want {
+					t.Fatalf("vec[%d]=%v, want %v", serial.DeltaChunkElems+i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestDeltaChainTruncatesAtGap(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			live := chainBase(t, s, 10)
+			chainDelta(t, s, live, 10, 1, 12)
+			chainDelta(t, s, live, 10, 3, 16) // seq 2 never written
+
+			_, deltas, _, err := s.LoadChain("app")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(deltas) != 1 || deltas[0].Seq != 1 {
+				t.Fatalf("chain past a gap: got %d deltas", len(deltas))
+			}
+			snap, _, err := LoadResume(s, "app")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.SafePoints != 12 {
+				t.Fatalf("materialised sp=%d, want the consistent prefix at 12", snap.SafePoints)
+			}
+		})
+	}
+}
+
+func TestDeltaChainIgnoresStaleDeltas(t *testing.T) {
+	// A compaction that crashed between writing the new base and clearing
+	// the old chain leaves deltas whose BaseSP does not match; they must be
+	// filtered, not applied.
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			live := chainBase(t, s, 10)
+			chainDelta(t, s, live, 10, 1, 12)
+			chainBase(t, s, 20) // compaction wrote a new base ...
+			// ... and crashed before ClearDeltas.
+			snap, found, err := LoadResume(s, "app")
+			if err != nil || !found {
+				t.Fatalf("found=%v err=%v", found, err)
+			}
+			if snap.SafePoints != 20 {
+				t.Fatalf("materialised sp=%d, want the new base at 20 with the stale delta ignored", snap.SafePoints)
+			}
+		})
+	}
+}
+
+func TestClearDeltas(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			live := chainBase(t, s, 10)
+			chainDelta(t, s, live, 10, 1, 12)
+			if err := s.ClearDeltas("app"); err != nil {
+				t.Fatal(err)
+			}
+			base, deltas, found, err := s.LoadChain("app")
+			if err != nil || !found || base == nil {
+				t.Fatalf("base must survive ClearDeltas: found=%v err=%v", found, err)
+			}
+			if len(deltas) != 0 {
+				t.Fatalf("%d deltas survived ClearDeltas", len(deltas))
+			}
+		})
+	}
+}
+
+func TestClearRemovesDeltas(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			live := chainBase(t, s, 10)
+			chainDelta(t, s, live, 10, 1, 12)
+			// A sibling app whose name shares the prefix must be untouched.
+			other := serial.NewSnapshot("app-large", "seq", 7)
+			if err := s.Save(other); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Clear("app"); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, found, _ := s.LoadChain("app"); found {
+				t.Fatal("Clear left the canonical chain behind")
+			}
+			if _, found, _ := s.Load("app-large"); !found {
+				t.Fatal("Clear wiped a prefix-sharing sibling app")
+			}
+		})
+	}
+}
+
+func TestFSDeltaTornWriteTruncatesChain(t *testing.T) {
+	fsStore, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := chainBase(t, fsStore, 10)
+	chainDelta(t, fsStore, live, 10, 1, 12)
+	chainDelta(t, fsStore, live, 10, 2, 14)
+	// Tear the second link on disk: the chain must fall back to seq 1.
+	path := filepath.Join(fsStore.Dir, "app.d2.ckpt")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, found, err := LoadResume(fsStore, "app")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if snap.SafePoints != 12 {
+		t.Fatalf("materialised sp=%d, want the pre-tear prefix at 12", snap.SafePoints)
+	}
+}
+
+func TestSaveDeltaRequiresSeq(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			d := serial.NewDelta("app", "seq", 12, 10)
+			if err := s.SaveDelta(d); err == nil {
+				t.Fatal("SaveDelta accepted a delta without a chain position")
+			}
+		})
+	}
+}

@@ -1,0 +1,295 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"ppar/internal/serial"
+)
+
+// FaultOp names one Store operation class for fault injection.
+type FaultOp int
+
+// Operation classes a FaultStore can inject faults into.
+const (
+	OpSave FaultOp = iota
+	OpSaveDelta
+	OpSaveShard
+	OpLoad
+	OpLoadChain
+	OpLoadShard
+	OpClearDeltas
+	numFaultOps
+)
+
+func (op FaultOp) String() string {
+	switch op {
+	case OpSave:
+		return "Save"
+	case OpSaveDelta:
+		return "SaveDelta"
+	case OpSaveShard:
+		return "SaveShard"
+	case OpLoad:
+		return "Load"
+	case OpLoadChain:
+		return "LoadChain"
+	case OpLoadShard:
+		return "LoadShard"
+	case OpClearDeltas:
+		return "ClearDeltas"
+	}
+	return fmt.Sprintf("FaultOp(%d)", int(op))
+}
+
+// ErrInjectedFault is the error a FaultStore returns from an operation it
+// was armed to fail.
+type ErrInjectedFault struct {
+	Op FaultOp
+	N  int
+}
+
+func (e *ErrInjectedFault) Error() string {
+	return fmt.Sprintf("ckpt: injected fault: %s call %d failed", e.Op, e.N)
+}
+
+// FaultStore is a Store for fault-injection tests: it keeps snapshots
+// in-memory in their encoded container form (so every load exercises the
+// real decode path) and can fail the Nth call of any operation class with
+// an injected error, or simulate a TORN WRITE on the Nth save — the write
+// "succeeds" but persists only a truncated prefix of the container, the
+// way a crash mid-write without atomic rename would. Torn snapshots and
+// deltas must be detected at load time by the container checksums and, for
+// deltas, truncate the chain at the damaged link rather than half-applying
+// it — the invariant the checkpoint path's crash-safety tests pin down.
+//
+// Counters are 1-based: Arm(OpSave, 2, ...) fails the second Save. A
+// FaultStore is safe for concurrent use, like any Store.
+type FaultStore struct {
+	mu      sync.Mutex
+	blobs   map[string][]byte
+	running map[string]bool
+	counts  [numFaultOps]int
+	failAt  [numFaultOps]int
+	tearAt  [numFaultOps]int
+}
+
+var _ Store = (*FaultStore)(nil)
+
+// NewFault creates an empty FaultStore with no faults armed.
+func NewFault() *FaultStore {
+	return &FaultStore{blobs: map[string][]byte{}, running: map[string]bool{}}
+}
+
+// Arm makes the Nth call (1-based, counted from now) of op fail with an
+// *ErrInjectedFault. Arming with n <= 0 disarms the class.
+func (s *FaultStore) Arm(op FaultOp, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAt[op] = s.offset(op, n)
+}
+
+// ArmTorn makes the Nth call (1-based, counted from now) of a save-class
+// op report success while persisting only half the encoded container.
+func (s *FaultStore) ArmTorn(op FaultOp, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tearAt[op] = s.offset(op, n)
+}
+
+func (s *FaultStore) offset(op FaultOp, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return s.counts[op] + n
+}
+
+// Disarm clears every armed fault; stored snapshots survive.
+func (s *FaultStore) Disarm() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAt = [numFaultOps]int{}
+	s.tearAt = [numFaultOps]int{}
+}
+
+// Ops reports how many calls of op have been made so far (including the
+// failed and torn ones) — used to size exhaustive every-Nth-call sweeps.
+func (s *FaultStore) Ops(op FaultOp) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[op]
+}
+
+// step counts one call of op and reports whether it must fail or tear.
+func (s *FaultStore) step(op FaultOp) (fail error, tear bool) {
+	s.counts[op]++
+	if s.failAt[op] == s.counts[op] {
+		return &ErrInjectedFault{Op: op, N: s.counts[op]}, false
+	}
+	return nil, s.tearAt[op] == s.counts[op]
+}
+
+func (s *FaultStore) putBlob(op FaultOp, key string, encode func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := encode(&buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fail, tear := s.step(op)
+	if fail != nil {
+		return fail
+	}
+	blob := buf.Bytes()
+	if tear {
+		blob = blob[:len(blob)/2]
+	}
+	s.blobs[key] = blob
+	return nil
+}
+
+// Save stores the canonical snapshot (subject to OpSave faults).
+func (s *FaultStore) Save(snap *serial.Snapshot) error {
+	return s.putBlob(OpSave, memKey(snap.App, -1), snap.Encode)
+}
+
+// SaveShard stores one rank's snapshot (subject to OpSaveShard faults).
+func (s *FaultStore) SaveShard(snap *serial.Snapshot, rank int) error {
+	return s.putBlob(OpSaveShard, memKey(snap.App, rank), snap.Encode)
+}
+
+// SaveDelta appends one delta link (subject to OpSaveDelta faults).
+func (s *FaultStore) SaveDelta(d *serial.Delta) error {
+	if d.Seq == 0 {
+		return fmt.Errorf("ckpt: delta for %q has no chain sequence number", d.App)
+	}
+	return s.putBlob(OpSaveDelta, memDeltaKey(d.App, d.Seq), d.Encode)
+}
+
+func (s *FaultStore) getBlob(op FaultOp, key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail, _ := s.step(op); fail != nil {
+		return nil, false, fail
+	}
+	blob, ok := s.blobs[key]
+	return blob, ok, nil
+}
+
+// Load reads the canonical snapshot (subject to OpLoad faults). A torn
+// snapshot reports found=true with the decode error, matching FS.
+func (s *FaultStore) Load(app string) (*serial.Snapshot, bool, error) {
+	blob, ok, err := s.getBlob(OpLoad, memKey(app, -1))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	snap, err := serial.Decode(bytes.NewReader(blob))
+	if err != nil {
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", memKey(app, -1), err)
+	}
+	return snap, true, nil
+}
+
+// LoadShard reads rank's snapshot (subject to OpLoadShard faults).
+func (s *FaultStore) LoadShard(app string, rank int) (*serial.Snapshot, bool, error) {
+	blob, ok, err := s.getBlob(OpLoadShard, memKey(app, rank))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	snap, err := serial.Decode(bytes.NewReader(blob))
+	if err != nil {
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", memKey(app, rank), err)
+	}
+	return snap, true, nil
+}
+
+// LoadChain reads the canonical snapshot plus the longest consistent
+// prefix of its delta chain (subject to OpLoadChain faults); torn links
+// truncate the chain exactly as they do in the stock stores.
+func (s *FaultStore) LoadChain(app string) (*serial.Snapshot, []*serial.Delta, bool, error) {
+	s.mu.Lock()
+	fail, _ := s.step(OpLoadChain)
+	baseBlob, ok := s.blobs[memKey(app, -1)]
+	s.mu.Unlock()
+	if fail != nil {
+		return nil, nil, false, fail
+	}
+	if !ok {
+		return nil, nil, false, nil
+	}
+	base, err := serial.Decode(bytes.NewReader(baseBlob))
+	if err != nil {
+		return nil, nil, true, fmt.Errorf("ckpt: decode %s: %w", memKey(app, -1), err)
+	}
+	var deltas []*serial.Delta
+	for seq := uint64(1); ; seq++ {
+		s.mu.Lock()
+		blob, ok := s.blobs[memDeltaKey(app, seq)]
+		s.mu.Unlock()
+		if !ok {
+			break
+		}
+		d, derr := serial.DecodeDelta(bytes.NewReader(blob))
+		if derr != nil || !chainLink(base, d, seq) {
+			break
+		}
+		deltas = append(deltas, d)
+	}
+	return base, deltas, true, nil
+}
+
+// Clear removes all snapshots for app (never faulted: tests use it for
+// setup, not as part of the exercised path).
+func (s *FaultStore) Clear(app string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, memKey(app, -1))
+	for k := range s.blobs {
+		if isSeqFile(k, app, 'r') || isSeqFile(k, app, 'd') {
+			delete(s.blobs, k)
+		}
+	}
+	return nil
+}
+
+// ClearDeltas removes app's delta chain (subject to OpClearDeltas faults —
+// a compaction that persists its new base and then fails to GC the old
+// chain is exactly the crash window LoadChain's staleness rules cover).
+func (s *FaultStore) ClearDeltas(app string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail, _ := s.step(OpClearDeltas); fail != nil {
+		return fail
+	}
+	for k := range s.blobs {
+		if isSeqFile(k, app, 'd') {
+			delete(s.blobs, k)
+		}
+	}
+	return nil
+}
+
+// LedgerStart marks the run as in progress.
+func (s *FaultStore) LedgerStart(app string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running[app] = true
+	return nil
+}
+
+// LedgerFinish marks the run as cleanly completed.
+func (s *FaultStore) LedgerFinish(app string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, app)
+	return nil
+}
+
+// Crashed reports whether a run was started and never finished.
+func (s *FaultStore) Crashed(app string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running[app], nil
+}

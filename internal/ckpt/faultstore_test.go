@@ -1,0 +1,122 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+
+	"ppar/internal/serial"
+)
+
+func TestFaultStoreFailsNthOp(t *testing.T) {
+	s := NewFault()
+	s.Arm(OpSave, 2)
+	snap := serial.NewSnapshot("app", "seq", 1)
+	if err := s.Save(snap); err != nil {
+		t.Fatalf("first save: %v", err)
+	}
+	snap2 := serial.NewSnapshot("app", "seq", 2)
+	err := s.Save(snap2)
+	var inj *ErrInjectedFault
+	if !errors.As(err, &inj) || inj.Op != OpSave || inj.N != 2 {
+		t.Fatalf("second save: %v, want injected fault on Save call 2", err)
+	}
+	// The failed save must not have replaced the previous snapshot.
+	got, found, err := s.Load("app")
+	if err != nil || !found {
+		t.Fatalf("load after failed save: found=%v err=%v", found, err)
+	}
+	if got.SafePoints != 1 {
+		t.Fatalf("failed save leaked state: sp=%d, want 1", got.SafePoints)
+	}
+	if err := s.Save(snap2); err != nil {
+		t.Fatalf("third save (disarmed count): %v", err)
+	}
+}
+
+func TestFaultStoreArmCountsFromNow(t *testing.T) {
+	s := NewFault()
+	if err := s.Save(serial.NewSnapshot("app", "seq", 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Arm(OpSave, 1) // the NEXT save, not the first ever
+	if err := s.Save(serial.NewSnapshot("app", "seq", 2)); err == nil {
+		t.Fatal("armed save did not fail")
+	}
+}
+
+func TestFaultStoreTornFullSnapshot(t *testing.T) {
+	s := NewFault()
+	if err := s.Save(serial.NewSnapshot("app", "seq", 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.ArmTorn(OpSave, 1)
+	if err := s.Save(serial.NewSnapshot("app", "seq", 2)); err != nil {
+		t.Fatalf("torn save must report success: %v", err)
+	}
+	// The torn container must be detected at load: found=true with error.
+	_, found, err := s.Load("app")
+	if err == nil || !found {
+		t.Fatalf("torn snapshot loaded: found=%v err=%v", found, err)
+	}
+}
+
+func TestFaultStoreTornDeltaTruncatesChain(t *testing.T) {
+	s := NewFault()
+	live := chainBase(t, s, 10)
+	chainDelta(t, s, live, 10, 1, 12)
+	s.ArmTorn(OpSaveDelta, 1)
+	chainDelta(t, s, live, 10, 2, 14) // torn on the way down
+	chainDelta(t, s, live, 10, 3, 16) // complete, but unreachable past the tear
+
+	snap, found, err := LoadResume(s, "app")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if snap.SafePoints != 12 {
+		t.Fatalf("materialised sp=%d, want the pre-tear prefix at 12 (never a half-applied chain)", snap.SafePoints)
+	}
+	if got := snap.Fields["it"].I; got != 12 {
+		t.Fatalf("it=%d does not match the materialised safe point 12", got)
+	}
+}
+
+func TestFaultStoreClearDeltasFault(t *testing.T) {
+	// Compaction's crash window: the new base lands, ClearDeltas fails, and
+	// the stale chain must be filtered by staleness, not applied.
+	s := NewFault()
+	live := chainBase(t, s, 10)
+	chainDelta(t, s, live, 10, 1, 12)
+	s.Arm(OpClearDeltas, 1)
+	if err := s.Save(serial.NewSnapshot("app", "seq", 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ClearDeltas("app"); err == nil {
+		t.Fatal("armed ClearDeltas did not fail")
+	}
+	snap, found, err := LoadResume(s, "app")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if snap.SafePoints != 20 {
+		t.Fatalf("materialised sp=%d, want the new base at 20", snap.SafePoints)
+	}
+}
+
+func TestFaultStoreOpsCounter(t *testing.T) {
+	s := NewFault()
+	if err := s.Save(serial.NewSnapshot("app", "seq", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load("app"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Ops(OpSave); got != 1 {
+		t.Fatalf("Ops(Save)=%d, want 1", got)
+	}
+	if got := s.Ops(OpLoad); got != 1 {
+		t.Fatalf("Ops(Load)=%d, want 1", got)
+	}
+	if got := s.Ops(OpSaveDelta); got != 0 {
+		t.Fatalf("Ops(SaveDelta)=%d, want 0", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"compress/gzip"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -35,13 +36,33 @@ type Store interface {
 	// first distributed-memory alternative, where "each process takes a
 	// local snapshot").
 	SaveShard(snap *serial.Snapshot, rank int) error
+	// SaveDelta atomically appends one incremental checkpoint to the
+	// canonical delta chain. The caller assigns Seq contiguously from 1
+	// after each full Save; a crash mid-write must never damage earlier
+	// links.
+	SaveDelta(d *serial.Delta) error
 	// Load reads the canonical snapshot for app. found=false (with nil
 	// error) means no checkpoint exists.
 	Load(app string) (snap *serial.Snapshot, found bool, err error)
+	// LoadChain reads the canonical snapshot plus the longest consistent
+	// prefix of its delta chain: deltas are returned in Seq order starting
+	// at 1 and the chain is truncated at the first missing, corrupt (e.g.
+	// torn write) or stale link — a stale delta is one whose BaseSP does
+	// not match the base snapshot, left behind by a compaction that
+	// crashed between writing the new base and clearing old deltas. Each
+	// returned prefix is itself a consistent checkpoint, so truncation is
+	// always safe. found and err describe the base snapshot exactly as in
+	// Load.
+	LoadChain(app string) (base *serial.Snapshot, deltas []*serial.Delta, found bool, err error)
 	// LoadShard reads rank's local snapshot.
 	LoadShard(app string, rank int) (snap *serial.Snapshot, found bool, err error)
-	// Clear removes all snapshots (canonical and shards) for app.
+	// Clear removes all snapshots (canonical, deltas and shards) for app.
 	Clear(app string) error
+	// ClearDeltas removes only the delta chain for app — compaction's
+	// garbage collection, called after a new full snapshot has been
+	// persisted (in that order, so a crash in between leaves stale deltas
+	// that LoadChain filters out rather than a missing restart point).
+	ClearDeltas(app string) error
 
 	// LedgerStart marks a run of app as in progress (the pcr module).
 	LedgerStart(app string) error
@@ -77,6 +98,10 @@ func (s *FS) path(app string, shard int) string {
 	return filepath.Join(s.Dir, fmt.Sprintf("%s.r%d.ckpt", app, shard))
 }
 
+func (s *FS) deltaPath(app string, seq uint64) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("%s.d%d.ckpt", app, seq))
+}
+
 // Save atomically writes a canonical (whole-application) snapshot.
 func (s *FS) Save(snap *serial.Snapshot) error {
 	return s.save(snap, -1)
@@ -88,13 +113,26 @@ func (s *FS) SaveShard(snap *serial.Snapshot, rank int) error {
 }
 
 func (s *FS) save(snap *serial.Snapshot, shard int) error {
-	final := s.path(snap.App, shard)
+	return s.writeAtomic(s.path(snap.App, shard), snap.Encode)
+}
+
+// SaveDelta atomically appends one delta checkpoint (app.dN.ckpt for chain
+// position N) with the same temp-then-rename-then-dirsync discipline as
+// full snapshots, so a torn write leaves either a complete link or none.
+func (s *FS) SaveDelta(d *serial.Delta) error {
+	if d.Seq == 0 {
+		return fmt.Errorf("ckpt: delta for %q has no chain sequence number", d.App)
+	}
+	return s.writeAtomic(s.deltaPath(d.App, d.Seq), d.Encode)
+}
+
+func (s *FS) writeAtomic(final string, encode func(io.Writer) error) error {
 	tmp, err := os.CreateTemp(s.Dir, ".ckpt-*")
 	if err != nil {
 		return fmt.Errorf("ckpt: temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := snap.Encode(tmp); err != nil {
+	if err := encode(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("ckpt: encoding snapshot: %w", err)
 	}
@@ -139,6 +177,39 @@ func (s *FS) Load(app string) (snap *serial.Snapshot, found bool, err error) {
 	return s.load(app, -1)
 }
 
+// LoadChain reads the canonical snapshot plus the longest consistent
+// prefix of its delta chain (see Store.LoadChain for the truncation rules).
+func (s *FS) LoadChain(app string) (*serial.Snapshot, []*serial.Delta, bool, error) {
+	base, found, err := s.load(app, -1)
+	if err != nil || !found {
+		return nil, nil, found, err
+	}
+	var deltas []*serial.Delta
+	for seq := uint64(1); ; seq++ {
+		f, err := os.Open(s.deltaPath(app, seq))
+		if errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		if err != nil {
+			break // unreadable link ends the (still consistent) prefix
+		}
+		d, derr := serial.DecodeDelta(f)
+		f.Close()
+		if derr != nil || !chainLink(base, d, seq) {
+			break
+		}
+		deltas = append(deltas, d)
+	}
+	return base, deltas, true, nil
+}
+
+// chainLink reports whether d is the valid next link of base's chain: the
+// right application, anchored at this base (not a stale pre-compaction
+// delta), in the expected position.
+func chainLink(base *serial.Snapshot, d *serial.Delta, seq uint64) bool {
+	return d.App == base.App && d.BaseSP == base.SafePoints && d.Seq == seq
+}
+
 // LoadShard reads rank's local snapshot.
 func (s *FS) LoadShard(app string, rank int) (snap *serial.Snapshot, found bool, err error) {
 	return s.load(app, rank)
@@ -162,30 +233,41 @@ func (s *FS) load(app string, shard int) (*serial.Snapshot, bool, error) {
 	return snap, true, nil
 }
 
-// Clear removes all snapshots (canonical and shards) for app. Only the
-// exact app.ckpt / app.rN.ckpt names are matched: a prefix glob would also
-// delete checkpoints of any application whose name merely starts with app
-// (clearing "sor" must not wipe "sor-large").
+// Clear removes all snapshots (canonical, deltas and shards) for app. Only
+// the exact app.ckpt / app.rN.ckpt / app.dN.ckpt names are matched: a
+// prefix glob would also delete checkpoints of any application whose name
+// merely starts with app (clearing "sor" must not wipe "sor-large").
 func (s *FS) Clear(app string) error {
+	return s.clearMatching(func(name string) bool {
+		return name == app+".ckpt" || isSeqFile(name, app, 'r') || isSeqFile(name, app, 'd')
+	})
+}
+
+// ClearDeltas removes only the app.dN.ckpt delta chain.
+func (s *FS) ClearDeltas(app string) error {
+	return s.clearMatching(func(name string) bool { return isSeqFile(name, app, 'd') })
+}
+
+func (s *FS) clearMatching(match func(string) bool) error {
 	entries, err := os.ReadDir(s.Dir)
 	if err != nil {
 		return fmt.Errorf("ckpt: clear: %w", err)
 	}
 	for _, e := range entries {
-		name := e.Name()
-		if name != app+".ckpt" && !isShardFile(name, app) {
+		if !match(e.Name()) {
 			continue
 		}
-		if err := os.Remove(filepath.Join(s.Dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		if err := os.Remove(filepath.Join(s.Dir, e.Name())); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("ckpt: clear: %w", err)
 		}
 	}
 	return nil
 }
 
-// isShardFile reports whether name is exactly app.rN.ckpt for a decimal N.
-func isShardFile(name, app string) bool {
-	rest, ok := strings.CutPrefix(name, app+".r")
+// isSeqFile reports whether name is exactly app.<kind>N.ckpt for a decimal
+// N — the shard ('r') and delta ('d') naming schemes.
+func isSeqFile(name, app string, kind byte) bool {
+	rest, ok := strings.CutPrefix(name, app+"."+string(kind))
 	if !ok {
 		return false
 	}
@@ -294,23 +376,80 @@ func (s *Mem) Save(snap *serial.Snapshot) error { return s.put(snap, -1) }
 // SaveShard stores one rank's snapshot.
 func (s *Mem) SaveShard(snap *serial.Snapshot, rank int) error { return s.put(snap, rank) }
 
+// SaveDelta stores one delta checkpoint in its encoded container form, so
+// loads exercise the same decode path as the filesystem store.
+func (s *Mem) SaveDelta(d *serial.Delta) error {
+	if d.Seq == 0 {
+		return fmt.Errorf("ckpt: delta for %q has no chain sequence number", d.App)
+	}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		return fmt.Errorf("ckpt: encoding delta: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[memDeltaKey(d.App, d.Seq)] = buf.Bytes()
+	return nil
+}
+
+func memDeltaKey(app string, seq uint64) string {
+	return fmt.Sprintf("%s.d%d.ckpt", app, seq)
+}
+
 // Load reads the canonical snapshot.
 func (s *Mem) Load(app string) (*serial.Snapshot, bool, error) { return s.get(app, -1) }
+
+// LoadChain reads the canonical snapshot plus the longest consistent
+// prefix of its delta chain (see Store.LoadChain for the truncation rules).
+func (s *Mem) LoadChain(app string) (*serial.Snapshot, []*serial.Delta, bool, error) {
+	base, found, err := s.get(app, -1)
+	if err != nil || !found {
+		return nil, nil, found, err
+	}
+	var deltas []*serial.Delta
+	for seq := uint64(1); ; seq++ {
+		s.mu.Lock()
+		blob, ok := s.blobs[memDeltaKey(app, seq)]
+		s.mu.Unlock()
+		if !ok {
+			break
+		}
+		d, derr := serial.DecodeDelta(bytes.NewReader(blob))
+		if derr != nil || !chainLink(base, d, seq) {
+			break
+		}
+		deltas = append(deltas, d)
+	}
+	return base, deltas, true, nil
+}
 
 // LoadShard reads rank's snapshot.
 func (s *Mem) LoadShard(app string, rank int) (*serial.Snapshot, bool, error) {
 	return s.get(app, rank)
 }
 
-// Clear removes all snapshots for app. Keys are matched exactly (canonical
-// and app.rN.ckpt shards): parsing with Sscanf would treat app as format
-// text (mangling names containing %) and accept keys with trailing junk.
+// Clear removes all snapshots for app. Keys are matched exactly (canonical,
+// app.rN.ckpt shards and app.dN.ckpt deltas): parsing with Sscanf would
+// treat app as format text (mangling names containing %) and accept keys
+// with trailing junk.
 func (s *Mem) Clear(app string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.blobs, memKey(app, -1))
 	for k := range s.blobs {
-		if isShardFile(k, app) {
+		if isSeqFile(k, app, 'r') || isSeqFile(k, app, 'd') {
+			delete(s.blobs, k)
+		}
+	}
+	return nil
+}
+
+// ClearDeltas removes only app's delta chain.
+func (s *Mem) ClearDeltas(app string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.blobs {
+		if isSeqFile(k, app, 'd') {
 			delete(s.blobs, k)
 		}
 	}
@@ -416,6 +555,68 @@ func (s *Gzip) Save(snap *serial.Snapshot) error {
 	return s.inner.Save(env)
 }
 
+// SaveDelta compresses and stores one delta checkpoint. The envelope is
+// itself a delta whose chain header (App/SafePoints/BaseSP/Seq) mirrors the
+// real one in cleartext, so the inner store's LoadChain can validate link
+// order and staleness without decompressing.
+func (s *Gzip) SaveDelta(d *serial.Delta) error {
+	var gz bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&gz, s.level)
+	if err != nil {
+		return fmt.Errorf("ckpt: gzip writer: %w", err)
+	}
+	if err := d.Encode(zw); err != nil {
+		return fmt.Errorf("ckpt: gzip delta encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("ckpt: gzip close: %w", err)
+	}
+	env := serial.NewDelta(d.App, gzipMode, d.SafePoints, d.BaseSP)
+	env.Seq = d.Seq
+	env.Full[gzipField] = serial.Bytes(gz.Bytes())
+	return s.inner.SaveDelta(env)
+}
+
+// LoadChain reads and decompresses the canonical snapshot and its delta
+// chain. An envelope that fails to decompress or decode truncates the
+// chain at that link, exactly like a torn write in the inner store.
+func (s *Gzip) LoadChain(app string) (*serial.Snapshot, []*serial.Delta, bool, error) {
+	base, envs, found, err := s.inner.LoadChain(app)
+	if err != nil || !found {
+		return nil, nil, found, err
+	}
+	snap, err := decompress(base)
+	if err != nil {
+		return nil, nil, true, err
+	}
+	var deltas []*serial.Delta
+	for _, env := range envs {
+		d, derr := decompressDelta(env)
+		if derr != nil || !chainLink(snap, d, env.Seq) {
+			break
+		}
+		deltas = append(deltas, d)
+	}
+	return snap, deltas, true, nil
+}
+
+func decompressDelta(env *serial.Delta) (*serial.Delta, error) {
+	v, ok := env.Full[gzipField]
+	if env.Mode != gzipMode || !ok {
+		return env, nil // written without the wrapper: pass through
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(v.B))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: gunzip delta: %w", err)
+	}
+	defer zr.Close()
+	d, err := serial.DecodeDelta(zr)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: decode compressed delta: %w", err)
+	}
+	return d, nil
+}
+
 // SaveShard compresses and stores one rank's snapshot.
 func (s *Gzip) SaveShard(snap *serial.Snapshot, rank int) error {
 	env, err := s.compress(snap)
@@ -457,6 +658,9 @@ func (s *Gzip) LoadShard(app string, rank int) (*serial.Snapshot, bool, error) {
 
 // Clear delegates to the inner store.
 func (s *Gzip) Clear(app string) error { return s.inner.Clear(app) }
+
+// ClearDeltas delegates to the inner store.
+func (s *Gzip) ClearDeltas(app string) error { return s.inner.ClearDeltas(app) }
 
 // LedgerStart delegates to the inner store.
 func (s *Gzip) LedgerStart(app string) error { return s.inner.LedgerStart(app) }

@@ -4,36 +4,50 @@ import (
 	"sync"
 	"time"
 
-	"ppar/internal/ckpt"
 	"ppar/internal/serial"
 )
 
 // asyncWriter is the background half of the asynchronous double-buffered
 // checkpoint pipeline (Config.AsyncCheckpoint). The safe-point protocol
 // only captures a deep copy of the safe data (the "double buffer") and
-// hands it here; a single goroutine encodes and persists snapshots through
-// the Store while computation proceeds.
+// hands it here; a single goroutine encodes and persists captures through
+// the chain sink while computation proceeds.
 //
-// Backpressure: at most one snapshot is in flight. A capture submitted
-// while a write is running parks in the pending slot; a newer capture
-// supersedes a parked one (the superseded snapshot is never persisted —
-// only the most recent capture matters as a restart point).
+// Backpressure: at most one capture of each kind is parked. A newer FULL
+// capture supersedes both parked slots — a full snapshot is cumulative
+// state, so neither an older full nor an older delta matters as a restart
+// point once it lands. A newer DELTA capture must never simply replace a
+// parked delta: each delta only carries the chunks that changed since the
+// previous capture, so dropping the parked one would silently lose the
+// chunks the newer delta did not touch again. Instead the parked delta is
+// FOLDED into the newer one (serial.MergeDeltas) and the merged link —
+// covering both captures' changes, landing on the newer state — is written
+// in the next free chain position; the sink assigns sequence numbers at
+// write time, so folding leaves no gaps in the on-disk chain.
+//
+// When both slots are occupied the full snapshot is written first: a parked
+// delta is always anchored at that parked full (captures are produced in
+// order by one master), so the chain on disk stays base-then-links.
 type asyncWriter struct {
-	store       ckpt.Store
-	onSave      func(d time.Duration, bytes int) // successful background write
+	sink        *ckptSink
+	onSave      func(d time.Duration, bytes int, delta bool) // successful background write
 	onSupersede func()
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pending  *serial.Snapshot
-	inFlight bool
-	err      error // first write error since the last takeErr/drain
-	closed   bool
-	done     chan struct{}
+	mu           sync.Mutex
+	cond         *sync.Cond
+	pendingFull  *serial.Snapshot
+	pendingDelta *serial.Delta
+	inFlight     bool
+	err          error // first write error since the last takeErr/drain
+	// brokenBase, when non-nil, is the BaseSP of a chain that lost a delta
+	// write; later deltas of the SAME chain must not be written (see loop).
+	brokenBase *uint64
+	closed     bool
+	done       chan struct{}
 }
 
-func newAsyncWriter(store ckpt.Store, onSave func(time.Duration, int), onSupersede func()) *asyncWriter {
-	w := &asyncWriter{store: store, onSave: onSave, onSupersede: onSupersede, done: make(chan struct{})}
+func newAsyncWriter(sink *ckptSink, onSave func(time.Duration, int, bool), onSupersede func()) *asyncWriter {
+	w := &asyncWriter{sink: sink, onSave: onSave, onSupersede: onSupersede, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
 	return w
@@ -43,55 +57,131 @@ func (w *asyncWriter) loop() {
 	defer close(w.done)
 	for {
 		w.mu.Lock()
-		for w.pending == nil && !w.closed {
+		for w.pendingFull == nil && w.pendingDelta == nil && !w.closed {
 			w.cond.Wait()
 		}
-		if w.pending == nil {
+		var full *serial.Snapshot
+		var delta *serial.Delta
+		switch {
+		case w.pendingFull != nil:
+			full = w.pendingFull
+			w.pendingFull = nil
+		case w.pendingDelta != nil:
+			delta = w.pendingDelta
+			w.pendingDelta = nil
+		default:
 			w.mu.Unlock()
 			return // closed and drained
 		}
-		snap := w.pending
-		w.pending = nil
 		w.inFlight = true
 		w.mu.Unlock()
 
 		start := time.Now()
-		err := w.store.Save(snap)
+		var err error
+		var bytes int
+		if full != nil {
+			err = w.sink.saveFull(full)
+			bytes = full.DataBytes()
+		} else {
+			err = w.sink.saveDelta(delta)
+			bytes = delta.DataBytes()
+		}
 
 		w.mu.Lock()
 		w.inFlight = false
-		if err != nil {
+		switch {
+		case err != nil:
 			if w.err == nil {
 				w.err = err
 			}
-		} else if w.onSave != nil {
-			w.onSave(time.Since(start), snap.DataBytes())
+			if delta != nil {
+				// The failed link never landed, so the sink never assigned
+				// its sequence number; a successor of the SAME chain would
+				// silently take its place — a structurally valid chain
+				// missing this link's changes. Drop such a successor and
+				// refuse further same-chain deltas until a full snapshot
+				// starts a fresh chain on disk (the engine aborts at the
+				// next safe point anyway, via takeErr). Deltas anchored at
+				// a newer base are safe either way: if that base's own
+				// write failed too, their BaseSP cannot match the on-disk
+				// base and LoadChain filters them.
+				base := delta.BaseSP
+				if w.pendingDelta != nil && w.pendingDelta.BaseSP == base {
+					w.pendingDelta = nil
+				}
+				w.brokenBase = &base
+			}
+		default:
+			if full != nil {
+				w.brokenBase = nil
+			}
+			if w.onSave != nil {
+				w.onSave(time.Since(start), bytes, delta != nil)
+			}
 		}
 		w.cond.Broadcast()
 		w.mu.Unlock()
 	}
 }
 
-// submit hands a captured snapshot to the writer without blocking; a
-// capture already parked behind the in-flight write is superseded.
-func (w *asyncWriter) submit(snap *serial.Snapshot) {
+// submitFull hands a captured full snapshot to the writer without blocking.
+// It supersedes anything still parked: a full snapshot is cumulative, so an
+// unwritten older full or delta carries nothing the new base does not.
+func (w *asyncWriter) submitFull(snap *serial.Snapshot) {
 	w.mu.Lock()
-	if w.pending != nil && w.onSupersede != nil {
+	if w.pendingFull != nil && w.onSupersede != nil {
 		w.onSupersede()
 	}
-	w.pending = snap
+	if w.pendingDelta != nil {
+		w.pendingDelta = nil
+		if w.onSupersede != nil {
+			w.onSupersede()
+		}
+	}
+	w.pendingFull = snap
 	w.cond.Broadcast()
 	w.mu.Unlock()
 }
 
-// drain blocks until no snapshot is pending or in flight, then returns
+// submitDelta hands a captured delta to the writer without blocking. A
+// delta already parked behind the in-flight write is folded in, never
+// dropped — see the type comment for why.
+func (w *asyncWriter) submitDelta(d *serial.Delta) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.brokenBase != nil && d.BaseSP == *w.brokenBase {
+		return // see loop(): this chain is missing a link on disk
+	}
+	if w.pendingDelta != nil {
+		merged, err := serial.MergeDeltas(w.pendingDelta, d)
+		if err != nil {
+			// Consecutive captures from one master always share a chain;
+			// a merge failure is a protocol bug. Keep the chain honest by
+			// recording it as a write error (the next safe point aborts).
+			if w.err == nil {
+				w.err = err
+			}
+			w.pendingDelta = nil
+			w.cond.Broadcast()
+			return
+		}
+		d = merged
+		if w.onSupersede != nil {
+			w.onSupersede()
+		}
+	}
+	w.pendingDelta = d
+	w.cond.Broadcast()
+}
+
+// drain blocks until no capture is pending or in flight, then returns
 // (and clears) the first write error recorded since the last drain/takeErr.
 // Stop snapshots are written synchronously AFTER a drain so that an older
-// in-flight snapshot can never land on top of them.
+// in-flight capture can never land on top of them.
 func (w *asyncWriter) drain() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.pending != nil || w.inFlight {
+	for w.pendingFull != nil || w.pendingDelta != nil || w.inFlight {
 		w.cond.Wait()
 	}
 	err := w.err

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+
+	"ppar/internal/ckpt"
+	"ppar/internal/serial"
+)
+
+// deltaTracker is the capture half of incremental checkpointing: it owns
+// the safe-point hash cache and decides, per periodic checkpoint, whether
+// to capture a full snapshot (the first capture of a run, and every
+// compactEvery-th thereafter — the compaction cadence that bounds chain
+// length, restart cost and disk usage) or a delta holding only the
+// fields/chunks whose content hash moved since the previous capture.
+//
+// It is only ever touched by the one line of execution that performs the
+// save protocol (the master thread / master rank inside the safe-point
+// barriers), so it needs no locking of its own.
+type deltaTracker struct {
+	hashes       *serial.StateHash
+	compactEvery uint64
+	baseSP       uint64 // safe point of the current chain's base snapshot
+	sinceFull    uint64 // deltas captured since that base
+	primed       bool   // a base has been captured this run
+}
+
+func newDeltaTracker(compactEvery int) *deltaTracker {
+	return &deltaTracker{hashes: serial.NewStateHash(), compactEvery: uint64(compactEvery)}
+}
+
+// capture turns one snapshot into either a full capture (returned first)
+// or a delta capture (returned second), updating the hash cache either way.
+// clone selects deep-copied captures for the asynchronous pipeline; without
+// it the returned capture aliases snap's live arrays and must be persisted
+// before the barrier releases.
+func (t *deltaTracker) capture(snap *serial.Snapshot, clone bool) (*serial.Snapshot, *serial.Delta) {
+	if !t.primed || t.sinceFull >= t.compactEvery {
+		// Full capture: becomes the new chain base. The hash cache is
+		// refreshed so the next delta diffs against exactly this state.
+		t.hashes.Rehash(snap)
+		t.baseSP = snap.SafePoints
+		t.sinceFull = 0
+		t.primed = true
+		if clone {
+			snap = snap.Clone()
+		}
+		return snap, nil
+	}
+	d := t.hashes.Diff(snap, t.baseSP, clone)
+	t.sinceFull++
+	return nil, d
+}
+
+// ckptSink owns the persist side of the canonical checkpoint chain: it
+// assigns contiguous chain sequence numbers at write time (so captures that
+// were folded while parked in the asynchronous writer leave no gaps) and
+// performs crash-safe compaction — a full save first persists the new base
+// atomically, then clears the now-stale delta chain; a crash in between
+// leaves stale deltas that LoadChain filters by BaseSP.
+//
+// The mutex serialises the asynchronous writer goroutine against the
+// synchronous stop-snapshot path (which runs after a drain, but the lock
+// keeps the invariant local rather than protocol-dependent).
+type ckptSink struct {
+	mu    sync.Mutex
+	store ckpt.Store
+	seq   uint64 // deltas persisted since the last full snapshot
+}
+
+func newCkptSink(store ckpt.Store) *ckptSink { return &ckptSink{store: store} }
+
+// saveFull persists a full snapshot and resets the chain.
+func (s *ckptSink) saveFull(snap *serial.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.store.Save(snap); err != nil {
+		return err
+	}
+	s.seq = 0
+	return s.store.ClearDeltas(snap.App)
+}
+
+// saveDelta persists one delta as the next link of the chain.
+func (s *ckptSink) saveDelta(d *serial.Delta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.Seq = s.seq + 1
+	if err := s.store.SaveDelta(d); err != nil {
+		return err
+	}
+	s.seq++
+	return nil
+}

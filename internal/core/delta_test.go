@@ -1,0 +1,292 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ppar/internal/ckpt"
+	"ppar/internal/serial"
+)
+
+func trackerState(sp uint64, vec []float64) *serial.Snapshot {
+	s := serial.NewSnapshot("tapp", "seq", sp)
+	s.Fields["vec"] = serial.Float64s(vec)
+	s.Fields["it"] = serial.Int64(int64(sp))
+	return s
+}
+
+// TestDeltaTrackerCadence verifies the full/delta rhythm: a full base
+// first, then compactEvery deltas, then a full compaction again.
+func TestDeltaTrackerCadence(t *testing.T) {
+	tr := newDeltaTracker(2)
+	vec := make([]float64, 2*serial.DeltaChunkElems)
+	kinds := ""
+	for sp := uint64(1); sp <= 6; sp++ {
+		vec[0] = float64(sp) // one chunk changes per capture
+		full, delta := tr.capture(trackerState(sp, vec), false)
+		switch {
+		case full != nil && delta == nil:
+			kinds += "F"
+		case delta != nil && full == nil:
+			kinds += "d"
+			if delta.BaseSP == 0 || delta.BaseSP >= sp {
+				t.Fatalf("capture %d: delta BaseSP=%d", sp, delta.BaseSP)
+			}
+		default:
+			t.Fatalf("capture %d returned both or neither", sp)
+		}
+	}
+	if kinds != "FddFdd" {
+		t.Fatalf("capture cadence %q, want FddFdd", kinds)
+	}
+}
+
+// TestDeltaTrackerDeltaCarriesOnlyChanges checks the capture-side
+// bandwidth win: an untouched large field contributes nothing.
+func TestDeltaTrackerDeltaCarriesOnlyChanges(t *testing.T) {
+	tr := newDeltaTracker(8)
+	vec := make([]float64, 4*serial.DeltaChunkElems)
+	tr.capture(trackerState(1, vec), false)
+	vec[0] = 42 // touch exactly one chunk
+	_, d := tr.capture(trackerState(2, vec), true)
+	if d == nil {
+		t.Fatal("second capture was not a delta")
+	}
+	maxBytes := 8*serial.DeltaChunkElems + 64 // one chunk + the scalar
+	if got := d.DataBytes(); got > maxBytes {
+		t.Fatalf("delta carries %d bytes for a one-chunk change (max %d)", got, maxBytes)
+	}
+}
+
+// gateStore blocks every save until released, so tests can park captures
+// behind an in-flight write deterministically.
+type gateStore struct {
+	*ckpt.Mem
+	mu   sync.Mutex
+	gate chan struct{}
+}
+
+func newGateStore() *gateStore {
+	return &gateStore{Mem: ckpt.NewMem(), gate: make(chan struct{})}
+}
+
+func (s *gateStore) release() {
+	s.mu.Lock()
+	close(s.gate)
+	s.gate = make(chan struct{})
+	s.mu.Unlock()
+}
+
+func (s *gateStore) open() {
+	s.mu.Lock()
+	close(s.gate)
+	s.gate = nil
+	s.mu.Unlock()
+}
+
+func (s *gateStore) Save(snap *serial.Snapshot) error {
+	s.maybeWait()
+	return s.Mem.Save(snap)
+}
+
+func (s *gateStore) SaveDelta(d *serial.Delta) error {
+	s.maybeWait()
+	return s.Mem.SaveDelta(d)
+}
+
+func (s *gateStore) maybeWait() {
+	s.mu.Lock()
+	gate := s.gate
+	s.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+}
+
+// TestAsyncWriterFoldsSupersededDelta parks two delta captures behind an
+// in-flight full save and verifies they are folded into ONE chain link that
+// carries both captures' changes — never dropped — and that the on-disk
+// chain has no gaps.
+func TestAsyncWriterFoldsSupersededDelta(t *testing.T) {
+	store := newGateStore()
+	sink := newCkptSink(store)
+	var mu sync.Mutex
+	saves := 0
+	folds := 0
+	w := newAsyncWriter(sink,
+		func(time.Duration, int, bool) { mu.Lock(); saves++; mu.Unlock() },
+		func() { mu.Lock(); folds++; mu.Unlock() })
+	defer w.close()
+
+	tr := newDeltaTracker(8)
+	vec := make([]float64, 2*serial.DeltaChunkElems)
+	full, _ := tr.capture(trackerState(1, vec), true)
+	w.submitFull(full) // writer blocks inside store.Save
+
+	vec[0] = 1 // chunk 0
+	_, d1 := tr.capture(trackerState(2, vec), true)
+	w.submitDelta(d1)
+	vec[serial.DeltaChunkElems] = 2 // chunk 1, disjoint from d1's change
+	_, d2 := tr.capture(trackerState(3, vec), true)
+	w.submitDelta(d2) // must fold with the parked d1
+
+	store.release() // let the full land
+	store.open()    // and everything after flow freely
+	if err := w.drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	gotSaves, gotFolds := saves, folds
+	mu.Unlock()
+	if gotSaves != 2 {
+		t.Fatalf("%d saves persisted, want 2 (full + folded delta)", gotSaves)
+	}
+	if gotFolds != 1 {
+		t.Fatalf("%d folds recorded, want 1", gotFolds)
+	}
+	snap, found, err := ckpt.LoadResume(store, "tapp")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if snap.SafePoints != 3 {
+		t.Fatalf("materialised sp=%d, want 3", snap.SafePoints)
+	}
+	if snap.Fields["vec"].Fs[0] != 1 {
+		t.Fatal("folded delta lost the superseded capture's chunk")
+	}
+	if snap.Fields["vec"].Fs[serial.DeltaChunkElems] != 2 {
+		t.Fatal("folded delta lost the newer capture's chunk")
+	}
+}
+
+// failDeltaStore fails the first SaveDelta and succeeds afterwards.
+type failDeltaStore struct {
+	*ckpt.Mem
+	mu    sync.Mutex
+	fails int
+}
+
+func (s *failDeltaStore) SaveDelta(d *serial.Delta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fails == 0 {
+		s.fails++
+		return errDeltaGone
+	}
+	return s.Mem.SaveDelta(d)
+}
+
+var errDeltaGone = fmt.Errorf("backend dropped the delta")
+
+// TestAsyncWriterFailedDeltaPoisonsChain pins the failed-link rule: when a
+// delta write fails, a parked or later successor must NOT be written — it
+// would silently take the failed link's sequence number and yield a
+// structurally valid chain missing that link's changes. The chain must
+// stay at the base until a full snapshot starts a fresh one, and the error
+// must surface.
+func TestAsyncWriterFailedDeltaPoisonsChain(t *testing.T) {
+	store := &failDeltaStore{Mem: ckpt.NewMem()}
+	sink := newCkptSink(store)
+	w := newAsyncWriter(sink, nil, nil)
+	defer w.close()
+
+	tr := newDeltaTracker(8)
+	vec := make([]float64, 2*serial.DeltaChunkElems)
+	full, _ := tr.capture(trackerState(1, vec), true)
+	w.submitFull(full)
+	if err := w.drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	vec[0] = 1
+	_, d1 := tr.capture(trackerState(2, vec), true)
+	w.submitDelta(d1) // fails inside the store
+	vec[serial.DeltaChunkElems] = 2
+	_, d2 := tr.capture(trackerState(3, vec), true)
+	w.submitDelta(d2) // must be refused or dropped, never written as seq 1
+
+	if err := w.drain(); !errors.Is(err, errDeltaGone) {
+		t.Fatalf("drain: %v, want the delta write error", err)
+	}
+	snap, found, err := ckpt.LoadResume(store, "tapp")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if snap.SafePoints != 1 {
+		t.Fatalf("chain advanced to sp %d past a failed link, want the base at 1", snap.SafePoints)
+	}
+	if snap.Fields["vec"].Fs[serial.DeltaChunkElems] == 2 {
+		t.Fatal("a successor delta was written into the broken chain")
+	}
+
+	// A full capture starts a fresh chain and re-enables deltas.
+	vec[9] = 9
+	tr.sinceFull = tr.compactEvery // force the next capture full
+	full2, _ := tr.capture(trackerState(4, vec), true)
+	if full2 == nil {
+		t.Fatal("expected a full capture")
+	}
+	w.submitFull(full2)
+	vec[11] = 11
+	_, d3 := tr.capture(trackerState(5, vec), true)
+	w.submitDelta(d3)
+	if err := w.drain(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err = ckpt.LoadResume(store, "tapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SafePoints != 5 || snap.Fields["vec"].Fs[11] != 11 {
+		t.Fatalf("fresh chain after recovery not materialised: sp=%d", snap.SafePoints)
+	}
+}
+
+// TestAsyncWriterFullSupersedesDelta checks that a full capture drops a
+// parked delta (a full snapshot is cumulative) and resets the chain.
+func TestAsyncWriterFullSupersedesDelta(t *testing.T) {
+	store := newGateStore()
+	sink := newCkptSink(store)
+	w := newAsyncWriter(sink, nil, nil)
+	defer w.close()
+
+	tr := newDeltaTracker(2)
+	vec := make([]float64, 2*serial.DeltaChunkElems)
+	full, _ := tr.capture(trackerState(1, vec), true)
+	w.submitFull(full)
+
+	vec[0] = 1
+	_, d := tr.capture(trackerState(2, vec), true)
+	w.submitDelta(d)
+	vec[7] = 2
+	_, d2 := tr.capture(trackerState(3, vec), true)
+	if d2 == nil {
+		t.Fatal("capture 3 should still be a delta")
+	}
+	w.submitDelta(d2)
+	vec[9] = 3
+	full2, _ := tr.capture(trackerState(4, vec), true) // compaction capture
+	if full2 == nil {
+		t.Fatal("capture 4 should be a full compaction")
+	}
+	w.submitFull(full2)
+
+	store.open()
+	if err := w.drain(); err != nil {
+		t.Fatal(err)
+	}
+	snap, found, err := ckpt.LoadResume(store, "tapp")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if snap.SafePoints != 4 {
+		t.Fatalf("materialised sp=%d, want the compacted base at 4", snap.SafePoints)
+	}
+	if got := snap.Fields["vec"].Fs; got[0] != 1 || got[7] != 2 || got[9] != 3 {
+		t.Fatal("compacted base lost earlier changes")
+	}
+}

@@ -129,6 +129,20 @@ type Config struct {
 	// ShardCheckpoints, whose saves are synchronous between their two
 	// barriers by design.
 	AsyncCheckpoint bool
+	// DeltaCheckpoint enables incremental checkpointing: the engine keeps
+	// per-field content hashes (chunk hashes for large float fields) from
+	// the previous capture and persists only what changed, as a PPCKPD1
+	// delta chained onto the last full snapshot. Every DeltaCompactEvery
+	// deltas the chain is compacted back into a full PPCKPT1 snapshot, so
+	// restart cost and disk usage stay bounded and cross-mode restart
+	// always has a materialisable canonical snapshot. Composes with
+	// AsyncCheckpoint (delta captures clone only the changed chunks; a
+	// capture superseded behind an in-flight write folds into the next
+	// one). Incompatible with ShardCheckpoints, like AsyncCheckpoint.
+	DeltaCheckpoint bool
+	// DeltaCompactEvery is the number of deltas between full snapshots
+	// (default 8 when DeltaCheckpoint is set).
+	DeltaCompactEvery int
 
 	// Policy, when non-nil, is consulted at every safe point to decide
 	// run-time adaptations and checkpoint-and-stop (see AdaptPolicy). It
@@ -193,6 +207,17 @@ func (c *Config) normalize() error {
 	if c.AsyncCheckpoint && c.ShardCheckpoints {
 		return errors.New("core: AsyncCheckpoint requires canonical snapshots; shard checkpoints are saved synchronously between their two barriers")
 	}
+	if c.DeltaCheckpoint && c.ShardCheckpoints {
+		return errors.New("core: DeltaCheckpoint requires canonical snapshots; shard checkpoints have no chain to diff against")
+	}
+	if c.DeltaCheckpoint && c.CheckpointEvery == 0 {
+		// Silently taking zero checkpoints would make the option a no-op;
+		// incremental checkpointing only means something periodically.
+		return errors.New("core: DeltaCheckpoint requires CheckpointEvery > 0 (pass the interval to WithDeltaCheckpoint)")
+	}
+	if c.DeltaCheckpoint && c.DeltaCompactEvery <= 0 {
+		c.DeltaCompactEvery = 8
+	}
 	return nil
 }
 
@@ -215,7 +240,12 @@ type Report struct {
 	CaptureTotal   time.Duration // blocked time capturing double buffers (a subset of SaveTotal)
 	AsyncSaveTotal time.Duration // background encode+persist time, overlapped with computation
 	DrainTotal     time.Duration // blocked time draining the writer (stop snapshots and engine exit)
-	Superseded     int           // captures superseded before being persisted
+	Superseded     int           // captures superseded (full) or folded (delta) before being persisted
+
+	// Incremental checkpoint measurements (DeltaCheckpoint).
+	FullSaves  int // full snapshots persisted (chain bases, compactions, stop snapshots)
+	DeltaSaves int // delta links persisted
+	DeltaBytes int // cumulative payload bytes across all persisted deltas
 }
 
 // ErrInjectedFailure reports that the configured failure fired.
@@ -267,8 +297,10 @@ type Engine struct {
 	adv     *adviceTable
 	policy  AdaptPolicy
 
-	store ckpt.Store
-	aw    *asyncWriter // background checkpoint writer (AsyncCheckpoint)
+	store   ckpt.Store
+	sink    *ckptSink     // chain-aware persist side (seq assignment, compaction)
+	tracker *deltaTracker // capture-side hash cache (DeltaCheckpoint)
+	aw      *asyncWriter  // background checkpoint writer (AsyncCheckpoint)
 
 	resumeSnap   *serial.Snapshot // canonical snapshot found at start-up
 	shardResume  bool             // restart from per-rank shards instead
@@ -375,7 +407,7 @@ func (e *Engine) RunContext(ctx context.Context) error {
 			return err
 		}
 		if e.cfg.AsyncCheckpoint {
-			e.aw = newAsyncWriter(e.store, e.recordAsyncSave, e.recordSuperseded)
+			e.aw = newAsyncWriter(e.sink, e.recordAsyncSave, e.recordSuperseded)
 		}
 	}
 	if ctx.Err() != nil {
@@ -469,6 +501,10 @@ func (e *Engine) openCheckpointing() error {
 		}
 		e.store = fsStore
 	}
+	e.sink = newCkptSink(e.store)
+	if e.cfg.DeltaCheckpoint {
+		e.tracker = newDeltaTracker(e.cfg.DeltaCompactEvery)
+	}
 	crashed, err := e.store.Crashed(e.cfg.AppName)
 	if err != nil {
 		return err
@@ -476,9 +512,10 @@ func (e *Engine) openCheckpointing() error {
 	if !crashed {
 		return nil
 	}
-	// Prefer the canonical snapshot (restartable in any mode); fall back
-	// to rank-local shards.
-	snap, found, err := e.store.Load(e.cfg.AppName)
+	// Prefer the canonical snapshot — with any delta chain replayed on top,
+	// so the restart point is the last consistent incremental capture —
+	// restartable in any mode; fall back to rank-local shards.
+	snap, found, err := ckpt.LoadResume(e.store, e.cfg.AppName)
 	if err != nil {
 		return err
 	}
@@ -641,12 +678,24 @@ func (e *Engine) critical(name string) *sync.Mutex {
 	return m
 }
 
-func (e *Engine) recordSave(d time.Duration, bytes int) {
+func (e *Engine) recordSave(d time.Duration, bytes int, delta bool) {
 	e.repMu.Lock()
 	defer e.repMu.Unlock()
 	e.report.SaveTotal += d
 	e.report.SaveBytes = bytes
 	e.report.Checkpoints++
+	e.countSaveLocked(bytes, delta)
+}
+
+// countSaveLocked splits the persisted-checkpoint accounting into full
+// snapshots vs delta links; callers hold repMu.
+func (e *Engine) countSaveLocked(bytes int, delta bool) {
+	if delta {
+		e.report.DeltaSaves++
+		e.report.DeltaBytes += bytes
+	} else {
+		e.report.FullSaves++
+	}
 }
 
 // recordCapture accounts the blocked portion of an asynchronous checkpoint:
@@ -660,12 +709,13 @@ func (e *Engine) recordCapture(d time.Duration, bytes int) {
 	e.report.SaveBytes = bytes
 }
 
-func (e *Engine) recordAsyncSave(d time.Duration, bytes int) {
+func (e *Engine) recordAsyncSave(d time.Duration, bytes int, delta bool) {
 	e.repMu.Lock()
 	defer e.repMu.Unlock()
 	e.report.AsyncSaveTotal += d
-	e.report.SaveBytes = bytes // the persisted size, in case the capture was superseded
+	e.report.SaveBytes = bytes // the persisted size, in case the capture was superseded/folded
 	e.report.Checkpoints++
+	e.countSaveLocked(bytes, delta)
 }
 
 func (e *Engine) recordSuperseded() {

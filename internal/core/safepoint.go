@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ppar/internal/ckpt"
 	"ppar/internal/serial"
 )
 
@@ -156,25 +157,57 @@ func (c *Ctx) checkpoint(sp uint64) {
 // localSave writes a canonical snapshot from this process's fields. With no
 // store configured (a context-cancelled run without checkpointing) it is a
 // no-op: the run still stops gracefully, it just leaves nothing to replay.
-// allowAsync selects the double-buffered pipeline when it is enabled;
-// checkpoint-and-stop saves pass false — a stop snapshot is the restart
-// point and must be on stable storage before the run unwinds.
-func (c *Ctx) localSave(sp uint64, allowAsync bool) {
+// periodic selects the configured pipeline (delta diffing and/or the
+// asynchronous double buffer); checkpoint-and-stop saves pass false — a
+// stop snapshot is the restart point and must be a full snapshot on stable
+// storage before the run unwinds.
+func (c *Ctx) localSave(sp uint64, periodic bool) {
 	if c.eng.store == nil {
 		return
 	}
 	start := time.Now()
 	snap, err := c.fields.snapshot(c.eng.cfg.AppName, c.eng.cfg.Mode.String(), sp)
 	c.must(err)
-	if aw := c.eng.aw; aw != nil && allowAsync {
-		// Capture: deep-copy the named fields so computation can mutate
-		// the live arrays the moment the barrier releases.
-		aw.submit(snap.Clone())
-		c.eng.recordCapture(time.Since(start), snap.DataBytes())
+	if periodic {
+		c.persistCanonical(snap, start)
 		return
 	}
-	c.must(c.eng.store.Save(snap))
-	c.eng.recordSave(time.Since(start), snap.DataBytes())
+	c.must(c.eng.sink.saveFull(snap))
+	c.eng.recordSave(time.Since(start), snap.DataBytes(), false)
+}
+
+// persistCanonical routes one periodic canonical snapshot through the
+// configured checkpoint pipeline: the delta tracker decides full vs
+// incremental capture (and keeps the hash cache current), and the capture
+// is either persisted synchronously under the barrier or handed to the
+// background writer. Delta captures in the asynchronous path clone only
+// the changed chunks — the bandwidth win the incremental pipeline exists
+// for; full captures clone the whole snapshot as before.
+func (c *Ctx) persistCanonical(snap *serial.Snapshot, start time.Time) {
+	e := c.eng
+	async := e.aw != nil
+	full, delta := snap, (*serial.Delta)(nil)
+	if e.tracker != nil {
+		full, delta = e.tracker.capture(snap, async)
+	} else if async {
+		// Capture: deep-copy the named fields so computation can mutate
+		// the live arrays the moment the barrier releases.
+		full = snap.Clone()
+	}
+	switch {
+	case async && full != nil:
+		e.aw.submitFull(full)
+		e.recordCapture(time.Since(start), full.DataBytes())
+	case async:
+		e.aw.submitDelta(delta)
+		e.recordCapture(time.Since(start), delta.DataBytes())
+	case full != nil:
+		c.must(e.sink.saveFull(full))
+		e.recordSave(time.Since(start), full.DataBytes(), false)
+	default:
+		c.must(e.sink.saveDelta(delta))
+		e.recordSave(time.Since(start), delta.DataBytes(), true)
+	}
 }
 
 // distSave implements the two distributed alternatives of §IV.A: local
@@ -191,7 +224,7 @@ func (c *Ctx) distSave(sp uint64) {
 		c.must(e.store.SaveShard(snap, c.Rank()))
 		c.must(c.comm.Barrier())
 		if c.IsMasterRank() {
-			e.recordSave(time.Since(start), snap.DataBytes())
+			e.recordSave(time.Since(start), snap.DataBytes(), false)
 		}
 		return
 	}
@@ -201,13 +234,7 @@ func (c *Ctx) distSave(sp uint64) {
 	if c.IsMasterRank() {
 		snap, err := c.fields.snapshot(e.cfg.AppName, "canonical", sp)
 		c.must(err)
-		if aw := e.aw; aw != nil {
-			aw.submit(snap.Clone())
-			e.recordCapture(time.Since(start), snap.DataBytes())
-			return
-		}
-		c.must(e.store.Save(snap))
-		e.recordSave(time.Since(start), snap.DataBytes())
+		c.persistCanonical(snap, start)
 	}
 }
 
@@ -266,8 +293,8 @@ func (c *Ctx) stopSaveDist(sp uint64) {
 		c.drainAsync()
 		snap, err := c.fields.snapshot(c.eng.cfg.AppName, "canonical", sp)
 		c.must(err)
-		c.must(c.eng.store.Save(snap))
-		c.eng.recordSave(time.Since(start), snap.DataBytes())
+		c.must(c.eng.sink.saveFull(snap))
+		c.eng.recordSave(time.Since(start), snap.DataBytes(), false)
 	}
 }
 
@@ -311,14 +338,14 @@ func (c *Ctx) loadAtTarget() {
 	c.spCount = target
 }
 
-// mustSnap returns the canonical snapshot found at start-up (loading it
-// from disk if the engine deferred that).
+// mustSnap returns the canonical snapshot found at start-up (materialising
+// it from the store — base plus delta chain — if the engine deferred that).
 func (c *Ctx) mustSnap() *serial.Snapshot {
 	e := c.eng
 	if e.resumeSnap != nil {
 		return e.resumeSnap
 	}
-	snap, found, err := e.store.Load(e.cfg.AppName)
+	snap, found, err := ckpt.LoadResume(e.store, e.cfg.AppName)
 	c.must(err)
 	if !found {
 		panic(abortToken{msg: fmt.Sprintf("core: replay reached target %d but no canonical snapshot exists", c.restart.Target())})

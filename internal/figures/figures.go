@@ -49,6 +49,10 @@ type RealScale struct {
 	// Async selects the asynchronous double-buffered checkpoint pipeline
 	// for the checkpointing runs (the ppbench -async flag).
 	Async bool
+	// Delta selects incremental (delta) checkpointing for the
+	// checkpointing runs (the ppbench -delta flag); chains compact every 8
+	// deltas.
+	Delta bool
 }
 
 // DefaultRealScale suits a small container.
@@ -106,6 +110,7 @@ func cfgFor(e env, scale RealScale, withCkpt bool, every uint64, maxCkpt int) co
 		cfg.CheckpointEvery = every
 		cfg.MaxCheckpoints = maxCkpt
 		cfg.AsyncCheckpoint = scale.Async
+		cfg.DeltaCheckpoint = scale.Delta
 	} else {
 		// "Original": parallelisation only, no checkpoint module.
 		switch cfg.Mode {
@@ -203,16 +208,29 @@ func Fig4Model() *metrics.Table {
 // the asynchronous pipeline it covers only the double-buffer capture, and
 // the encode+persist moves to the overlapped "background" column (plus the
 // exit drain).
+// With the incremental pipeline (RealScale.Delta) the saves/full/delta
+// split and cumulative delta bytes appear in the last three columns; the
+// delta runs checkpoint frequently (instead of the paper's single mid-run
+// save, whose only capture would always be the full chain base) so the
+// chain actually carries deltas.
 func Fig4Real(scale RealScale) (*metrics.Table, error) {
+	every, maxCkpt := uint64(scale.Iters/2), 1
+	if scale.Delta {
+		if every = uint64(scale.Iters / 8); every == 0 {
+			every = 1
+		}
+		maxCkpt = 0
+	}
 	t := metrics.NewTable(
 		fmt.Sprintf("Figure 4 — Time to save checkpoint data (real, %d KB grid)", scale.N*scale.N*8/1024),
-		"environment", "blocked", "background", "drain", "bytes")
+		"environment", "blocked", "background", "drain", "bytes", "full-saves", "delta-saves", "delta-bytes")
 	for _, e := range realEnvs(scale.MaxPE) {
-		rep, _, err := runReal(cfgFor(e, scale, true, uint64(scale.Iters/2), 1), scale.N, scale.Iters)
+		rep, _, err := runReal(cfgFor(e, scale, true, every, maxCkpt), scale.N, scale.Iters)
 		if err != nil {
 			return nil, fmt.Errorf("fig4 %s: %w", e.label, err)
 		}
-		t.AddRow(e.label, rep.SaveTotal, rep.AsyncSaveTotal, rep.DrainTotal, rep.SaveBytes)
+		t.AddRow(e.label, rep.SaveTotal, rep.AsyncSaveTotal, rep.DrainTotal, rep.SaveBytes,
+			rep.FullSaves, rep.DeltaSaves, rep.DeltaBytes)
 	}
 	return t, nil
 }

@@ -1,0 +1,596 @@
+// Delta (incremental) checkpoint container.
+//
+// A full snapshot re-encodes every SafeData field at every checkpoint, so
+// checkpoint bandwidth scales with total state size even when most fields
+// are unchanged between safe points. The delta container complements the
+// full PPCKPT1 format with an incremental one, versioned independently:
+//
+//	magic "PPCKPD1\n" | header (app, mode, safe-point count, base safe
+//	                    point, chain sequence number, section counts)
+//	full field*       | whole-field replacements, framed exactly like the
+//	                    PPCKPT1 fields (name, tag, length, CRC, payload)
+//	slice section*    | name, full length, changed chunks of a []float64
+//	                    field: (element offset, element count, CRC, payload)
+//	matrix section*   | name, rows, cols, changed row-chunks of a
+//	                    [][]float64 field: (start row, row count, CRC, payload)
+//	trailer           | CRC-32 of everything before it
+//
+// A delta chain is anchored at a full PPCKPT1 snapshot (the "base"). Each
+// delta records BaseSP — the safe-point count of that base — and Seq, its
+// 1-based position in the chain. Restoring applies base + d1 + ... + dN in
+// order; each prefix of the chain is itself a consistent checkpoint (the
+// exact state at that delta's safe point), which is what makes truncating a
+// chain at a torn or missing delta crash-safe. Large []float64 fields are
+// diffed in fixed chunks of DeltaChunkElems elements and [][]float64 fields
+// in groups of consecutive rows covering about the same element count;
+// everything else (scalars, int slices, bytes, gob) is replaced whole when
+// its content hash changes. See StateHash for the diffing side.
+package serial
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// DeltaMagic identifies an incremental (delta) checkpoint container.
+const DeltaMagic = "PPCKPD1\n"
+
+// DeltaChunkElems is the fixed diffing granularity for large float fields:
+// chunks of this many float64 elements (64 KiB) are hashed and shipped
+// independently, so a localised update re-persists only the chunks it
+// touched. Fields at or below this size are replaced whole.
+const DeltaChunkElems = 8192
+
+// SliceChunk is one changed chunk of a []float64 field: Data replaces the
+// elements at [Off, Off+len(Data)).
+type SliceChunk struct {
+	Off  int
+	Data []float64
+}
+
+// SliceDelta is the changed portion of a chunk-diffed []float64 field. Len
+// is the full slice length at capture time; a shape change is shipped as a
+// whole-field replacement instead, so Apply can require Len to match.
+type SliceDelta struct {
+	Len    int
+	Chunks []SliceChunk
+}
+
+// MatrixChunk is one changed row group of a [][]float64 field: Rows
+// replaces the consecutive rows starting at Row.
+type MatrixChunk struct {
+	Row  int
+	Rows [][]float64
+}
+
+// MatrixDelta is the changed portion of a chunk-diffed [][]float64 field.
+type MatrixDelta struct {
+	Rows, Cols int
+	Chunks     []MatrixChunk
+}
+
+// Delta is the in-memory form of one incremental checkpoint: the fields and
+// chunks that changed since the previous capture in the same chain.
+type Delta struct {
+	App  string
+	Mode string
+	// SafePoints is the safe-point count of the state this delta brings a
+	// restore to (the replay target when it is the last applied link).
+	SafePoints uint64
+	// BaseSP is the safe-point count of the full snapshot anchoring the
+	// chain; a delta whose BaseSP does not match the stored base is stale
+	// (left over from before a compaction) and must be ignored.
+	BaseSP uint64
+	// Seq is the 1-based position in the chain, assigned when the delta is
+	// persisted; chains are applied in Seq order with no gaps.
+	Seq uint64
+
+	Full     map[string]Value
+	Slices   map[string]SliceDelta
+	Matrices map[string]MatrixDelta
+}
+
+// NewDelta allocates an empty delta for app at safe point sp, anchored at
+// the base snapshot taken at baseSP.
+func NewDelta(app, mode string, sp, baseSP uint64) *Delta {
+	return &Delta{
+		App: app, Mode: mode, SafePoints: sp, BaseSP: baseSP,
+		Full:     map[string]Value{},
+		Slices:   map[string]SliceDelta{},
+		Matrices: map[string]MatrixDelta{},
+	}
+}
+
+// Empty reports whether the delta carries no changes at all.
+func (d *Delta) Empty() bool {
+	return len(d.Full) == 0 && len(d.Slices) == 0 && len(d.Matrices) == 0
+}
+
+// DataBytes reports the total payload bytes across all entries — the
+// incremental analogue of Snapshot.DataBytes, and the quantity the delta
+// pipeline is built to shrink.
+func (d *Delta) DataBytes() int {
+	n := 0
+	for _, v := range d.Full {
+		n += v.ByteLen()
+	}
+	for _, sd := range d.Slices {
+		for _, c := range sd.Chunks {
+			n += 8 * len(c.Data)
+		}
+	}
+	for _, md := range d.Matrices {
+		for _, c := range md.Chunks {
+			n += 8 * len(c.Rows) * md.Cols
+		}
+	}
+	return n
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode writes the delta to w in the PPCKPD1 container format.
+func (d *Delta) Encode(w io.Writer) error {
+	cw := &crcWriter{w: w}
+	if _, err := io.WriteString(cw, DeltaMagic); err != nil {
+		return err
+	}
+	if err := writeString(cw, d.App); err != nil {
+		return err
+	}
+	if err := writeString(cw, d.Mode); err != nil {
+		return err
+	}
+	for _, v := range []uint64{d.SafePoints, d.BaseSP, d.Seq} {
+		if err := writeU64(cw, v); err != nil {
+			return err
+		}
+	}
+	for _, n := range []int{len(d.Full), len(d.Slices), len(d.Matrices)} {
+		if err := writeU32(cw, uint32(n)); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(d.Full) {
+		if err := encodeField(cw, name, d.Full[name]); err != nil {
+			return fmt.Errorf("serial: delta field %q: %w", name, err)
+		}
+	}
+	for _, name := range sortedKeys(d.Slices) {
+		if err := encodeSliceDelta(cw, name, d.Slices[name]); err != nil {
+			return fmt.Errorf("serial: delta slice %q: %w", name, err)
+		}
+	}
+	for _, name := range sortedKeys(d.Matrices) {
+		if err := encodeMatrixDelta(cw, name, d.Matrices[name]); err != nil {
+			return fmt.Errorf("serial: delta matrix %q: %w", name, err)
+		}
+	}
+	return writeU32(w, cw.crc)
+}
+
+func encodeSliceDelta(w io.Writer, name string, sd SliceDelta) error {
+	if err := writeString(w, name); err != nil {
+		return err
+	}
+	if err := writeU64(w, uint64(sd.Len)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(sd.Chunks))); err != nil {
+		return err
+	}
+	for _, c := range sd.Chunks {
+		if c.Off < 0 || c.Off+len(c.Data) > sd.Len {
+			return fmt.Errorf("chunk [%d,%d) outside slice of length %d", c.Off, c.Off+len(c.Data), sd.Len)
+		}
+		if err := writeU64(w, uint64(c.Off)); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(len(c.Data))); err != nil {
+			return err
+		}
+		payload := make([]byte, 8*len(c.Data))
+		for i, f := range c.Data {
+			order.PutUint64(payload[8*i:], math.Float64bits(f))
+		}
+		if err := writeU32(w, crc32.ChecksumIEEE(payload)); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeMatrixDelta(w io.Writer, name string, md MatrixDelta) error {
+	if err := writeString(w, name); err != nil {
+		return err
+	}
+	if err := writeU64(w, uint64(md.Rows)); err != nil {
+		return err
+	}
+	if err := writeU64(w, uint64(md.Cols)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(md.Chunks))); err != nil {
+		return err
+	}
+	for _, c := range md.Chunks {
+		if c.Row < 0 || c.Row+len(c.Rows) > md.Rows {
+			return fmt.Errorf("row chunk [%d,%d) outside %d-row matrix", c.Row, c.Row+len(c.Rows), md.Rows)
+		}
+		if err := writeU64(w, uint64(c.Row)); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(len(c.Rows))); err != nil {
+			return err
+		}
+		payload := make([]byte, 8*len(c.Rows)*md.Cols)
+		for i, row := range c.Rows {
+			if len(row) != md.Cols {
+				return fmt.Errorf("ragged row chunk: row %d has %d cols, want %d", c.Row+i, len(row), md.Cols)
+			}
+			for j, f := range row {
+				order.PutUint64(payload[8*(i*md.Cols+j):], math.Float64bits(f))
+			}
+		}
+		if err := writeU32(w, crc32.ChecksumIEEE(payload)); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeDelta reads a delta in the PPCKPD1 container format, verifying all
+// checksums and bounding every count by the encoder's own invariants, so a
+// corrupt or crafted delta fails cleanly instead of over-allocating.
+func DecodeDelta(r io.Reader) (*Delta, error) {
+	cr := &crcReader{r: r}
+	magic := make([]byte, len(DeltaMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("serial: reading delta magic: %w", err)
+	}
+	if string(magic) != DeltaMagic {
+		return nil, fmt.Errorf("serial: bad delta magic %q", magic)
+	}
+	app, err := readString(cr)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := readString(cr)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [3]uint64
+	for i := range hdr {
+		if hdr[i], err = readU64(cr); err != nil {
+			return nil, err
+		}
+	}
+	var counts [3]uint32
+	for i := range counts {
+		if counts[i], err = readU32(cr); err != nil {
+			return nil, err
+		}
+	}
+	d := NewDelta(app, mode, hdr[0], hdr[1])
+	d.Seq = hdr[2]
+	for i := uint32(0); i < counts[0]; i++ {
+		name, v, err := decodeField(cr)
+		if err != nil {
+			return nil, fmt.Errorf("serial: delta field %d: %w", i, err)
+		}
+		d.Full[name] = v
+	}
+	for i := uint32(0); i < counts[1]; i++ {
+		name, sd, err := decodeSliceDelta(cr)
+		if err != nil {
+			return nil, fmt.Errorf("serial: delta slice %d: %w", i, err)
+		}
+		d.Slices[name] = sd
+	}
+	for i := uint32(0); i < counts[2]; i++ {
+		name, md, err := decodeMatrixDelta(cr)
+		if err != nil {
+			return nil, fmt.Errorf("serial: delta matrix %d: %w", i, err)
+		}
+		d.Matrices[name] = md
+	}
+	want := cr.crc
+	got, err := readU32(r) // trailer read outside the crc reader
+	if err != nil {
+		return nil, fmt.Errorf("serial: reading delta trailer: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("serial: delta checksum mismatch: file %08x computed %08x", got, want)
+	}
+	return d, nil
+}
+
+func decodeSliceDelta(r io.Reader) (string, SliceDelta, error) {
+	name, err := readString(r)
+	if err != nil {
+		return "", SliceDelta{}, err
+	}
+	total, err := readU64(r)
+	if err != nil {
+		return "", SliceDelta{}, err
+	}
+	if total > math.MaxInt64/8 {
+		return "", SliceDelta{}, fmt.Errorf("%q: slice length %d overflows", name, total)
+	}
+	nc, err := readU32(r)
+	if err != nil {
+		return "", SliceDelta{}, err
+	}
+	sd := SliceDelta{Len: int(total)}
+	for i := uint32(0); i < nc; i++ {
+		off, err := readU64(r)
+		if err != nil {
+			return "", SliceDelta{}, err
+		}
+		count, err := readU64(r)
+		if err != nil {
+			return "", SliceDelta{}, err
+		}
+		// The encoder never emits a chunk larger than the diff granularity
+		// or outside the slice; counts are untrusted input and must honour
+		// the same invariants before any allocation happens.
+		if count > DeltaChunkElems || off > total || count > total-off {
+			return "", SliceDelta{}, fmt.Errorf("%q: chunk [%d,+%d) invalid for slice length %d", name, off, count, total)
+		}
+		pcrc, err := readU32(r)
+		if err != nil {
+			return "", SliceDelta{}, err
+		}
+		payload, err := readPayload(r, uint32(8*count))
+		if err != nil {
+			return "", SliceDelta{}, err
+		}
+		if c := crc32.ChecksumIEEE(payload); c != pcrc {
+			return "", SliceDelta{}, fmt.Errorf("%q: chunk checksum mismatch: file %08x computed %08x", name, pcrc, c)
+		}
+		data := make([]float64, count)
+		for j := range data {
+			data[j] = math.Float64frombits(order.Uint64(payload[8*j:]))
+		}
+		sd.Chunks = append(sd.Chunks, SliceChunk{Off: int(off), Data: data})
+	}
+	return name, sd, nil
+}
+
+func decodeMatrixDelta(r io.Reader) (string, MatrixDelta, error) {
+	name, err := readString(r)
+	if err != nil {
+		return "", MatrixDelta{}, err
+	}
+	rows, err := readU64(r)
+	if err != nil {
+		return "", MatrixDelta{}, err
+	}
+	cols, err := readU64(r)
+	if err != nil {
+		return "", MatrixDelta{}, err
+	}
+	if cols == 0 || cols > math.MaxUint32/8 || rows > math.MaxInt64/8/cols {
+		return "", MatrixDelta{}, fmt.Errorf("%q: %dx%d matrix shape invalid for a chunked delta", name, rows, cols)
+	}
+	nc, err := readU32(r)
+	if err != nil {
+		return "", MatrixDelta{}, err
+	}
+	md := MatrixDelta{Rows: int(rows), Cols: int(cols)}
+	// The encoder groups rows so one chunk covers about DeltaChunkElems
+	// elements (at least one row); enforce the same bound on the way in.
+	maxRows := uint64(DeltaChunkElems) / cols
+	if maxRows == 0 {
+		maxRows = 1
+	}
+	for i := uint32(0); i < nc; i++ {
+		start, err := readU64(r)
+		if err != nil {
+			return "", MatrixDelta{}, err
+		}
+		n, err := readU64(r)
+		if err != nil {
+			return "", MatrixDelta{}, err
+		}
+		if n > maxRows || start > rows || n > rows-start {
+			return "", MatrixDelta{}, fmt.Errorf("%q: row chunk [%d,+%d) invalid for %dx%d matrix", name, start, n, rows, cols)
+		}
+		pcrc, err := readU32(r)
+		if err != nil {
+			return "", MatrixDelta{}, err
+		}
+		payload, err := readPayload(r, uint32(8*n*cols))
+		if err != nil {
+			return "", MatrixDelta{}, err
+		}
+		if c := crc32.ChecksumIEEE(payload); c != pcrc {
+			return "", MatrixDelta{}, fmt.Errorf("%q: row chunk checksum mismatch: file %08x computed %08x", name, pcrc, c)
+		}
+		block := make([][]float64, n)
+		for ri := range block {
+			row := make([]float64, cols)
+			for j := range row {
+				row[j] = math.Float64frombits(order.Uint64(payload[8*(ri*int(cols)+j):]))
+			}
+			block[ri] = row
+		}
+		md.Chunks = append(md.Chunks, MatrixChunk{Row: int(start), Rows: block})
+	}
+	return name, md, nil
+}
+
+// Apply overlays the delta onto base, mutating it in place: whole-field
+// replacements are installed verbatim, chunked entries are copied into the
+// existing arrays. Chunked entries require the base field to exist with the
+// exact shape the delta was diffed against — a mismatch means the chain is
+// inconsistent (e.g. a delta applied out of order) and is an error, never a
+// silent partial apply. On success base describes the exact state at
+// d.SafePoints.
+func (d *Delta) Apply(base *Snapshot) error {
+	if base.App != d.App {
+		return fmt.Errorf("serial: delta for app %q applied to snapshot of %q", d.App, base.App)
+	}
+	for name, v := range d.Full {
+		base.Fields[name] = v
+	}
+	for name, sd := range d.Slices {
+		cur, ok := base.Fields[name]
+		if !ok || cur.Tag != TFloat64s || len(cur.Fs) != sd.Len {
+			return fmt.Errorf("serial: slice delta %q does not match the base field (len %d vs %d)", name, sd.Len, len(cur.Fs))
+		}
+		for _, c := range sd.Chunks {
+			copy(cur.Fs[c.Off:], c.Data)
+		}
+	}
+	for name, md := range d.Matrices {
+		cur, ok := base.Fields[name]
+		if !ok || cur.Tag != TFloat64_2 || cur.Rows != md.Rows || cur.Cols != md.Cols {
+			return fmt.Errorf("serial: matrix delta %q does not match the base field (%dx%d vs %dx%d)",
+				name, md.Rows, md.Cols, cur.Rows, cur.Cols)
+		}
+		for _, c := range md.Chunks {
+			for i, row := range c.Rows {
+				copy(cur.F2[c.Row+i], row)
+			}
+		}
+	}
+	base.SafePoints = d.SafePoints
+	base.Mode = d.Mode
+	return nil
+}
+
+// MergeDeltas folds two consecutive deltas of the same chain into one that
+// carries the union of their changes and lands on the newer state — the
+// asynchronous pipeline's supersede rule for deltas: a capture parked behind
+// an in-flight write must FOLD into the next capture, because dropping it
+// would lose the chunks the newer delta did not touch again. newer's
+// entries win where the two overlap. Merging takes ownership of both
+// arguments (their backing arrays may be reused or mutated); Seq is left
+// zero for the persist layer to assign.
+func MergeDeltas(older, newer *Delta) (*Delta, error) {
+	if older.App != newer.App || older.BaseSP != newer.BaseSP {
+		return nil, fmt.Errorf("serial: merging deltas of different chains (app %q base %d vs app %q base %d)",
+			older.App, older.BaseSP, newer.App, newer.BaseSP)
+	}
+	out := NewDelta(newer.App, newer.Mode, newer.SafePoints, newer.BaseSP)
+	for name, v := range older.Full {
+		out.Full[name] = v
+	}
+	for name, sd := range older.Slices {
+		out.Slices[name] = sd
+	}
+	for name, md := range older.Matrices {
+		out.Matrices[name] = md
+	}
+	for name, v := range newer.Full {
+		// A whole-field replacement is cumulative state: it wins over
+		// anything the older delta carried for the field.
+		out.Full[name] = v
+		delete(out.Slices, name)
+		delete(out.Matrices, name)
+	}
+	for name, sd := range newer.Slices {
+		if old, ok := out.Full[name]; ok {
+			// The older delta replaced the field whole; overlaying the
+			// newer chunks onto that (owned) value keeps it whole.
+			if old.Tag != TFloat64s || len(old.Fs) != sd.Len {
+				return nil, fmt.Errorf("serial: merge: slice delta %q does not match the older replacement", name)
+			}
+			for _, c := range sd.Chunks {
+				copy(old.Fs[c.Off:], c.Data)
+			}
+			continue
+		}
+		out.Slices[name] = mergeSliceDeltas(out.Slices[name], sd)
+	}
+	for name, md := range newer.Matrices {
+		if old, ok := out.Full[name]; ok {
+			if old.Tag != TFloat64_2 || old.Rows != md.Rows || old.Cols != md.Cols {
+				return nil, fmt.Errorf("serial: merge: matrix delta %q does not match the older replacement", name)
+			}
+			for _, c := range md.Chunks {
+				for i, row := range c.Rows {
+					copy(old.F2[c.Row+i], row)
+				}
+			}
+			continue
+		}
+		merged, err := mergeMatrixDeltas(name, out.Matrices[name], md)
+		if err != nil {
+			return nil, err
+		}
+		out.Matrices[name] = merged
+	}
+	return out, nil
+}
+
+// mergeSliceDeltas unions two chunk lists for the same field; chunks are
+// aligned to the fixed diffing grid, so equal offsets describe the same
+// chunk and the newer data wins.
+func mergeSliceDeltas(older, newer SliceDelta) SliceDelta {
+	if older.Len == 0 && len(older.Chunks) == 0 {
+		return newer
+	}
+	byOff := map[int]SliceChunk{}
+	for _, c := range older.Chunks {
+		byOff[c.Off] = c
+	}
+	for _, c := range newer.Chunks {
+		byOff[c.Off] = c
+	}
+	out := SliceDelta{Len: newer.Len}
+	for _, off := range sortedChunkOffsets(byOff) {
+		out.Chunks = append(out.Chunks, byOff[off])
+	}
+	return out
+}
+
+func sortedChunkOffsets[C any](m map[int]C) []int {
+	offs := make([]int, 0, len(m))
+	for off := range m {
+		offs = append(offs, off)
+	}
+	sort.Ints(offs)
+	return offs
+}
+
+func mergeMatrixDeltas(name string, older, newer MatrixDelta) (MatrixDelta, error) {
+	if older.Rows == 0 && len(older.Chunks) == 0 {
+		return newer, nil
+	}
+	if older.Rows != newer.Rows || older.Cols != newer.Cols {
+		// A shape change between captures is shipped as a whole-field
+		// replacement, so chunked entries in one chain always agree.
+		return MatrixDelta{}, fmt.Errorf("serial: merge: matrix delta %q changed shape (%dx%d vs %dx%d)",
+			name, older.Rows, older.Cols, newer.Rows, newer.Cols)
+	}
+	byRow := map[int]MatrixChunk{}
+	for _, c := range older.Chunks {
+		byRow[c.Row] = c
+	}
+	for _, c := range newer.Chunks {
+		byRow[c.Row] = c
+	}
+	out := MatrixDelta{Rows: newer.Rows, Cols: newer.Cols}
+	for _, row := range sortedChunkOffsets(byRow) {
+		out.Chunks = append(out.Chunks, byRow[row])
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package serial
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// bigState builds a snapshot with one chunked slice, one chunked matrix and
+// a few whole-replacement fields, deterministically seeded.
+func bigState(sp uint64) *Snapshot {
+	rng := rand.New(rand.NewSource(42))
+	s := NewSnapshot("dapp", "seq", sp)
+	fs := make([]float64, 3*DeltaChunkElems+17)
+	for i := range fs {
+		fs[i] = rng.Float64()
+	}
+	m := make([][]float64, 200)
+	for i := range m {
+		m[i] = make([]float64, 128)
+		for j := range m[i] {
+			m[i][j] = rng.Float64()
+		}
+	}
+	s.Fields["vec"] = Float64s(fs)
+	s.Fields["grid"] = Float64Matrix(m)
+	s.Fields["it"] = Int64(int64(sp))
+	s.Fields["tol"] = Float64(0.5)
+	s.Fields["tags"] = Bytes([]byte("abc"))
+	return s
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	d := NewDelta("dapp", "smp", 20, 10)
+	d.Seq = 3
+	d.Full["it"] = Int64(20)
+	d.Slices["vec"] = SliceDelta{Len: 3 * DeltaChunkElems, Chunks: []SliceChunk{
+		{Off: 0, Data: []float64{1, 2, 3}},
+		{Off: DeltaChunkElems, Data: make([]float64, DeltaChunkElems)},
+	}}
+	d.Matrices["grid"] = MatrixDelta{Rows: 100, Cols: 128, Chunks: []MatrixChunk{
+		{Row: 64, Rows: [][]float64{make([]float64, 128), make([]float64, 128)}},
+	}}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatalf("delta did not round-trip:\nin:  %+v\nout: %+v", d, got)
+	}
+}
+
+func TestDeltaDecodeRejectsCorruption(t *testing.T) {
+	d := NewDelta("dapp", "smp", 20, 10)
+	d.Slices["vec"] = SliceDelta{Len: 100, Chunks: []SliceChunk{{Off: 10, Data: []float64{4, 5}}}}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, tc := range []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-10] ^= 0xff
+			return out
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bad magic", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[0] = 'X'
+			return out
+		}},
+	} {
+		if _, err := DecodeDelta(bytes.NewReader(tc.mangle(raw))); err == nil {
+			t.Errorf("%s: decode accepted a corrupt delta", tc.name)
+		}
+	}
+}
+
+func TestDiffApplyReconstructsState(t *testing.T) {
+	base := bigState(10)
+	h := NewStateHash()
+	h.Rehash(base)
+	persisted := base.Clone() // what a store would hold as the chain base
+
+	// Mutate a localised stripe: a few vec chunks, a band of grid rows, and
+	// the scalar iteration counter.
+	cur := base // live state, mutated in place
+	for i := DeltaChunkElems; i < DeltaChunkElems+100; i++ {
+		cur.Fields["vec"].Fs[i] = -1
+	}
+	for r := 10; r < 20; r++ {
+		for j := range cur.Fields["grid"].F2[r] {
+			cur.Fields["grid"].F2[r][j] = float64(r + j)
+		}
+	}
+	cur.Fields["it"] = Int64(15)
+	cur.SafePoints = 15
+
+	d := h.Diff(cur, 10, true)
+	if d.Empty() {
+		t.Fatal("diff of a mutated state is empty")
+	}
+	if _, whole := d.Full["vec"]; whole {
+		t.Fatal("chunked slice was replaced whole")
+	}
+	if got := d.DataBytes(); got >= cur.DataBytes() {
+		t.Fatalf("delta bytes %d not smaller than full state %d", got, cur.DataBytes())
+	}
+	if err := d.Apply(persisted); err != nil {
+		t.Fatal(err)
+	}
+	if persisted.SafePoints != 15 {
+		t.Fatalf("applied safe point %d, want 15", persisted.SafePoints)
+	}
+	assertSameState(t, persisted, cur)
+
+	// A second capture with no changes diffs to an empty delta.
+	d2 := h.Diff(cur, 10, true)
+	if !d2.Empty() {
+		t.Fatalf("unchanged state produced a non-empty delta: %+v", d2)
+	}
+}
+
+func TestDiffShapeChangeReplacesWhole(t *testing.T) {
+	base := bigState(10)
+	h := NewStateHash()
+	h.Rehash(base)
+	grown := make([]float64, 4*DeltaChunkElems)
+	copy(grown, base.Fields["vec"].Fs)
+	base.Fields["vec"] = Float64s(grown)
+	d := h.Diff(base, 10, false)
+	if _, ok := d.Full["vec"]; !ok {
+		t.Fatalf("shape change did not replace the field whole: %+v", d)
+	}
+	if _, ok := d.Slices["vec"]; ok {
+		t.Fatal("shape change also emitted chunks")
+	}
+}
+
+func TestMergeDeltasFoldsSupersededCapture(t *testing.T) {
+	base := bigState(10)
+	persisted := base.Clone()
+	h := NewStateHash()
+	h.Rehash(base)
+
+	// Capture 1: mutate chunk 0 of vec and row band A.
+	for i := 0; i < 50; i++ {
+		base.Fields["vec"].Fs[i] = 111
+	}
+	for j := range base.Fields["grid"].F2[5] {
+		base.Fields["grid"].F2[5][j] = 5
+	}
+	base.SafePoints = 12
+	d1 := h.Diff(base, 10, true)
+
+	// Capture 2: mutate chunk 2 of vec (disjoint) and re-touch chunk 0.
+	for i := 0; i < 10; i++ {
+		base.Fields["vec"].Fs[i] = 222
+	}
+	for i := 2 * DeltaChunkElems; i < 2*DeltaChunkElems+30; i++ {
+		base.Fields["vec"].Fs[i] = 333
+	}
+	base.SafePoints = 14
+	d2 := h.Diff(base, 10, true)
+
+	merged, err := MergeDeltas(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.SafePoints != 14 || merged.BaseSP != 10 {
+		t.Fatalf("merged header sp=%d base=%d, want 14/10", merged.SafePoints, merged.BaseSP)
+	}
+	if err := merged.Apply(persisted); err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, persisted, base)
+}
+
+func TestMergeDeltasRejectsDifferentChains(t *testing.T) {
+	a := NewDelta("dapp", "seq", 12, 10)
+	b := NewDelta("dapp", "seq", 14, 13) // different base: not consecutive links
+	if _, err := MergeDeltas(a, b); err == nil {
+		t.Fatal("merge across chains must fail")
+	}
+}
+
+func TestApplyRejectsShapeMismatch(t *testing.T) {
+	base := NewSnapshot("dapp", "seq", 10)
+	base.Fields["vec"] = Float64s(make([]float64, 10))
+	d := NewDelta("dapp", "seq", 12, 10)
+	d.Slices["vec"] = SliceDelta{Len: 20, Chunks: []SliceChunk{{Off: 0, Data: []float64{1}}}}
+	if err := d.Apply(base); err == nil {
+		t.Fatal("apply with a mismatched shape must fail, not half-apply")
+	}
+}
+
+// assertSameState compares every field payload of two snapshots.
+func assertSameState(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if len(got.Fields) != len(want.Fields) {
+		t.Fatalf("field count %d vs %d", len(got.Fields), len(want.Fields))
+	}
+	for name, w := range want.Fields {
+		g, ok := got.Fields[name]
+		if !ok {
+			t.Fatalf("field %q missing", name)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("field %q diverged", name)
+		}
+	}
+}

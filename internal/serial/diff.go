@@ -1,0 +1,242 @@
+package serial
+
+import "math"
+
+// StateHash is the safe-point hash cache behind incremental checkpointing:
+// it remembers a content hash per SafeData field — and per fixed-size chunk
+// for large float fields — from the previous capture, so the next capture
+// can ship only what changed. The hashes never leave the process (deltas
+// carry CRCs for integrity instead), so a fast non-cryptographic mix is
+// used; hashing is a linear scan of the state, which is the floor any
+// content-addressed diff pays, and is still far cheaper than encoding and
+// persisting the unchanged bytes it avoids.
+type StateHash struct {
+	chunkElems int
+	fields     map[string]*fieldState
+}
+
+type fieldState struct {
+	tag        uint8
+	n          int // slice length (TFloat64s) or byte length (TBytes/TGob)
+	rows, cols int // matrix shape (TFloat64_2)
+	whole      uint64
+	chunks     []uint64
+}
+
+// NewStateHash creates an empty cache diffing at the DeltaChunkElems
+// granularity. The first Diff after creation replaces every field whole, so
+// a fresh cache must be paired with a full base snapshot (see Rehash).
+func NewStateHash() *StateHash {
+	return &StateHash{chunkElems: DeltaChunkElems, fields: map[string]*fieldState{}}
+}
+
+// mix64 folds one 64-bit word into the running hash (splitmix64-style
+// finalisation: multiplicative diffusion plus xor-shifts).
+func mix64(h, x uint64) uint64 {
+	h = (h ^ x) * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return h
+}
+
+func hashF64s(v []float64) uint64 {
+	h := uint64(1)
+	for _, f := range v {
+		h = mix64(h, math.Float64bits(f))
+	}
+	return h
+}
+
+func hashBytes(b []byte) uint64 {
+	h := uint64(2)
+	for _, c := range b {
+		h = mix64(h, uint64(c))
+	}
+	return h
+}
+
+func hashI64s(v []int64) uint64 {
+	h := uint64(3)
+	for _, x := range v {
+		h = mix64(h, uint64(x))
+	}
+	return h
+}
+
+// chunked reports whether a field is diffed chunk-wise (large float slices
+// and matrices) rather than replaced whole.
+func (h *StateHash) chunked(v Value) bool {
+	switch v.Tag {
+	case TFloat64s:
+		return len(v.Fs) > h.chunkElems
+	case TFloat64_2:
+		return v.Rows*v.Cols > h.chunkElems && v.Cols > 0
+	}
+	return false
+}
+
+// chunkRows reports how many consecutive matrix rows one chunk covers:
+// about chunkElems elements, at least one row.
+func (h *StateHash) chunkRows(cols int) int {
+	n := h.chunkElems / cols
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// hashField computes the fresh hash state of one field value.
+func (h *StateHash) hashField(v Value) *fieldState {
+	st := &fieldState{tag: v.Tag}
+	switch v.Tag {
+	case TFloat64:
+		st.whole = mix64(1, math.Float64bits(v.F))
+	case TInt64:
+		st.whole = mix64(1, uint64(v.I))
+	case TInt64s:
+		st.n = len(v.Is)
+		st.whole = hashI64s(v.Is)
+	case TBytes, TGob:
+		st.n = len(v.B)
+		st.whole = hashBytes(v.B)
+	case TFloat64s:
+		st.n = len(v.Fs)
+		if !h.chunked(v) {
+			st.whole = hashF64s(v.Fs)
+			break
+		}
+		for off := 0; off < len(v.Fs); off += h.chunkElems {
+			end := off + h.chunkElems
+			if end > len(v.Fs) {
+				end = len(v.Fs)
+			}
+			st.chunks = append(st.chunks, hashF64s(v.Fs[off:end]))
+		}
+	case TFloat64_2:
+		st.rows, st.cols = v.Rows, v.Cols
+		if !h.chunked(v) {
+			hh := uint64(4)
+			for _, row := range v.F2 {
+				hh = mix64(hh, hashF64s(row))
+			}
+			st.whole = hh
+			break
+		}
+		per := h.chunkRows(v.Cols)
+		for r := 0; r < v.Rows; r += per {
+			end := r + per
+			if end > v.Rows {
+				end = v.Rows
+			}
+			hh := uint64(4)
+			for _, row := range v.F2[r:end] {
+				hh = mix64(hh, hashF64s(row))
+			}
+			st.chunks = append(st.chunks, hh)
+		}
+	}
+	return st
+}
+
+// Rehash replaces the cache with snap's hashes without producing a delta —
+// the full-capture path: the snapshot itself is persisted whole and becomes
+// the new chain base.
+func (h *StateHash) Rehash(snap *Snapshot) {
+	h.fields = map[string]*fieldState{}
+	for name, v := range snap.Fields {
+		h.fields[name] = h.hashField(v)
+	}
+}
+
+// Diff computes the delta from the cached previous capture to snap and
+// updates the cache to snap. baseSP anchors the delta to its chain's base
+// snapshot. With clone set, changed data is deep-copied into the delta so
+// the caller may keep mutating the live arrays (the asynchronous capture
+// path — and the reason a mostly-stable state makes delta captures much
+// cheaper than Snapshot.Clone); without it the delta aliases snap's
+// backing arrays and must be persisted before they change again.
+//
+// Fields whose shape or tag changed — and fields never seen before — are
+// replaced whole; large float fields otherwise ship only the chunks whose
+// content hash moved.
+func (h *StateHash) Diff(snap *Snapshot, baseSP uint64, clone bool) *Delta {
+	d := NewDelta(snap.App, snap.Mode, snap.SafePoints, baseSP)
+	next := map[string]*fieldState{}
+	for name, v := range snap.Fields {
+		st := h.hashField(v)
+		next[name] = st
+		prev := h.fields[name]
+		if prev == nil || prev.tag != st.tag || !h.chunked(v) {
+			if prev == nil || prev.tag != st.tag || prev.whole != st.whole ||
+				prev.n != st.n || prev.rows != st.rows || prev.cols != st.cols {
+				d.Full[name] = cloneValue(v, clone)
+			}
+			continue
+		}
+		// Chunked field: a shape change forces a whole replacement (chunk
+		// grids of different shapes do not line up); otherwise ship only
+		// the chunks whose hash moved.
+		if prev.n != st.n || prev.rows != st.rows || prev.cols != st.cols {
+			d.Full[name] = cloneValue(v, clone)
+			continue
+		}
+		switch v.Tag {
+		case TFloat64s:
+			var sd SliceDelta
+			sd.Len = len(v.Fs)
+			for i, hh := range st.chunks {
+				if prev.chunks[i] == hh {
+					continue
+				}
+				off := i * h.chunkElems
+				end := off + h.chunkElems
+				if end > len(v.Fs) {
+					end = len(v.Fs)
+				}
+				data := v.Fs[off:end]
+				if clone {
+					data = append([]float64(nil), data...)
+				}
+				sd.Chunks = append(sd.Chunks, SliceChunk{Off: off, Data: data})
+			}
+			if len(sd.Chunks) > 0 {
+				d.Slices[name] = sd
+			}
+		case TFloat64_2:
+			per := h.chunkRows(v.Cols)
+			md := MatrixDelta{Rows: v.Rows, Cols: v.Cols}
+			for i, hh := range st.chunks {
+				if prev.chunks[i] == hh {
+					continue
+				}
+				r := i * per
+				end := r + per
+				if end > v.Rows {
+					end = v.Rows
+				}
+				rows := v.F2[r:end]
+				if clone {
+					cp := make([][]float64, len(rows))
+					for ri, row := range rows {
+						cp[ri] = append([]float64(nil), row...)
+					}
+					rows = cp
+				}
+				md.Chunks = append(md.Chunks, MatrixChunk{Row: r, Rows: rows})
+			}
+			if len(md.Chunks) > 0 {
+				d.Matrices[name] = md
+			}
+		}
+	}
+	h.fields = next
+	return d
+}
+
+func cloneValue(v Value, clone bool) Value {
+	if clone {
+		return v.clone()
+	}
+	return v
+}

@@ -1,0 +1,172 @@
+package serial
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// corpusSnapshots builds a spread of real snapshots — every tag, empty and
+// chunk-sized payloads, gob values — whose encodings seed the fuzzers so
+// coverage starts from structurally valid containers rather than noise.
+func corpusSnapshots(t testing.TB) []*Snapshot {
+	small := NewSnapshot("app", "seq", 7)
+	small.Fields["f"] = Float64(3.25)
+	small.Fields["i"] = Int64(-9)
+	small.Fields["fs"] = Float64s([]float64{1, 2, 3})
+	small.Fields["is"] = Int64s([]int64{-1, 0, 1})
+	small.Fields["m"] = Float64Matrix([][]float64{{1, 2}, {3, 4}})
+	small.Fields["b"] = Bytes([]byte("raw"))
+	gobv, err := Gob(map[string]int{"k": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Fields["g"] = gobv
+
+	empty := NewSnapshot("", "", 0)
+
+	big := NewSnapshot("big", "dist", 1<<20)
+	big.Fields["vec"] = Float64s(make([]float64, DeltaChunkElems+3))
+	m := make([][]float64, 64)
+	for i := range m {
+		m[i] = make([]float64, 130)
+	}
+	big.Fields["grid"] = Float64Matrix(m)
+	big.Fields["none"] = Float64s(nil)
+	big.Fields["zrows"] = Float64Matrix([][]float64{})
+
+	return []*Snapshot{small, empty, big}
+}
+
+// corpusDeltas mirrors corpusSnapshots for the incremental container.
+func corpusDeltas(t testing.TB) []*Delta {
+	plain := NewDelta("app", "seq", 9, 5)
+	plain.Seq = 2
+	plain.Full["i"] = Int64(12)
+	plain.Full["fs"] = Float64s([]float64{5, 6})
+	plain.Slices["vec"] = SliceDelta{Len: 2 * DeltaChunkElems, Chunks: []SliceChunk{
+		{Off: 0, Data: []float64{1}},
+		{Off: DeltaChunkElems, Data: make([]float64, DeltaChunkElems)},
+	}}
+	plain.Matrices["grid"] = MatrixDelta{Rows: 64, Cols: 130, Chunks: []MatrixChunk{
+		{Row: 62, Rows: [][]float64{make([]float64, 130), make([]float64, 130)}},
+	}}
+
+	empty := NewDelta("", "", 0, 0)
+	empty.Seq = 1
+
+	return []*Delta{plain, empty}
+}
+
+func encodeSnap(t testing.TB, s *Snapshot) []byte {
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode feeds arbitrary bytes to the full-container decoder, seeded
+// with real encodings. It must never panic; on any accepted input the
+// decoded payload must be bounded by the input (no over-allocation from
+// crafted counts) and must re-encode and decode to the identical snapshot
+// (decode(encode(s)) round-trips).
+func FuzzDecode(f *testing.F) {
+	for _, s := range corpusSnapshots(f) {
+		f.Add(encodeSnap(f, s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if got := s.DataBytes(); got > len(data) {
+			t.Fatalf("decoded %d payload bytes from %d input bytes: over-allocation", got, len(data))
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("re-encode of an accepted snapshot failed: %v", err)
+		}
+		s2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode(encode(s)) failed: %v", err)
+		}
+		if s.App != s2.App || s.Mode != s2.Mode || s.SafePoints != s2.SafePoints {
+			t.Fatalf("header did not round-trip: %+v vs %+v", s, s2)
+		}
+		if !reflect.DeepEqual(normalise(s.Fields), normalise(s2.Fields)) {
+			t.Fatalf("fields did not round-trip")
+		}
+	})
+}
+
+// FuzzDecodeDelta is FuzzDecode for the incremental container.
+func FuzzDecodeDelta(f *testing.F) {
+	for _, d := range corpusDeltas(f) {
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// A full container must be rejected by the delta decoder, not crash it.
+	for _, s := range corpusSnapshots(f) {
+		f.Add(encodeSnap(f, s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got := d.DataBytes(); got > len(data) {
+			t.Fatalf("decoded %d payload bytes from %d input bytes: over-allocation", got, len(data))
+		}
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			t.Fatalf("re-encode of an accepted delta failed: %v", err)
+		}
+		d2, err := DecodeDelta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode(encode(d)) failed: %v", err)
+		}
+		if !reflect.DeepEqual(normaliseDelta(d), normaliseDelta(d2)) {
+			t.Fatalf("delta did not round-trip")
+		}
+	})
+}
+
+// normalise maps empty and nil slices onto one representation: the decoder
+// materialises empty payloads as non-nil zero-length slices, which
+// DeepEqual would otherwise distinguish from the nil the encoder accepted.
+func normalise(fields map[string]Value) map[string]Value {
+	out := make(map[string]Value, len(fields))
+	for k, v := range fields {
+		if len(v.Fs) == 0 {
+			v.Fs = nil
+		}
+		if len(v.Is) == 0 {
+			v.Is = nil
+		}
+		if len(v.B) == 0 {
+			v.B = nil
+		}
+		if len(v.F2) == 0 {
+			v.F2 = nil
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func normaliseDelta(d *Delta) *Delta {
+	out := NewDelta(d.App, d.Mode, d.SafePoints, d.BaseSP)
+	out.Seq = d.Seq
+	out.Full = normalise(d.Full)
+	for k, v := range d.Slices {
+		out.Slices[k] = v
+	}
+	for k, v := range d.Matrices {
+		out.Matrices[k] = v
+	}
+	return out
+}

@@ -15,6 +15,16 @@
 // it, a snapshot gathered at the master of a distributed run can restart a
 // sequential, shared-memory or distributed run — the property §IV.A uses to
 // adapt across execution modes by checkpoint/restart.
+//
+// Alongside the full container lives the incremental one: a PPCKPD1 delta
+// (see delta.go) holds only the fields — and, for large float slices and
+// matrices, only the fixed-size chunks — that changed since the previous
+// capture, anchored by (BaseSP, Seq) to the full snapshot at the head of
+// its chain. Restoring replays base + d1 + ... + dN; every prefix of a
+// chain is itself a consistent checkpoint, which is what lets a store
+// truncate at a torn or missing link instead of half-applying it. The
+// diffing side (the per-field/per-chunk content-hash cache) is StateHash
+// in diff.go.
 package serial
 
 import (
@@ -310,6 +320,12 @@ func encodeField(w io.Writer, name string, v Value) error {
 			return err
 		}
 	case TFloat64_2:
+		if v.Cols == 0 && v.Rows > maxEmptyRows {
+			// The decoder bounds zero-column row counts (the payload
+			// cannot), so refusing here keeps every encoder-produced
+			// container decodable.
+			return fmt.Errorf("%d empty rows exceed the container's zero-column row limit (%d)", v.Rows, maxEmptyRows)
+		}
 		if err := writeU64(&payload, uint64(v.Rows)); err != nil {
 			return err
 		}
@@ -601,11 +617,16 @@ func readMatrixShape(pr *bytes.Reader, name string) (int, int, error) {
 	if cols > 0 && rows > rem/(8*cols) {
 		return 0, 0, fmt.Errorf("%q: %dx%d matrix exceeds the %d payload bytes that remain", name, rows, cols, rem)
 	}
-	// cols == 0 carries no per-row bytes, so the payload cannot bound rows;
-	// cap it so a crafted shape cannot force a huge row-header allocation.
-	const maxEmptyRows = 1 << 20
 	if cols == 0 && rows > maxEmptyRows {
 		return 0, 0, fmt.Errorf("%q: %d empty rows exceed the zero-column row limit", name, rows)
 	}
 	return int(rows), int(cols), nil
 }
+
+// maxEmptyRows bounds the row count of a zero-column matrix, enforced
+// symmetrically at encode and decode: cols == 0 carries no per-row bytes,
+// so the payload cannot bound rows on the way in — and the cap must be
+// small, because each claimed empty row costs a decode loop iteration
+// while consuming no input, so a stream of such fields would otherwise
+// turn a few bytes into seconds of work.
+const maxEmptyRows = 1 << 12

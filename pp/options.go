@@ -118,6 +118,35 @@ func WithAsyncCheckpoint() Option {
 	return func(c *core.Config) { c.AsyncCheckpoint = true }
 }
 
+// WithDeltaCheckpoint enables incremental (delta) checkpointing and takes
+// a capture every `every` safe points: the engine keeps per-field content
+// hashes — chunk hashes for large float slices and matrices — from the
+// previous capture, and persists only the fields/chunks that changed, as a
+// PPCKPD1 delta chained onto the last full snapshot. Every compactEvery
+// deltas (default 8 when <= 0) the chain is compacted back into a full
+// PPCKPT1 snapshot, so restart cost and disk usage stay bounded and
+// cross-mode restart always materialises from a canonical snapshot.
+// Restore replays base + chain automatically and tolerates torn or
+// half-written links by truncating to the last consistent prefix.
+//
+// Composes with WithAsyncCheckpoint: delta captures then deep-copy only
+// the changed chunks at the barrier, and a capture superseded behind an
+// in-flight write is folded into the next one (never dropped — a delta
+// only carries what changed since the previous capture). Incompatible with
+// WithShardCheckpoints. Report splits the accounting into
+// FullSaves/DeltaSaves/DeltaBytes.
+//
+// The win scales with how much of the safe data is stable between
+// captures: a workload rewriting its whole state every iteration saves
+// little, one with localised updates saves almost everything.
+func WithDeltaCheckpoint(every uint64, compactEvery int) Option {
+	return func(c *core.Config) {
+		c.CheckpointEvery = every
+		c.DeltaCheckpoint = true
+		c.DeltaCompactEvery = compactEvery
+	}
+}
+
 // WithAdaptPolicy consults p at every safe point to decide run-time
 // adaptations and checkpoint-and-stop. Repeated uses (and the sugar
 // WithAdaptAt/WithStopAt) chain; the first non-zero decision wins.

@@ -90,6 +90,23 @@
 // (blocked time), AsyncSaveTotal (overlapped background writes),
 // DrainTotal and Superseded.
 //
+// # Incremental (delta) checkpointing
+//
+// WithDeltaCheckpoint(every, compactEvery) persists only what changed
+// between captures: the engine hashes every SafeData field (in fixed-size
+// chunks for large float slices and matrices) at each capture and writes a
+// small PPCKPD1 delta — changed fields/chunks plus a reference to the
+// chain's base snapshot — through Store.SaveDelta. Every compactEvery
+// deltas the chain is compacted back into a full snapshot, bounding
+// restart cost and disk usage. Restore (Store.LoadChain) replays base +
+// deltas automatically, truncating at the first torn, missing or stale
+// link, so every restart point is a consistent prefix of the chain; the
+// materialised snapshot is an ordinary canonical snapshot, so cross-mode
+// restart works unchanged. Deltas compose with WithAsyncCheckpoint: a
+// capture superseded behind an in-flight write folds into the next one
+// instead of being dropped. Report gains FullSaves, DeltaSaves and
+// DeltaBytes.
+//
 // # Pluggable adaptation policies
 //
 // Run-time adaptation and checkpoint-and-stop are decided by an

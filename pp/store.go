@@ -17,6 +17,14 @@ type Store = ckpt.Store
 // implementations receive and return snapshots.
 type Snapshot = serial.Snapshot
 
+// Delta is the in-memory form of one incremental checkpoint: the fields
+// and chunks that changed since the previous capture, anchored to a full
+// base snapshot by BaseSP and ordered by Seq (see ppar/internal/serial for
+// the PPCKPD1 container format and the chain-consistency rules). Custom
+// Store implementations persist deltas in SaveDelta and return them, in
+// order, from LoadChain; WithDeltaCheckpoint turns the pipeline on.
+type Delta = serial.Delta
+
 // NewFSStore creates the stock filesystem store rooted at dir: one file per
 // snapshot, written with temp-then-rename atomicity, plus a marker-file
 // crash ledger. WithCheckpointDir(dir) is sugar for WithStore(NewFSStore(dir)).
