@@ -492,6 +492,50 @@ func BenchmarkAblation_CallOverhead(b *testing.B) {
 	})
 }
 
+// --- In-process cross-mode migration --------------------------------------
+
+// BenchmarkModeMigration measures the cost of migrating a live run across
+// executors at a safe point (snapshot to the internal memory store, executor
+// teardown, relaunch, replay to the migration point) against the in-place
+// and restart-free baseline. MigrationTotal is the blocked span from the
+// snapshot capture to the replay target under the new executor.
+func BenchmarkModeMigration(b *testing.B) {
+	// The full module set: a migrating run carries the advice of every mode
+	// it may land in, exactly like a cross-mode restart.
+	base := []pp.Option{
+		pp.WithName("bench-sor"),
+		pp.WithModules(jgf.SORModules(pp.Hybrid)...),
+	}
+	for _, tc := range []struct {
+		name string
+		opts []pp.Option
+	}{
+		{"smp4-to-dist4", []pp.Option{
+			pp.WithMode(pp.Shared), pp.WithThreads(4),
+			pp.WithAdaptAt(benchIters/2, pp.AdaptTarget{Mode: pp.Distributed, Procs: 4})}},
+		{"dist4-to-smp4", []pp.Option{
+			pp.WithMode(pp.Distributed), pp.WithProcs(4),
+			pp.WithAdaptAt(benchIters/2, pp.AdaptTarget{Mode: pp.Shared, Threads: 4})}},
+		{"smp4-to-dist4-ckpt", []pp.Option{
+			pp.WithMode(pp.Shared), pp.WithThreads(4),
+			pp.WithStore(pp.NewMemStore()), pp.WithCheckpointEvery(5),
+			pp.WithAdaptAt(benchIters/2, pp.AdaptTarget{Mode: pp.Distributed, Procs: 4})}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var blocked int64
+			for i := 0; i < b.N; i++ {
+				rep := runBench(b, benchN, benchIters, append(append([]pp.Option{}, base...), tc.opts...)...)
+				if rep.Migrations != 1 {
+					b.Fatalf("want 1 migration, got %+v", rep)
+				}
+				blocked += rep.MigrationTotal.Nanoseconds()
+			}
+			b.ReportMetric(float64(blocked)/float64(b.N), "migration-ns/op")
+		})
+	}
+}
+
 // --- Asynchronous checkpoint pipeline -----------------------------------
 
 // Sync vs async checkpointing on the SOR kernel. SaveTotal is the time

@@ -8,6 +8,7 @@
 //	ppbench -real        # real engine runs (scaled down)
 //	ppbench -real -n 600 -iters 80 -maxpe 8
 //	ppbench -csv         # machine-readable output
+//	ppbench -adapt-mode dist   # measure a live smp->dist in-process migration
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"ppar/internal/figures"
+	"ppar/internal/jgf"
 	"ppar/internal/metrics"
 	"ppar/pp"
 )
@@ -34,7 +36,13 @@ func run() int {
 	storeKind := fs.String("store", "fs", "checkpoint backend for -real: fs | mem | gzip")
 	async := fs.Bool("async", false, "asynchronous double-buffered checkpointing for -real")
 	delta := fs.Bool("delta", false, "incremental (delta) checkpointing for -real")
+	adaptMode := fs.String("adapt-mode", "", "instead of figures: measure a live in-process migration of a real SOR run from an smp(4) baseline to this mode (seq|dist|hybrid); the demo uses its own fixed workload, ignoring the figure/store flags except -n/-iters/-csv")
+	adaptAt := fs.Uint64("adapt-at", 0, "safe point of the -adapt-mode migration (default: half the iterations)")
 	fs.Parse(os.Args[1:])
+
+	if *adaptMode != "" {
+		return migrationDemo(*adaptMode, *adaptAt, *n, *iters, *csv)
+	}
 
 	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir, Async: *async, Delta: *delta}
 	if scale.Dir == "" {
@@ -98,6 +106,73 @@ func run() int {
 			tbl.Fprint(os.Stdout)
 		}
 		fmt.Println()
+	}
+	return 0
+}
+
+// migrationDemo measures a live in-process cross-mode migration on the real
+// engine: a Shared-mode SOR run migrates to the target deployment at a safe
+// point mid-run, and the table compares it against the unmigrated run —
+// adaptation-by-restart (Figures 6 and 7) collapsed into one process.
+func migrationDemo(modeName string, at uint64, n, iters int, csv bool) int {
+	target, err := pp.ParseMode(modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if target == pp.Shared {
+		fmt.Fprintln(os.Stderr, "the migration demo baseline is smp; pick -adapt-mode seq, dist or hybrid")
+		return 2
+	}
+	if at == 0 {
+		at = uint64(iters / 2)
+	}
+	run := func(opts ...pp.Option) (float64, pp.Report, error) {
+		res := &jgf.SORResult{}
+		// The full (hybrid) module set: a migrating run must carry the
+		// advice of every mode it may land in, exactly as a cross-mode
+		// restart needs the target mode's modules plugged.
+		all := append([]pp.Option{
+			pp.WithName("ppbench-migrate"),
+			pp.WithMode(pp.Shared), pp.WithThreads(4),
+			pp.WithModules(jgf.SORModules(pp.Hybrid)...),
+		}, opts...)
+		eng, err := pp.New(func() pp.App { return jgf.NewSOR(n, iters, res) }, all...)
+		if err != nil {
+			return 0, pp.Report{}, err
+		}
+		err = eng.Run()
+		return res.Gtotal, eng.Report(), err
+	}
+	baseTotal, baseRep, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	migTotal, migRep, err := run(pp.WithAdaptAt(at, pp.AdaptTarget{Mode: target, Procs: 4, Threads: 4}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if migRep.Migrations != 1 {
+		fmt.Fprintf(os.Stderr, "no migration happened (target %s from a smp baseline at safe point %d of %d): %d migrations\n",
+			target, at, iters, migRep.Migrations)
+		return 1
+	}
+	tbl := metrics.NewTable(
+		fmt.Sprintf("In-process migration smp->%s at safe point %d (SOR %dx%d, %d iters)", target, at, n, n, iters),
+		"run", "elapsed", "migrations", "migration-blocked", "identical")
+	tbl.AddRow("smp (baseline)", baseRep.Elapsed, baseRep.Migrations, baseRep.MigrationTotal, "-")
+	tbl.AddRow(fmt.Sprintf("smp->%s", target), migRep.Elapsed, migRep.Migrations, migRep.MigrationTotal,
+		fmt.Sprintf("%v", migTotal == baseTotal))
+	if csv {
+		tbl.FprintCSV(os.Stdout)
+	} else {
+		tbl.Fprint(os.Stdout)
+	}
+	if migTotal != baseTotal {
+		fmt.Fprintln(os.Stderr, "migration changed the result")
+		return 1
 	}
 	return 0
 }

@@ -12,6 +12,7 @@
 //	ppsor -mode smp -threads 8 -ckpt /tmp/ck -every 10 -delta     # incremental saves
 //	ppsor -mode smp -threads 4 -store mem -every 10 -stop-at 26  # stop+restart, no filesystem
 //	ppsor -mode smp -threads 2 -adapt-at 50 -adapt-threads 8
+//	ppsor -mode smp -threads 4 -adapt-at 50 -adapt-mode dist -adapt-procs 4  # live smp->dist migration
 //	ppsor -mode dist -procs 2 -ckpt /tmp/ck -stop-at 26          # checkpoint & stop; re-run wider
 package main
 
@@ -47,33 +48,43 @@ func run() int {
 	adaptAt := flag.Uint64("adapt-at", 0, "apply a run-time adaptation at this safe point")
 	adaptThreads := flag.Int("adapt-threads", 0, "run-time adaptation target team size")
 	adaptProcs := flag.Int("adapt-procs", 0, "run-time adaptation target world size")
+	adaptMode := flag.String("adapt-mode", "", "run-time adaptation target mode (seq|smp|dist|hybrid): migrate the run to that deployment in-process at -adapt-at, without restarting")
 	flag.Parse()
 
-	var m pp.Mode
-	switch *mode {
-	case "seq":
-		m = pp.Sequential
-	case "smp":
-		m = pp.Shared
-	case "dist":
-		m = pp.Distributed
-	case "hybrid":
-		m = pp.Hybrid
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+	m, err := pp.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	target := pp.AdaptTarget{Threads: *adaptThreads, Procs: *adaptProcs}
+	if *adaptMode != "" {
+		if target.Mode, err = pp.ParseMode(*adaptMode); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if *adaptAt == 0 {
+			fmt.Fprintln(os.Stderr, "-adapt-mode needs -adapt-at to pick the migration safe point")
+			return 2
+		}
+	}
 
+	// A migrating run must carry the advice of every mode it may land in
+	// (like a cross-mode restart): plug the full hybrid module set when an
+	// in-process migration is requested.
+	moduleMode := m
+	if target.Mode != 0 {
+		moduleMode = pp.Hybrid
+	}
 	opts := []pp.Option{
 		pp.WithName("ppsor"),
 		pp.WithMode(m),
 		pp.WithThreads(*threads),
 		pp.WithProcs(*procs),
-		pp.WithModules(jgf.SORModules(m)...),
+		pp.WithModules(jgf.SORModules(moduleMode)...),
 		pp.WithCheckpointEvery(*every),
 		pp.WithFailureAt(*fail, *failRank),
 		pp.WithStopAt(*stopAt),
-		pp.WithAdaptAt(*adaptAt, pp.AdaptTarget{Threads: *adaptThreads, Procs: *adaptProcs}),
+		pp.WithAdaptAt(*adaptAt, target),
 	}
 	if *tcp {
 		opts = append(opts, pp.WithTCP())
@@ -140,7 +151,10 @@ func run() int {
 	if rep.Restarted {
 		fmt.Printf("recovered from checkpoint: replay=%v load=%v\n", rep.ReplayTime, rep.LoadTotal)
 	}
-	if rep.Adapted {
+	if rep.Migrations > 0 {
+		fmt.Printf("migrated in-process: %d migration(s), now %s, blocked %v\n",
+			rep.Migrations, *adaptMode, rep.MigrationTotal)
+	} else if rep.Adapted {
 		fmt.Println("run-time adaptation applied")
 	}
 	if rep.Checkpoints > 0 {

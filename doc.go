@@ -17,6 +17,14 @@
 // (Engine.RunContext maps cancellation to a graceful checkpoint-and-stop
 // that a relaunched engine resumes from, in any mode).
 //
+// The execution core itself is a pluggable Executor layer: one executor per
+// deployment (sequential, shared, distributed, hybrid) owns launch,
+// topology, collectives and teardown. A policy returning an AdaptTarget
+// with Mode set migrates the running program across deployments at a safe
+// point inside a single Run call — snapshot to an internal memory store,
+// executor swap, replay — the paper's adaptation-by-restart without the
+// restart (the mode-migrate example demonstrates it live).
+//
 // README.md has the overview and quickstart, DESIGN.md the system inventory
 // and per-experiment index, EXPERIMENTS.md the paper-vs-measured comparison
 // for every figure. The benchmarks in bench_test.go regenerate each figure

@@ -13,6 +13,7 @@
 package adapt
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -37,6 +38,20 @@ func Grant(after time.Duration, target core.AdaptTarget) Event {
 // Revoke builds a contraction event.
 func Revoke(after time.Duration, target core.AdaptTarget) Event {
 	return Event{After: after, Target: target, Reason: "resources revoked for a higher-priority job"}
+}
+
+// Migrate builds a cross-mode migration event: a resource manager moving
+// the application to a different class of resources (e.g. from a shared
+// node to a cluster partition) requests an in-process executor migration
+// via AdaptTarget.Mode instead of a kill-and-restart. An invalid mode —
+// including the zero value, which would silently degrade the event into an
+// in-place reshape — panics: it is a programming error in the schedule.
+func Migrate(after time.Duration, mode core.Mode, target core.AdaptTarget) Event {
+	if _, err := core.ParseMode(mode.String()); err != nil {
+		panic(fmt.Sprintf("adapt: Migrate needs a valid target mode, got %d", int(mode)))
+	}
+	target.Mode = mode
+	return Event{After: after, Target: target, Reason: "resource class changed: cross-mode migration"}
 }
 
 // Manager replays availability events against an engine. It implements

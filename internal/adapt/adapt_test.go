@@ -100,3 +100,16 @@ func TestStepPolicy(t *testing.T) {
 		t.Errorf("min clamp = %d, want 1", got)
 	}
 }
+
+func TestMigrateEventValidatesMode(t *testing.T) {
+	ev := Migrate(0, core.Distributed, core.AdaptTarget{Procs: 4})
+	if ev.Target.Mode != core.Distributed || ev.Target.Procs != 4 {
+		t.Fatalf("Migrate target = %+v", ev.Target)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Migrate accepted the zero mode (would silently degrade to an in-place reshape)")
+		}
+	}()
+	Migrate(0, 0, core.AdaptTarget{Procs: 4})
+}

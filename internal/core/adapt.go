@@ -2,26 +2,37 @@ package core
 
 import (
 	"ppar/internal/ckpt"
-	"ppar/internal/mp"
 	"ppar/internal/team"
 )
 
 func newJoinReplay(target uint64) *ckpt.Replay { return ckpt.NewReplay(target) }
 
-// adaptNow applies an adaptation at safe point sp. Inside a region it
-// reshapes the thread team; at rank level it reshapes the world. Targets
-// the deployment cannot honour abort the run loudly: the legacy config
-// fields are rejected statically in normalize, but policy- and
-// RequestAdapt-sourced targets are only seen here.
+// In-place reshaping constraints, shared between the static normalize
+// checks and the executors' run-time ResizeErr. Each names the in-process
+// migration path (AdaptTarget.Mode) where it now applies.
+const (
+	seqCannotResizeMsg = "core: Sequential mode cannot adapt in place (it has no machinery); " +
+		"migrate in-process to another mode with AdaptTarget.Mode, use Shared with Threads=1, or adaptation by restart"
+	smpCannotResizeWorldMsg = "core: shared mode has no world to resize; " +
+		"migrate in-process to Distributed or Hybrid with AdaptTarget.Mode, or use adaptation by restart"
+	hybridCannotResizeMsg = "core: hybrid mode supports run-time thread adaptation, in-process migration " +
+		"(AdaptTarget.Mode) and restart-based adaptation, not in-place world resizing"
+	tcpCannotResizeMsg = "core: the TCP transport has a fixed world size; use the in-process transport, " +
+		"an in-process migration (AdaptTarget.Mode, which rebuilds the transport), or adaptation by restart"
+)
+
+// adaptNow applies an in-place adaptation at safe point sp. Inside a region
+// it reshapes the thread team; at rank level it reshapes the world. Targets
+// the executor cannot honour abort the run loudly: the legacy config fields
+// are rejected statically in normalize, but policy- and RequestAdapt-
+// sourced targets are only seen here. (Targets with a different Mode never
+// reach this point — SafePoint routes them to migrateCheckpoint.)
 func (c *Ctx) adaptNow(sp uint64, t AdaptTarget) {
 	e := c.eng
-	switch {
-	case e.cfg.Mode == Sequential && (t.Threads > 0 || t.Procs > 0):
-		panic(abortToken{msg: "core: Sequential mode cannot adapt at run time (it has no machinery); use Shared with Threads=1 or adaptation by restart"})
-	case t.Procs > 0 && e.cfg.Mode == Hybrid:
-		panic(abortToken{msg: "core: hybrid mode supports run-time thread adaptation and restart-based adaptation, not run-time world resizing"})
-	case t.Procs > 0 && t.Procs != c.Procs() && e.cfg.TCP:
-		panic(abortToken{msg: "core: the TCP transport has a fixed world size; use the in-process transport or adaptation by restart"})
+	if t.Threads > 0 || t.Procs > 0 {
+		if err := e.exec.ResizeErr(t, c.Procs()); err != nil {
+			panic(abortToken{msg: err.Error()})
+		}
 	}
 	if c.worker != nil {
 		if t.Threads > 0 {
@@ -143,11 +154,7 @@ func (c *Ctx) adaptProcs(sp uint64, m int) {
 			c.must(c.comm.Group().Resize(m))
 		}
 		for r := n; r < m; r++ {
-			rank := r
-			seq := c.comm.Seq()
-			e.world.Launch(rank, seq, func(nc *mp.Comm) error {
-				return e.rankMain(nc, sp)
-			})
+			c.must(e.exec.Spawn(e, r, c.comm.Seq(), sp))
 		}
 		// Tell the other incumbents the resize is visible.
 		for r := 1; r < n; r++ {
@@ -174,6 +181,7 @@ func (c *Ctx) adaptProcs(sp uint64, m int) {
 		c.must(c.fields.bcastField(f, c.comm, 0))
 	}
 	if m != n {
+		e.curProcs.Store(int64(m))
 		e.recordAdapted()
 	}
 }

@@ -78,8 +78,10 @@ func (c *Ctx) IsMasterThread() bool { return c.worker == nil || c.worker.IsMaste
 // passed.
 func (c *Ctx) SafePointCount() uint64 { return c.spCount }
 
-// Mode reports the deployment mode.
-func (c *Ctx) Mode() Mode { return c.eng.cfg.Mode }
+// Mode reports the deployment mode of the running executor. It changes when
+// an in-process migration (AdaptTarget.Mode) relaunches the run under a
+// different mode.
+func (c *Ctx) Mode() Mode { return c.eng.curMode }
 
 // Replaying reports whether the context is replaying (restart or join).
 func (c *Ctx) Replaying() bool { return c.restart.Active() || c.join.Active() }
@@ -191,10 +193,8 @@ func (c *Ctx) commPhase(fn func()) {
 	c.worker.Barrier()
 }
 
-// teamCapable reports whether this deployment spawns thread teams.
-func (c *Ctx) teamCapable() bool {
-	return c.eng.cfg.Mode == Shared || c.eng.cfg.Mode == Hybrid
-}
+// teamCapable reports whether the running executor spawns thread teams.
+func (c *Ctx) teamCapable() bool { return c.eng.exec.Teams() }
 
 // barrier synchronises whatever machinery is plugged: the team inside a
 // region, the world across ranks (master thread only, to respect the

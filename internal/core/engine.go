@@ -15,13 +15,15 @@ import (
 )
 
 // Mode selects which parallelisation machinery is plugged in. The same base
-// program runs under every mode — the paper's central claim.
+// program runs under every mode — the paper's central claim. The zero value
+// is deliberately not a mode: in AdaptTarget.Mode it means "unchanged", and
+// a zero Config.Mode is normalised to Sequential.
 type Mode int
 
 const (
 	// Sequential runs the base code with no machinery at all: Call is a
 	// plain function call, For a plain loop (the "unplugged" deployment).
-	Sequential Mode = iota
+	Sequential Mode = iota + 1
 	// Shared plugs the thread-team machinery: ParallelMethod regions
 	// execute on a team of Config.Threads workers.
 	Shared
@@ -32,6 +34,9 @@ const (
 	// Threads workers.
 	Hybrid
 )
+
+// validMode reports whether m names one of the four deployments.
+func validMode(m Mode) bool { return m >= Sequential && m <= Hybrid }
 
 // String names the mode as the paper does (LE = lines of execution,
 // P = processes).
@@ -47,6 +52,17 @@ func (m Mode) String() string {
 		return "hybrid"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses the paper-style mode names used by Mode.String
+// ("seq", "smp", "dist", "hybrid").
+func ParseMode(s string) (Mode, error) {
+	for m := Sequential; m <= Hybrid; m++ {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (want seq, smp, dist or hybrid)", s)
 }
 
 // App is a base program: plain domain-specific code whose advisable methods
@@ -67,15 +83,26 @@ type AdaptTarget struct {
 	Threads int
 	// Procs is the desired world size (0 = unchanged).
 	Procs int
+	// Mode, when non-zero and different from the current mode, requests an
+	// in-process cross-mode migration at the safe point: the engine takes a
+	// canonical snapshot into an internal in-memory store, tears down the
+	// current executor, constructs the target-mode executor inside the same
+	// Run/RunContext call, and replays to the same safe point — the paper's
+	// adaptation-by-restart (Figures 6 and 7) without the restart. Threads
+	// and Procs then size the new executor (0 = inherit the current sizes).
+	// A Mode equal to the current mode is a plain in-place reshaping.
+	Mode Mode
 	// Stop requests a canonical checkpoint followed by a stop of the run —
 	// the paper's adaptation-by-restart: the caller relaunches a
 	// differently-configured engine which replays from the snapshot
-	// (Figures 6 and 7). When Stop is set, Threads/Procs are ignored.
+	// (Figures 6 and 7). When Stop is set, Threads/Procs/Mode are ignored.
 	Stop bool
 }
 
 // IsZero reports whether the target requests no change at all.
-func (t AdaptTarget) IsZero() bool { return !t.Stop && t.Threads == 0 && t.Procs == 0 }
+func (t AdaptTarget) IsZero() bool {
+	return !t.Stop && t.Threads == 0 && t.Procs == 0 && t.Mode == 0
+}
 
 // DelayFunc models per-message link costs on the transport.
 type DelayFunc = mp.DelayFunc
@@ -185,6 +212,10 @@ func (c *Config) normalize() error {
 		c.Procs = 1
 	}
 	switch c.Mode {
+	case 0:
+		// The zero Config is the unplugged sequential deployment.
+		c.Mode = Sequential
+		c.Threads, c.Procs = 1, 1
 	case Sequential:
 		c.Threads, c.Procs = 1, 1
 	case Shared:
@@ -195,14 +226,21 @@ func (c *Config) normalize() error {
 	default:
 		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
 	}
-	if c.Mode == Sequential && c.AdaptAtSafePoint > 0 {
-		return errors.New("core: Sequential mode cannot adapt at run time (it has no machinery); use Shared with Threads=1 or adaptation by restart")
+	if c.AdaptTo.Mode != 0 && !validMode(c.AdaptTo.Mode) {
+		return fmt.Errorf("core: AdaptTo requests migration to unknown mode %d", int(c.AdaptTo.Mode))
 	}
-	if c.Mode == Hybrid && c.AdaptTo.Procs > 0 {
-		return errors.New("core: hybrid mode supports run-time thread adaptation and restart-based adaptation, not run-time world resizing")
+	// migrates reports whether the scheduled one-shot target leaves the
+	// current executor behind; a migration rebuilds the machinery from
+	// scratch, so the in-place resizing constraints below do not apply.
+	migrates := c.AdaptTo.Mode != 0 && c.AdaptTo.Mode != c.Mode
+	if c.Mode == Sequential && c.AdaptAtSafePoint > 0 && !migrates {
+		return errors.New(seqCannotResizeMsg)
 	}
-	if c.TCP && c.AdaptTo.Procs > 0 {
-		return errors.New("core: the TCP transport has a fixed world size; use the in-process transport or adaptation by restart")
+	if c.Mode == Hybrid && c.AdaptTo.Procs > 0 && !migrates {
+		return errors.New(hybridCannotResizeMsg)
+	}
+	if c.TCP && c.AdaptTo.Procs > 0 && !migrates {
+		return errors.New(tcpCannotResizeMsg)
 	}
 	if c.AsyncCheckpoint && c.ShardCheckpoints {
 		return errors.New("core: AsyncCheckpoint requires canonical snapshots; shard checkpoints are saved synchronously between their two barriers")
@@ -235,6 +273,10 @@ type Report struct {
 	StoppedAt   uint64
 	Failed      bool // an injected failure occurred
 	Restarted   bool // this run replayed from a checkpoint
+
+	// In-process cross-mode migration measurements (AdaptTarget.Mode).
+	Migrations     int           // executor migrations performed inside this Run
+	MigrationTotal time.Duration // snapshot capture -> replay target reached under the new executor, summed over migrations
 
 	// Asynchronous checkpoint pipeline measurements (AsyncCheckpoint).
 	CaptureTotal   time.Duration // blocked time capturing double buffers (a subset of SaveTotal)
@@ -302,16 +344,24 @@ type Engine struct {
 	tracker *deltaTracker // capture-side hash cache (DeltaCheckpoint)
 	aw      *asyncWriter  // background checkpoint writer (AsyncCheckpoint)
 
-	resumeSnap   *serial.Snapshot // canonical snapshot found at start-up
+	resumeSnap   *serial.Snapshot // replay source: crash restart or migration
 	shardResume  bool             // restart from per-rank shards instead
 	replayTarget uint64
+	restarted    bool // this Run replayed from a persisted checkpoint
 
+	// exec is the live deployment machinery. It is swapped only between
+	// launches (no line of execution is running), so Ctx reads need no
+	// synchronisation beyond goroutine creation order.
+	exec Executor
+	// curMode/curThreads/curProcs track the topology the NEXT executor is
+	// built with; adaptations and migrations update them.
+	curMode    Mode
 	curThreads atomic.Int64
-	scheduled  atomic.Uint64
-	pending    atomic.Pointer[AdaptTarget]
+	curProcs   atomic.Int64
 
-	world     *mp.World
-	transport mp.Transport
+	scheduled atomic.Uint64
+	pending   atomic.Pointer[AdaptTarget]
+	migration atomic.Pointer[migrationSpec]
 
 	syncMu sync.Mutex
 	crits  map[string]*sync.Mutex
@@ -320,9 +370,10 @@ type Engine struct {
 	failed    atomic.Bool
 	cancelled atomic.Bool
 
-	repMu   sync.Mutex
-	report  Report
-	started time.Time
+	repMu    sync.Mutex
+	report   Report
+	started  time.Time
+	migStart time.Time // capture time of an in-flight migration (repMu)
 }
 
 // New builds an engine for one deployment of the base program.
@@ -352,7 +403,9 @@ func New(cfg Config, factory Factory) (*Engine, error) {
 		ps = append(ps, cfg.Policy)
 	}
 	e.policy = Policies(ps...)
+	e.curMode = cfg.Mode
 	e.curThreads.Store(int64(cfg.Threads))
+	e.curProcs.Store(int64(cfg.Procs))
 	return e, nil
 }
 
@@ -362,7 +415,8 @@ func New(cfg Config, factory Factory) (*Engine, error) {
 // Distributed adaptation must be scheduled at an absolute safe point via an
 // AdaptPolicy (AdaptAt, Schedule, ...), because ranks only synchronise
 // their safe-point counters at collectives. A target with Stop set is a
-// graceful checkpoint-and-stop request (see RequestStop).
+// graceful checkpoint-and-stop request (see RequestStop); one with Mode set
+// is an in-process cross-mode migration (see AdaptTarget.Mode).
 func (e *Engine) RequestAdapt(t AdaptTarget) {
 	e.pending.Store(&t)
 }
@@ -428,12 +482,29 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		stop := e.cfg.Driver.Drive(e)
 		defer stop()
 	}
+	// The executor loop: each iteration launches one deployment of the base
+	// program. An in-process migration (AdaptTarget.Mode) ends the launch
+	// with a canonical snapshot parked in memory; the loop tears the
+	// executor down, applies the migration (target mode/topology, replay
+	// state) and launches the target-mode executor — adaptation-by-restart
+	// without the restart.
 	var err error
-	switch e.cfg.Mode {
-	case Sequential, Shared:
-		err = e.runLocal()
-	case Distributed, Hybrid:
-		err = e.runDistributed()
+	for {
+		exec, xerr := newExecutor(e)
+		if xerr != nil {
+			err = xerr
+			break
+		}
+		e.exec = exec
+		err = exec.Launch(e)
+		exec.Teardown()
+		mig := e.migration.Swap(nil)
+		if err != nil || mig == nil {
+			break
+		}
+		if err = e.applyMigration(mig); err != nil {
+			break
+		}
 	}
 	// Drain the asynchronous checkpoint writer before deciding the run's
 	// outcome: the last capture must persist even when the run failed (it
@@ -533,107 +604,22 @@ func (e *Engine) openCheckpointing() error {
 		e.shardResume = true
 		e.replayTarget = shard.SafePoints
 	}
+	e.restarted = true
 	e.repMu.Lock()
 	e.report.Restarted = true
 	e.repMu.Unlock()
 	return nil
 }
 
-// runLocal executes Sequential and Shared deployments.
-func (e *Engine) runLocal() error {
-	app := e.factory()
-	fields, err := bindFields(app, e.adv.fields)
-	if err != nil {
-		return err
-	}
-	c := &Ctx{eng: e, app: app, fields: fields}
-	if e.replayTarget > 0 {
-		c.restart = ckpt.NewReplay(e.replayTarget)
-	}
-	tok := e.guard(func() { app.Main(c) })
-	if ab, ok := tok.(abortToken); ok {
-		return errors.New(ab.msg)
-	}
-	e.noteToken(tok)
-	e.repMu.Lock()
-	e.report.SafePoints = c.spCount
-	e.repMu.Unlock()
-	return nil
-}
-
-// runDistributed executes Distributed and Hybrid deployments.
-func (e *Engine) runDistributed() error {
-	n := e.cfg.Procs
-	if e.cfg.TCP {
-		tr, err := mp.NewTCP(n, e.cfg.Delay)
-		if err != nil {
-			return err
-		}
-		e.transport = tr
-	} else {
-		e.transport = mp.NewInProc(n, e.cfg.Delay)
-	}
-	defer e.transport.Close()
-	e.world = mp.NewWorld(e.transport, n)
-	err := e.world.Run(func(c *mp.Comm) error {
-		return e.rankMain(c, 0)
-	})
-	if err != nil && (e.failed.Load() || e.stopped.Load() != nil) {
-		// Collective errors are collateral damage of the injected
-		// failure/stop (the transport was torn down); the primary
-		// outcome is reported by Run.
-		err = nil
-	}
-	return err
-}
-
-// rankMain runs one SPMD replica. joinTarget > 0 means this rank was
-// launched by a run-time expansion and must replay to that safe point
-// before joining (§IV.B: "replaying the application on the additional nodes
-// until they reach the same safe point").
-func (e *Engine) rankMain(c *mp.Comm, joinTarget uint64) error {
-	app := e.factory()
-	fields, err := bindFields(app, e.adv.fields)
-	if err != nil {
-		return err
-	}
-	ctx := &Ctx{eng: e, app: app, fields: fields, comm: c}
-	switch {
-	case joinTarget > 0:
-		ctx.join = ckpt.NewReplay(joinTarget)
-	case e.replayTarget > 0:
-		ctx.restart = ckpt.NewReplay(e.replayTarget)
-	}
-	tok := e.guard(func() { app.Main(ctx) })
-	if _, isFail := tok.(failToken); isFail {
-		// The failed process takes the whole job down; closing the
-		// transport unblocks every other rank (their collectives error
-		// out), like a scheduler killing the job.
-		e.noteToken(tok)
-		e.transport.Close()
-		return nil
-	}
-	if ab, ok := tok.(abortToken); ok {
-		e.transport.Close()
-		return errors.New(ab.msg)
-	}
-	e.noteToken(tok)
-	if c.Rank() == 0 {
-		e.repMu.Lock()
-		e.report.SafePoints = ctx.spCount
-		e.repMu.Unlock()
-	}
-	return nil
-}
-
 // guard runs fn, converting the engine's control-flow tokens (injected
-// failure, checkpoint-and-stop, poisoned team barriers) from panics into
-// values. Any other panic is a genuine bug and is re-raised.
+// failure, checkpoint-and-stop, in-process migration, poisoned team
+// barriers) from panics into values. Any other panic is a genuine bug and
+// is re-raised.
 func (e *Engine) guard(fn func()) (tok any) {
 	defer func() {
 		if r := recover(); r != nil {
 			switch r.(type) {
-			case stopToken, failToken, abortToken, team.Poisoned:
+			case stopToken, failToken, migrateToken, abortToken, team.Poisoned:
 				tok = r
 			default:
 				panic(r)
@@ -665,6 +651,36 @@ func (e *Engine) dueAt(sp uint64) bool {
 		return false
 	}
 	return true
+}
+
+// ckptCadence is the scheduled-checkpoint view at safe point sp: how many
+// periodic snapshots are due by sp, split into full saves and delta links by
+// the compaction cadence, and the safe point of the newest one. Like dueAt
+// it is a pure function of sp and the configuration, so every line of
+// execution computes identical values without synchronising — the property
+// RunStats requires. It deliberately describes the schedule, not the store:
+// restart and migration re-base the persisted chain early, and the
+// asynchronous writer may fold captures, without changing the cadence.
+func (e *Engine) ckptCadence(sp uint64) (fulls, deltas int, last uint64) {
+	every := e.cfg.CheckpointEvery
+	if e.store == nil || every == 0 {
+		return 0, 0, 0
+	}
+	n := sp / every
+	if max := e.cfg.MaxCheckpoints; max > 0 && n > uint64(max) {
+		n = uint64(max)
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	last = n * every
+	if !e.cfg.DeltaCheckpoint {
+		return int(n), 0, last
+	}
+	// Captures cycle full, then DeltaCompactEvery deltas, then full again.
+	period := uint64(e.cfg.DeltaCompactEvery) + 1
+	f := (n + period - 1) / period
+	return int(f), int(n - f), last
 }
 
 func (e *Engine) critical(name string) *sync.Mutex {
@@ -736,6 +752,12 @@ func (e *Engine) recordLoad(replayDone time.Time, load time.Duration) {
 	e.report.LoadTotal += load
 	if rt := replayDone.Sub(e.started); rt > e.report.ReplayTime {
 		e.report.ReplayTime = rt
+	}
+	if !e.migStart.IsZero() {
+		// This load completed a migration replay: the blocked span runs
+		// from the snapshot capture under the old executor to here.
+		e.report.MigrationTotal += time.Since(e.migStart)
+		e.migStart = time.Time{}
 	}
 }
 

@@ -314,6 +314,98 @@ func TestStopRestartAcrossModes(t *testing.T) {
 	}
 }
 
+// In-process migration on the stencil app, whose checkpoint module marks
+// the sweeps Ignorable: the post-migration replay must skip them and
+// restore the grid purely from the migration snapshot — the strongest
+// fidelity check of the canonical capture.
+func TestInProcessMigrationStencil(t *testing.T) {
+	ref, _ := runStencil(t, Config{Mode: Sequential})
+	full := []*Module{stencilSMP(), stencilDist(), stencilCkpt()}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"smp-to-dist", Config{Mode: Shared, Threads: 2, Modules: full,
+			AdaptAtSafePoint: 5, AdaptTo: AdaptTarget{Mode: Distributed, Procs: 3}}},
+		{"dist-to-smp", Config{Mode: Distributed, Procs: 3, Modules: full,
+			AdaptAtSafePoint: 5, AdaptTo: AdaptTarget{Mode: Shared, Threads: 3}}},
+		{"seq-to-hybrid", Config{Mode: Sequential, Modules: full,
+			AdaptAtSafePoint: 5, AdaptTo: AdaptTarget{Mode: Hybrid, Procs: 2, Threads: 2}}},
+		{"hybrid-to-seq", Config{Mode: Hybrid, Procs: 2, Threads: 2, Modules: full,
+			AdaptAtSafePoint: 5, AdaptTo: AdaptTarget{Mode: Sequential}}},
+		{"tcp-to-smp", Config{Mode: Distributed, Procs: 2, TCP: true, Modules: full,
+			AdaptAtSafePoint: 5, AdaptTo: AdaptTarget{Mode: Shared, Threads: 2}}},
+		// With TCP configured, the migration target's world is built over a
+		// fresh TCP transport — the fixed-world constraint only ever bound
+		// in-place resizing, not executor rebuilds.
+		{"smp-to-tcp", Config{Mode: Shared, Threads: 2, TCP: true, Modules: full,
+			AdaptAtSafePoint: 5, AdaptTo: AdaptTarget{Mode: Distributed, Procs: 2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, rep := runStencil(t, tc.cfg)
+			gridsEqual(t, tc.name, ref, got)
+			if rep.Migrations != 1 || !rep.Adapted {
+				t.Fatalf("migration not recorded: %+v", rep)
+			}
+		})
+	}
+}
+
+// Migration composes with in-place adaptation: reshape the team, migrate to
+// a world, reshape the world — all inside one Run.
+func TestMigrationComposesWithResizing(t *testing.T) {
+	ref, _ := runStencil(t, Config{Mode: Sequential})
+	full := []*Module{stencilSMP(), stencilDist(), stencilCkpt()}
+	got, rep := runStencil(t, Config{
+		Mode: Shared, Threads: 2, Modules: full,
+		Policy: Schedule(
+			AdaptStep{At: 3, Target: AdaptTarget{Threads: 4}},
+			AdaptStep{At: 6, Target: AdaptTarget{Mode: Distributed, Procs: 2}},
+			AdaptStep{At: 9, Target: AdaptTarget{Procs: 4}},
+		),
+	})
+	gridsEqual(t, "resize-migrate-resize", ref, got)
+	if rep.Migrations != 1 {
+		t.Fatalf("want 1 migration, got %+v", rep)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for m := Sequential; m <= Hybrid; m++ {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("mpi"); err == nil {
+		t.Fatal("ParseMode accepted an unknown name")
+	}
+}
+
+// The four stock executors expose the deployment they implement and whether
+// they spawn teams; the engine builds them from the current topology.
+func TestStockExecutors(t *testing.T) {
+	for _, tc := range []struct {
+		mode  Mode
+		teams bool
+	}{
+		{Sequential, false}, {Shared, true}, {Distributed, false}, {Hybrid, true},
+	} {
+		e := &Engine{curMode: tc.mode}
+		x, err := newExecutor(e)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.mode, err)
+		}
+		if x.Mode() != tc.mode || x.Teams() != tc.teams {
+			t.Fatalf("%v: Mode()=%v Teams()=%v", tc.mode, x.Mode(), x.Teams())
+		}
+	}
+	if _, err := newExecutor(&Engine{curMode: Mode(7)}); err == nil {
+		t.Fatal("executor built for an unknown mode")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	mk := func(cfg Config) error {
 		_, err := New(cfg, func() App { return newStencil(4, 1, &resultSink{}) })

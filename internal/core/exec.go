@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ppar/internal/ckpt"
+	"ppar/internal/mp"
+)
+
+// Executor is the pluggable deployment layer of the engine: one executor
+// owns launching the lines of execution of a base program, their topology
+// (thread teams, the SPMD world and its transport), the collective machinery
+// behind barriers and data movement, and teardown. The engine runs exactly
+// one executor at a time; an in-process migration (AdaptTarget.Mode) tears
+// the current one down and launches another inside the same Run call.
+//
+// Stock executors cover the paper's four deployments: seqExec (unplugged),
+// smpExec (thread team), distExec (SPMD replicas over a message-passing
+// world) and hybridExec (both).
+type Executor interface {
+	// Mode reports which deployment this executor implements.
+	Mode() Mode
+	// Launch runs one pass of the application: every line of execution
+	// executes Main to completion, stop, failure or migration. Engine-level
+	// problems (field binding, transport setup) are returned as errors;
+	// control-flow outcomes (stop/fail/migrate tokens) are recorded on the
+	// engine and reported by Run.
+	Launch(e *Engine) error
+	// Teams reports whether ParallelMethod regions run on thread teams
+	// under this executor.
+	Teams() bool
+	// ResizeErr reports whether the executor can honour target t as an
+	// in-place reshaping (team resize, world resize) at a safe point,
+	// given the current world size. A non-nil error names the constraint
+	// and the supported alternative; t.Mode is ignored — cross-mode moves
+	// go through migration instead.
+	ResizeErr(t AdaptTarget, curProcs int) error
+	// Spawn launches an additional line of execution at the given rank,
+	// replaying to joinTarget before joining — the world-expansion half of
+	// §IV.B. Executors without a resizable world reject it.
+	Spawn(e *Engine, rank int, seq int64, joinTarget uint64) error
+	// Teardown releases the executor's machinery (transports, worlds). It
+	// is idempotent: the engine calls it after every launch, and failure
+	// paths may have called it already to unblock sibling ranks.
+	Teardown()
+}
+
+// newExecutor builds the executor for the engine's current topology
+// (curMode/curThreads/curProcs — the config at start-up, or the migration
+// target afterwards).
+func newExecutor(e *Engine) (Executor, error) {
+	switch e.curMode {
+	case Sequential:
+		return &seqExec{}, nil
+	case Shared:
+		return &smpExec{}, nil
+	case Distributed:
+		return &distExec{worldCore: worldCore{mode: Distributed, tcp: e.cfg.TCP}}, nil
+	case Hybrid:
+		return &hybridExec{worldCore: worldCore{mode: Hybrid, tcp: e.cfg.TCP}}, nil
+	}
+	return nil, fmt.Errorf("core: no executor for mode %d", int(e.curMode))
+}
+
+// launchLocal runs the single control line of execution shared by the
+// Sequential and Shared executors (regions spawn their teams on demand).
+func launchLocal(e *Engine) error {
+	app := e.factory()
+	fields, err := bindFields(app, e.adv.fields)
+	if err != nil {
+		return err
+	}
+	c := &Ctx{eng: e, app: app, fields: fields}
+	if e.replayTarget > 0 {
+		c.restart = ckpt.NewReplay(e.replayTarget)
+	}
+	tok := e.guard(func() { app.Main(c) })
+	if ab, ok := tok.(abortToken); ok {
+		return errors.New(ab.msg)
+	}
+	e.noteToken(tok)
+	e.repMu.Lock()
+	e.report.SafePoints = c.spCount
+	e.repMu.Unlock()
+	return nil
+}
+
+// seqExec is the unplugged deployment: Call is a plain function call, For a
+// plain loop, and there is no machinery to reshape — adaptation of a
+// sequential run is either an in-process migration or a restart.
+type seqExec struct{}
+
+func (x *seqExec) Mode() Mode             { return Sequential }
+func (x *seqExec) Launch(e *Engine) error { return launchLocal(e) }
+func (x *seqExec) Teams() bool            { return false }
+func (x *seqExec) ResizeErr(AdaptTarget, int) error {
+	return errors.New(seqCannotResizeMsg)
+}
+func (x *seqExec) Spawn(*Engine, int, int64, uint64) error {
+	return errors.New("core: sequential executor has no world to expand")
+}
+func (x *seqExec) Teardown() {}
+
+// smpExec is the shared-memory deployment: ParallelMethod regions execute
+// on resizable thread teams (§III.B, §IV.B expansion/contraction).
+type smpExec struct{}
+
+func (x *smpExec) Mode() Mode             { return Shared }
+func (x *smpExec) Launch(e *Engine) error { return launchLocal(e) }
+func (x *smpExec) Teams() bool            { return true }
+func (x *smpExec) ResizeErr(t AdaptTarget, curProcs int) error {
+	// Team resizes are this executor's speciality; a world resize cannot
+	// be honoured in place (asking for the current trivial world of 1 is
+	// a no-op, matching the distributed executor's same-size rule).
+	if t.Procs > 0 && t.Procs != curProcs {
+		return errors.New(smpCannotResizeWorldMsg)
+	}
+	return nil
+}
+func (x *smpExec) Spawn(*Engine, int, int64, uint64) error {
+	return errors.New("core: shared executor has no world to expand")
+}
+func (x *smpExec) Teardown() {}
+
+// worldCore is the SPMD machinery shared by the Distributed and Hybrid
+// executors: the transport, the world of rank goroutines, and the per-rank
+// launch protocol.
+type worldCore struct {
+	mode      Mode
+	tcp       bool
+	transport mp.Transport
+	world     *mp.World
+	closeOnce sync.Once
+}
+
+func (x *worldCore) Mode() Mode { return x.mode }
+
+func (x *worldCore) Launch(e *Engine) error {
+	n := int(e.curProcs.Load())
+	if x.tcp {
+		tr, err := mp.NewTCP(n, e.cfg.Delay)
+		if err != nil {
+			return err
+		}
+		x.transport = tr
+	} else {
+		x.transport = mp.NewInProc(n, e.cfg.Delay)
+	}
+	x.world = mp.NewWorld(x.transport, n)
+	err := x.world.Run(func(c *mp.Comm) error {
+		return x.rankMain(e, c, 0)
+	})
+	if err != nil && (e.failed.Load() || e.stopped.Load() != nil || e.migration.Load() != nil) {
+		// Collective errors are collateral damage of the injected
+		// failure/stop/migration (the transport was torn down, or ranks
+		// unwound mid-collective); the primary outcome is reported by Run.
+		err = nil
+	}
+	return err
+}
+
+// rankMain runs one SPMD replica. joinTarget > 0 means this rank was
+// launched by a run-time expansion and must replay to that safe point
+// before joining (§IV.B: "replaying the application on the additional nodes
+// until they reach the same safe point").
+func (x *worldCore) rankMain(e *Engine, c *mp.Comm, joinTarget uint64) error {
+	app := e.factory()
+	fields, err := bindFields(app, e.adv.fields)
+	if err != nil {
+		return err
+	}
+	ctx := &Ctx{eng: e, app: app, fields: fields, comm: c}
+	switch {
+	case joinTarget > 0:
+		ctx.join = ckpt.NewReplay(joinTarget)
+	case e.replayTarget > 0:
+		ctx.restart = ckpt.NewReplay(e.replayTarget)
+	}
+	tok := e.guard(func() { app.Main(ctx) })
+	if _, isFail := tok.(failToken); isFail {
+		// The failed process takes the whole job down; closing the
+		// transport unblocks every other rank (their collectives error
+		// out), like a scheduler killing the job.
+		e.noteToken(tok)
+		x.Teardown()
+		return nil
+	}
+	if ab, ok := tok.(abortToken); ok {
+		x.Teardown()
+		return errors.New(ab.msg)
+	}
+	e.noteToken(tok)
+	if c.Rank() == 0 {
+		e.repMu.Lock()
+		e.report.SafePoints = ctx.spCount
+		e.repMu.Unlock()
+	}
+	return nil
+}
+
+func (x *worldCore) Spawn(e *Engine, rank int, seq int64, joinTarget uint64) error {
+	x.world.Launch(rank, seq, func(nc *mp.Comm) error {
+		return x.rankMain(e, nc, joinTarget)
+	})
+	return nil
+}
+
+func (x *worldCore) Teardown() {
+	x.closeOnce.Do(func() {
+		if x.transport != nil {
+			x.transport.Close()
+		}
+	})
+}
+
+// distExec is the distributed-memory deployment: curProcs SPMD replicas,
+// one application instance each, over a message-passing world whose size
+// can change at run time (in-process transport only).
+type distExec struct{ worldCore }
+
+func (x *distExec) Teams() bool { return false }
+
+func (x *distExec) ResizeErr(t AdaptTarget, curProcs int) error {
+	// The TCP world is fixed once established: real processes cannot be
+	// spawned into it at run time (resizing to the current size is a
+	// no-op and stays allowed).
+	if t.Procs > 0 && t.Procs != curProcs && x.tcp {
+		return errors.New(tcpCannotResizeMsg)
+	}
+	return nil
+}
+
+// hybridExec plugs both machineries: replicas over a world, each running
+// regions on thread teams. The team side reshapes at run time; the world
+// side is fixed (merging two worlds mid-region has no safe protocol), so
+// world growth goes through migration or restart.
+type hybridExec struct{ worldCore }
+
+func (x *hybridExec) Teams() bool { return true }
+
+func (x *hybridExec) ResizeErr(t AdaptTarget, _ int) error {
+	if t.Procs > 0 {
+		return errors.New(hybridCannotResizeMsg)
+	}
+	return nil
+}

@@ -10,14 +10,31 @@ package core
 type RunStats struct {
 	// SafePoint is the safe-point counter at which the policy is asked.
 	SafePoint uint64
-	// Mode is the deployment mode.
+	// Mode is the mode of the running executor; after an in-process
+	// migration it reports the migration target, so mode-conditional
+	// policies ("while Shared, migrate to Distributed") quiesce once the
+	// move has happened.
 	Mode Mode
 	// Threads is the current team size (1 outside regions).
 	Threads int
 	// Procs is the current world size.
 	Procs int
-	// Restarted reports whether this run replayed from a checkpoint.
+	// Restarted reports whether this run replayed from a persisted
+	// checkpoint (in-process migrations do not count).
 	Restarted bool
+
+	// Checkpoint cadence counters: how many periodic checkpoints the
+	// schedule has made due by this safe point — FullSaves full snapshots
+	// and DeltaSaves delta links under the configured compaction cadence —
+	// and the safe point of the newest one (0 when none yet). They are
+	// pure functions of the safe point and the configuration, so they stay
+	// identical on every line of execution; they describe the schedule,
+	// not the store (restart and migration re-base the persisted chain
+	// early, and the asynchronous writer may fold captures — Report holds
+	// the persist-side truth).
+	FullSaves        int
+	DeltaSaves       int
+	LastCheckpointSP uint64
 }
 
 // AdaptPolicy decides, at each safe point, whether the run should reshape

@@ -49,12 +49,16 @@ func (c *Ctx) SafePoint() {
 	// run stats, so every line of execution (and, in hybrid deployments,
 	// every rank's team) triggers independently without shared mutable
 	// state — exactly like the former config-scheduled triggers it
-	// subsumes.
+	// subsumes. A target whose Mode differs from the running executor's is
+	// an in-process migration; one naming the current mode (or none) is an
+	// in-place reshaping.
 	fired := false
 	if p := e.policy; p != nil {
 		switch t := p.Decide(c.runStats(sp)); {
 		case t.Stop:
 			c.stopCheckpoint(sp)
+		case t.Mode != 0 && t.Mode != e.curMode:
+			c.migrateCheckpoint(sp, t, nil)
 		case !t.IsZero():
 			c.adaptNow(sp, t)
 			fired = true
@@ -64,9 +68,12 @@ func (c *Ctx) SafePoint() {
 		// Dynamically scheduled request (RequestAdapt / RequestStop /
 		// context cancellation path).
 		if t := e.pending.Load(); t != nil && !fired {
-			if t.Stop {
+			switch {
+			case t.Stop:
 				c.stopCheckpoint(sp)
-			} else {
+			case t.Mode != 0 && t.Mode != e.curMode:
+				c.migrateCheckpoint(sp, *t, t)
+			default:
 				c.adaptNow(sp, *t)
 			}
 		}
@@ -104,12 +111,16 @@ func (c *Ctx) SafePoint() {
 // AdaptPolicy.Decide requires.
 func (c *Ctx) runStats(sp uint64) RunStats {
 	e := c.eng
+	fulls, deltas, last := e.ckptCadence(sp)
 	return RunStats{
-		SafePoint: sp,
-		Mode:      e.cfg.Mode,
-		Threads:   c.Threads(),
-		Procs:     c.Procs(),
-		Restarted: e.resumeSnap != nil || e.shardResume,
+		SafePoint:        sp,
+		Mode:             e.curMode,
+		Threads:          c.Threads(),
+		Procs:            c.Procs(),
+		Restarted:        e.restarted,
+		FullSaves:        fulls,
+		DeltaSaves:       deltas,
+		LastCheckpointSP: last,
 	}
 }
 
@@ -129,29 +140,49 @@ func (c *Ctx) isCoordinator() bool {
 	return c.IsMasterRank() && c.IsMasterThread()
 }
 
-// checkpoint runs the mode-specific save protocol of §IV.A at safe point sp.
-func (c *Ctx) checkpoint(sp uint64) {
+// collectiveSave runs a save protocol under the mode-specific §IV.A
+// synchronisation — the skeleton shared by periodic checkpoints, stop
+// snapshots and migration snapshots. In shared memory (and hybrid) "we
+// introduce a barrier before and another after the safe point. When all
+// threads have reached the first barrier the master thread saves the data";
+// on comm-active control lines the distributed leaf runs, elsewhere the
+// local one.
+func (c *Ctx) collectiveSave(local, dist func()) {
 	switch {
 	case c.worker != nil:
-		// Shared memory (and hybrid): "we introduce a barrier before and
-		// another after the safe point. When all threads have reached
-		// the first barrier the master thread saves the data". With
-		// AsyncCheckpoint the master only captures the double buffer
-		// between the barriers; the encode+persist overlaps computation.
 		c.worker.Barrier()
 		if c.worker.IsMaster() {
 			if c.commActive() {
-				c.distSave(sp)
+				dist()
 			} else {
-				c.localSave(sp, true)
+				local()
 			}
 		}
 		c.worker.Barrier()
 	case c.commActive():
-		c.distSave(sp)
+		dist()
 	default:
-		c.localSave(sp, true)
+		local()
 	}
+}
+
+// gatherCanonical collects every partitioned field at the master rank — the
+// collective half of the gather-at-master snapshot protocol. All ranks
+// participate; afterwards the master's field copies are fully populated.
+func (c *Ctx) gatherCanonical() {
+	for _, f := range c.fields.partitionedNames() {
+		c.must(c.fields.gatherAt(f, c.comm, 0, c.Procs()))
+	}
+}
+
+// checkpoint runs the mode-specific save protocol of §IV.A at safe point
+// sp. With AsyncCheckpoint the master only captures the double buffer
+// between the barriers; the encode+persist overlaps computation.
+func (c *Ctx) checkpoint(sp uint64) {
+	c.collectiveSave(
+		func() { c.localSave(sp, true) },
+		func() { c.distSave(sp) },
+	)
 }
 
 // localSave writes a canonical snapshot from this process's fields. With no
@@ -166,7 +197,7 @@ func (c *Ctx) localSave(sp uint64, periodic bool) {
 		return
 	}
 	start := time.Now()
-	snap, err := c.fields.snapshot(c.eng.cfg.AppName, c.eng.cfg.Mode.String(), sp)
+	snap, err := c.fields.snapshot(c.eng.cfg.AppName, c.eng.curMode.String(), sp)
 	c.must(err)
 	if periodic {
 		c.persistCanonical(snap, start)
@@ -228,9 +259,7 @@ func (c *Ctx) distSave(sp uint64) {
 		}
 		return
 	}
-	for _, f := range c.fields.partitionedNames() {
-		c.must(c.fields.gatherAt(f, c.comm, 0, c.Procs()))
-	}
+	c.gatherCanonical()
 	if c.IsMasterRank() {
 		snap, err := c.fields.snapshot(e.cfg.AppName, "canonical", sp)
 		c.must(err)
@@ -245,24 +274,13 @@ func (c *Ctx) distSave(sp uint64) {
 // asynchronous writer, so an older in-flight snapshot can never land on
 // top of them.
 func (c *Ctx) stopCheckpoint(sp uint64) {
-	switch {
-	case c.worker != nil:
-		c.worker.Barrier()
-		if c.worker.IsMaster() {
-			if c.commActive() {
-				c.stopSaveDist(sp)
-			} else {
-				c.drainAsync()
-				c.localSave(sp, false)
-			}
-		}
-		c.worker.Barrier()
-	case c.commActive():
-		c.stopSaveDist(sp)
-	default:
-		c.drainAsync()
-		c.localSave(sp, false)
-	}
+	c.collectiveSave(
+		func() {
+			c.drainAsync()
+			c.localSave(sp, false)
+		},
+		func() { c.stopSaveDist(sp) },
+	)
 	panic(stopToken{sp: sp})
 }
 
@@ -286,9 +304,7 @@ func (c *Ctx) stopSaveDist(sp uint64) {
 		return // all ranks agree: stop without a snapshot
 	}
 	start := time.Now()
-	for _, f := range c.fields.partitionedNames() {
-		c.must(c.fields.gatherAt(f, c.comm, 0, c.Procs()))
-	}
+	c.gatherCanonical()
 	if c.IsMasterRank() {
 		c.drainAsync()
 		snap, err := c.fields.snapshot(c.eng.cfg.AppName, "canonical", sp)

@@ -168,7 +168,7 @@ func (t *TCP) Grow(n int) error {
 	if n <= len(t.boxes) {
 		return nil
 	}
-	return fmt.Errorf("mp: TCP transport cannot grow (fixed world of %d ranks); use checkpoint/restart adaptation", len(t.boxes))
+	return fmt.Errorf("mp: TCP transport cannot grow (fixed world of %d ranks); use an in-process migration (which rebuilds the transport) or checkpoint/restart adaptation", len(t.boxes))
 }
 
 // Close implements Transport.

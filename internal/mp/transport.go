@@ -10,8 +10,10 @@
 // supports dynamic world resizing (needed by §IV.B run-time adaptation).
 // The TCP transport runs ranks over loopback sockets with length-prefixed
 // frames, demonstrating that the same code paths work across real process
-// boundaries; its world size is fixed (adaptation across TCP worlds uses the
-// checkpoint/restart path, exactly like the paper's Figure 6).
+// boundaries; its world size is fixed once established (adaptation across
+// TCP worlds goes through the core's in-process migration, which rebuilds
+// the transport, or through the checkpoint/restart path, exactly like the
+// paper's Figure 6).
 //
 // An optional delay function models the paper's two-machine topology: the
 // cost of a message is latency(from,to) + bytes/bandwidth(from,to), so

@@ -162,9 +162,11 @@ func WithAdaptPolicy(p AdaptPolicy) Option {
 
 // WithAdaptAt schedules one run-time adaptation at an absolute safe point —
 // sugar for WithAdaptPolicy(AdaptAt(sp, target)), so repeated uses chain.
-// A target the deployment cannot honour (adapting a Sequential run,
-// resizing a Hybrid or TCP world) aborts the run with a descriptive error
-// when it fires. sp 0 is a no-op.
+// A target with Mode set migrates the run to another deployment in-process
+// (see the package documentation); one without reshapes in place. An
+// in-place target the executor cannot honour (resizing a Sequential run, or
+// a Hybrid or TCP world) aborts the run with a descriptive error naming the
+// migration alternative when it fires. sp 0 is a no-op.
 func WithAdaptAt(sp uint64, target AdaptTarget) Option {
 	if sp == 0 {
 		return nil

@@ -59,6 +59,13 @@ func Grant(after time.Duration, target AdaptTarget) AdaptEvent { return adapt.Gr
 // Revoke builds a contraction event for an AdaptManager.
 func Revoke(after time.Duration, target AdaptTarget) AdaptEvent { return adapt.Revoke(after, target) }
 
+// Migrate builds a cross-mode migration event for an AdaptManager: at the
+// next safe point the coordinator reaches, the run migrates in-process to
+// the given mode (target's Threads/Procs size the new executor).
+func Migrate(after time.Duration, mode Mode, target AdaptTarget) AdaptEvent {
+	return adapt.Migrate(after, mode, target)
+}
+
 // StepPolicy recommends a team size that meets a deadline from an observed
 // per-safe-point duration — a minimal self-adaptation heuristic to pair
 // with a monitoring loop and Engine.RequestAdapt.

@@ -1,0 +1,123 @@
+package pp_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ppar/pp"
+)
+
+// statsRecorder is an AdaptPolicy that never adapts but records the RunStats
+// it is handed, verifying the identical-on-every-line invariant: every line
+// of execution consulting the policy at the same safe point must observe
+// exactly the same stats.
+type statsRecorder struct {
+	mu   sync.Mutex
+	seen map[uint64]pp.RunStats
+	diff []uint64
+}
+
+func (r *statsRecorder) Decide(s pp.RunStats) pp.AdaptTarget {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen == nil {
+		r.seen = map[uint64]pp.RunStats{}
+	}
+	if prev, ok := r.seen[s.SafePoint]; ok {
+		if prev != s {
+			r.diff = append(r.diff, s.SafePoint)
+		}
+	} else {
+		r.seen[s.SafePoint] = s
+	}
+	return pp.AdaptTarget{}
+}
+
+// TestRunStatsCheckpointCounters pins the deterministic checkpoint cadence
+// counters: with delta checkpointing every 2 safe points compacting every 2
+// deltas, a policy at safe point sp must see the full/delta split of the
+// schedule (captures F D D F D D ...), the newest due checkpoint, and the
+// same values on every thread of the team.
+func TestRunStatsCheckpointCounters(t *testing.T) {
+	rec := &statsRecorder{}
+	var total float64
+	eng := deployMig(t, &total, pp.Shared, pp.WithThreads(3),
+		pp.WithStore(pp.NewMemStore()), pp.WithDeltaCheckpoint(2, 2),
+		pp.WithAdaptPolicy(rec))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.diff) > 0 {
+		t.Fatalf("stats diverged across lines of execution at safe points %v", rec.diff)
+	}
+	// counter runs 6 safe points; checkpoints due at 2 (full), 4 (delta)
+	// and 6 (delta) under compactEvery=2.
+	want := map[uint64][3]int{ // sp -> {FullSaves, DeltaSaves, LastCheckpointSP}
+		1: {0, 0, 0},
+		2: {1, 0, 2},
+		3: {1, 0, 2},
+		4: {1, 1, 4},
+		5: {1, 1, 4},
+		6: {1, 2, 6},
+	}
+	for sp, w := range want {
+		s, ok := rec.seen[sp]
+		if !ok {
+			t.Fatalf("no stats recorded at safe point %d", sp)
+		}
+		if s.FullSaves != w[0] || s.DeltaSaves != w[1] || s.LastCheckpointSP != uint64(w[2]) {
+			t.Fatalf("sp %d: FullSaves=%d DeltaSaves=%d LastCheckpointSP=%d, want %v",
+				sp, s.FullSaves, s.DeltaSaves, s.LastCheckpointSP, w)
+		}
+	}
+	// And the persisted chain agrees with the schedule at run end.
+	if rep := eng.Report(); rep.FullSaves != 1 || rep.DeltaSaves != 2 {
+		t.Fatalf("persisted saves diverge from the schedule: %+v", rep)
+	}
+}
+
+// TestRunStatsCountersWithoutDelta covers the plain pipeline (every
+// checkpoint is a full save) and the MaxCheckpoints cap.
+func TestRunStatsCountersWithoutDelta(t *testing.T) {
+	rec := &statsRecorder{}
+	var total float64
+	eng := deployMig(t, &total, pp.Shared, pp.WithThreads(2),
+		pp.WithStore(pp.NewMemStore()),
+		pp.WithCheckpointEvery(2), pp.WithMaxCheckpoints(1),
+		pp.WithAdaptPolicy(rec))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.diff) > 0 {
+		t.Fatalf("stats diverged across lines of execution at safe points %v", rec.diff)
+	}
+	s := rec.seen[6]
+	if s.FullSaves != 1 || s.DeltaSaves != 0 || s.LastCheckpointSP != 2 {
+		t.Fatalf("capped cadence at sp 6: %+v", s)
+	}
+}
+
+// TestPolicyStopsRightAfterCheckpoint uses the cadence counters the way an
+// AdaptPolicy is meant to: stop exactly at a safe point where a checkpoint
+// was just taken, so the stop snapshot duplicates minimal work.
+func TestPolicyStopsRightAfterCheckpoint(t *testing.T) {
+	store := pp.NewMemStore()
+	var total float64
+	eng := deployMig(t, &total, pp.Shared, pp.WithThreads(2),
+		pp.WithStore(store), pp.WithCheckpointEvery(4),
+		pp.WithAdaptPolicy(pp.PolicyFunc(func(s pp.RunStats) pp.AdaptTarget {
+			if s.LastCheckpointSP == s.SafePoint {
+				return pp.AdaptTarget{Stop: true}
+			}
+			return pp.AdaptTarget{}
+		})))
+	err := eng.Run()
+	var stopped *pp.ErrStopped
+	if !errors.As(err, &stopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	if stopped.SafePoint != 4 {
+		t.Fatalf("stopped at %d, want the first checkpointed safe point 4", stopped.SafePoint)
+	}
+}

@@ -115,7 +115,39 @@
 // the paper's adaptation by restart), Schedule (a fixed sequence of
 // reshapings) and Policies (chaining). Asynchronous, wall-clock sources —
 // a resource manager granting or revoking nodes — use WithAdaptManager or
-// Engine.RequestAdapt / Engine.RequestStop instead.
+// Engine.RequestAdapt / Engine.RequestStop instead. Decide sees
+// deterministic RunStats, including checkpoint cadence counters
+// (FullSaves/DeltaSaves/LastCheckpointSP) so a policy can, say, stop or
+// migrate exactly at a freshly checkpointed safe point.
+//
+// # In-process cross-mode migration
+//
+// The engine's deployments are pluggable Executors (sequential, shared,
+// distributed, hybrid). Returning an AdaptTarget with Mode set from a
+// policy (or passing it to RequestAdapt) migrates the running program to
+// another deployment at a safe point WITHOUT leaving Run: the engine takes
+// a canonical snapshot into an internal in-memory store, tears down the
+// current executor, builds the target-mode executor, and replays to the
+// same safe point — the paper's adaptation-by-restart (Figures 6 and 7)
+// collapsed into one process:
+//
+//	eng, _ := pp.New(factory,
+//		pp.WithMode(pp.Shared), pp.WithThreads(8), pp.WithModules(mods...),
+//		pp.WithAdaptAt(50, pp.AdaptTarget{Mode: pp.Distributed, Procs: 4}),
+//	)
+//	err := eng.Run() // starts on a thread team, finishes as 4 SPMD replicas
+//
+// Threads/Procs in the target size the new executor (0 inherits the current
+// sizes). Plug the union of the modes' module sets: like a cross-mode
+// restart, the target executor uses the partitioning/team advice of the
+// mode it lands in (e.g. SORModules(pp.Hybrid) covers all four). Results
+// are byte-identical to an unmigrated run. Migration
+// composes with checkpointing — the regular chain keeps serving crash
+// restarts and is re-based (next periodic save is a full snapshot) under
+// the new executor — and with async/delta pipelines (the writer is drained
+// before the migration snapshot). Custom Store implementations are not
+// involved: migration uses an internal memory store. Report carries the
+// cost split as Migrations and MigrationTotal.
 //
 // # Lifecycle
 //
@@ -191,6 +223,10 @@ var ErrInjectedFailure = core.ErrInjectedFailure
 
 // NewModule creates an empty pluggable module.
 func NewModule(name string) *Module { return core.NewModule(name) }
+
+// ParseMode parses the mode names used by Mode.String: "seq", "smp", "dist"
+// or "hybrid".
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 
 // For executes an advisable loop body per index.
 func For(c *Ctx, id string, lo, hi int, body func(i int)) { core.For(c, id, lo, hi, body) }
