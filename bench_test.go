@@ -536,6 +536,49 @@ func BenchmarkModeMigration(b *testing.B) {
 	}
 }
 
+// --- Sharded checkpoint pipeline -----------------------------------------
+
+// BenchmarkShardCheckpoint measures per-rank parallel shard persistence on
+// the distributed SOR kernel: blocked-ns/ckpt is the time lines of
+// execution stand inside the two save barriers. The sync variant pays each
+// rank's encode+persist there (concurrently across ranks); the async
+// variant only the per-rank double-buffer capture, with the bounded pool
+// persisting links and committing the wave manifests in the background; the
+// delta variant additionally ships only each rank's changed chunks.
+func BenchmarkShardCheckpoint(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opts []pp.Option
+	}{
+		{"sync", []pp.Option{pp.WithCheckpointEvery(5)}},
+		{"async", []pp.Option{pp.WithCheckpointEvery(5), pp.WithAsyncCheckpoint()}},
+		{"delta-async", []pp.Option{pp.WithDeltaCheckpoint(5, 4), pp.WithAsyncCheckpoint()}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			opts := append(benchOpts(pp.Distributed, 4,
+				pp.WithCheckpointDir(b.TempDir()),
+				pp.WithShardCheckpoints()), tc.opts...)
+			var blocked, background, ckpts, links, bytes int64
+			for i := 0; i < b.N; i++ {
+				rep := runBench(b, benchN, benchIters, opts...)
+				blocked += rep.SaveTotal.Nanoseconds()
+				background += rep.AsyncSaveTotal.Nanoseconds()
+				ckpts += int64(rep.Checkpoints)
+				links += int64(rep.ShardSaves)
+				bytes += int64(rep.ShardBytes)
+			}
+			if ckpts == 0 || links == 0 {
+				b.Fatal("no shard waves committed")
+			}
+			b.ReportMetric(float64(blocked)/float64(ckpts), "blocked-ns/ckpt")
+			b.ReportMetric(float64(background)/float64(b.N), "bg-write-ns/op")
+			b.ReportMetric(float64(bytes)/float64(ckpts), "shard-bytes/ckpt")
+			b.ReportMetric(float64(links)/float64(ckpts), "links/ckpt")
+		})
+	}
+}
+
 // --- Asynchronous checkpoint pipeline -----------------------------------
 
 // Sync vs async checkpointing on the SOR kernel. SaveTotal is the time

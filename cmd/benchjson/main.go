@@ -7,6 +7,17 @@
 // Each benchmark line becomes one record with the run count, ns/op, and
 // every custom metric reported via b.ReportMetric (bytes/ckpt,
 // blocked-ns/ckpt, ...). Non-benchmark lines are ignored.
+//
+// With -compare it becomes the CI regression gate instead:
+//
+//	benchjson -compare BENCH_baseline.json BENCH_new.json -tolerance 0.25
+//
+// Every metric of every benchmark present in BOTH documents is treated as
+// lower-is-better (all of this repo's metrics are durations, bytes or
+// counts); a new value more than tolerance×100% above the baseline is a
+// regression, reported on stderr with a non-zero exit. Benchmarks or
+// metrics missing from either side are skipped — new benchmarks enter the
+// gate when the baseline is refreshed.
 package main
 
 import (
@@ -35,6 +46,70 @@ type Doc struct {
 }
 
 func main() {
+	// Flags are parsed by hand so the documented invocation — positional
+	// documents before the tolerance flag — works; the stock flag package
+	// stops at the first positional argument.
+	compareMode := false
+	tolerance := 0.25
+	var files []string
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		switch {
+		case arg == "-compare" || arg == "--compare":
+			compareMode = true
+		case arg == "-tolerance" || arg == "--tolerance":
+			i++
+			if i >= len(args) {
+				fatalUsage("-tolerance needs a value")
+			}
+			tolerance = parseTolerance(args[i])
+		case strings.HasPrefix(arg, "-tolerance="):
+			tolerance = parseTolerance(strings.TrimPrefix(arg, "-tolerance="))
+		case strings.HasPrefix(arg, "--tolerance="):
+			tolerance = parseTolerance(strings.TrimPrefix(arg, "--tolerance="))
+		case strings.HasPrefix(arg, "-"):
+			fatalUsage("unknown flag " + arg)
+		default:
+			files = append(files, arg)
+		}
+	}
+	if compareMode {
+		if len(files) != 2 {
+			fatalUsage("-compare needs exactly two documents: old.json new.json")
+		}
+		old, err := loadDoc(files[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		cur, err := loadDoc(files[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		regressions, compared := compare(old, cur, tolerance)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: compared %d metrics against %s at %.0f%% tolerance: %d regression(s)\n",
+			compared, files[0], tolerance*100, len(regressions))
+		if compared == 0 {
+			// Nothing matched: the gate would be vacuous (renamed
+			// benchmarks, or a GOMAXPROCS suffix mismatch between the
+			// machines that produced the two documents). Fail loudly
+			// rather than silently pass everything.
+			fmt.Fprintln(os.Stderr, "benchjson: no benchmark metric matched between the documents; refusing a vacuous comparison")
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if len(files) != 0 {
+		fatalUsage("convert mode reads stdin and takes no arguments")
+	}
 	doc := parse(bufio.NewScanner(os.Stdin))
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -42,6 +117,64 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+func fatalUsage(msg string) {
+	fmt.Fprintln(os.Stderr, "benchjson:", msg)
+	fmt.Fprintln(os.Stderr, "usage: benchjson < bench.out > BENCH_x.json")
+	fmt.Fprintln(os.Stderr, "       benchjson -compare old.json new.json [-tolerance 0.25]")
+	os.Exit(2)
+}
+
+func parseTolerance(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		fatalUsage("invalid tolerance " + s)
+	}
+	return v
+}
+
+func loadDoc(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// compare gates cur against old: every metric present in both documents
+// for the same benchmark name must not exceed the baseline by more than
+// the given fractional tolerance (all metrics are lower-is-better).
+func compare(old, cur *Doc, tolerance float64) (regressions []string, compared int) {
+	baseline := map[string]map[string]float64{}
+	for _, r := range old.Results {
+		baseline[r.Name] = r.Metrics
+	}
+	for _, r := range cur.Results {
+		base, ok := baseline[r.Name]
+		if !ok {
+			continue // new benchmark: enters the gate with the next baseline
+		}
+		for metric, v := range r.Metrics {
+			want, ok := base[metric]
+			if !ok {
+				continue
+			}
+			compared++
+			// A zero baseline carries no scale to regress against (e.g.
+			// bg-write-ns/op of a synchronous variant); skip it.
+			if want > 0 && v > want*(1+tolerance) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s: %.4g vs baseline %.4g (+%.1f%%, tolerance %.0f%%)",
+					r.Name, metric, v, want, (v/want-1)*100, tolerance*100))
+			}
+		}
+	}
+	return regressions, compared
 }
 
 func parse(sc *bufio.Scanner) *Doc {

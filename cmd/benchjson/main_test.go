@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: ppar
+BenchmarkShardCheckpoint/sync  1  38894404 ns/op  5145887 blocked-ns/ckpt  524448 shard-bytes/ckpt
+BenchmarkShardCheckpoint/async 1  18309732 ns/op  4248843 blocked-ns/ckpt  0 bg-write-ns/op
+some unrelated line
+`
+
+func parseSample(t *testing.T, text string) *Doc {
+	t.Helper()
+	return parse(bufio.NewScanner(strings.NewReader(text)))
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	doc := parseSample(t, sampleBench)
+	if doc.Goos != "linux" || len(doc.Results) != 2 {
+		t.Fatalf("parse: %+v", doc)
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkShardCheckpoint/sync" || r.Metrics["blocked-ns/ckpt"] != 5145887 {
+		t.Fatalf("result: %+v", r)
+	}
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	old := parseSample(t, sampleBench)
+	// Within tolerance: +20% on one metric.
+	ok := parseSample(t, strings.ReplaceAll(sampleBench, "5145887 blocked-ns/ckpt", "6175064 blocked-ns/ckpt"))
+	if regs, compared := compare(old, ok, 0.25); len(regs) != 0 || compared == 0 {
+		t.Fatalf("within-tolerance run flagged: %v (compared %d)", regs, compared)
+	}
+	// Past tolerance: +50%.
+	bad := parseSample(t, strings.ReplaceAll(sampleBench, "5145887 blocked-ns/ckpt", "7718830 blocked-ns/ckpt"))
+	regs, _ := compare(old, bad, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "blocked-ns/ckpt") {
+		t.Fatalf("regression not flagged: %v", regs)
+	}
+}
+
+func TestCompareSkipsUnmatchedAndZeroBaselines(t *testing.T) {
+	old := parseSample(t, sampleBench)
+	cur := parseSample(t, sampleBench+
+		"BenchmarkBrandNew 1  999 ns/op\n")
+	// The async variant's zero bg-write-ns/op baseline must not flag any
+	// nonzero new value, and a benchmark without a baseline is skipped.
+	cur.Results[1].Metrics["bg-write-ns/op"] = 1e9
+	if regs, _ := compare(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("spurious regressions: %v", regs)
+	}
+}

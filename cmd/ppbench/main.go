@@ -36,6 +36,7 @@ func run() int {
 	storeKind := fs.String("store", "fs", "checkpoint backend for -real: fs | mem | gzip")
 	async := fs.Bool("async", false, "asynchronous double-buffered checkpointing for -real")
 	delta := fs.Bool("delta", false, "incremental (delta) checkpointing for -real")
+	shards := fs.Bool("shards", false, "per-rank shard checkpoints for the distributed -real runs (composes with -async/-delta)")
 	adaptMode := fs.String("adapt-mode", "", "instead of figures: measure a live in-process migration of a real SOR run from an smp(4) baseline to this mode (seq|dist|hybrid); the demo uses its own fixed workload, ignoring the figure/store flags except -n/-iters/-csv")
 	adaptAt := fs.Uint64("adapt-at", 0, "safe point of the -adapt-mode migration (default: half the iterations)")
 	fs.Parse(os.Args[1:])
@@ -44,7 +45,7 @@ func run() int {
 		return migrationDemo(*adaptMode, *adaptAt, *n, *iters, *csv)
 	}
 
-	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir, Async: *async, Delta: *delta}
+	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir, Async: *async, Delta: *delta, Shards: *shards}
 	if scale.Dir == "" {
 		tmp, err := os.MkdirTemp("", "ppbench-*")
 		if err != nil {

@@ -41,7 +41,7 @@ func run() int {
 	async := flag.Bool("async", false, "asynchronous double-buffered checkpointing (capture at the safe point, persist in the background)")
 	delta := flag.Bool("delta", false, "incremental (delta) checkpointing: persist only changed fields/chunks, compacting every -compact deltas (pays off when much of the state is stable between checkpoints)")
 	compact := flag.Int("compact", 8, "with -delta, number of deltas between full snapshots")
-	shards := flag.Bool("shards", false, "per-rank shard checkpoints instead of gather-at-master")
+	shards := flag.Bool("shards", false, "per-rank shard checkpoints instead of gather-at-master (manifest-committed; composes with -async and -delta, and restarts re-shard into any -mode/-procs)")
 	fail := flag.Uint64("fail", 0, "inject a failure at this safe point")
 	failRank := flag.Int("fail-rank", 0, "rank that fails")
 	stopAt := flag.Uint64("stop-at", 0, "checkpoint and stop at this safe point (adaptation by restart)")

@@ -17,6 +17,22 @@
 // (Engine.RunContext maps cancellation to a graceful checkpoint-and-stop
 // that a relaunched engine resumes from, in any mode).
 //
+// Distributed runs choose between two checkpoint shapes. The default
+// gathers partitioned state at the master into one canonical snapshot —
+// smallest metadata, restartable anywhere, but the master serialises the
+// I/O. pp.WithShardCheckpoints instead has every rank persist its own
+// shard as an append-only chain (anchor links plus changed-chunk deltas
+// under WithDeltaCheckpoint), committed by a PPCKPS1 manifest written
+// after the last shard of each wave lands — so checkpoint bandwidth scales
+// with the number of ranks, a mid-write kill never restarts from a torn
+// multi-shard save, and because each shard records its partition layouts,
+// a sharded run restarts or migrates into a different world size or
+// execution mode by repartitioning at load (the shard-reshard example
+// runs the whole story). Both shapes compose with the asynchronous and
+// incremental pipelines; prefer shards when per-rank state is large and
+// the store scales with writers, the canonical gather when state is small
+// or the store serialises writers anyway.
+//
 // The execution core itself is a pluggable Executor layer: one executor per
 // deployment (sequential, shared, distributed, hybrid) owns launch,
 // topology, collectives and teardown. A policy returning an AdaptTarget

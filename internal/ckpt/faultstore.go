@@ -17,10 +17,15 @@ const (
 	OpSave FaultOp = iota
 	OpSaveDelta
 	OpSaveShard
+	OpSaveShardDelta
+	OpSaveManifest
 	OpLoad
 	OpLoadChain
 	OpLoadShard
+	OpLoadShardDelta
+	OpLoadManifest
 	OpClearDeltas
+	OpClearShardDeltas
 	numFaultOps
 )
 
@@ -32,14 +37,24 @@ func (op FaultOp) String() string {
 		return "SaveDelta"
 	case OpSaveShard:
 		return "SaveShard"
+	case OpSaveShardDelta:
+		return "SaveShardDelta"
+	case OpSaveManifest:
+		return "SaveManifest"
 	case OpLoad:
 		return "Load"
 	case OpLoadChain:
 		return "LoadChain"
 	case OpLoadShard:
 		return "LoadShard"
+	case OpLoadShardDelta:
+		return "LoadShardDelta"
+	case OpLoadManifest:
+		return "LoadManifest"
 	case OpClearDeltas:
 		return "ClearDeltas"
+	case OpClearShardDeltas:
+		return "ClearShardDeltas"
 	}
 	return fmt.Sprintf("FaultOp(%d)", int(op))
 }
@@ -168,6 +183,68 @@ func (s *FaultStore) SaveDelta(d *serial.Delta) error {
 	return s.putBlob(OpSaveDelta, memDeltaKey(d.App, d.Seq), d.Encode)
 }
 
+// SaveShardDelta appends one shard-chain link (subject to OpSaveShardDelta
+// faults, including torn writes — the mid-write kill of one rank of a
+// multi-shard save that the manifest gate exists for).
+func (s *FaultStore) SaveShardDelta(d *serial.Delta, rank int) error {
+	if d.Seq == 0 {
+		return fmt.Errorf("ckpt: shard delta for %q has no chain sequence number", d.App)
+	}
+	return s.putBlob(OpSaveShardDelta, memShardDeltaKey(d.App, rank, d.Seq), d.Encode)
+}
+
+// SaveManifest replaces the commit record (subject to OpSaveManifest
+// faults; a torn manifest is the one artifact whose damage surfaces loudly
+// at restart, exactly like a torn canonical base — the stock FS store's
+// rename atomicity rules both out).
+func (s *FaultStore) SaveManifest(m *serial.Manifest) error {
+	return s.putBlob(OpSaveManifest, m.App+".manifest.ckpt", m.Encode)
+}
+
+// LoadShardDelta reads one shard-chain link (subject to OpLoadShardDelta
+// faults); a torn link reports found=true with the decode error.
+func (s *FaultStore) LoadShardDelta(app string, rank int, seq uint64) (*serial.Delta, bool, error) {
+	blob, ok, err := s.getBlob(OpLoadShardDelta, memShardDeltaKey(app, rank, seq))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	d, err := serial.DecodeDelta(bytes.NewReader(blob))
+	if err != nil {
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", memShardDeltaKey(app, rank, seq), err)
+	}
+	return d, true, nil
+}
+
+// LoadManifest reads the commit record (subject to OpLoadManifest faults).
+func (s *FaultStore) LoadManifest(app string) (*serial.Manifest, bool, error) {
+	blob, ok, err := s.getBlob(OpLoadManifest, app+".manifest.ckpt")
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	m, err := serial.DecodeManifest(bytes.NewReader(blob))
+	if err != nil {
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", app+".manifest.ckpt", err)
+	}
+	return m, true, nil
+}
+
+// ClearShardDeltas removes rank's chain links below the bound (subject to
+// OpClearShardDeltas faults — the post-commit GC window, where a crash must
+// only ever leave stale links the manifest no longer references).
+func (s *FaultStore) ClearShardDeltas(app string, rank int, below uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail, _ := s.step(OpClearShardDeltas); fail != nil {
+		return fail
+	}
+	for k := range s.blobs {
+		if seq, ok := shardChainSeq(k, app, rank); ok && (below == 0 || seq < below) {
+			delete(s.blobs, k)
+		}
+	}
+	return nil
+}
+
 func (s *FaultStore) getBlob(op FaultOp, key string) ([]byte, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -245,9 +322,8 @@ func (s *FaultStore) LoadChain(app string) (*serial.Snapshot, []*serial.Delta, b
 func (s *FaultStore) Clear(app string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.blobs, memKey(app, -1))
 	for k := range s.blobs {
-		if isSeqFile(k, app, 'r') || isSeqFile(k, app, 'd') {
+		if ownedName(k, app) {
 			delete(s.blobs, k)
 		}
 	}

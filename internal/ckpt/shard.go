@@ -1,0 +1,232 @@
+package ckpt
+
+import (
+	"fmt"
+	"strings"
+
+	"ppar/internal/partition"
+	"ppar/internal/serial"
+)
+
+// Shard snapshots store partitioned fields as packed flat blocks (each rank
+// owns only its indices), which is what makes per-rank saves cheap — but it
+// means the shards alone cannot be reassembled into a canonical snapshot
+// without knowing how the field was partitioned. Each shard therefore
+// carries one small metadata field per partitioned field, written by the
+// engine at capture time and consumed here at re-sharding restore:
+// LayoutField(name) holds {element kind, partition kind, chunk, extent,
+// columns} as an int vector. The metadata rides inside the ordinary
+// container, so every store backend and the whole chain machinery handle it
+// transparently.
+
+// layoutFieldPrefix marks shard-layout metadata fields.
+const layoutFieldPrefix = "__layout."
+
+// Element kinds of a partitioned field, as recorded in shard layout
+// metadata (packed blocks are always flat float64 vectors on the wire).
+const (
+	ElemFloats = 1 // []float64
+	ElemInts   = 2 // []int
+	ElemMatrix = 3 // [][]float64, partitioned by rows
+)
+
+// ShardLayout describes how one partitioned field was split across the
+// ranks of a shard checkpoint.
+type ShardLayout struct {
+	Elem  int            // ElemFloats, ElemInts or ElemMatrix
+	Kind  partition.Kind // partitioning strategy
+	Chunk int            // block-cyclic chunk size (1 otherwise)
+	N     int            // partitionable extent (slice length / matrix rows)
+	Cols  int            // matrix columns (0 otherwise)
+}
+
+// LayoutField names the metadata field describing the partitioned field
+// name inside a shard snapshot.
+func LayoutField(name string) string { return layoutFieldPrefix + name }
+
+// IsLayoutField reports whether a shard-snapshot field is layout metadata
+// rather than application data.
+func IsLayoutField(name string) bool { return strings.HasPrefix(name, layoutFieldPrefix) }
+
+// LayoutValue encodes a ShardLayout as a snapshot field value.
+func LayoutValue(l ShardLayout) serial.Value {
+	return serial.Int64s([]int64{int64(l.Elem), int64(l.Kind), int64(l.Chunk), int64(l.N), int64(l.Cols)})
+}
+
+// parseLayout decodes a ShardLayout from its metadata value.
+func parseLayout(name string, v serial.Value) (ShardLayout, error) {
+	if v.Tag != serial.TInt64s || len(v.Is) != 5 {
+		return ShardLayout{}, fmt.Errorf("ckpt: shard layout metadata for %q is malformed", name)
+	}
+	l := ShardLayout{
+		Elem: int(v.Is[0]), Kind: partition.Kind(v.Is[1]),
+		Chunk: int(v.Is[2]), N: int(v.Is[3]), Cols: int(v.Is[4]),
+	}
+	if l.Elem < ElemFloats || l.Elem > ElemMatrix || l.N < 0 || l.Cols < 0 {
+		return ShardLayout{}, fmt.Errorf("ckpt: shard layout metadata for %q is out of range", name)
+	}
+	return l, nil
+}
+
+func (l ShardLayout) layout(parts int) partition.Layout {
+	if l.Kind == partition.BlockCyclic {
+		chunk := l.Chunk
+		if chunk < 1 {
+			chunk = 1
+		}
+		return partition.NewBlockCyclic(l.N, parts, chunk)
+	}
+	return partition.New(l.Kind, l.N, parts)
+}
+
+// LoadShardResume materialises the sharded restart point of app from store
+// s: the newest committed manifest plus, per rank, the chain links it
+// references (anchor..seq, the anchor's full state with later deltas
+// replayed on top). Restore is manifest-gated: artifacts a crashed save
+// left behind without a commit record are never read, so a mid-write kill
+// of a multi-shard save always lands on the last COMPLETE save. found/err
+// follow the Load conventions; any inconsistency between the manifest and
+// the artifacts it references (a missing or torn link, a fingerprint or
+// safe-point mismatch) is reported as an error with found=true, never as a
+// silently different restart point.
+func LoadShardResume(s Store, app string) ([]*serial.Snapshot, *serial.Manifest, bool, error) {
+	m, found, err := s.LoadManifest(app)
+	if err != nil || !found {
+		return nil, nil, found, err
+	}
+	shards := make([]*serial.Snapshot, m.World())
+	for r := range shards {
+		snap, err := materialiseShard(s, app, r, m.Shards[r])
+		if err != nil {
+			return nil, m, true, fmt.Errorf("ckpt: shard %d of manifest at safe point %d: %w", r, m.SafePoints, err)
+		}
+		if snap.SafePoints != m.SafePoints {
+			return nil, m, true, fmt.Errorf("ckpt: shard %d materialises at safe point %d, manifest commits %d",
+				r, snap.SafePoints, m.SafePoints)
+		}
+		shards[r] = snap
+	}
+	return shards, m, true, nil
+}
+
+// materialiseShard replays one rank's committed chain window.
+func materialiseShard(s Store, app string, rank int, e serial.ManifestShard) (*serial.Snapshot, error) {
+	var snap *serial.Snapshot
+	var anchorSP uint64
+	for seq := e.Anchor; seq <= e.Seq; seq++ {
+		d, found, err := s.LoadShardDelta(app, rank, seq)
+		if err != nil {
+			return nil, fmt.Errorf("link %d: %w", seq, err)
+		}
+		if !found {
+			return nil, fmt.Errorf("link %d is missing", seq)
+		}
+		if d.App != app || d.Seq != seq {
+			return nil, fmt.Errorf("link %d belongs to app %q seq %d", seq, d.App, d.Seq)
+		}
+		if seq == e.Seq {
+			crc, size, ferr := d.Fingerprint()
+			if ferr != nil {
+				return nil, fmt.Errorf("link %d fingerprint: %w", seq, ferr)
+			}
+			if crc != e.CRC || size != e.Size {
+				return nil, fmt.Errorf("link %d fingerprint (%08x,%d) does not match the manifest (%08x,%d): "+
+					"the artifact was overwritten after the commit", seq, crc, size, e.CRC, e.Size)
+			}
+		}
+		if seq == e.Anchor {
+			if !d.IsAnchor() {
+				return nil, fmt.Errorf("link %d is not a self-contained anchor", seq)
+			}
+			anchorSP = d.SafePoints
+			snap = serial.NewSnapshot(d.App, d.Mode, 0)
+		} else if d.BaseSP != anchorSP {
+			return nil, fmt.Errorf("link %d is anchored at safe point %d, not this chain's anchor %d (stale pre-rebase link)",
+				seq, d.BaseSP, anchorSP)
+		}
+		if err := d.Apply(snap); err != nil {
+			return nil, fmt.Errorf("applying link %d: %w", seq, err)
+		}
+	}
+	return snap, nil
+}
+
+// Reshard reassembles per-rank shard snapshots into one canonical snapshot,
+// repartitioning each packed field through its recorded layout — the bridge
+// that lets a sharded run restart (or migrate) into a different world size
+// or execution mode, and a canonical run restart sharded. Non-partitioned
+// fields are taken from rank 0, whose copy is authoritative exactly as in
+// the gather-at-master protocol.
+func Reshard(shards []*serial.Snapshot, app string, safePoints uint64) (*serial.Snapshot, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("ckpt: reshard of zero shards")
+	}
+	world := len(shards)
+	out := serial.NewSnapshot(app, "canonical", safePoints)
+	for name, v := range shards[0].Fields {
+		if IsLayoutField(name) {
+			continue
+		}
+		lv, partitioned := shards[0].Fields[LayoutField(name)]
+		if !partitioned {
+			out.Fields[name] = v
+			continue
+		}
+		l, err := parseLayout(name, lv)
+		if err != nil {
+			return nil, err
+		}
+		full, err := reassemble(name, l, shards, world)
+		if err != nil {
+			return nil, err
+		}
+		out.Fields[name] = full
+	}
+	return out, nil
+}
+
+// reassemble stitches one partitioned field back together from its packed
+// per-rank blocks.
+func reassemble(name string, l ShardLayout, shards []*serial.Snapshot, world int) (serial.Value, error) {
+	lay := l.layout(world)
+	rowElems := 1
+	if l.Elem == ElemMatrix {
+		if l.Cols == 0 {
+			return serial.Value{}, fmt.Errorf("ckpt: partitioned matrix %q has zero columns in its layout", name)
+		}
+		rowElems = l.Cols
+	}
+	flat := make([]float64, l.N*rowElems)
+	for r := 0; r < world; r++ {
+		v, ok := shards[r].Fields[name]
+		if !ok || v.Tag != serial.TFloat64s {
+			return serial.Value{}, fmt.Errorf("ckpt: shard %d is missing the packed block of %q", r, name)
+		}
+		if want := lay.Count(r) * rowElems; len(v.Fs) != want {
+			return serial.Value{}, fmt.Errorf("ckpt: shard %d block of %q has %d elements, layout owns %d",
+				r, name, len(v.Fs), want)
+		}
+		k := 0
+		lay.Indices(r, func(i int) {
+			copy(flat[i*rowElems:(i+1)*rowElems], v.Fs[k*rowElems:(k+1)*rowElems])
+			k++
+		})
+	}
+	switch l.Elem {
+	case ElemFloats:
+		return serial.Float64s(flat), nil
+	case ElemInts:
+		is := make([]int64, len(flat))
+		for i, f := range flat {
+			is[i] = int64(f)
+		}
+		return serial.Int64s(is), nil
+	case ElemMatrix:
+		m := make([][]float64, l.N)
+		for i := range m {
+			m[i] = flat[i*rowElems : (i+1)*rowElems : (i+1)*rowElems]
+		}
+		return serial.Float64Matrix(m), nil
+	}
+	return serial.Value{}, fmt.Errorf("ckpt: partitioned field %q has unknown element kind %d", name, l.Elem)
+}

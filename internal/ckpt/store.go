@@ -56,7 +56,36 @@ type Store interface {
 	LoadChain(app string) (base *serial.Snapshot, deltas []*serial.Delta, found bool, err error)
 	// LoadShard reads rank's local snapshot.
 	LoadShard(app string, rank int) (snap *serial.Snapshot, found bool, err error)
-	// Clear removes all snapshots (canonical, deltas and shards) for app.
+
+	// SaveShardDelta atomically appends one link to rank's shard chain
+	// (app.rN.dM.ckpt for chain position M = d.Seq). Shard chains are
+	// append-only: the caller assigns Seq monotonically — continuing past
+	// the newest committed manifest after a restart — so a committed link
+	// is never overwritten in place; anchor links (serial.AnchorDelta)
+	// carry the rank's full state, plain links only the changed chunks.
+	SaveShardDelta(d *serial.Delta, rank int) error
+	// LoadShardDelta reads one link of rank's shard chain. found=false with
+	// nil error means the link does not exist; a link that exists but is
+	// damaged (torn write) reports found=true with the decode error.
+	LoadShardDelta(app string, rank int, seq uint64) (*serial.Delta, bool, error)
+	// ClearShardDeltas removes the links of rank's shard chain with Seq
+	// below the given bound (0 removes every link) — the per-chain garbage
+	// collection run after a manifest referencing a newer anchor has
+	// committed, in that order, so a crash in between leaves stale links
+	// the manifest never references rather than a missing restart point.
+	ClearShardDeltas(app string, rank int, below uint64) error
+	// SaveManifest atomically replaces the shard-checkpoint commit record
+	// for m.App. It is written last, after every shard artifact of a save
+	// wave has been persisted: a save without a manifest is not a restart
+	// point, which is what keeps a torn multi-shard save from ever being
+	// mistaken for a complete one.
+	SaveManifest(m *serial.Manifest) error
+	// LoadManifest reads the commit record, following the Load conventions
+	// (found=false means no sharded restart point exists).
+	LoadManifest(app string) (*serial.Manifest, bool, error)
+
+	// Clear removes all snapshots (canonical, deltas, shards, shard chains
+	// and the manifest) for app.
 	Clear(app string) error
 	// ClearDeltas removes only the delta chain for app — compaction's
 	// garbage collection, called after a new full snapshot has been
@@ -100,6 +129,14 @@ func (s *FS) path(app string, shard int) string {
 
 func (s *FS) deltaPath(app string, seq uint64) string {
 	return filepath.Join(s.Dir, fmt.Sprintf("%s.d%d.ckpt", app, seq))
+}
+
+func (s *FS) shardDeltaPath(app string, rank int, seq uint64) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("%s.r%d.d%d.ckpt", app, rank, seq))
+}
+
+func (s *FS) manifestPath(app string) string {
+	return filepath.Join(s.Dir, app+".manifest.ckpt")
 }
 
 // Save atomically writes a canonical (whole-application) snapshot.
@@ -215,6 +252,66 @@ func (s *FS) LoadShard(app string, rank int) (snap *serial.Snapshot, found bool,
 	return s.load(app, rank)
 }
 
+// SaveShardDelta atomically appends one link to rank's shard chain with the
+// same temp-then-rename-then-dirsync discipline as every other artifact.
+func (s *FS) SaveShardDelta(d *serial.Delta, rank int) error {
+	if d.Seq == 0 {
+		return fmt.Errorf("ckpt: shard delta for %q has no chain sequence number", d.App)
+	}
+	return s.writeAtomic(s.shardDeltaPath(d.App, rank, d.Seq), d.Encode)
+}
+
+// LoadShardDelta reads one link of rank's shard chain.
+func (s *FS) LoadShardDelta(app string, rank int, seq uint64) (*serial.Delta, bool, error) {
+	f, err := os.Open(s.shardDeltaPath(app, rank, seq))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: open: %w", err)
+	}
+	defer f.Close()
+	d, err := serial.DecodeDelta(f)
+	if err != nil {
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", s.shardDeltaPath(app, rank, seq), err)
+	}
+	return d, true, nil
+}
+
+// ClearShardDeltas removes rank's chain links below the given sequence
+// number (0 removes all of them).
+func (s *FS) ClearShardDeltas(app string, rank int, below uint64) error {
+	return s.clearMatching(func(name string) bool {
+		seq, ok := shardChainSeq(name, app, rank)
+		return ok && (below == 0 || seq < below)
+	})
+}
+
+// SaveManifest atomically replaces the shard-checkpoint commit record.
+func (s *FS) SaveManifest(m *serial.Manifest) error {
+	return s.writeAtomic(s.manifestPath(m.App), m.Encode)
+}
+
+// LoadManifest reads the shard-checkpoint commit record. A manifest that
+// exists but is damaged reports found=true with the decode error, so
+// callers can distinguish "no sharded restart point" from "commit record
+// corrupt".
+func (s *FS) LoadManifest(app string) (*serial.Manifest, bool, error) {
+	f, err := os.Open(s.manifestPath(app))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: open: %w", err)
+	}
+	defer f.Close()
+	m, err := serial.DecodeManifest(f)
+	if err != nil {
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", s.manifestPath(app), err)
+	}
+	return m, true, nil
+}
+
 func (s *FS) load(app string, shard int) (*serial.Snapshot, bool, error) {
 	f, err := os.Open(s.path(app, shard))
 	if errors.Is(err, fs.ErrNotExist) {
@@ -233,14 +330,20 @@ func (s *FS) load(app string, shard int) (*serial.Snapshot, bool, error) {
 	return snap, true, nil
 }
 
-// Clear removes all snapshots (canonical, deltas and shards) for app. Only
-// the exact app.ckpt / app.rN.ckpt / app.dN.ckpt names are matched: a
+// Clear removes all snapshots (canonical, deltas, shards, shard chains and
+// the manifest) for app. Only the exact app.ckpt / app.rN.ckpt /
+// app.dN.ckpt / app.rN.dM.ckpt / app.manifest.ckpt names are matched: a
 // prefix glob would also delete checkpoints of any application whose name
 // merely starts with app (clearing "sor" must not wipe "sor-large").
 func (s *FS) Clear(app string) error {
-	return s.clearMatching(func(name string) bool {
-		return name == app+".ckpt" || isSeqFile(name, app, 'r') || isSeqFile(name, app, 'd')
-	})
+	return s.clearMatching(func(name string) bool { return ownedName(name, app) })
+}
+
+// ownedName reports whether name is one of app's checkpoint artifacts.
+func ownedName(name, app string) bool {
+	return name == app+".ckpt" || name == app+".manifest.ckpt" ||
+		isSeqFile(name, app, 'r') || isSeqFile(name, app, 'd') ||
+		isShardChainFile(name, app)
 }
 
 // ClearDeltas removes only the app.dN.ckpt delta chain.
@@ -272,10 +375,47 @@ func isSeqFile(name, app string, kind byte) bool {
 		return false
 	}
 	digits, ok := strings.CutSuffix(rest, ".ckpt")
-	if !ok || digits == "" {
+	return ok && allDigits(digits)
+}
+
+// isShardChainFile reports whether name is exactly app.rN.dM.ckpt for
+// decimal N and M — a link of any rank's shard chain.
+func isShardChainFile(name, app string) bool {
+	rest, ok := strings.CutPrefix(name, app+".r")
+	if !ok {
 		return false
 	}
+	rank, rest, ok := strings.Cut(rest, ".d")
+	if !ok || !allDigits(rank) {
+		return false
+	}
+	digits, ok := strings.CutSuffix(rest, ".ckpt")
+	return ok && allDigits(digits)
+}
+
+// shardChainSeq parses name as a link of ONE rank's chain, returning its
+// sequence number.
+func shardChainSeq(name, app string, rank int) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, fmt.Sprintf("%s.r%d.d", app, rank))
+	if !ok {
+		return 0, false
+	}
+	digits, ok := strings.CutSuffix(rest, ".ckpt")
+	if !ok || !allDigits(digits) {
+		return 0, false
+	}
+	var seq uint64
 	for _, c := range digits {
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
 		if c < '0' || c > '9' {
 			return false
 		}
@@ -428,16 +568,90 @@ func (s *Mem) LoadShard(app string, rank int) (*serial.Snapshot, bool, error) {
 	return s.get(app, rank)
 }
 
+func memShardDeltaKey(app string, rank int, seq uint64) string {
+	return fmt.Sprintf("%s.r%d.d%d.ckpt", app, rank, seq)
+}
+
+// SaveShardDelta appends one link to rank's shard chain, stored in its
+// encoded container form like every other artifact.
+func (s *Mem) SaveShardDelta(d *serial.Delta, rank int) error {
+	if d.Seq == 0 {
+		return fmt.Errorf("ckpt: shard delta for %q has no chain sequence number", d.App)
+	}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		return fmt.Errorf("ckpt: encoding shard delta: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[memShardDeltaKey(d.App, rank, d.Seq)] = buf.Bytes()
+	return nil
+}
+
+// LoadShardDelta reads one link of rank's shard chain.
+func (s *Mem) LoadShardDelta(app string, rank int, seq uint64) (*serial.Delta, bool, error) {
+	s.mu.Lock()
+	blob, ok := s.blobs[memShardDeltaKey(app, rank, seq)]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	d, err := serial.DecodeDelta(bytes.NewReader(blob))
+	if err != nil {
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", memShardDeltaKey(app, rank, seq), err)
+	}
+	return d, true, nil
+}
+
+// ClearShardDeltas removes rank's chain links below the given sequence
+// number (0 removes all of them).
+func (s *Mem) ClearShardDeltas(app string, rank int, below uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.blobs {
+		if seq, ok := shardChainSeq(k, app, rank); ok && (below == 0 || seq < below) {
+			delete(s.blobs, k)
+		}
+	}
+	return nil
+}
+
+// SaveManifest replaces the shard-checkpoint commit record.
+func (s *Mem) SaveManifest(m *serial.Manifest) error {
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return fmt.Errorf("ckpt: encoding manifest: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[m.App+".manifest.ckpt"] = buf.Bytes()
+	return nil
+}
+
+// LoadManifest reads the shard-checkpoint commit record.
+func (s *Mem) LoadManifest(app string) (*serial.Manifest, bool, error) {
+	s.mu.Lock()
+	blob, ok := s.blobs[app+".manifest.ckpt"]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	m, err := serial.DecodeManifest(bytes.NewReader(blob))
+	if err != nil {
+		return nil, true, fmt.Errorf("ckpt: decode %s: %w", app+".manifest.ckpt", err)
+	}
+	return m, true, nil
+}
+
 // Clear removes all snapshots for app. Keys are matched exactly (canonical,
-// app.rN.ckpt shards and app.dN.ckpt deltas): parsing with Sscanf would
+// shards, deltas, shard chains and the manifest): parsing with Sscanf would
 // treat app as format text (mangling names containing %) and accept keys
 // with trailing junk.
 func (s *Mem) Clear(app string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.blobs, memKey(app, -1))
 	for k := range s.blobs {
-		if isSeqFile(k, app, 'r') || isSeqFile(k, app, 'd') {
+		if ownedName(k, app) {
 			delete(s.blobs, k)
 		}
 	}
@@ -560,21 +774,29 @@ func (s *Gzip) Save(snap *serial.Snapshot) error {
 // real one in cleartext, so the inner store's LoadChain can validate link
 // order and staleness without decompressing.
 func (s *Gzip) SaveDelta(d *serial.Delta) error {
+	env, err := s.compressDelta(d)
+	if err != nil {
+		return err
+	}
+	return s.inner.SaveDelta(env)
+}
+
+func (s *Gzip) compressDelta(d *serial.Delta) (*serial.Delta, error) {
 	var gz bytes.Buffer
 	zw, err := gzip.NewWriterLevel(&gz, s.level)
 	if err != nil {
-		return fmt.Errorf("ckpt: gzip writer: %w", err)
+		return nil, fmt.Errorf("ckpt: gzip writer: %w", err)
 	}
 	if err := d.Encode(zw); err != nil {
-		return fmt.Errorf("ckpt: gzip delta encode: %w", err)
+		return nil, fmt.Errorf("ckpt: gzip delta encode: %w", err)
 	}
 	if err := zw.Close(); err != nil {
-		return fmt.Errorf("ckpt: gzip close: %w", err)
+		return nil, fmt.Errorf("ckpt: gzip close: %w", err)
 	}
 	env := serial.NewDelta(d.App, gzipMode, d.SafePoints, d.BaseSP)
 	env.Seq = d.Seq
 	env.Full[gzipField] = serial.Bytes(gz.Bytes())
-	return s.inner.SaveDelta(env)
+	return env, nil
 }
 
 // LoadChain reads and decompresses the canonical snapshot and its delta
@@ -654,6 +876,45 @@ func (s *Gzip) LoadShard(app string, rank int) (*serial.Snapshot, bool, error) {
 		return nil, true, err
 	}
 	return snap, true, nil
+}
+
+// SaveShardDelta compresses and appends one shard-chain link, using the
+// same cleartext-header envelope as SaveDelta.
+func (s *Gzip) SaveShardDelta(d *serial.Delta, rank int) error {
+	env, err := s.compressDelta(d)
+	if err != nil {
+		return err
+	}
+	return s.inner.SaveShardDelta(env, rank)
+}
+
+// LoadShardDelta reads and decompresses one shard-chain link; like Load, a
+// corrupt link reports found=true with the error.
+func (s *Gzip) LoadShardDelta(app string, rank int, seq uint64) (*serial.Delta, bool, error) {
+	env, found, err := s.inner.LoadShardDelta(app, rank, seq)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	d, err := decompressDelta(env)
+	if err != nil {
+		return nil, true, err
+	}
+	return d, true, nil
+}
+
+// ClearShardDeltas delegates to the inner store.
+func (s *Gzip) ClearShardDeltas(app string, rank int, below uint64) error {
+	return s.inner.ClearShardDeltas(app, rank, below)
+}
+
+// SaveManifest delegates to the inner store: the commit record is a few
+// dozen bytes and must stay independently decodable, so it is never
+// compressed.
+func (s *Gzip) SaveManifest(m *serial.Manifest) error { return s.inner.SaveManifest(m) }
+
+// LoadManifest delegates to the inner store.
+func (s *Gzip) LoadManifest(app string) (*serial.Manifest, bool, error) {
+	return s.inner.LoadManifest(app)
 }
 
 // Clear delegates to the inner store.

@@ -145,6 +145,13 @@ func (c *Ctx) adaptProcs(sp uint64, m int) {
 	e := c.eng
 	n := c.Procs()
 	c.must(c.comm.Barrier())
+	if e.sw != nil && m != n && c.IsMasterRank() {
+		// A world resize changes every shard's packed shape: drain the
+		// background pool so no old-world capture is folded with (or
+		// written after) a new-world one. The sink itself re-anchors
+		// lazily at the first capture under the new world.
+		c.drainAsync()
+	}
 	// Merge: collect every partitioned field at element 0.
 	for _, f := range c.fields.partitionedNames() {
 		c.must(c.fields.gatherAt(f, c.comm, 0, n))

@@ -207,11 +207,38 @@ func TestAsyncStopSnapshotSynchronous(t *testing.T) {
 	gridsEqual(t, "stop-restart", ref, sink.get())
 }
 
-// Async requires canonical snapshots; the shard protocol saves inside its
-// own barriers by design.
-func TestAsyncShardsRejected(t *testing.T) {
-	cfg := Config{Mode: Distributed, Procs: 2, ShardCheckpoints: true, AsyncCheckpoint: true}
-	if _, err := New(cfg, func() App { return newStencil(tN, tIters, nil) }); err == nil {
-		t.Fatal("AsyncCheckpoint+ShardCheckpoints accepted")
+// Async now composes with the shard protocol: per-rank captures persist
+// through the bounded background pool, the manifest commits each complete
+// wave, and a crash restart lands on the uninterrupted result.
+func TestAsyncShardsCompose(t *testing.T) {
+	ref, _ := runStencil(t, Config{Mode: Sequential})
+	sink := &resultSink{}
+	store := ckpt.NewMem()
+	cfg := Config{
+		Mode: Distributed, Procs: 2, AppName: "stencil",
+		Modules: modulesFor(Distributed),
+		Store:   store, CheckpointEvery: 3,
+		ShardCheckpoints: true, AsyncCheckpoint: true,
+		FailAtSafePoint: 8,
 	}
+	eng, err := New(cfg, func() App { return newStencil(tN, tIters, sink) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	if rep := eng.Report(); rep.Checkpoints == 0 || rep.ShardSaves != rep.Checkpoints*2 {
+		t.Fatalf("shard wave accounting off: %+v", rep)
+	}
+	cfg2 := cfg
+	cfg2.FailAtSafePoint = 0
+	eng2, err := New(cfg2, func() App { return newStencil(tN, tIters, sink) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Run(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	gridsEqual(t, "async-shard-restart", ref, sink.get())
 }

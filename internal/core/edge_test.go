@@ -49,9 +49,11 @@ func TestHybridThreadAdaptation(t *testing.T) {
 	}
 }
 
-// Shard checkpoints cannot restart with a different world size: the engine
-// must fail loudly, not corrupt data.
-func TestShardRestartWrongWorldSizeFails(t *testing.T) {
+// Shard checkpoints restart into a DIFFERENT world size by repartitioning
+// the manifest-committed shards through their recorded layouts — the
+// re-sharding restore that used to be a loud failure.
+func TestShardRestartResizedWorldResharded(t *testing.T) {
+	ref, _ := runStencil(t, Config{Mode: Sequential})
 	dir := t.TempDir()
 	sink := &resultSink{}
 	factory := func() App { return newStencil(tN, tIters, sink) }
@@ -74,9 +76,13 @@ func TestShardRestartWrongWorldSizeFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng2.Run(); err == nil {
-		t.Error("widened shard restart did not fail")
+	if err := eng2.Run(); err != nil {
+		t.Fatalf("widened shard restart: %v", err)
 	}
+	if !eng2.Report().Restarted {
+		t.Error("widened shard restart not recorded as a restart")
+	}
+	gridsEqual(t, "resharded-restart", ref, sink.get())
 }
 
 // Back-to-back adaptations: grow then shrink in one run via the request

@@ -138,10 +138,17 @@ type Config struct {
 	// The decision is a pure function of the safe-point count so that all
 	// ranks/threads agree without synchronising.
 	MaxCheckpoints int
-	// ShardCheckpoints selects the paper's first distributed alternative
-	// (each process saves a local snapshot between two barriers) instead
-	// of the default gather-at-master canonical snapshot that enables
-	// cross-mode restart.
+	// ShardCheckpoints selects the paper's first distributed alternative —
+	// each process persists a local snapshot between two barriers, in
+	// parallel — instead of the default gather-at-master canonical
+	// snapshot. Shard saves are per-rank append-only chains gated by a
+	// commit manifest written after every shard of a save wave has landed,
+	// so a mid-write kill never restarts from a torn multi-shard save; and
+	// because each shard records how its fields were partitioned, a
+	// sharded run can restart (or migrate) into a different world size or
+	// execution mode by repartitioning at load. Composes with
+	// AsyncCheckpoint (captures persist through a bounded background pool)
+	// and DeltaCheckpoint (each rank keeps its own hash cache and chain).
 	ShardCheckpoints bool
 	// AsyncCheckpoint enables the asynchronous double-buffered checkpoint
 	// pipeline: at the safe point the master only captures an in-memory
@@ -152,9 +159,10 @@ type Config struct {
 	// write. The writer is drained at Run/RunContext exit and before
 	// checkpoint-and-stop snapshots (which stay synchronous: they are the
 	// restart point); write errors surface at the next safe point the
-	// coordinator reaches or at engine exit. Incompatible with
-	// ShardCheckpoints, whose saves are synchronous between their two
-	// barriers by design.
+	// coordinator reaches or at engine exit. With ShardCheckpoints the
+	// same double-buffer protocol runs per rank: captures persist through
+	// a bounded worker pool and the wave's commit manifest is written when
+	// the last shard lands.
 	AsyncCheckpoint bool
 	// DeltaCheckpoint enables incremental checkpointing: the engine keeps
 	// per-field content hashes (chunk hashes for large float fields) from
@@ -165,7 +173,8 @@ type Config struct {
 	// always has a materialisable canonical snapshot. Composes with
 	// AsyncCheckpoint (delta captures clone only the changed chunks; a
 	// capture superseded behind an in-flight write folds into the next
-	// one). Incompatible with ShardCheckpoints, like AsyncCheckpoint.
+	// one) and with ShardCheckpoints (each rank keeps its own hash cache
+	// and chain, and compaction re-anchors every chain in lockstep).
 	DeltaCheckpoint bool
 	// DeltaCompactEvery is the number of deltas between full snapshots
 	// (default 8 when DeltaCheckpoint is set).
@@ -242,12 +251,6 @@ func (c *Config) normalize() error {
 	if c.TCP && c.AdaptTo.Procs > 0 && !migrates {
 		return errors.New(tcpCannotResizeMsg)
 	}
-	if c.AsyncCheckpoint && c.ShardCheckpoints {
-		return errors.New("core: AsyncCheckpoint requires canonical snapshots; shard checkpoints are saved synchronously between their two barriers")
-	}
-	if c.DeltaCheckpoint && c.ShardCheckpoints {
-		return errors.New("core: DeltaCheckpoint requires canonical snapshots; shard checkpoints have no chain to diff against")
-	}
 	if c.DeltaCheckpoint && c.CheckpointEvery == 0 {
 		// Silently taking zero checkpoints would make the option a no-op;
 		// incremental checkpointing only means something periodically.
@@ -288,6 +291,11 @@ type Report struct {
 	FullSaves  int // full snapshots persisted (chain bases, compactions, stop snapshots)
 	DeltaSaves int // delta links persisted
 	DeltaBytes int // cumulative payload bytes across all persisted deltas
+
+	// Shard checkpoint measurements (ShardCheckpoints). A committed wave
+	// counts once in Checkpoints; ShardSaves counts its per-rank links.
+	ShardSaves int // shard chain links persisted across all committed waves
+	ShardBytes int // cumulative payload bytes across those links
 }
 
 // ErrInjectedFailure reports that the configured failure fired.
@@ -342,10 +350,13 @@ type Engine struct {
 	store   ckpt.Store
 	sink    *ckptSink     // chain-aware persist side (seq assignment, compaction)
 	tracker *deltaTracker // capture-side hash cache (DeltaCheckpoint)
-	aw      *asyncWriter  // background checkpoint writer (AsyncCheckpoint)
+	aw      *asyncWriter  // background canonical writer (AsyncCheckpoint)
+	ssink   *shardSink    // per-rank chain persist side (ShardCheckpoints)
+	sw      *shardWriter  // background shard pool (AsyncCheckpoint + ShardCheckpoints)
 
-	resumeSnap   *serial.Snapshot // replay source: crash restart or migration
-	shardResume  bool             // restart from per-rank shards instead
+	resumeSnap   *serial.Snapshot   // replay source: crash restart or migration
+	shardResume  bool               // restart from per-rank shards instead
+	shardSnaps   []*serial.Snapshot // manifest-gated materialised shard states
 	replayTarget uint64
 	restarted    bool // this Run replayed from a persisted checkpoint
 
@@ -461,7 +472,15 @@ func (e *Engine) RunContext(ctx context.Context) error {
 			return err
 		}
 		if e.cfg.AsyncCheckpoint {
+			// The canonical writer is created even for shard-configured
+			// runs: a sharded run re-sharded (or migrated) into a
+			// non-distributed mode takes canonical periodic snapshots, and
+			// the async request must keep applying to them rather than
+			// silently degrading to blocking saves.
 			e.aw = newAsyncWriter(e.sink, e.recordAsyncSave, e.recordSuperseded)
+			if e.cfg.ShardCheckpoints {
+				e.sw = newShardWriter(e.ssink, shardWriterPool(e.cfg.Procs), e.recordShardAsyncSave, e.recordSuperseded)
+			}
 		}
 	}
 	if ctx.Err() != nil {
@@ -520,6 +539,15 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		e.aw = nil
 		e.recordDrain(time.Since(start))
 	}
+	if e.sw != nil {
+		start := time.Now()
+		swErr := e.sw.close()
+		e.sw = nil
+		e.recordDrain(time.Since(start))
+		if drainErr == nil {
+			drainErr = swErr
+		}
+	}
 	withDrain := func(base error) error {
 		if drainErr != nil {
 			return fmt.Errorf("%w (additionally, an async checkpoint write failed, so the last persisted snapshot is older than the last capture: %v)", base, drainErr)
@@ -576,6 +604,16 @@ func (e *Engine) openCheckpointing() error {
 	if e.cfg.DeltaCheckpoint {
 		e.tracker = newDeltaTracker(e.cfg.DeltaCompactEvery)
 	}
+	if e.cfg.ShardCheckpoints {
+		e.ssink = newShardSink(e.store, e.cfg.AppName, e.cfg.DeltaCheckpoint,
+			e.cfg.DeltaCompactEvery, e.recordShardCommit)
+		// Seed chain positions past any committed manifest — even one of a
+		// cleanly finished run: its links must not be overwritten before
+		// this run's first commit supersedes the record.
+		if man, found, merr := e.store.LoadManifest(e.cfg.AppName); merr == nil && found {
+			e.ssink.seed(man)
+		}
+	}
 	crashed, err := e.store.Crashed(e.cfg.AppName)
 	if err != nil {
 		return err
@@ -583,22 +621,59 @@ func (e *Engine) openCheckpointing() error {
 	if !crashed {
 		return nil
 	}
-	// Prefer the canonical snapshot — with any delta chain replayed on top,
-	// so the restart point is the last consistent incremental capture —
-	// restartable in any mode; fall back to rank-local shards.
+	// Two restart points may exist: the canonical snapshot (with any delta
+	// chain replayed on top) and the manifest-gated shard save. The choice
+	// is made from the manifest HEADER alone — the shard chains are only
+	// materialised when the shard point actually wins, so a canonical
+	// restart neither pays for replaying every rank's chain nor is blocked
+	// by damage in a stale shard save it would not use. The newer safe
+	// point wins; on a tie the canonical one (it needs no repartitioning).
 	snap, found, err := ckpt.LoadResume(e.store, e.cfg.AppName)
 	if err != nil {
 		return err
 	}
-	if found {
-		e.resumeSnap = snap
-		e.replayTarget = snap.SafePoints
-	} else {
-		shard, sfound, serr := e.store.LoadShard(e.cfg.AppName, 0)
+	man, mfound, merr := e.store.LoadManifest(e.cfg.AppName)
+	if merr != nil && !found {
+		// The shard commit record exists but is damaged, and there is no
+		// canonical point to fall back to: refuse loudly rather than
+		// silently re-run from scratch.
+		return merr
+	}
+	switch {
+	case mfound && merr == nil && (!found || man.SafePoints > snap.SafePoints):
+		shards, _, sfound, serr := ckpt.LoadShardResume(e.store, e.cfg.AppName)
 		if serr != nil {
 			return serr
 		}
 		if !sfound {
+			return fmt.Errorf("core: shard manifest for %q vanished during restart", e.cfg.AppName)
+		}
+		if (e.cfg.Mode == Distributed || e.cfg.Mode == Hybrid) && e.cfg.Procs == man.World() {
+			// Same topology: every rank restores its own shard in parallel.
+			e.shardResume = true
+			e.shardSnaps = shards
+		} else {
+			// Different world size or mode: repartition the shards through
+			// their recorded layouts into a canonical snapshot, which every
+			// restart path (and the scatter at load) already understands.
+			canon, rerr := ckpt.Reshard(shards, e.cfg.AppName, man.SafePoints)
+			if rerr != nil {
+				return rerr
+			}
+			e.resumeSnap = canon
+		}
+		e.replayTarget = man.SafePoints
+	case found:
+		e.resumeSnap = snap
+		e.replayTarget = snap.SafePoints
+	default:
+		// Pre-manifest stores: fall back to the legacy one-file-per-rank
+		// shard snapshots, restartable only into the identical world.
+		shard, lfound, lerr := e.store.LoadShard(e.cfg.AppName, 0)
+		if lerr != nil {
+			return lerr
+		}
+		if !lfound {
 			return nil // crashed before any checkpoint: plain re-run
 		}
 		e.shardResume = true
@@ -732,6 +807,41 @@ func (e *Engine) recordAsyncSave(d time.Duration, bytes int, delta bool) {
 	e.report.SaveBytes = bytes // the persisted size, in case the capture was superseded/folded
 	e.report.Checkpoints++
 	e.countSaveLocked(bytes, delta)
+}
+
+// recordShardCommit accounts one committed shard save wave: the wave is one
+// checkpoint (one restart point), its links and payload bytes are the
+// sharded I/O the protocol parallelises.
+func (e *Engine) recordShardCommit(links, waveBytes, masterBytes int, kindDelta bool) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.Checkpoints++
+	e.report.SaveBytes = masterBytes
+	e.report.ShardSaves += links
+	e.report.ShardBytes += waveBytes
+	if kindDelta {
+		e.report.DeltaSaves++
+		e.report.DeltaBytes += waveBytes
+	} else {
+		e.report.FullSaves++
+	}
+}
+
+// recordShardBlocked accounts the blocked span of one synchronous shard
+// wave on the master (the persisted-side counters land in
+// recordShardCommit when the wave's manifest commits).
+func (e *Engine) recordShardBlocked(d time.Duration, bytes int) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.SaveTotal += d
+	e.report.SaveBytes = bytes
+}
+
+// recordShardAsyncSave accounts one background shard link write.
+func (e *Engine) recordShardAsyncSave(d time.Duration, delta bool) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.AsyncSaveTotal += d
 }
 
 func (e *Engine) recordSuperseded() {

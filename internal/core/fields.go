@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sort"
 
+	"ppar/internal/ckpt"
 	"ppar/internal/mp"
 	"ppar/internal/partition"
 	"ppar/internal/serial"
@@ -420,7 +421,10 @@ func (b *boundFields) restore(snap *serial.Snapshot) error {
 }
 
 // shardSnapshot builds one rank's local snapshot: owned blocks of
-// partitioned SafeData fields plus full copies of everything else.
+// partitioned SafeData fields plus full copies of everything else. Each
+// partitioned field also records its partition layout (ckpt.LayoutField
+// metadata), so a manifest-committed save can be repartitioned into a
+// different world size or execution mode at restart.
 func (b *boundFields) shardSnapshot(app string, sp uint64, rank, parts int) (*serial.Snapshot, error) {
 	snap := serial.NewSnapshot(app, fmt.Sprintf("shard-%d/%d", rank, parts), sp)
 	for _, name := range b.safeDataNames() {
@@ -433,7 +437,12 @@ func (b *boundFields) shardSnapshot(app string, sp uint64, rank, parts int) (*se
 			if err != nil {
 				return nil, err
 			}
+			sl, err := b.shardLayout(name)
+			if err != nil {
+				return nil, err
+			}
 			snap.Fields[name] = serial.Float64s(blk)
+			snap.Fields[ckpt.LayoutField(name)] = ckpt.LayoutValue(sl)
 			continue
 		}
 		v, err := b.value(name)
@@ -445,10 +454,38 @@ func (b *boundFields) shardSnapshot(app string, sp uint64, rank, parts int) (*se
 	return snap, nil
 }
 
+// shardLayout describes how a partitioned field is split, in the form the
+// re-sharding restore consumes.
+func (b *boundFields) shardLayout(name string) (ckpt.ShardLayout, error) {
+	spec := b.specs[name]
+	sl := ckpt.ShardLayout{Kind: spec.Layout, Chunk: spec.ChunkSize}
+	if sl.Chunk < 1 {
+		sl.Chunk = 1
+	}
+	switch v := b.vals[name].Interface().(type) {
+	case []float64:
+		sl.Elem, sl.N = ckpt.ElemFloats, len(v)
+	case []int:
+		sl.Elem, sl.N = ckpt.ElemInts, len(v)
+	case [][]float64:
+		sl.Elem, sl.N = ckpt.ElemMatrix, len(v)
+		if len(v) > 0 {
+			sl.Cols = len(v[0])
+		}
+	default:
+		return ckpt.ShardLayout{}, fmt.Errorf("core: partitioned field %q has unsupported kind", name)
+	}
+	return sl, nil
+}
+
 // restoreShard writes a rank-local snapshot back: partitioned fields into
-// owned blocks, the rest verbatim.
+// owned blocks, the rest verbatim; layout metadata is restore-time input
+// for re-sharding, not application data.
 func (b *boundFields) restoreShard(snap *serial.Snapshot, rank, parts int) error {
 	for name, v := range snap.Fields {
+		if ckpt.IsLayoutField(name) {
+			continue
+		}
 		spec, ok := b.specs[name]
 		if !ok {
 			return fmt.Errorf("core: shard field %q unknown", name)

@@ -124,12 +124,20 @@ func (e *Engine) applyMigration(m *migrationSpec) error {
 	}
 	e.resumeSnap = snap
 	e.shardResume = false
+	e.shardSnaps = nil
 	e.replayTarget = m.sp
 	e.curMode = m.mode
 	e.curThreads.Store(int64(m.threads))
 	e.curProcs.Store(int64(m.procs))
 	if e.tracker != nil {
 		e.tracker = newDeltaTracker(e.cfg.DeltaCompactEvery)
+	}
+	if e.ssink != nil {
+		// Re-anchor every shard chain: the migration's replayed state is a
+		// fresh capture sequence (and the world may have changed size).
+		// The background pool was drained before the migration snapshot,
+		// so no capture of the old topology is still in flight.
+		e.ssink.rebase(m.procs)
 	}
 	// A request scheduled for the migration safe point itself never got its
 	// turn (the migration unwound SafePoint first). Clear the schedule — and

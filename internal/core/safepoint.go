@@ -35,8 +35,8 @@ func (c *Ctx) SafePoint() {
 
 	// Surface background checkpoint-write failures at the next safe point
 	// the coordinator reaches, rather than only at engine exit.
-	if aw := e.aw; aw != nil && c.isCoordinator() {
-		if err := aw.takeErr(); err != nil {
+	if c.isCoordinator() {
+		if err := e.takeAsyncErr(); err != nil {
 			c.must(fmt.Errorf("async checkpoint write failed: %w", err))
 		}
 	}
@@ -244,7 +244,9 @@ func (c *Ctx) persistCanonical(snap *serial.Snapshot, start time.Time) {
 // distSave implements the two distributed alternatives of §IV.A: local
 // shards between two global barriers, or collection of partitioned data at
 // the master — the latter "has the advantage of making it possible to
-// restart the application on any of the execution modes".
+// restart the application on any of the execution modes". The shard path
+// now keeps that advantage too: every shard records its field layouts, so
+// a manifest-committed save repartitions into any mode at restart.
 func (c *Ctx) distSave(sp uint64) {
 	e := c.eng
 	start := time.Now()
@@ -252,10 +254,26 @@ func (c *Ctx) distSave(sp uint64) {
 		c.must(c.comm.Barrier())
 		snap, err := c.fields.shardSnapshot(e.cfg.AppName, sp, c.Rank(), c.Procs())
 		c.must(err)
-		c.must(e.store.SaveShard(snap, c.Rank()))
+		async := e.sw != nil
+		cap := e.ssink.capture(c.Rank(), c.Procs(), e.curMode.String(), snap, async)
+		if async {
+			// Double-buffered per rank: only the capture happens between
+			// the barriers; the bounded pool persists the links and commits
+			// the wave's manifest in the background.
+			e.sw.submit(cap)
+		} else {
+			// Every rank persists its own link concurrently between the
+			// barriers; whichever write completes the wave commits the
+			// manifest, so the commit record is always written last.
+			c.must(e.ssink.write(cap))
+		}
 		c.must(c.comm.Barrier())
 		if c.IsMasterRank() {
-			e.recordSave(time.Since(start), snap.DataBytes(), false)
+			if async {
+				e.recordCapture(time.Since(start), cap.dataBytes())
+			} else {
+				e.recordShardBlocked(time.Since(start), cap.dataBytes())
+			}
 		}
 		return
 	}
@@ -284,19 +302,43 @@ func (c *Ctx) stopCheckpoint(sp uint64) {
 	panic(stopToken{sp: sp})
 }
 
-// drainAsync blocks until the background checkpoint writer is idle,
-// surfacing any write error it was holding.
+// drainAsync blocks until the background checkpoint machinery (canonical
+// writer or shard pool) is idle, surfacing any write error it was holding.
 func (c *Ctx) drainAsync() {
-	aw := c.eng.aw
-	if aw == nil {
+	e := c.eng
+	if e.aw == nil && e.sw == nil {
 		return
 	}
 	start := time.Now()
-	err := aw.drain()
-	c.eng.recordDrain(time.Since(start))
+	var err error
+	if e.aw != nil {
+		err = e.aw.drain()
+	}
+	if e.sw != nil {
+		if serr := e.sw.drain(); err == nil {
+			err = serr
+		}
+	}
+	e.recordDrain(time.Since(start))
 	if err != nil {
 		c.must(fmt.Errorf("async checkpoint write failed: %w", err))
 	}
+}
+
+// takeAsyncErr collects (and clears) the first background write error from
+// whichever asynchronous pipeline is active, without waiting.
+func (e *Engine) takeAsyncErr() error {
+	if e.aw != nil {
+		if err := e.aw.takeErr(); err != nil {
+			return err
+		}
+	}
+	if e.sw != nil {
+		if err := e.sw.takeErr(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c *Ctx) stopSaveDist(sp uint64) {
@@ -376,10 +418,19 @@ func (c *Ctx) mustSnap() *serial.Snapshot {
 func (c *Ctx) distLoad() {
 	e := c.eng
 	if e.shardResume {
-		snap, found, err := e.store.LoadShard(e.cfg.AppName, c.Rank())
-		c.must(err)
-		if !found {
-			panic(abortToken{msg: fmt.Sprintf("core: rank %d has no shard snapshot (was the world size changed? shard checkpoints require restarting with the same number of processes)", c.Rank())})
+		var snap *serial.Snapshot
+		if e.shardSnaps != nil {
+			snap = e.shardSnaps[c.Rank()] // manifest-gated materialised chain
+		} else {
+			// Legacy pre-manifest snapshots: one file per rank, loadable
+			// only into the identical world.
+			var found bool
+			var err error
+			snap, found, err = e.store.LoadShard(e.cfg.AppName, c.Rank())
+			c.must(err)
+			if !found {
+				panic(abortToken{msg: fmt.Sprintf("core: rank %d has no shard snapshot (pre-manifest shard checkpoints require restarting with the same number of processes)", c.Rank())})
+			}
 		}
 		c.must(c.fields.restoreShard(snap, c.Rank(), c.Procs()))
 		c.must(c.comm.Barrier())

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ppar/internal/ckpt"
+	"ppar/internal/serial"
+)
+
+// shardCapture is one rank's contribution to a shard checkpoint wave,
+// produced at the safe point and persisted (inline or by the background
+// pool) as one chain link. Exactly one of full/delta is set: full is an
+// anchor capture (the rank's complete shard state), delta holds only the
+// chunks that changed since the rank's previous capture.
+type shardCapture struct {
+	rank  int
+	sp    uint64
+	world int
+	full  *serial.Snapshot
+	delta *serial.Delta
+}
+
+// dataBytes reports the capture's payload size (the blocked-copy cost in
+// the asynchronous pipeline).
+func (c *shardCapture) dataBytes() int {
+	if c.full != nil {
+		return c.full.DataBytes()
+	}
+	return c.delta.DataBytes()
+}
+
+// shardRankState is one rank's chain bookkeeping inside the sink.
+type shardRankState struct {
+	// Capture side: the per-rank content-hash cache and compaction cadence.
+	hash        *serial.StateHash
+	primed      bool
+	sinceAnchor uint64
+	baseSP      uint64 // safe point of the rank's current anchor link
+
+	// Persist side: chain positions and the newest written link's identity.
+	seq       uint64 // newest written link (0 = none this run)
+	anchorSeq uint64 // newest written anchor link
+	anchorSP  uint64 // safe point of that anchor AS WRITTEN (folds may advance it past the capture's)
+	gcBelow   uint64 // links below this are already garbage-collected
+	lastSP    uint64 // safe point of the newest written link
+	lastCRC   uint32
+	lastSize  uint64
+	lastBytes int
+	lastDelta bool
+}
+
+// shardSink owns the persist side of sharded checkpointing: per-rank
+// append-only chains of PPCKPD1 links (an anchor link carrying the full
+// shard state every compaction period, delta links in between), committed
+// by a PPCKPS1 manifest written only once EVERY rank's link of a save wave
+// has landed. Because links are never overwritten in place — sequence
+// numbers grow monotonically, continuing past the newest committed manifest
+// after a restart — the artifacts a manifest references survive any crash
+// of a later save, which is what makes the manifest a torn-save gate rather
+// than a hint. Garbage collection of links below the newest anchor runs
+// only after the manifest referencing that anchor has committed.
+//
+// The sink is shared by every rank of the run (and by the background pool
+// in the asynchronous pipeline); the mutex serialises chain bookkeeping and
+// the commit decision, while the link writes themselves run concurrently —
+// per-rank parallel checkpoint I/O is the point of the shard protocol.
+type shardSink struct {
+	store        ckpt.Store
+	app          string
+	deltaEnabled bool
+	compactEvery uint64
+	// onCommit reports one committed wave: link count, summed payload bytes
+	// across all shards, the master shard's payload bytes, and the wave kind
+	// (kindDelta only when EVERY link of the wave is a delta — a fold can
+	// turn one rank's wave contribution into an anchor).
+	onCommit func(links, waveBytes, masterBytes int, kindDelta bool)
+
+	mu          sync.Mutex
+	mode        string
+	world       int
+	ranks       []*shardRankState
+	seq0        uint64 // floor under every new chain position (committed history)
+	committedSP uint64
+	committing  bool // a commit's store I/O is running outside the lock
+}
+
+func newShardSink(store ckpt.Store, app string, deltaEnabled bool, compactEvery int,
+	onCommit func(links, waveBytes, masterBytes int, kindDelta bool)) *shardSink {
+	return &shardSink{
+		store: store, app: app,
+		deltaEnabled: deltaEnabled, compactEvery: uint64(compactEvery),
+		onCommit: onCommit,
+	}
+}
+
+// seed raises the chain-position floor past a committed manifest, so links
+// an earlier run committed are never overwritten before a new commit
+// supersedes the record — even when the earlier run finished cleanly.
+func (k *shardSink) seed(m *serial.Manifest) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, sh := range m.Shards {
+		if sh.Seq > k.seq0 {
+			k.seq0 = sh.Seq
+		}
+	}
+	if m.SafePoints > k.committedSP {
+		k.committedSP = m.SafePoints
+	}
+}
+
+// rebase resets the capture state for a new topology (or a migration's
+// replayed state): every rank's next capture is a fresh anchor, and chain
+// positions continue above everything written so far. The caller must have
+// drained the background pool first.
+func (k *shardSink) rebase(world int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.resetLocked(world)
+}
+
+func (k *shardSink) resetLocked(world int) {
+	floor := k.seq0
+	for _, st := range k.ranks {
+		if st.seq > floor {
+			floor = st.seq
+		}
+	}
+	k.seq0 = floor
+	k.world = world
+	k.ranks = make([]*shardRankState, world)
+	for r := range k.ranks {
+		k.ranks[r] = &shardRankState{hash: serial.NewStateHash(), seq: floor, anchorSeq: floor, gcBelow: floor}
+	}
+}
+
+// capture turns one rank's shard snapshot into its chain capture, updating
+// the rank's hash cache and cadence. The anchor cadence is a deterministic
+// function of per-rank state that advances in lockstep across ranks, so a
+// wave is all-anchor or all-delta. clone selects deep-copied captures for
+// the asynchronous pipeline.
+func (k *shardSink) capture(rank, world int, mode string, snap *serial.Snapshot, clone bool) *shardCapture {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.mode = mode
+	if k.ranks == nil || world != k.world {
+		k.resetLocked(world)
+	}
+	st := k.ranks[rank]
+	if !k.deltaEnabled || !st.primed || st.sinceAnchor >= k.compactEvery {
+		st.hash.Rehash(snap)
+		st.baseSP = snap.SafePoints
+		st.sinceAnchor = 0
+		st.primed = true
+		s := snap
+		if clone {
+			s = snap.Clone()
+		}
+		return &shardCapture{rank: rank, sp: snap.SafePoints, world: world, full: s}
+	}
+	st.sinceAnchor++
+	return &shardCapture{rank: rank, sp: snap.SafePoints, world: world, delta: st.hash.Diff(snap, st.baseSP, clone)}
+}
+
+// write persists one capture as the rank's next chain link and, when it
+// completes a wave, commits the manifest. It is called concurrently by
+// every rank (synchronous protocol) or by the background pool; at most one
+// write per rank is in flight at a time (the save barriers guarantee it for
+// the synchronous path, the pool's per-shard in-flight tracking for the
+// asynchronous one).
+func (k *shardSink) write(cap *shardCapture) error {
+	var d *serial.Delta
+	if cap.full != nil {
+		d = serial.AnchorDelta(cap.full)
+	} else {
+		d = cap.delta
+	}
+	k.mu.Lock()
+	if cap.world != k.world {
+		k.mu.Unlock()
+		return fmt.Errorf("core: shard %d capture for world %d written after a rebase to %d", cap.rank, cap.world, k.world)
+	}
+	st := k.ranks[cap.rank]
+	seq := st.seq + 1
+	anchorSP := st.anchorSP
+	k.mu.Unlock()
+
+	d.Seq = seq
+	if cap.full == nil {
+		// BaseSP is assigned at write time, like Seq: a fold can advance
+		// the on-disk anchor past the safe point the capture diffed
+		// against, and the chain's validity is defined by the links as
+		// written. The delta's CONTENT is unaffected — each delta carries
+		// the change since the previous capture, and every written prefix
+		// of the chain materialises that capture's exact state.
+		if anchorSP == 0 {
+			return fmt.Errorf("core: shard %d delta link %d has no written anchor", cap.rank, seq)
+		}
+		d.BaseSP = anchorSP
+	}
+	crc, size, err := d.Fingerprint()
+	if err != nil {
+		return fmt.Errorf("core: shard %d link %d: %w", cap.rank, seq, err)
+	}
+	if err := k.store.SaveShardDelta(d, cap.rank); err != nil {
+		return fmt.Errorf("core: shard %d link %d: %w", cap.rank, seq, err)
+	}
+
+	k.mu.Lock()
+	st.seq = seq
+	if cap.full != nil {
+		st.anchorSeq = seq
+		st.anchorSP = d.SafePoints
+	}
+	st.lastSP, st.lastCRC, st.lastSize = cap.sp, crc, size
+	st.lastBytes = d.DataBytes()
+	st.lastDelta = cap.full == nil
+	err = k.commitLoopLocked()
+	k.mu.Unlock()
+	return err
+}
+
+// shardCommit is one planned manifest commit: the record plus the per-rank
+// garbage-collection bounds to apply once it lands.
+type shardCommit struct {
+	sp          uint64
+	m           *serial.Manifest
+	gcBelow     []uint64 // per rank; 0 = nothing new to collect
+	links       int
+	waveBytes   int
+	masterBytes int
+	kindDelta   bool
+}
+
+// commitLoopLocked commits every complete wave, newest bookkeeping first
+// planned under the lock, the store I/O (manifest write, chain GC) with
+// the lock RELEASED — so per-rank link writes keep flowing while a commit
+// is in flight — then the bookkeeping updated under the lock again. At
+// most one committer runs at a time; whoever else completes a wave
+// meanwhile leaves it for the active committer's next loop iteration.
+//
+// A wave commits when every rank's newest link lands on the same (new)
+// safe point. Waves a rank skipped (its capture was folded into a newer
+// one while parked) simply never commit; the next complete wave does.
+// After an anchor commit the stale links below each rank's anchor are
+// garbage-collected — in that order, so a crash in between leaves
+// unreferenced files, never a missing restart point.
+func (k *shardSink) commitLoopLocked() error {
+	if k.committing {
+		return nil
+	}
+	k.committing = true
+	defer func() { k.committing = false }()
+	for {
+		c := k.planCommitLocked()
+		if c == nil {
+			return nil
+		}
+		k.mu.Unlock()
+		var err error
+		committed := false
+		gcDone := make([]bool, len(c.gcBelow))
+		if merr := k.store.SaveManifest(c.m); merr != nil {
+			err = fmt.Errorf("core: shard manifest at safe point %d: %w", c.sp, merr)
+		} else {
+			committed = true
+			for r, below := range c.gcBelow {
+				if below == 0 {
+					continue
+				}
+				if gcErr := k.store.ClearShardDeltas(k.app, r, below); gcErr != nil {
+					err = fmt.Errorf("core: shard %d chain GC: %w", r, gcErr)
+					break
+				}
+				gcDone[r] = true
+			}
+		}
+		k.mu.Lock()
+		// Only advance bookkeeping for I/O that actually happened: a failed
+		// manifest write leaves the previous commit current, and a rank
+		// whose GC did not run keeps its links eligible for the next pass.
+		if committed {
+			if c.sp > k.committedSP {
+				k.committedSP = c.sp
+			}
+			// The bounds check is insurance against a rebase shrinking the
+			// world mid-commit; the engine drains the pool before every
+			// rebase, so it should never fire.
+			for r, below := range c.gcBelow {
+				if gcDone[r] && r < len(k.ranks) && below > k.ranks[r].gcBelow {
+					k.ranks[r].gcBelow = below
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if k.onCommit != nil {
+			k.onCommit(c.links, c.waveBytes, c.masterBytes, c.kindDelta)
+		}
+	}
+}
+
+// planCommitLocked assembles the next commit from the current bookkeeping,
+// or nil when no new complete wave exists.
+func (k *shardSink) planCommitLocked() *shardCommit {
+	sp := k.ranks[0].lastSP
+	if sp <= k.committedSP {
+		return nil
+	}
+	for _, st := range k.ranks {
+		if st.lastSP != sp || st.seq == 0 {
+			return nil
+		}
+	}
+	c := &shardCommit{
+		sp: sp,
+		m: &serial.Manifest{App: k.app, Mode: k.mode, SafePoints: sp,
+			Shards: make([]serial.ManifestShard, len(k.ranks))},
+		gcBelow:     make([]uint64, len(k.ranks)),
+		links:       len(k.ranks),
+		masterBytes: k.ranks[0].lastBytes,
+		kindDelta:   true,
+	}
+	for r, st := range k.ranks {
+		c.m.Shards[r] = serial.ManifestShard{Anchor: st.anchorSeq, Seq: st.seq, CRC: st.lastCRC, Size: st.lastSize}
+		c.waveBytes += st.lastBytes
+		if !st.lastDelta {
+			// One anchor in the wave (e.g. a fold absorbed a delta into a
+			// parked anchor) makes it a full save for the accounting: its
+			// bytes are full-state bytes, not incremental ones.
+			c.kindDelta = false
+		}
+		if st.anchorSeq > st.gcBelow {
+			c.gcBelow[r] = st.anchorSeq
+		}
+	}
+	return c
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"ppar/internal/serial"
+)
+
+// shardWriter is the background half of the asynchronous shard-checkpoint
+// pipeline: a bounded pool of workers persists the per-rank captures of a
+// save wave concurrently through the shardSink, while computation proceeds
+// past the safe-point barriers. The sink commits the wave's manifest when
+// the last shard of the wave lands, so the commit record is always written
+// last — exactly as in the synchronous protocol.
+//
+// Backpressure mirrors the canonical asyncWriter, per shard: at most one
+// capture of each rank is parked behind that rank's in-flight write. A
+// newer ANCHOR capture supersedes whatever is parked (it is cumulative
+// state). A newer DELTA capture must never replace a parked delta — each
+// delta only carries the chunks changed since the previous capture, so
+// dropping the parked one would lose the chunks the newer capture did not
+// touch again; instead the parked delta is FOLDED into the newer one
+// (serial.MergeDeltas), or applied onto a parked anchor, and the combined
+// capture lands in the rank's next chain position. A wave some rank folded
+// away simply never commits a manifest; the next complete wave does.
+//
+// A failed link write POISONS that rank's chain: later delta captures of
+// the rank are dropped (a successor would silently take the missing link's
+// chain position, and a structurally valid chain missing one link's changes
+// is exactly the corruption the pipeline exists to prevent) until an anchor
+// capture starts a fresh committed window. The error itself surfaces at the
+// next safe point the coordinator reaches, or at engine exit.
+type shardWriter struct {
+	sink        *shardSink
+	onSave      func(d time.Duration, delta bool) // successful background link write
+	onSupersede func()
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	parked   map[int]*shardCapture
+	inFlight map[int]bool
+	poisoned map[int]bool
+	err      error // first write error since the last takeErr/drain
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// shardWriterPool bounds the worker pool: one writer per rank up to the
+// machine's parallelism, capped so a wide world cannot oversubscribe I/O.
+func shardWriterPool(world int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > world {
+		n = world
+	}
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func newShardWriter(sink *shardSink, workers int, onSave func(time.Duration, bool), onSupersede func()) *shardWriter {
+	w := &shardWriter{
+		sink: sink, onSave: onSave, onSupersede: onSupersede,
+		parked:   map[int]*shardCapture{},
+		inFlight: map[int]bool{},
+		poisoned: map[int]bool{},
+	}
+	w.cond = sync.NewCond(&w.mu)
+	for i := 0; i < workers; i++ {
+		w.wg.Add(1)
+		go w.worker()
+	}
+	return w
+}
+
+func (w *shardWriter) worker() {
+	defer w.wg.Done()
+	for {
+		w.mu.Lock()
+		var cap *shardCapture
+		for {
+			cap = w.takeLocked()
+			if cap != nil || (w.closed && len(w.parked) == 0) {
+				break
+			}
+			w.cond.Wait()
+		}
+		if cap == nil {
+			w.mu.Unlock()
+			return // closed and drained
+		}
+		w.inFlight[cap.rank] = true
+		w.mu.Unlock()
+
+		start := time.Now()
+		err := w.sink.write(cap)
+
+		w.mu.Lock()
+		delete(w.inFlight, cap.rank)
+		if err != nil {
+			if w.err == nil {
+				w.err = err
+			}
+			w.poisoned[cap.rank] = true
+			// A parked successor delta of the poisoned chain must not be
+			// written either — it would take the failed link's position.
+			if p := w.parked[cap.rank]; p != nil && p.full == nil {
+				delete(w.parked, cap.rank)
+			}
+		} else if w.onSave != nil {
+			w.onSave(time.Since(start), cap.full == nil)
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// takeLocked removes and returns a parked capture whose rank has no write
+// in flight (lowest rank first, for deterministic draining), or nil.
+func (w *shardWriter) takeLocked() *shardCapture {
+	best := -1
+	for rank := range w.parked {
+		if !w.inFlight[rank] && (best < 0 || rank < best) {
+			best = rank
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	cap := w.parked[best]
+	delete(w.parked, best)
+	return cap
+}
+
+// submit hands one rank's capture to the pool without blocking, folding it
+// with anything still parked for the rank (see the type comment).
+func (w *shardWriter) submit(cap *shardCapture) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.poisoned[cap.rank] {
+		if cap.full == nil {
+			return // this chain is missing a link on disk; see the type comment
+		}
+		delete(w.poisoned, cap.rank)
+	}
+	p := w.parked[cap.rank]
+	switch {
+	case p == nil:
+		w.parked[cap.rank] = cap
+	case cap.full != nil:
+		// An anchor capture is cumulative: whatever is parked carries
+		// nothing the new full state does not.
+		w.parked[cap.rank] = cap
+		w.noteSupersedeLocked()
+	case p.full != nil:
+		// Fold the newer delta onto the parked anchor snapshot: the anchor
+		// stays self-contained and lands on the newer state.
+		if err := cap.delta.Apply(p.full); err != nil {
+			// Consecutive captures of one rank always match in shape; a
+			// fold failure is a protocol bug. Record it like a write error
+			// so the next safe point aborts, and drop the parked capture
+			// rather than persist a state of unknown provenance.
+			if w.err == nil {
+				w.err = err
+			}
+			delete(w.parked, cap.rank)
+			break
+		}
+		p.sp = cap.sp
+		w.noteSupersedeLocked()
+	default:
+		merged, err := serial.MergeDeltas(p.delta, cap.delta)
+		if err != nil {
+			if w.err == nil {
+				w.err = err
+			}
+			delete(w.parked, cap.rank)
+			break
+		}
+		w.parked[cap.rank] = &shardCapture{rank: cap.rank, sp: cap.sp, world: cap.world, delta: merged}
+		w.noteSupersedeLocked()
+	}
+	w.cond.Broadcast()
+}
+
+func (w *shardWriter) noteSupersedeLocked() {
+	if w.onSupersede != nil {
+		w.onSupersede()
+	}
+}
+
+// drain blocks until no capture is parked or in flight, then returns (and
+// clears) the first write error recorded since the last drain/takeErr.
+func (w *shardWriter) drain() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.parked) > 0 || len(w.inFlight) > 0 {
+		w.cond.Wait()
+	}
+	err := w.err
+	w.err = nil
+	return err
+}
+
+// takeErr returns (and clears) the first write error without waiting.
+func (w *shardWriter) takeErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.err
+	w.err = nil
+	return err
+}
+
+// close drains outstanding writes, stops the pool and returns any write
+// error. Called once, at engine exit.
+func (w *shardWriter) close() error {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.err
+	w.err = nil
+	return err
+}

@@ -53,6 +53,10 @@ type RealScale struct {
 	// checkpointing runs (the ppbench -delta flag); chains compact every 8
 	// deltas.
 	Delta bool
+	// Shards selects per-rank shard checkpoints for the distributed
+	// checkpointing runs (the ppbench -shards flag); composes with Async
+	// and Delta.
+	Shards bool
 }
 
 // DefaultRealScale suits a small container.
@@ -111,6 +115,7 @@ func cfgFor(e env, scale RealScale, withCkpt bool, every uint64, maxCkpt int) co
 		cfg.MaxCheckpoints = maxCkpt
 		cfg.AsyncCheckpoint = scale.Async
 		cfg.DeltaCheckpoint = scale.Delta
+		cfg.ShardCheckpoints = scale.Shards && cfg.Mode == core.Distributed
 	} else {
 		// "Original": parallelisation only, no checkpoint module.
 		switch cfg.Mode {

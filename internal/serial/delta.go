@@ -142,6 +142,15 @@ func sortedKeys[V any](m map[string]V) []string {
 // Encode writes the delta to w in the PPCKPD1 container format.
 func (d *Delta) Encode(w io.Writer) error {
 	cw := &crcWriter{w: w}
+	if err := d.encodeBody(cw); err != nil {
+		return err
+	}
+	return writeU32(w, cw.crc)
+}
+
+// encodeBody writes everything up to (not including) the trailer through
+// the container CRC.
+func (d *Delta) encodeBody(cw *crcWriter) error {
 	if _, err := io.WriteString(cw, DeltaMagic); err != nil {
 		return err
 	}
@@ -176,7 +185,7 @@ func (d *Delta) Encode(w io.Writer) error {
 			return fmt.Errorf("serial: delta matrix %q: %w", name, err)
 		}
 	}
-	return writeU32(w, cw.crc)
+	return nil
 }
 
 func encodeSliceDelta(w io.Writer, name string, sd SliceDelta) error {

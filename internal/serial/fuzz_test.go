@@ -135,6 +135,55 @@ func FuzzDecodeDelta(f *testing.F) {
 	})
 }
 
+// FuzzDecodeManifest is FuzzDecode for the shard-checkpoint commit record.
+// The manifest gates every sharded restart, so a crafted or torn one must be
+// rejected cleanly, never panic, over-allocate or pass for a complete save.
+func FuzzDecodeManifest(f *testing.F) {
+	seeds := []*Manifest{
+		{App: "app", Mode: "dist", SafePoints: 42, Shards: []ManifestShard{
+			{Anchor: 1, Seq: 3, CRC: 0xdeadbeef, Size: 512},
+			{Anchor: 2, Seq: 2, CRC: 0x9abcdef0, Size: 2048},
+		}},
+		{App: "", Mode: "", SafePoints: 0, Shards: []ManifestShard{{Anchor: 1, Seq: 1}}},
+	}
+	for _, m := range seeds {
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// The sibling containers must be rejected by this decoder, not crash it.
+	for _, s := range corpusSnapshots(f) {
+		f.Add(encodeSnap(f, s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if got := 28 * len(m.Shards); got > len(data) {
+			t.Fatalf("decoded %d shard-entry bytes from %d input bytes: over-allocation", got, len(data))
+		}
+		for i, sh := range m.Shards {
+			if sh.Anchor == 0 || sh.Seq < sh.Anchor {
+				t.Fatalf("accepted shard %d with invalid window [%d,%d]", i, sh.Anchor, sh.Seq)
+			}
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("re-encode of an accepted manifest failed: %v", err)
+		}
+		m2, err := DecodeManifest(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode(encode(m)) failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("manifest did not round-trip")
+		}
+	})
+}
+
 // normalise maps empty and nil slices onto one representation: the decoder
 // materialises empty payloads as non-nil zero-length slices, which
 // DeepEqual would otherwise distinguish from the nil the encoder accepted.

@@ -1,0 +1,202 @@
+// Shard-checkpoint manifest container.
+//
+// The paper's first distributed checkpointing alternative saves one local
+// snapshot per rank. On its own that protocol has a torn-save problem the
+// canonical path does not: the multi-shard save is only a restart point once
+// EVERY rank's artifact is on stable storage, and a crash mid-way must never
+// leave a mixture of old and new shards looking like a complete checkpoint.
+// The manifest is the commit record that closes that window: it is written
+// last, atomically, after every shard of a save wave has been persisted, and
+// restore refuses to read shard state that is not reachable from it.
+//
+//	magic "PPCKPS1\n" | header (app, mode, safe-point count, world size)
+//	shard entry*      | per rank: anchor seq, newest seq, CRC-32 and byte
+//	                    size of the plain encoding of the newest chain link
+//	trailer           | CRC-32 of everything before it
+//
+// Shard chains are append-only: each rank's checkpoints are a sequence of
+// PPCKPD1 links (app.rN.dM.ckpt) whose Seq only ever grows — an "anchor"
+// link carries the rank's full shard state (every field in its Full
+// section, BaseSP equal to its own SafePoints), a plain link carries the
+// chunks that changed since the previous capture. Because committed links
+// are never overwritten in place, the artifacts a manifest references
+// survive any crash of a later save; garbage collection of links below the
+// newest anchor happens only after the manifest referencing that anchor has
+// committed.
+package serial
+
+import (
+	"fmt"
+	"io"
+)
+
+// ManifestMagic identifies a shard-checkpoint manifest container.
+const ManifestMagic = "PPCKPS1\n"
+
+// maxManifestWorld bounds the world size a manifest may claim; counts are
+// untrusted input and each claimed shard costs a decode loop iteration.
+const maxManifestWorld = 1 << 16
+
+// ManifestShard is one rank's entry in a manifest: the chain window
+// [Anchor, Seq] that materialises the committed state, plus the CRC-32 and
+// size of the plain PPCKPD1 encoding of the newest link, so restore can
+// tell a committed artifact from one a crashed later save left behind.
+type ManifestShard struct {
+	// Anchor is the Seq of the chain's newest committed anchor link (the
+	// self-contained full shard state materialisation starts from).
+	Anchor uint64
+	// Seq is the Seq of the newest committed link; materialisation applies
+	// links Anchor..Seq in order.
+	Seq uint64
+	// CRC and Size fingerprint the plain container encoding of link Seq.
+	CRC  uint32
+	Size uint64
+}
+
+// Manifest is the commit record of one complete multi-shard checkpoint: the
+// state of application App at safe point SafePoints, sharded across World
+// ranks. A save wave only becomes a restart point when its manifest lands.
+type Manifest struct {
+	App        string
+	Mode       string
+	SafePoints uint64
+	Shards     []ManifestShard
+}
+
+// World reports the number of shards the manifest commits.
+func (m *Manifest) World() int { return len(m.Shards) }
+
+// Encode writes the manifest to w in the PPCKPS1 container format.
+func (m *Manifest) Encode(w io.Writer) error {
+	if len(m.Shards) == 0 || len(m.Shards) > maxManifestWorld {
+		return fmt.Errorf("serial: manifest world size %d outside [1,%d]", len(m.Shards), maxManifestWorld)
+	}
+	cw := &crcWriter{w: w}
+	if _, err := io.WriteString(cw, ManifestMagic); err != nil {
+		return err
+	}
+	if err := writeString(cw, m.App); err != nil {
+		return err
+	}
+	if err := writeString(cw, m.Mode); err != nil {
+		return err
+	}
+	if err := writeU64(cw, m.SafePoints); err != nil {
+		return err
+	}
+	if err := writeU32(cw, uint32(len(m.Shards))); err != nil {
+		return err
+	}
+	for i, sh := range m.Shards {
+		if sh.Anchor == 0 || sh.Seq < sh.Anchor {
+			return fmt.Errorf("serial: manifest shard %d window [%d,%d] invalid", i, sh.Anchor, sh.Seq)
+		}
+		for _, v := range []uint64{sh.Anchor, sh.Seq} {
+			if err := writeU64(cw, v); err != nil {
+				return err
+			}
+		}
+		if err := writeU32(cw, sh.CRC); err != nil {
+			return err
+		}
+		if err := writeU64(cw, sh.Size); err != nil {
+			return err
+		}
+	}
+	return writeU32(w, cw.crc)
+}
+
+// DecodeManifest reads a manifest in the PPCKPS1 container format,
+// verifying the trailer checksum and bounding every count, so a torn or
+// crafted manifest fails cleanly instead of over-allocating.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	cr := &crcReader{r: r}
+	magic := make([]byte, len(ManifestMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("serial: reading manifest magic: %w", err)
+	}
+	if string(magic) != ManifestMagic {
+		return nil, fmt.Errorf("serial: bad manifest magic %q", magic)
+	}
+	app, err := readString(cr)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := readString(cr)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := readU64(cr)
+	if err != nil {
+		return nil, err
+	}
+	world, err := readU32(cr)
+	if err != nil {
+		return nil, err
+	}
+	if world == 0 || world > maxManifestWorld {
+		return nil, fmt.Errorf("serial: manifest world size %d outside [1,%d]", world, maxManifestWorld)
+	}
+	m := &Manifest{App: app, Mode: mode, SafePoints: sp, Shards: make([]ManifestShard, world)}
+	for i := range m.Shards {
+		sh := &m.Shards[i]
+		for _, dst := range []*uint64{&sh.Anchor, &sh.Seq} {
+			if *dst, err = readU64(cr); err != nil {
+				return nil, err
+			}
+		}
+		if sh.CRC, err = readU32(cr); err != nil {
+			return nil, err
+		}
+		if sh.Size, err = readU64(cr); err != nil {
+			return nil, err
+		}
+		if sh.Anchor == 0 || sh.Seq < sh.Anchor {
+			return nil, fmt.Errorf("serial: manifest shard %d window [%d,%d] invalid", i, sh.Anchor, sh.Seq)
+		}
+	}
+	want := cr.crc
+	got, err := readU32(r) // trailer read outside the crc reader
+	if err != nil {
+		return nil, fmt.Errorf("serial: reading manifest trailer: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("serial: manifest checksum mismatch: file %08x computed %08x", got, want)
+	}
+	return m, nil
+}
+
+// AnchorDelta wraps a full shard snapshot as a self-contained chain link:
+// every field rides in the Full section and BaseSP equals the snapshot's own
+// safe point, so applying it to an empty snapshot reproduces the full state
+// — no earlier link (or base file) is needed. The delta aliases snap's
+// fields; callers that keep mutating snap must clone first.
+func AnchorDelta(snap *Snapshot) *Delta {
+	d := NewDelta(snap.App, snap.Mode, snap.SafePoints, snap.SafePoints)
+	for name, v := range snap.Fields {
+		d.Full[name] = v
+	}
+	return d
+}
+
+// IsAnchor reports whether the delta is a self-contained anchor link.
+func (d *Delta) IsAnchor() bool {
+	return d.BaseSP == d.SafePoints && len(d.Slices) == 0 && len(d.Matrices) == 0
+}
+
+// Fingerprint computes the CRC-32 and byte size of the delta's plain
+// container encoding — the store-independent identity a manifest records
+// for its newest link. The CRC covers the body only (it equals the
+// container's own trailer): including the trailer would collapse every
+// valid container onto the CRC-32 residue constant, since CRC(data ||
+// CRC(data)) is input-independent. The encoding is deterministic (fields
+// are written in sorted order), so decoding an artifact and re-encoding it
+// reproduces the fingerprint even when the store persisted a compressed
+// envelope.
+func (d *Delta) Fingerprint() (crc uint32, size uint64, err error) {
+	cw := &crcWriter{w: io.Discard}
+	if err := d.encodeBody(cw); err != nil {
+		return 0, 0, err
+	}
+	return cw.crc, uint64(cw.n) + 4, nil
+}

@@ -377,14 +377,27 @@ func TestDeltaBytesSavings(t *testing.T) {
 	}
 }
 
-// TestDeltaShardConfigRejected mirrors the async/shard exclusivity: deltas
-// need a canonical chain.
-func TestDeltaShardConfigRejected(t *testing.T) {
-	_, err := pp.New(func() pp.App { return &counter{Out: make([]float64, 12), Blocks: 2} },
-		pp.WithMode(pp.Distributed), pp.WithProcs(2),
-		pp.WithShardCheckpoints(), pp.WithDeltaCheckpoint(2, 2))
-	if err == nil {
-		t.Fatal("DeltaCheckpoint+ShardCheckpoints accepted")
+// TestDeltaShardConfigComposes pins the lifted exclusion: delta
+// checkpointing now runs per shard chain (each rank keeps its own hash
+// cache), and the accounting splits waves into anchors and delta links.
+func TestDeltaShardConfigComposes(t *testing.T) {
+	want := run(t, pp.Sequential)
+	store := pp.NewMemStore()
+	var total float64
+	eng := deploy(t, &total, pp.Distributed, pp.WithProcs(2),
+		pp.WithStore(store), pp.WithShardCheckpoints(), pp.WithDeltaCheckpoint(2, 2))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Report()
+	if rep.DeltaSaves == 0 || rep.FullSaves == 0 {
+		t.Fatalf("sharded delta cadence did not split waves: %+v", rep)
+	}
+	if rep.ShardSaves != rep.Checkpoints*2 {
+		t.Fatalf("per-rank link accounting off: %+v", rep)
+	}
+	if total != want {
+		t.Fatalf("total=%v want %v", total, want)
 	}
 }
 

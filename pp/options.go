@@ -96,10 +96,26 @@ func WithMaxCheckpoints(n int) Option {
 	return func(c *core.Config) { c.MaxCheckpoints = n }
 }
 
-// WithShardCheckpoints selects the paper's first distributed alternative
-// (each process saves a local snapshot between two barriers) instead of the
-// default gather-at-master canonical snapshot that enables cross-mode
-// restart.
+// WithShardCheckpoints selects the paper's first distributed alternative:
+// each process persists a local snapshot between two barriers, so
+// checkpoint I/O parallelises across ranks instead of funnelling through
+// the master. Shard saves are per-rank append-only chains committed by a
+// manifest written after every shard of a save wave has landed — a
+// mid-write kill never restarts from a torn multi-shard save — and each
+// shard records how its fields were partitioned, so a sharded run restarts
+// (or migrates) into a different world size or execution mode by
+// repartitioning at load; same-topology restarts keep the per-rank
+// parallel restore.
+//
+// Composes with WithAsyncCheckpoint (per-rank captures persist through a
+// bounded background pool, the wave's manifest committed when the last
+// shard lands) and WithDeltaCheckpoint (each rank keeps its own hash cache
+// and chain: anchor links every compactEvery captures, changed chunks in
+// between). Checkpoint-and-stop snapshots remain canonical. Report gains
+// ShardSaves/ShardBytes; prefer shard checkpoints when per-rank state is
+// large and store bandwidth scales with writers (per-rank files, object
+// stores), and the gather-at-master canonical snapshot when state is small
+// or the store serialises writers anyway.
 func WithShardCheckpoints() Option {
 	return func(c *core.Config) { c.ShardCheckpoints = true }
 }
@@ -112,8 +128,9 @@ func WithShardCheckpoints() Option {
 // supersedes one still parked behind the in-flight write. The writer drains
 // at Run/RunContext exit and before checkpoint-and-stop snapshots (which
 // stay synchronous: they are the restart point); write errors surface at
-// the next safe point or at engine exit. Incompatible with
-// WithShardCheckpoints.
+// the next safe point or at engine exit. With WithShardCheckpoints the
+// same double-buffer protocol runs per rank, through a bounded background
+// pool.
 func WithAsyncCheckpoint() Option {
 	return func(c *core.Config) { c.AsyncCheckpoint = true }
 }
@@ -132,8 +149,9 @@ func WithAsyncCheckpoint() Option {
 // Composes with WithAsyncCheckpoint: delta captures then deep-copy only
 // the changed chunks at the barrier, and a capture superseded behind an
 // in-flight write is folded into the next one (never dropped — a delta
-// only carries what changed since the previous capture). Incompatible with
-// WithShardCheckpoints. Report splits the accounting into
+// only carries what changed since the previous capture). Composes with
+// WithShardCheckpoints too: each rank keeps its own hash cache and chain,
+// diffing its packed shard state. Report splits the accounting into
 // FullSaves/DeltaSaves/DeltaBytes.
 //
 // The win scales with how much of the safe data is stable between

@@ -338,12 +338,28 @@ func TestPublicAPIAsyncCheckpoint(t *testing.T) {
 	}
 }
 
-// Async + shard checkpoints is a configuration error, surfaced at New.
-func TestAsyncShardConfigRejected(t *testing.T) {
-	_, err := pp.New(func() pp.App { return &counter{Out: make([]float64, 12), Blocks: 2} },
-		pp.WithMode(pp.Distributed), pp.WithProcs(2),
+// Shard checkpoints compose with the asynchronous pipeline (the former
+// configuration error): per-rank captures persist through the background
+// pool and restart lands on the uninterrupted result. The deeper coverage
+// lives in shard_test.go; this pins the construction path.
+func TestAsyncShardConfigComposes(t *testing.T) {
+	want := run(t, pp.Sequential)
+	store := pp.NewMemStore()
+	var total float64
+	eng := deploy(t, &total, pp.Distributed, pp.WithProcs(2),
+		pp.WithStore(store), pp.WithCheckpointEvery(2),
+		pp.WithShardCheckpoints(), pp.WithAsyncCheckpoint(),
+		pp.WithFailureAt(5, 0))
+	if err := eng.Run(); !errors.Is(err, pp.ErrInjectedFailure) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	eng2 := deploy(t, &total, pp.Distributed, pp.WithProcs(2),
+		pp.WithStore(store), pp.WithCheckpointEvery(2),
 		pp.WithShardCheckpoints(), pp.WithAsyncCheckpoint())
-	if err == nil || !strings.Contains(err.Error(), "canonical") {
-		t.Fatalf("want the shard/async config error, got %v", err)
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != want {
+		t.Fatalf("recovered total=%v want %v", total, want)
 	}
 }

@@ -23,7 +23,21 @@ type Snapshot = serial.Snapshot
 // the PPCKPD1 container format and the chain-consistency rules). Custom
 // Store implementations persist deltas in SaveDelta and return them, in
 // order, from LoadChain; WithDeltaCheckpoint turns the pipeline on.
+//
+// Shard chains (WithShardCheckpoints) reuse the same container per rank:
+// SaveShardDelta appends one link to a rank's chain — a self-contained
+// "anchor" link carrying the rank's full state, or a plain delta — and
+// LoadShardDelta reads one back.
 type Delta = serial.Delta
+
+// Manifest is the commit record of one complete multi-shard checkpoint
+// (the PPCKPS1 container): the safe point, the world size, and per shard
+// the committed chain window plus the newest link's fingerprint. Custom
+// Store implementations persist it last, atomically, in SaveManifest — a
+// shard save without a manifest is not a restart point, which is what
+// keeps a torn multi-shard save from ever being mistaken for a complete
+// one.
+type Manifest = serial.Manifest
 
 // NewFSStore creates the stock filesystem store rooted at dir: one file per
 // snapshot, written with temp-then-rename atomicity, plus a marker-file
