@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"testing"
 
+	"context"
+
+	"ppar/internal/fleet"
 	"ppar/internal/jgf"
 	"ppar/internal/jgf/invasive"
 	"ppar/internal/jgf/refimpl"
@@ -739,4 +742,67 @@ func BenchmarkAsyncCheckpointMD(b *testing.B) {
 			b.ReportMetric(float64(background)/float64(b.N), "bg-write-ns/op")
 		})
 	}
+}
+
+// --- Fleet hosting overhead ---------------------------------------------
+
+// BenchmarkFleetOverhead prices what the fleet layer adds on top of a bare
+// engine: the same sequential SOR job run directly through pp.New(...).Run()
+// versus submitted to a warm fleet.Supervisor (journal write, admission,
+// budget scheduling, namespaced store, status plumbing) and awaited.
+func BenchmarkFleetOverhead(b *testing.B) {
+	const n, iters = 64, 50
+
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := &jgf.SORResult{}
+			eng, err := pp.New(func() pp.App { return jgf.NewSOR(n, iters, res) },
+				pp.WithName("bench-fleet-bare"),
+				pp.WithModules(jgf.SORModules(pp.Sequential)...),
+				pp.WithStore(pp.NewMemStore()),
+				pp.WithCheckpointEvery(8),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if res.Gtotal == 0 {
+				b.Fatal("sor produced no result")
+			}
+		}
+	})
+
+	b.Run("hosted", func(b *testing.B) {
+		sup, err := fleet.New(fleet.Config{Store: pp.NewMemStore(), Budget: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet.StockWorkloads(sup)
+		if _, err := sup.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer sup.Close()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id, err := sup.Submit(fleet.JobSpec{
+				Tenant:          "bench",
+				Workload:        "sor",
+				Params:          map[string]int{"n": n, "iters": iters},
+				CheckpointEvery: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := sup.WaitJob(ctx, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.State != fleet.Done {
+				b.Fatalf("hosted job ended %s: %s", st.State, st.Error)
+			}
+		}
+	})
 }

@@ -8,6 +8,7 @@
 //	ppbench -real        # real engine runs (scaled down)
 //	ppbench -real -n 600 -iters 80 -maxpe 8
 //	ppbench -csv         # machine-readable output
+//	ppbench -json        # JSON tables (one document per figure)
 //	ppbench -adapt-mode dist   # measure a live smp->dist in-process migration
 package main
 
@@ -32,6 +33,7 @@ func run() int {
 	iters := fs.Int("iters", 60, "iterations for -real")
 	maxpe := fs.Int("maxpe", 8, "largest PE count for -real")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of aligned tables")
 	dir := fs.String("ckptdir", "", "checkpoint directory for -real (default: temp)")
 	storeKind := fs.String("store", "fs", "checkpoint backend for -real: fs | mem | gzip")
 	async := fs.Bool("async", false, "asynchronous double-buffered checkpointing for -real")
@@ -41,8 +43,9 @@ func run() int {
 	adaptAt := fs.Uint64("adapt-at", 0, "safe point of the -adapt-mode migration (default: half the iterations)")
 	fs.Parse(os.Args[1:])
 
+	emit := emitter(*csv, *jsonOut)
 	if *adaptMode != "" {
-		return migrationDemo(*adaptMode, *adaptAt, *n, *iters, *csv)
+		return migrationDemo(*adaptMode, *adaptAt, *n, *iters, emit)
 	}
 
 	scale := figures.RealScale{N: *n, Iters: *iters, MaxPE: *maxpe, Dir: *dir, Async: *async, Delta: *delta, Shards: *shards}
@@ -101,11 +104,7 @@ func run() int {
 		} else {
 			tbl = g.model()
 		}
-		if *csv {
-			tbl.FprintCSV(os.Stdout)
-		} else {
-			tbl.Fprint(os.Stdout)
-		}
+		emit(tbl)
 		fmt.Println()
 	}
 	return 0
@@ -115,7 +114,23 @@ func run() int {
 // engine: a Shared-mode SOR run migrates to the target deployment at a safe
 // point mid-run, and the table compares it against the unmigrated run —
 // adaptation-by-restart (Figures 6 and 7) collapsed into one process.
-func migrationDemo(modeName string, at uint64, n, iters int, csv bool) int {
+// emitter picks the table output format; -json wins over -csv.
+func emitter(csv, jsonOut bool) func(*metrics.Table) {
+	switch {
+	case jsonOut:
+		return func(tbl *metrics.Table) {
+			if err := tbl.FprintJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	case csv:
+		return func(tbl *metrics.Table) { tbl.FprintCSV(os.Stdout) }
+	default:
+		return func(tbl *metrics.Table) { tbl.Fprint(os.Stdout) }
+	}
+}
+
+func migrationDemo(modeName string, at uint64, n, iters int, emit func(*metrics.Table)) int {
 	target, err := pp.ParseMode(modeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -166,11 +181,7 @@ func migrationDemo(modeName string, at uint64, n, iters int, csv bool) int {
 	tbl.AddRow("smp (baseline)", baseRep.Elapsed, baseRep.Migrations, baseRep.MigrationTotal, "-")
 	tbl.AddRow(fmt.Sprintf("smp->%s", target), migRep.Elapsed, migRep.Migrations, migRep.MigrationTotal,
 		fmt.Sprintf("%v", migTotal == baseTotal))
-	if csv {
-		tbl.FprintCSV(os.Stdout)
-	} else {
-		tbl.Fprint(os.Stdout)
-	}
+	emit(tbl)
 	if migTotal != baseTotal {
 		fmt.Fprintln(os.Stderr, "migration changed the result")
 		return 1

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"ppar/internal/fleet"
+	"ppar/pp"
+)
+
+func drainCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 120*time.Second)
+}
+
+// TestMain doubles as the e2e child entrypoint: when re-executed with
+// PPSERVE_E2E_CHILD set, the test binary becomes the real daemon (same
+// run() as the shipped command), so the parent test can kill -9 a genuine
+// ppserve process and restart it over the same state directory.
+func TestMain(m *testing.M) {
+	if os.Getenv("PPSERVE_E2E_CHILD") == "1" {
+		os.Exit(run([]string{
+			"-addr", "127.0.0.1:0",
+			"-dir", os.Getenv("PPSERVE_E2E_DIR"),
+			"-budget", "3",
+		}, os.Stdout))
+	}
+	os.Exit(m.Run())
+}
+
+// serverProc is one child daemon: its process, parsed listen address and
+// the recovered-jobs count it reported at startup.
+type serverProc struct {
+	cmd       *exec.Cmd
+	url       string
+	recovered int
+}
+
+func startServer(t *testing.T, dir string) *serverProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "PPSERVE_E2E_CHILD=1", "PPSERVE_E2E_DIR="+dir)
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		if errBuf.Len() > 0 {
+			t.Logf("child stderr: %s", errBuf.String())
+		}
+	})
+
+	sc := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			select {
+			case lineCh <- sc.Text():
+			default: // only the first line matters; keep draining the pipe
+			}
+		}
+	}()
+	select {
+	case line := <-lineCh:
+		var addr string
+		var budget, recovered int
+		if _, err := fmt.Sscanf(line, "ppserve: listening on %s (budget %d, %d jobs recovered)",
+			&addr, &budget, &recovered); err != nil {
+			t.Fatalf("unexpected startup line %q: %v", line, err)
+		}
+		return &serverProc{cmd: cmd, url: "http://" + addr, recovered: recovered}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("child daemon never announced its address (stderr: %s)", errBuf.String())
+		return nil
+	}
+}
+
+func (p *serverProc) status(t *testing.T) fleet.Status {
+	t.Helper()
+	resp, err := http.Get(p.url + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st fleet.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func (p *serverProc) submit(t *testing.T, spec fleet.JobSpec) int64 {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(p.url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var msg map[string]string
+		json.NewDecoder(resp.Body).Decode(&msg)
+		t.Fatalf("submit %+v: code=%d error=%q", spec, resp.StatusCode, msg["error"])
+	}
+	var accepted struct {
+		ID int64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	return accepted.ID
+}
+
+// e2eSpecs mirrors the in-process drill at daemon scale: eight jobs, three
+// tenants, all four stock workloads, sequential/smp/dist shapes, sized so
+// the slow ones take seconds and the kill lands mid-flight.
+func e2eSpecs() []fleet.JobSpec {
+	return []fleet.JobSpec{
+		{Tenant: "acme", Workload: "sor", Params: map[string]int{"n": 20, "iters": 10}, CheckpointEvery: 1},
+		{Tenant: "acme", Workload: "crypt", Params: map[string]int{"n": 1024}, CheckpointEvery: 1},
+		{Tenant: "acme", Workload: "md", Params: map[string]int{"n": 24, "steps": 3000}, CheckpointEvery: 2},
+		{Tenant: "beta", Workload: "ea", Params: map[string]int{"dim": 8, "pop": 48, "gens": 2000, "seed": 7}, CheckpointEvery: 2},
+		{Tenant: "beta", Workload: "sor", Mode: pp.Shared, Threads: 2,
+			Params: map[string]int{"n": 96, "iters": 1200}, CheckpointEvery: 2},
+		{Tenant: "beta", Workload: "ea", Mode: pp.Shared, Threads: 2,
+			Params: map[string]int{"dim": 8, "pop": 48, "gens": 1500, "seed": 9}, CheckpointEvery: 2},
+		{Tenant: "gamma", Workload: "sor", Mode: pp.Distributed, Procs: 2,
+			Params: map[string]int{"n": 64, "iters": 1000}, CheckpointEvery: 2},
+		{Tenant: "gamma", Workload: "md", Params: map[string]int{"n": 24, "steps": 2500}, CheckpointEvery: 2},
+	}
+}
+
+// The daemon-level crash drill: submit a fleet over HTTP, SIGKILL the
+// daemon while jobs are running, queued and stopping, restart it over the
+// same directory, and require every job to finish with digests identical
+// to an uninterrupted fleet — with at least one run resuming from its
+// checkpoint rather than starting over.
+func TestE2EKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e kill-restart drill is not -short")
+	}
+	specs := e2eSpecs()
+
+	// Uninterrupted reference digests, computed in-process (the fleet's
+	// results are deterministic per spec, independent of hosting).
+	control, err := fleet.New(fleet.Config{Store: pp.NewMemStore(), Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.StockWorkloads(control)
+	if _, err := control.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer control.Close()
+	want := make(map[int]string, len(specs))
+	{
+		var ids []int64
+		for _, sp := range specs {
+			id, err := control.Submit(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		ctx, cancel := drainCtx()
+		defer cancel()
+		if err := control.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			st, _ := control.Job(id)
+			if st.State != fleet.Done {
+				t.Fatalf("control job %d (%s): %s (%s)", id, specs[i].Workload, st.State, st.Error)
+			}
+			want[i] = st.Result
+		}
+	}
+
+	dir := t.TempDir()
+	srv := startServer(t, dir)
+	if srv.recovered != 0 {
+		t.Fatalf("fresh daemon recovered %d jobs from an empty directory", srv.recovered)
+	}
+	ids := make([]int64, len(specs))
+	for i, sp := range specs {
+		ids[i] = srv.submit(t, sp)
+	}
+
+	// Wait for the mixed moment — something checkpointed and running,
+	// something still queued — then stop one running job and pull the plug
+	// before the stop can be acknowledged.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := srv.status(t)
+		running, queued := false, false
+		for _, j := range st.Jobs {
+			if j.State == fleet.Running && j.Report != nil && j.Report.Checkpoints >= 1 {
+				running = true
+			}
+			if j.State == fleet.Queued {
+				queued = true
+			}
+		}
+		if running && queued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached a mixed checkpointed state: %+v", st.Jobs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, j := range srv.status(t).Jobs {
+		if j.State == fleet.Running {
+			req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/jobs/%d", srv.url, j.ID), nil)
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+				break
+			}
+		}
+	}
+	if err := srv.cmd.Process.Kill(); err != nil { // SIGKILL: no checkpoint courtesy
+		t.Fatal(err)
+	}
+	srv.cmd.Wait()
+
+	// Restart over the same directory: the journal must re-admit every
+	// unfinished job (at least the queued one plus the interrupted ones).
+	srv2 := startServer(t, dir)
+	if srv2.recovered == 0 {
+		t.Fatal("restarted daemon recovered no jobs from the journal")
+	}
+	deadline = time.Now().Add(120 * time.Second)
+	var final fleet.Status
+	for {
+		final = srv2.status(t)
+		allDone := true
+		for _, j := range final.Jobs {
+			if j.State != fleet.Done && j.State != fleet.Failed && j.State != fleet.Stopped {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered fleet never drained: %+v", final.Jobs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	byID := map[int64]fleet.JobStatus{}
+	for _, j := range final.Jobs {
+		byID[j.ID] = j
+	}
+	resumed := 0
+	for i, id := range ids {
+		j, ok := byID[id]
+		if !ok {
+			t.Fatalf("job %d vanished across the kill", id)
+		}
+		// The DELETE was fired microseconds before SIGKILL; if the engine
+		// managed to acknowledge it, the job is legitimately Stopped.
+		if j.State == fleet.Stopped {
+			continue
+		}
+		if j.State != fleet.Done {
+			t.Errorf("job %d (%s): state=%s error=%q", id, specs[i].Workload, j.State, j.Error)
+			continue
+		}
+		if j.Result != want[i] {
+			t.Errorf("job %d (%s): result %q differs from uninterrupted run %q",
+				id, specs[i].Workload, j.Result, want[i])
+		}
+		if j.Report != nil && j.Report.Restarted {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Error("no job resumed from its checkpoint after the kill (all re-ran from scratch)")
+	}
+}

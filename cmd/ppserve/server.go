@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ppar/internal/fleet"
+)
+
+// newMux wires the fleet supervisor behind the JSON API.
+func newMux(sup *fleet.Supervisor) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec fleet.JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := sup.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]int64{"id": id})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := jobID(w, r)
+		if !ok {
+			return
+		}
+		st, found := sup.Job(id)
+		if !found {
+			httpError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := jobID(w, r)
+		if !ok {
+			return
+		}
+		if err := sup.Stop(id); err != nil {
+			code := http.StatusConflict
+			if strings.Contains(err.Error(), "no job") {
+				code = http.StatusNotFound
+			}
+			httpError(w, code, err)
+			return
+		}
+		st, _ := sup.Job(id)
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sup.Status())
+	})
+
+	return mux
+}
+
+func jobID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil || id < 1 {
+		httpError(w, http.StatusBadRequest, errors.New("job ids are positive integers"))
+		return 0, false
+	}
+	return id, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ppar/internal/fleet"
+	"ppar/pp"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *fleet.Supervisor) {
+	t.Helper()
+	sup, err := fleet.New(fleet.Config{Store: pp.NewMemStore(), Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.StockWorkloads(sup)
+	if _, err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(sup))
+	t.Cleanup(func() {
+		srv.Close()
+		sup.Close()
+	})
+	return srv, sup
+}
+
+func doJSON(t *testing.T, method, url, body string, into any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerSubmitStatusLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var accepted struct {
+		ID int64 `json:"id"`
+	}
+	code := doJSON(t, "POST", srv.URL+"/jobs",
+		`{"tenant": "alice", "workload": "sor", "params": {"n": 16, "iters": 8}}`, &accepted)
+	if code != http.StatusAccepted || accepted.ID == 0 {
+		t.Fatalf("submit: code=%d id=%d", code, accepted.ID)
+	}
+
+	var st fleet.JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := doJSON(t, "GET", fmt.Sprintf("%s/jobs/%d", srv.URL, accepted.ID), "", &st); code != http.StatusOK {
+			t.Fatalf("get job: code=%d", code)
+		}
+		if st.State == fleet.Done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.State != fleet.Done || !strings.HasPrefix(st.Result, "gtotal=") {
+		t.Fatalf("job did not complete over HTTP: %+v", st)
+	}
+	if st.Report == nil || st.Report.SafePoints == 0 {
+		t.Fatalf("job report missing from JSON payload: %+v", st)
+	}
+
+	var fs fleet.Status
+	if code := doJSON(t, "GET", srv.URL+"/status", "", &fs); code != http.StatusOK {
+		t.Fatalf("status: code=%d", code)
+	}
+	if fs.Budget != 4 || len(fs.Jobs) != 1 || fs.Jobs[0].ID != accepted.ID {
+		t.Fatalf("fleet status: %+v", fs)
+	}
+}
+
+func TestServerValidationAndErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	if code := doJSON(t, "POST", srv.URL+"/jobs", `{"tenant": "a", "workload": "nope"}`, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown workload: code=%d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/jobs", `{"bad json`, nil); code != http.StatusBadRequest {
+		t.Errorf("bad json: code=%d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/jobs", `{"tenant": "a", "workload": "sor", "surprise": 1}`, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown field: code=%d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/jobs/99", "", nil); code != http.StatusNotFound {
+		t.Errorf("missing job: code=%d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/jobs/zero", "", nil); code != http.StatusBadRequest {
+		t.Errorf("non-numeric id: code=%d", code)
+	}
+	if code := doJSON(t, "DELETE", srv.URL+"/jobs/99", "", nil); code != http.StatusNotFound {
+		t.Errorf("deleting missing job: code=%d", code)
+	}
+}
+
+func TestServerStopJob(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var accepted struct {
+		ID int64 `json:"id"`
+	}
+	// A big sequential MD run with a tight cadence: long enough to catch
+	// mid-flight, checkpointed so the stop has something to save.
+	code := doJSON(t, "POST", srv.URL+"/jobs",
+		`{"tenant": "bob", "workload": "md", "params": {"n": 64, "steps": 50000}, "checkpoint_every": 5}`, &accepted)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+
+	url := fmt.Sprintf("%s/jobs/%d", srv.URL, accepted.ID)
+	var st fleet.JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		doJSON(t, "GET", url, "", &st)
+		if st.State == fleet.Running || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.State != fleet.Running {
+		t.Fatalf("job never ran: %+v", st)
+	}
+	if code := doJSON(t, "DELETE", url, "", &st); code != http.StatusOK {
+		t.Fatalf("stop: code=%d", code)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		doJSON(t, "GET", url, "", &st)
+		if st.State == fleet.Stopped || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.State != fleet.Stopped {
+		t.Fatalf("stopped job ended as %s", st.State)
+	}
+	if code := doJSON(t, "DELETE", url, "", nil); code != http.StatusConflict {
+		t.Errorf("re-stopping a stopped job: code=%d", code)
+	}
+}

@@ -41,6 +41,21 @@
 // executor swap, replay — the paper's adaptation-by-restart without the
 // restart (the mode-migrate example demonstrates it live).
 //
+// Above single engines sits the fleet layer (internal/fleet, served by the
+// ppserve command): a Supervisor hosts many concurrent runs in one process,
+// each job checkpointing into its own tenant-prefixed namespace of one
+// shared pp.Store (pp.NamespacedStore). Jobs are submitted as declarative
+// JobSpecs against registered workload factories, scheduled by priority
+// against a machine budget with per-tenant quotas, and — when malleable —
+// shrunk and regrown at safe points via the engine's run-time adaptation,
+// so a high-priority arrival squeezes a low-priority running job instead of
+// waiting for it. Every accepted spec is journalled through the store
+// before it is acknowledged: after a crash (kill -9 included) a restarted
+// supervisor re-admits every unfinished job and resumes it from its newest
+// checkpoint. ppserve exposes the supervisor over HTTP (POST /jobs,
+// GET /jobs/{id}, DELETE /jobs/{id} for checkpoint-and-stop, GET /status);
+// the fleet example walks the whole story in-process.
+//
 // README.md has the overview and quickstart, DESIGN.md the system inventory
 // and per-experiment index, EXPERIMENTS.md the paper-vs-measured comparison
 // for every figure. The benchmarks in bench_test.go regenerate each figure

@@ -101,6 +101,9 @@ func (c *Ctx) adaptThreads(sp uint64, m int) {
 	}
 	e.curThreads.Store(int64(m))
 	e.recordAdapted()
+	if c.IsMasterRank() {
+		e.notifyAdapt(sp)
+	}
 }
 
 // completeJoin is reached when a replaying line of execution has counted
@@ -190,5 +193,8 @@ func (c *Ctx) adaptProcs(sp uint64, m int) {
 	if m != n {
 		e.curProcs.Store(int64(m))
 		e.recordAdapted()
+		if c.IsMasterRank() {
+			e.notifyAdapt(sp)
+		}
 	}
 }

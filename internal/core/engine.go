@@ -65,6 +65,36 @@ func ParseMode(s string) (Mode, error) {
 	return 0, fmt.Errorf("core: unknown mode %q (want seq, smp, dist or hybrid)", s)
 }
 
+// MarshalText encodes the mode symbolically ("seq", "smp", "dist",
+// "hybrid"), so job specs and status payloads carry mode names instead of
+// bare ints. The zero Mode — "unset" in AdaptTarget-style structs —
+// encodes as the empty string; modes outside the known range refuse to
+// marshal rather than emit a name no parser accepts.
+func (m Mode) MarshalText() ([]byte, error) {
+	if m == 0 {
+		return []byte(nil), nil
+	}
+	if !validMode(m) {
+		return nil, fmt.Errorf("core: cannot marshal unknown mode %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText parses the names accepted by ParseMode; the empty string
+// decodes to the zero ("unset") Mode, matching MarshalText.
+func (m *Mode) UnmarshalText(text []byte) error {
+	if len(text) == 0 {
+		*m = 0
+		return nil
+	}
+	v, err := ParseMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 // App is a base program: plain domain-specific code whose advisable methods
 // run through ctx.Call and loops through For.
 type App interface {
@@ -185,6 +215,14 @@ type Config struct {
 	// composes with the legacy one-shot fields below: all are folded into
 	// one chained policy, legacy fields first.
 	Policy AdaptPolicy
+	// OnAdapt, when non-nil, is invoked once per applied reshaping — an
+	// in-place thread/world resize or an in-process cross-mode migration —
+	// after the new topology is in effect, with the safe point it was
+	// applied at and the resulting mode/team/world sizes. It runs on the
+	// coordinating line of execution between safe points, so it must not
+	// block on the engine; external schedulers (the fleet supervisor) use
+	// it to learn when a requested resize actually landed and re-budget.
+	OnAdapt func(sp uint64, mode Mode, threads, procs int)
 	// Driver, when non-nil, is started when the run starts and stopped
 	// when it ends. It models an external resource manager feeding
 	// RequestAdapt/RequestStop from outside the deterministic policy path
@@ -262,40 +300,42 @@ func (c *Config) normalize() error {
 	return nil
 }
 
-// Report carries the measurements the figure harness consumes.
+// Report carries the measurements the figure harness consumes. The JSON
+// field names are stable — status endpoints and benchmark tooling parse
+// them — and time.Duration fields marshal as integer nanoseconds.
 type Report struct {
-	SafePoints  uint64        // safe points executed by the master
-	Checkpoints int           // snapshots persisted
-	SaveTotal   time.Duration // time lines of execution were blocked in save protocols (sync: gather+encode+persist; async: gather+capture only)
-	SaveBytes   int           // payload bytes of the last snapshot
-	LoadTotal   time.Duration // time restoring data at the replay target
-	ReplayTime  time.Duration // run start -> replay target reached (excl. load)
-	Elapsed     time.Duration // total wall time of Run
-	Adapted     bool          // a run-time adaptation was applied
-	Stopped     bool          // stopped by StopCheckpointAt
-	StoppedAt   uint64
-	Failed      bool // an injected failure occurred
-	Restarted   bool // this run replayed from a checkpoint
+	SafePoints  uint64        `json:"safe_points"` // safe points executed by the master
+	Checkpoints int           `json:"checkpoints"` // snapshots persisted
+	SaveTotal   time.Duration `json:"save_total"`  // time lines of execution were blocked in save protocols (sync: gather+encode+persist; async: gather+capture only)
+	SaveBytes   int           `json:"save_bytes"`  // payload bytes of the last snapshot
+	LoadTotal   time.Duration `json:"load_total"`  // time restoring data at the replay target
+	ReplayTime  time.Duration `json:"replay_time"` // run start -> replay target reached (excl. load)
+	Elapsed     time.Duration `json:"elapsed"`     // total wall time of Run
+	Adapted     bool          `json:"adapted"`     // a run-time adaptation was applied
+	Stopped     bool          `json:"stopped"`     // stopped by StopCheckpointAt
+	StoppedAt   uint64        `json:"stopped_at"`
+	Failed      bool          `json:"failed"`    // an injected failure occurred
+	Restarted   bool          `json:"restarted"` // this run replayed from a checkpoint
 
 	// In-process cross-mode migration measurements (AdaptTarget.Mode).
-	Migrations     int           // executor migrations performed inside this Run
-	MigrationTotal time.Duration // snapshot capture -> replay target reached under the new executor, summed over migrations
+	Migrations     int           `json:"migrations"`      // executor migrations performed inside this Run
+	MigrationTotal time.Duration `json:"migration_total"` // snapshot capture -> replay target reached under the new executor, summed over migrations
 
 	// Asynchronous checkpoint pipeline measurements (AsyncCheckpoint).
-	CaptureTotal   time.Duration // blocked time capturing double buffers (a subset of SaveTotal)
-	AsyncSaveTotal time.Duration // background encode+persist time, overlapped with computation
-	DrainTotal     time.Duration // blocked time draining the writer (stop snapshots and engine exit)
-	Superseded     int           // captures superseded (full) or folded (delta) before being persisted
+	CaptureTotal   time.Duration `json:"capture_total"`    // blocked time capturing double buffers (a subset of SaveTotal)
+	AsyncSaveTotal time.Duration `json:"async_save_total"` // background encode+persist time, overlapped with computation
+	DrainTotal     time.Duration `json:"drain_total"`      // blocked time draining the writer (stop snapshots and engine exit)
+	Superseded     int           `json:"superseded"`       // captures superseded (full) or folded (delta) before being persisted
 
 	// Incremental checkpoint measurements (DeltaCheckpoint).
-	FullSaves  int // full snapshots persisted (chain bases, compactions, stop snapshots)
-	DeltaSaves int // delta links persisted
-	DeltaBytes int // cumulative payload bytes across all persisted deltas
+	FullSaves  int `json:"full_saves"`  // full snapshots persisted (chain bases, compactions, stop snapshots)
+	DeltaSaves int `json:"delta_saves"` // delta links persisted
+	DeltaBytes int `json:"delta_bytes"` // cumulative payload bytes across all persisted deltas
 
 	// Shard checkpoint measurements (ShardCheckpoints). A committed wave
 	// counts once in Checkpoints; ShardSaves counts its per-rank links.
-	ShardSaves int // shard chain links persisted across all committed waves
-	ShardBytes int // cumulative payload bytes across those links
+	ShardSaves int `json:"shard_saves"` // shard chain links persisted across all committed waves
+	ShardBytes int `json:"shard_bytes"` // cumulative payload bytes across those links
 }
 
 // ErrInjectedFailure reports that the configured failure fired.
@@ -875,4 +915,13 @@ func (e *Engine) recordAdapted() {
 	e.repMu.Lock()
 	defer e.repMu.Unlock()
 	e.report.Adapted = true
+}
+
+// notifyAdapt delivers the Config.OnAdapt callback for a reshaping applied
+// at safe point sp. Call sites gate on the coordinating line of execution
+// so the hook fires exactly once per applied reshaping.
+func (e *Engine) notifyAdapt(sp uint64) {
+	if f := e.cfg.OnAdapt; f != nil {
+		f(sp, e.curMode, int(e.curThreads.Load()), int(e.curProcs.Load()))
+	}
 }

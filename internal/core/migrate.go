@@ -154,5 +154,8 @@ func (e *Engine) applyMigration(m *migrationSpec) error {
 	e.report.Migrations++
 	e.migStart = m.start
 	e.repMu.Unlock()
+	// The relaunch runs between launches on the engine's own goroutine, so
+	// this is the coordinating line of execution by construction.
+	e.notifyAdapt(m.sp)
 	return nil
 }

@@ -20,6 +20,14 @@ func (c *Ctx) SafePoint() {
 	if c.join.Active() {
 		if c.join.Step() {
 			c.completeJoin()
+			// The incumbents finish the activation safe point with the
+			// periodic checkpoint when one is due. A freshly joined line
+			// of execution must take part in that collective too — its
+			// barriers and gathers are sized for the grown team — or the
+			// cohorts desync one phase apart and deadlock.
+			if sp := c.spCount; c.eng.dueAt(sp) {
+				c.checkpoint(sp)
+			}
 		}
 		return
 	}

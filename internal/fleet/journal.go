@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ppar/internal/serial"
+)
+
+// The journal is the supervisor's own checkpoint: one JSON document,
+// atomically replaced through the shared store on every accepted
+// submission and every terminal transition. It rides the store's canonical
+// snapshot path (a single-field PPCKPT1 container) so it inherits the
+// backend's atomicity — on the filesystem store, temp+rename+dirsync —
+// without the Store interface needing a listing operation: recovery is one
+// Load, not a scan.
+//
+// Entry states are coarser than JobState on purpose: queued, running and
+// stopping all journal as "pending", because after a crash they are
+// indistinguishable — the work is not done and must be re-admitted. A stop
+// that had not completed by the time of a crash is therefore forgotten and
+// the job resumes; see Supervisor.Stop.
+const (
+	journalApp   = "fleet-journal"
+	journalField = "journal"
+
+	journalPending = "pending"
+	journalDone    = "done"
+	journalFailed  = "failed"
+	journalStopped = "stopped"
+)
+
+type journalDoc struct {
+	NextID  int64          `json:"next_id"`
+	Entries []journalEntry `json:"entries"`
+}
+
+type journalEntry struct {
+	ID     int64   `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	State  string  `json:"state"`
+	Result string  `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+func journalState(st JobState) string {
+	switch st {
+	case Done:
+		return journalDone
+	case Failed:
+		return journalFailed
+	case Stopped:
+		return journalStopped
+	default:
+		return journalPending
+	}
+}
+
+func (s *Supervisor) saveJournalLocked() error {
+	if s.crashed {
+		return nil // the "dead" daemon writes nothing
+	}
+	doc := journalDoc{NextID: s.nextID, Entries: make([]journalEntry, 0, len(s.order))}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		en := journalEntry{ID: j.id, Spec: j.spec, State: journalState(j.state), Result: j.result}
+		if j.err != nil {
+			en.Error = j.err.Error()
+		}
+		doc.Entries = append(doc.Entries, en)
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	snap := serial.NewSnapshot(journalApp, "fleet", uint64(len(doc.Entries)))
+	snap.Fields[journalField] = serial.Bytes(data)
+	return s.cfg.Store.Save(snap)
+}
+
+func (s *Supervisor) loadJournalLocked() (journalDoc, error) {
+	var doc journalDoc
+	snap, found, err := s.cfg.Store.Load(journalApp)
+	if err != nil {
+		return doc, fmt.Errorf("fleet: reading journal: %w", err)
+	}
+	if !found {
+		return doc, nil // fresh fleet
+	}
+	v, ok := snap.Fields[journalField]
+	if !ok || v.Tag != serial.TBytes {
+		return doc, fmt.Errorf("fleet: journal snapshot has no %q payload", journalField)
+	}
+	if err := json.Unmarshal(v.B, &doc); err != nil {
+		return doc, fmt.Errorf("fleet: decoding journal: %w", err)
+	}
+	return doc, nil
+}

@@ -1,0 +1,247 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"ppar/pp"
+)
+
+// The scheduler is event-driven: anything that changes the budget picture
+// (a submission, a completion, a stop, a resize landing) kicks the loop,
+// which replans under the supervisor lock. Planning is cheap — the fleet
+// is bounded by the machine budget, not by queue length — so there is no
+// incremental state to keep consistent: every kick recomputes from the job
+// table.
+func (s *Supervisor) loop() {
+	defer close(s.loopDone)
+	for {
+		select {
+		case <-s.kick:
+			s.mu.Lock()
+			s.scheduleLocked()
+			s.mu.Unlock()
+		case <-s.closeCh:
+			return
+		}
+	}
+}
+
+// kickSched nudges the scheduler without blocking (the channel holds one
+// pending kick; coalescing more is harmless since planning is idempotent).
+func (s *Supervisor) kickSched() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// resizeApplied is the engine's OnAdapt callback: a requested resize
+// landed at a safe point, so the job's occupancy becomes real and any
+// freed budget can be handed out.
+func (s *Supervisor) resizeApplied(j *job, units int) {
+	s.mu.Lock()
+	if j.state == Running || j.state == Stopping {
+		j.alloc = units
+		j.pending = 0
+	}
+	s.mu.Unlock()
+	s.kickSched()
+}
+
+// usedLocked is the budget currently spoken for: a shrinking job occupies
+// its old allocation until the resize lands, a growing one reserves the
+// new allocation immediately.
+func (s *Supervisor) usedLocked() int {
+	used := 0
+	for _, j := range s.jobs {
+		if j.state == Running || j.state == Stopping {
+			used += j.occupied()
+		}
+	}
+	return used
+}
+
+// scheduleLocked replans admissions and resizes. Queued jobs are admitted
+// in strict priority order (FIFO within a class) with head-of-line
+// blocking: when the best queued job cannot start, lower-priority jobs do
+// not leapfrog it — instead lower-priority malleable runners are shrunk
+// toward their floors to make room, and the loop waits for those resizes
+// to land. Only when every queued job is placed does spare budget flow
+// back to starved malleable runners.
+func (s *Supervisor) scheduleLocked() {
+	if !s.started || s.crashed || s.closed {
+		return
+	}
+	free := s.cfg.Budget - s.usedLocked()
+	for _, j := range s.queuedByPriorityLocked() {
+		if s.tenantBlockedLocked(j) {
+			continue // quota, not budget: the next tenant's jobs still flow
+		}
+		want := j.desired()
+		if tcap := s.tenantUnitCapLocked(j.spec.Tenant); tcap < want {
+			want = tcap // >= j.min(), guaranteed by tenantBlockedLocked
+		}
+		switch {
+		case free >= want:
+			s.launchLocked(j, want)
+			free -= want
+		case j.spec.malleable() && free >= j.min():
+			s.launchLocked(j, free)
+			free = 0
+		default:
+			s.reclaimLocked(j.spec.Priority, j.min()-free)
+			return // head-of-line: wait for the reclaimed budget to land
+		}
+	}
+	s.growLocked(free)
+}
+
+// reclaimLocked shrinks lower-priority malleable runners toward their
+// floors until need units are on their way back. Lowest priority loses
+// first; within a class the most recently admitted shrinks first. The
+// freed budget only becomes allocatable when each engine applies its
+// resize at a safe point and OnAdapt reports in.
+func (s *Supervisor) reclaimLocked(pri, need int) {
+	if need <= 0 {
+		return
+	}
+	victims := s.runningLocked()
+	sort.SliceStable(victims, func(a, b int) bool {
+		if victims[a].spec.Priority != victims[b].spec.Priority {
+			return victims[a].spec.Priority < victims[b].spec.Priority
+		}
+		return victims[a].id > victims[b].id
+	})
+	for _, v := range victims {
+		if need <= 0 {
+			return
+		}
+		if v.spec.Priority >= pri || !v.spec.malleable() {
+			continue
+		}
+		if v.eng == nil || v.pending != 0 || v.state != Running {
+			continue // launching, resizing or stopping: leave it be
+		}
+		avail := v.alloc - v.min()
+		if avail <= 0 {
+			continue
+		}
+		take := min(avail, need)
+		s.resizeLocked(v, v.alloc-take)
+		need -= take
+	}
+}
+
+// growLocked hands spare budget back to starved malleable runners, best
+// priority first.
+func (s *Supervisor) growLocked(free int) {
+	if free <= 0 {
+		return
+	}
+	runners := s.runningLocked()
+	sort.SliceStable(runners, func(a, b int) bool {
+		if runners[a].spec.Priority != runners[b].spec.Priority {
+			return runners[a].spec.Priority > runners[b].spec.Priority
+		}
+		return runners[a].id < runners[b].id
+	})
+	for _, j := range runners {
+		if free <= 0 {
+			return
+		}
+		if !j.spec.malleable() || j.state != Running || j.eng == nil || j.pending != 0 {
+			continue
+		}
+		add := min(j.desired()-j.alloc, free)
+		if tcap := s.tenantUnitCapLocked(j.spec.Tenant); add > tcap {
+			add = tcap
+		}
+		if add <= 0 {
+			continue
+		}
+		s.resizeLocked(j, j.alloc+add)
+		free -= add
+	}
+}
+
+// resizeLocked asks a running Shared-mode engine to reshape its team at
+// the next safe point. Occupancy moves to max(alloc, pending) until the
+// engine's OnAdapt confirms the new topology.
+func (s *Supervisor) resizeLocked(j *job, units int) {
+	j.pending = units
+	j.eng.RequestAdapt(pp.AdaptTarget{Threads: units / j.spec.Procs})
+}
+
+func (s *Supervisor) launchLocked(j *job, units int) {
+	j.state = Running
+	j.alloc = units
+	j.pending = 0
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	s.wg.Add(1)
+	go s.runJob(j, ctx, units)
+}
+
+// queuedByPriorityLocked returns the queued jobs, priority descending,
+// FIFO within a class.
+func (s *Supervisor) queuedByPriorityLocked() []*job {
+	var q []*job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.state == Queued {
+			q = append(q, j)
+		}
+	}
+	sort.SliceStable(q, func(a, b int) bool { return q[a].spec.Priority > q[b].spec.Priority })
+	return q
+}
+
+func (s *Supervisor) runningLocked() []*job {
+	var r []*job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.state == Running || j.state == Stopping {
+			r = append(r, j)
+		}
+	}
+	return r
+}
+
+// tenantBlockedLocked applies the admission-time quotas: a blocked job
+// waits in the queue without blocking other tenants.
+func (s *Supervisor) tenantBlockedLocked(j *job) bool {
+	if s.cfg.TenantMaxJobs <= 0 && s.cfg.TenantMaxUnits <= 0 {
+		return false
+	}
+	jobs, units := 0, 0
+	for _, o := range s.jobs {
+		if o.spec.Tenant != j.spec.Tenant {
+			continue
+		}
+		if o.state == Running || o.state == Stopping {
+			jobs++
+			units += o.occupied()
+		}
+	}
+	if s.cfg.TenantMaxJobs > 0 && jobs >= s.cfg.TenantMaxJobs {
+		return true
+	}
+	if s.cfg.TenantMaxUnits > 0 && units+j.min() > s.cfg.TenantMaxUnits {
+		return true
+	}
+	return false
+}
+
+// tenantUnitCapLocked is how many more units the tenant may allocate.
+func (s *Supervisor) tenantUnitCapLocked(tenant string) int {
+	if s.cfg.TenantMaxUnits <= 0 {
+		return math.MaxInt
+	}
+	units := 0
+	for _, o := range s.jobs {
+		if o.spec.Tenant == tenant && (o.state == Running || o.state == Stopping) {
+			units += o.occupied()
+		}
+	}
+	return max(0, s.cfg.TenantMaxUnits-units)
+}

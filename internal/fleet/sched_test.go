@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"testing"
+
+	"ppar/pp"
+)
+
+// The malleability acceptance drill: a high-priority submit into a full
+// machine budget shrinks the low-priority running job through the engine's
+// in-process adaptation at a safe point; once the high-priority job
+// finishes, the survivor is grown back — and still lands on the exact
+// digest.
+func TestFleetBudgetSqueeze(t *testing.T) {
+	s := newTestSupervisor(t, Config{Store: pp.NewMemStore(), Budget: 8, CheckpointEvery: 4})
+	defer s.Close()
+
+	// Low-priority malleable job filling the whole budget: 8 threads,
+	// shrinkable to 2. ~1ms per cell keeps it running for hundreds of ms
+	// at any team size.
+	low, err := s.Submit(JobSpec{Tenant: "batch", Workload: "slow", Mode: pp.Shared,
+		Threads: 8, MinThreads: 2, Priority: 0,
+		Params: map[string]int{"cells": 1000, "blocks": 200, "delay_us": 1500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "low-priority job to own the full budget", func() bool {
+		st, _ := s.Job(low)
+		return st.State == Running && st.Alloc == 8
+	})
+
+	// High-priority rigid job: needs 4 units out of a full budget.
+	high, err := s.Submit(JobSpec{Tenant: "interactive", Workload: "slow", Mode: pp.Shared,
+		Threads: 4, Priority: 10,
+		Params: map[string]int{"cells": 80, "blocks": 16, "delay_us": 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scheduler must shrink the low job to 4 and admit the high one.
+	waitFor(t, "squeeze: low shrunk to 4, high running", func() bool {
+		lo, _ := s.Job(low)
+		hi, _ := s.Job(high)
+		return lo.Alloc == 4 && hi.State == Running
+	})
+
+	hi, err := s.WaitJob(testCtx(t), high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.State != Done || hi.Result != slowWant(80) {
+		t.Fatalf("high-priority job: state=%s result=%q (%s)", hi.State, hi.Result, hi.Error)
+	}
+
+	// With the budget free again, the starved survivor grows back.
+	waitFor(t, "low-priority job grown back to 8", func() bool {
+		st, _ := s.Job(low)
+		return st.Alloc == 8
+	})
+
+	lo, err := s.WaitJob(testCtx(t), low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.State != Done || lo.Result != slowWant(1000) {
+		t.Fatalf("shrunken job: state=%s result=%q (%s)", lo.State, lo.Result, lo.Error)
+	}
+	if lo.Report == nil || !lo.Report.Adapted {
+		t.Fatal("the squeeze was not an engine adaptation (Report.Adapted unset)")
+	}
+}
+
+// Admission control: when the budget cannot fit a rigid job it queues (no
+// leapfrogging by later lower-priority submissions), and runs when the
+// budget frees.
+func TestFleetAdmissionControl(t *testing.T) {
+	s := newTestSupervisor(t, Config{Store: pp.NewMemStore(), Budget: 4})
+	defer s.Close()
+	first, err := s.Submit(JobSpec{Tenant: "a", Workload: "slow", Mode: pp.Shared, Threads: 4,
+		Params: map[string]int{"cells": 200, "blocks": 40, "delay_us": 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first job running", func() bool {
+		st, _ := s.Job(first)
+		return st.State == Running
+	})
+	second, err := s.Submit(JobSpec{Tenant: "a", Workload: "slow", Mode: pp.Shared, Threads: 4, Priority: 5,
+		Params: map[string]int{"cells": 40, "blocks": 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Head-of-line: a later 1-unit job must not leapfrog the blocked
+	// 4-unit job even though it would fit alongside the first.
+	third, err := s.Submit(JobSpec{Tenant: "a", Workload: "slow",
+		Params: map[string]int{"cells": 20, "blocks": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Job(second); st.State != Queued {
+		t.Fatalf("second job is %s on a full budget", st.State)
+	}
+	if st, _ := s.Job(third); st.State != Queued {
+		t.Fatalf("third job leapfrogged the blocked queue head: %s", st.State)
+	}
+	if err := s.Drain(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int64{first, second, third} {
+		if st, _ := s.Job(id); st.State != Done {
+			t.Errorf("job %d: %s (%s)", id, st.State, st.Error)
+		}
+	}
+}
+
+// Per-tenant quotas: with TenantMaxJobs=1 a tenant's second job waits even
+// though the machine budget has room, while another tenant's job flows.
+func TestFleetTenantQuota(t *testing.T) {
+	s := newTestSupervisor(t, Config{Store: pp.NewMemStore(), Budget: 8, TenantMaxJobs: 1})
+	defer s.Close()
+	a1, err := s.Submit(JobSpec{Tenant: "a", Workload: "slow",
+		Params: map[string]int{"cells": 100, "blocks": 20, "delay_us": 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Submit(JobSpec{Tenant: "a", Workload: "slow",
+		Params: map[string]int{"cells": 20, "blocks": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := s.Submit(JobSpec{Tenant: "b", Workload: "slow",
+		Params: map[string]int{"cells": 20, "blocks": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "tenant b's job to run past tenant a's quota", func() bool {
+		st, _ := s.Job(b1)
+		return st.State == Running || st.State == Done
+	})
+	a1St, _ := s.Job(a1)
+	a2St, _ := s.Job(a2)
+	if !(a1St.State == Running || a1St.State == Done) {
+		t.Fatalf("tenant a's first job is %s", a1St.State)
+	}
+	if a1St.State == Running && a2St.State != Queued {
+		t.Fatalf("tenant a exceeded its quota: job1=%s job2=%s", a1St.State, a2St.State)
+	}
+	if err := s.Drain(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int64{a1, a2, b1} {
+		if st, _ := s.Job(id); st.State != Done {
+			t.Errorf("job %d: %s (%s)", id, st.State, st.Error)
+		}
+	}
+}
+
+// TenantMaxUnits caps a tenant's allocation: a malleable job launches at
+// the tenant cap rather than its desired size.
+func TestFleetTenantUnitCap(t *testing.T) {
+	s := newTestSupervisor(t, Config{Store: pp.NewMemStore(), Budget: 8, TenantMaxUnits: 2})
+	defer s.Close()
+	id, err := s.Submit(JobSpec{Tenant: "a", Workload: "slow", Mode: pp.Shared,
+		Threads: 6, MinThreads: 1,
+		Params: map[string]int{"cells": 100, "blocks": 20, "delay_us": 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "capped launch", func() bool {
+		st, _ := s.Job(id)
+		return st.State == Running
+	})
+	if st, _ := s.Job(id); st.Alloc > 2 {
+		t.Fatalf("tenant allocated %d units over a cap of 2", st.Alloc)
+	}
+	if st, err := s.WaitJob(testCtx(t), id); err != nil || st.State != Done || st.Result != slowWant(100) {
+		t.Fatalf("capped job: %+v err=%v", st, err)
+	}
+	// A rigid job that can never fit under the tenant cap is refused.
+	if _, err := s.Submit(JobSpec{Tenant: "a", Workload: "slow", Mode: pp.Shared, Threads: 4}); err == nil {
+		t.Fatal("rigid job over the tenant unit cap accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"fmt"
+
+	"ppar/internal/ea"
+	"ppar/internal/jgf"
+	"ppar/internal/md"
+	"ppar/pp"
+)
+
+// StockWorkloads registers the repo's four paper workloads under their
+// usual names. Every factory follows the repo's one-result-pointer idiom —
+// all replicas share the result struct, only the master writes it — and
+// the Result digest formats are fixed strings, so two runs of the same
+// spec (interrupted or not, in any mode, at any team size) compare
+// byte-identical.
+//
+// Integer params per workload (with defaults):
+//
+//	sor:    n (64), iters (50)
+//	crypt:  n (4096)
+//	md:     n (32), steps (20)
+//	ea:     dim (8), pop (64), gens (20), seed (12345)
+func StockWorkloads(s *Supervisor) {
+	s.Register("sor", SORWorkload)
+	s.Register("crypt", CryptWorkload)
+	s.Register("md", MDWorkload)
+	s.Register("ea", EAWorkload)
+}
+
+func param(spec JobSpec, key string, def int) int {
+	if v, ok := spec.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// SORWorkload is the JGF successive over-relaxation stencil.
+func SORWorkload(spec JobSpec) (*Instance, error) {
+	n := param(spec, "n", 64)
+	iters := param(spec, "iters", 50)
+	if n < 4 || iters < 1 {
+		return nil, fmt.Errorf("fleet: sor needs n >= 4 and iters >= 1 (got n=%d iters=%d)", n, iters)
+	}
+	res := &jgf.SORResult{}
+	return &Instance{
+		Factory: func() pp.App { return jgf.NewSOR(n, iters, res) },
+		Modules: jgf.SORModules(spec.Mode),
+		Result:  func() string { return fmt.Sprintf("gtotal=%.12e", res.Gtotal) },
+	}, nil
+}
+
+// CryptWorkload is the JGF IDEA encrypt/decrypt round trip.
+func CryptWorkload(spec JobSpec) (*Instance, error) {
+	n := param(spec, "n", 4096)
+	if n < 8 {
+		return nil, fmt.Errorf("fleet: crypt needs n >= 8 (got %d)", n)
+	}
+	res := &jgf.CryptResult{}
+	return &Instance{
+		Factory: func() pp.App { return jgf.NewCrypt(n, res) },
+		Modules: jgf.CryptModules(spec.Mode),
+		Result:  func() string { return fmt.Sprintf("ok=%v checksum=%d", res.OK, res.Checksum) },
+	}, nil
+}
+
+// MDWorkload is the Lennard-Jones molecular dynamics simulation.
+func MDWorkload(spec JobSpec) (*Instance, error) {
+	n := param(spec, "n", 32)
+	steps := param(spec, "steps", 20)
+	if n < 2 || steps < 1 {
+		return nil, fmt.Errorf("fleet: md needs n >= 2 and steps >= 1 (got n=%d steps=%d)", n, steps)
+	}
+	res := &md.Observables{}
+	return &Instance{
+		Factory: func() pp.App { return md.New(md.LennardJones{}, n, steps, res) },
+		Modules: md.Modules(spec.Mode),
+		Result: func() string {
+			return fmt.Sprintf("kinetic=%.12e potential=%.12e", res.Kinetic, res.Potential)
+		},
+	}, nil
+}
+
+// EAWorkload is the replicated-breeding genetic algorithm on the sphere
+// problem.
+func EAWorkload(spec JobSpec) (*Instance, error) {
+	dim := param(spec, "dim", 8)
+	pop := param(spec, "pop", 64)
+	gens := param(spec, "gens", 20)
+	seed := param(spec, "seed", 12345)
+	if dim < 1 || pop < 2 || gens < 1 {
+		return nil, fmt.Errorf("fleet: ea needs dim >= 1, pop >= 2, gens >= 1 (got dim=%d pop=%d gens=%d)", dim, pop, gens)
+	}
+	res := &ea.Result{}
+	return &Instance{
+		Factory: func() pp.App { return ea.New(ea.Sphere{D: dim}, pop, gens, uint64(seed), res) },
+		Modules: ea.Modules(spec.Mode),
+		Result:  func() string { return fmt.Sprintf("best=%.12e", res.Best) },
+	}, nil
+}

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -144,6 +145,30 @@ func (t *Table) FprintCSV(w io.Writer) {
 		}
 		fmt.Fprintln(w, strings.Join(cells, ","))
 	}
+}
+
+// FprintJSON writes the table as one JSON document:
+//
+//	{"title": "...", "columns": ["...", ...], "rows": [["...", ...], ...]}
+//
+// Cells keep the same formatting as the aligned-table and CSV emitters, so
+// the three outputs agree on every value; an empty table emits "rows": []
+// rather than null, keeping consumers free of nil checks.
+func (t *Table) FprintJSON(w io.Writer) error {
+	doc := struct {
+		Title   string     `json:"title,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns, Rows: t.rows}
+	if doc.Columns == nil {
+		doc.Columns = []string{}
+	}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // Rows exposes the accumulated rows (for tests).

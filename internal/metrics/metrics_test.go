@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -66,6 +67,45 @@ func TestTableCSV(t *testing.T) {
 	}
 	if lines[1] != "x;y,2" {
 		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := NewTable("Fig X", "mode", "time")
+	tbl.AddRow("seq", 1500*time.Millisecond)
+	tbl.AddRow("smp-16", 120*time.Microsecond)
+	var sb strings.Builder
+	if err := tbl.FprintJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Title != "Fig X" || len(doc.Columns) != 2 || doc.Columns[0] != "mode" {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(doc.Rows) != 2 || doc.Rows[0][1] != "1.500s" {
+		t.Errorf("rows disagree with Rows(): %+v vs %+v", doc.Rows, tbl.Rows())
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	tbl := NewTable("", "a")
+	var sb strings.Builder
+	if err := tbl.FprintJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(sb.String())
+	if !strings.Contains(out, `"rows": []`) {
+		t.Errorf("empty table must emit an empty rows array, got:\n%s", out)
+	}
+	if strings.Contains(out, "title") {
+		t.Errorf("empty title must be omitted, got:\n%s", out)
 	}
 }
 

@@ -1,0 +1,125 @@
+package pp_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ppar/pp"
+)
+
+// Mode round-trips through encoding.TextMarshaler/TextUnmarshaler using the
+// same names String and ParseMode use — the fleet wire format depends on
+// the three agreeing.
+func TestModeTextRoundTrip(t *testing.T) {
+	for _, m := range []pp.Mode{pp.Sequential, pp.Shared, pp.Distributed, pp.Hybrid} {
+		text, err := m.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if string(text) != m.String() {
+			t.Errorf("MarshalText %q != String %q", text, m.String())
+		}
+		parsed, err := pp.ParseMode(string(text))
+		if err != nil || parsed != m {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", text, parsed, err, m)
+		}
+		var back pp.Mode
+		if err := back.UnmarshalText(text); err != nil || back != m {
+			t.Errorf("UnmarshalText(%q) = %v, %v; want %v", text, back, err, m)
+		}
+	}
+}
+
+// The zero Mode marshals to "" and unmarshals from "" — a JobSpec that
+// omits the mode defaults to Sequential downstream, not here.
+func TestModeTextZero(t *testing.T) {
+	var zero pp.Mode
+	text, err := zero.MarshalText()
+	if err != nil || len(text) != 0 {
+		t.Errorf("zero mode: text=%q err=%v", text, err)
+	}
+	var back pp.Mode = pp.Shared
+	if err := back.UnmarshalText(nil); err != nil || back != 0 {
+		t.Errorf("unmarshal empty: %v, %v", back, err)
+	}
+	if err := back.UnmarshalText([]byte("warp")); err == nil {
+		t.Error("unknown mode name accepted")
+	}
+	if _, err := pp.Mode(99).MarshalText(); err == nil {
+		t.Error("unknown mode value marshalled")
+	}
+}
+
+// Mode embeds in JSON structs as its string name (the JobSpec/JobStatus
+// wire format).
+func TestModeJSONInStruct(t *testing.T) {
+	type doc struct {
+		Mode pp.Mode `json:"mode,omitempty"`
+	}
+	out, err := json.Marshal(doc{Mode: pp.Distributed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `{"mode":"dist"}` {
+		t.Errorf("marshal: %s", out)
+	}
+	var back doc
+	if err := json.Unmarshal([]byte(`{"mode":"smp"}`), &back); err != nil || back.Mode != pp.Shared {
+		t.Errorf("unmarshal: %+v, %v", back, err)
+	}
+}
+
+// Report marshals with stable snake_case names and integer-nanosecond
+// durations — the GET /jobs/{id} payload contract.
+func TestReportJSONShape(t *testing.T) {
+	eng, err := pp.New(func() pp.App { return &counter{Out: make([]float64, 40), Blocks: 8, total: new(float64)} },
+		pp.WithName("json-report"),
+		pp.WithModules(modules(pp.Sequential)...),
+		pp.WithStore(pp.NewMemStore()),
+		pp.WithCheckpointEvery(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Report()
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"safe_points", "checkpoints", "save_total", "save_bytes", "load_total",
+		"replay_time", "elapsed", "adapted", "stopped", "stopped_at", "failed",
+		"restarted", "migrations", "migration_total", "capture_total",
+		"async_save_total", "drain_total", "superseded", "full_saves",
+		"delta_saves", "delta_bytes", "shard_saves", "shard_bytes",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("report JSON missing %q:\n%s", key, out)
+		}
+	}
+	if got := doc["safe_points"].(float64); got != float64(rep.SafePoints) {
+		t.Errorf("safe_points = %v, want %d", got, rep.SafePoints)
+	}
+	if rep.Elapsed > 0 && doc["elapsed"].(float64) != float64(rep.Elapsed.Nanoseconds()) {
+		t.Errorf("elapsed marshals as %v, want integer nanoseconds %d", doc["elapsed"], rep.Elapsed.Nanoseconds())
+	}
+	if strings.Contains(string(out), "SafePoints") {
+		t.Errorf("report JSON leaks Go field names:\n%s", out)
+	}
+
+	var back pp.Report
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SafePoints != rep.SafePoints || back.Checkpoints != rep.Checkpoints || back.Elapsed != rep.Elapsed {
+		t.Errorf("round trip: %+v vs %+v", back, rep)
+	}
+}

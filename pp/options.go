@@ -202,6 +202,17 @@ func WithStopAt(sp uint64) Option {
 	return WithAdaptPolicy(core.StopAt(sp))
 }
 
+// WithAdaptNotify registers fn, invoked once per applied reshaping — an
+// in-place thread/world resize or an in-process cross-mode migration —
+// after the new topology is in effect, with the safe point it was applied
+// at and the resulting mode/team/world sizes. It runs on the coordinating
+// line of execution between safe points, so it must not block on the
+// engine; external schedulers (the fleet supervisor) use it to learn when
+// a requested resize actually landed and give the freed budget away.
+func WithAdaptNotify(fn func(sp uint64, mode Mode, threads, procs int)) Option {
+	return func(c *core.Config) { c.OnAdapt = fn }
+}
+
 // WithAdaptManager attaches an external adaptation driver (such as
 // *AdaptManager, the simulated resource manager): it is started when the
 // run starts, feeds RequestAdapt/RequestStop asynchronously, and is stopped

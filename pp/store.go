@@ -51,6 +51,18 @@ func NewFSStore(dir string) (Store, error) { return ckpt.NewFS(dir) }
 // see each other's checkpoints.
 func NewMemStore() Store { return ckpt.NewMem() }
 
+// NamespacedStore wraps any Store so every application name is keyed under
+// "<prefix>~": engines (or whole fleets of them) multiplexed over one
+// backend under different prefixes can never see — or Clear — each other's
+// checkpoints, even when one prefix is a prefix of another ("t1" vs "t10").
+// The prefix must be non-empty and must not contain "~"; snapshots written
+// through the wrapper read back with their original application name. It
+// composes with the other wrappers in either order (namespacing a gzip
+// store, or gzip-compressing a namespaced one).
+func NamespacedStore(prefix string, inner Store) (Store, error) {
+	return ckpt.NewNamespaced(prefix, inner)
+}
+
 // NewGzipStore wraps any Store with transparent gzip compression of the
 // encoded snapshot container. Snapshots written without the wrapper are
 // still readable through it, so a deployment can be upgraded to compression
