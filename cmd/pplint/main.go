@@ -1,0 +1,73 @@
+// Command pplint runs the repo's contract-enforcing static analyzers over
+// the module:
+//
+//	go run ./cmd/pplint ./...
+//
+// The suite (see internal/analysis) machine-checks the invariants the
+// runtime documents in prose: AdaptPolicy.Decide purity (pppure),
+// serialization determinism (ppdeterminism), collective completeness
+// (ppcollective), store write ordering and atomicity (ppstore), and no
+// blocking I/O under the engine/supervisor locks (pplock).
+//
+// Findings print as file:line:col: [analyzer] message and make the exit
+// status 1. A deliberate exception is excused in place — with a reason —
+// by a staticcheck-style directive on the offending line or the line
+// above:
+//
+//	//lint:ignore pplock the journal write IS the admission critical section
+//
+// The -tests flag additionally analyzes in-package _test.go files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ppar/internal/analysis"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("pplint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, fset, err := analysis.Load("", patterns, *tests)
+	if err != nil {
+		fmt.Fprintf(errOut, "pplint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(analysis.All(), fset, pkgs)
+	if err != nil {
+		fmt.Fprintf(errOut, "pplint: %v\n", err)
+		return 2
+	}
+
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Fprintf(out, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "pplint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

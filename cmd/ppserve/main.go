@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -89,7 +88,7 @@ func run(args []string, out io.Writer) int {
 	fmt.Fprintf(out, "ppserve: listening on %s (budget %d, %d jobs recovered)\n",
 		ln.Addr(), *budget, recovered)
 
-	srv := &http.Server{Handler: newMux(sup)}
+	srv := newServer(sup)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 

@@ -7,8 +7,24 @@ import (
 	"strconv"
 	"strings"
 
+	"time"
+
 	"ppar/internal/fleet"
 )
+
+// newServer builds the daemon's http.Server with the slow-client timeouts a
+// long-lived service needs: without them a peer that stalls mid-headers or
+// trickles a request body pins a connection (and its goroutine) forever.
+// Handlers get no WriteTimeout because DELETE /jobs legitimately waits for a
+// checkpoint-and-stop; idle keep-alive connections are still reaped.
+func newServer(sup *fleet.Supervisor) *http.Server {
+	return &http.Server{
+		Handler:           newMux(sup),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
 
 // newMux wires the fleet supervisor behind the JSON API.
 func newMux(sup *fleet.Supervisor) *http.ServeMux {

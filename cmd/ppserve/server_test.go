@@ -157,3 +157,27 @@ func TestServerStopJob(t *testing.T) {
 		t.Errorf("re-stopping a stopped job: code=%d", code)
 	}
 }
+
+func TestServerHasSlowClientTimeouts(t *testing.T) {
+	sup, err := fleet.New(fleet.Config{Store: pp.NewMemStore(), Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if _, err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sup)
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: a peer stalling mid-headers pins a connection forever")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: a trickled request body pins a connection forever")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections are never reaped")
+	}
+	if srv.Handler == nil {
+		t.Error("newServer returned a server with no handler")
+	}
+}

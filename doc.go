@@ -64,4 +64,12 @@
 // (including -store=fs|mem|gzip backend selection and -async/-delta
 // checkpointing). The benchjson command turns `go test -bench` output into
 // the BENCH_*.json documents CI uploads as the perf trajectory.
+//
+// The runtime's cross-cutting contracts — AdaptPolicy.Decide purity,
+// deterministic serialization, collectives reached by every team member,
+// atomic store writes in wave order, no blocking work under the Engine or
+// Supervisor lock — are machine-checked by the pplint command (backed by
+// internal/analysis) and enforced in CI: run `go run ./cmd/pplint ./...`,
+// and annotate a justified protocol exemption with
+// `//lint:ignore <analyzer> <reason>` on the line above the finding.
 package ppar

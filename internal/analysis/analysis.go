@@ -1,0 +1,154 @@
+// Package analysis is pplint's static-analysis kernel: a small, offline
+// mirror of the golang.org/x/tools/go/analysis core (Analyzer, Pass,
+// Diagnostic) built on the standard library's go/ast and go/types only.
+//
+// The repo's correctness contracts — policy purity, serialization
+// determinism, collective completeness, store write ordering, no blocking
+// I/O under the engine/supervisor locks — are enforced by the five
+// analyzers in this package (pppure, ppdeterminism, ppcollective, ppstore,
+// pplock), run over every package of the module by cmd/pplint. The API
+// deliberately matches go/analysis field for field so the suite can swap to
+// the upstream framework (and its multichecker/analysistest) if the module
+// ever takes on the x/tools dependency; the build environment for this repo
+// is offline, so the kernel vendors nothing and shells out only to the go
+// tool already on PATH.
+//
+// False positives are suppressed at the marked line (or the line below the
+// comment) with the staticcheck-style directive
+//
+//	//lint:ignore pplock the journal write is the admission critical section
+//
+// naming one or more comma-separated analyzers and a mandatory reason.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass and how to run it.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// All returns the pplint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{PPPure, PPDeterminism, PPCollective, PPStore, PPLock}
+}
+
+// Run applies every analyzer to every package, drops findings suppressed by
+// lint:ignore directives, and returns the rest sorted by position.
+func Run(analyzers []*Analyzer, fset *token.FileSet, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(fset, pkg.Syntax)
+		for _, a := range analyzers {
+			var found []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &found,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range found {
+				if !ignores.suppressed(fset, d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreSet maps file -> line -> analyzer names excused on that line.
+type ignoreSet map[string]map[int][]string
+
+var ignoreRx = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+\S`)
+
+// collectIgnores gathers lint:ignore directives. A directive excuses its
+// own line and the next one, so it works both at end of line and as a
+// whole-line comment above the offending statement. Directives without a
+// reason are ignored (and so suppress nothing), matching staticcheck.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names := strings.Split(m[1], ",")
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return set
+}
+
+func (set ignoreSet) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, name := range set[pos.Filename][pos.Line] {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the fixture package at testdata/src/<fixture>, runs one
+// analyzer over it, and compares the diagnostics against `// want "regex"`
+// comments in the fixture source, x/tools-analysistest style: every
+// diagnostic must match a want expectation on its line, and every
+// expectation must be matched by a diagnostic. Several expectations on one
+// line are written as separate quoted regexes after a single want.
+func RunFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	pkgs, fset, err := Load("testdata/src/"+fixture, []string{"."}, false)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := Run([]*Analyzer{a}, fset, pkgs)
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+
+	type want struct {
+		rx      *regexp.Regexp
+		line    int
+		matched bool
+	}
+	quoted := regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+	wants := map[string]map[int][]*want{} // file -> line -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					trimmed := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(trimmed, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, m := range quoted.FindAllStringSubmatch(trimmed, -1) {
+						rx, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						if wants[pos.Filename] == nil {
+							wants[pos.Filename] = map[int][]*want{}
+						}
+						wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &want{rx: rx, line: pos.Line})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants[pos.Filename][pos.Line] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for file, lines := range wants {
+		for _, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, w.line, w.rx)
+				}
+			}
+		}
+	}
+}

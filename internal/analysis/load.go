@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath  string
+	Name        string
+	Dir         string
+	Standard    bool
+	DepOnly     bool
+	ForTest     string
+	GoFiles     []string
+	TestGoFiles []string
+	ImportMap   map[string]string
+	Error       *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool and type-checks the matched
+// packages plus everything they import, bottom-up, using only the standard
+// library. It is the offline stand-in for x/tools/go/packages: one
+// `go list -e -deps -json` invocation yields the file sets and the import
+// graph in dependency order, and go/types does the rest. dir is the
+// working directory for the go tool ("" = current). Only non-test files
+// are analyzed unless includeTests is set.
+//
+// Type errors in the standard library are tolerated (the checker still
+// produces usable, if incomplete, packages); type errors in this module's
+// own packages abort the load, since analyzing a tree that does not
+// compile produces garbage findings.
+func Load(dir string, patterns []string, includeTests bool) ([]*Package, *token.FileSet, error) {
+	args := []string{"list", "-e", "-deps", "-json"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Pure-Go file lists: cgo-conditional files land in IgnoredGoFiles
+	// instead of needing a C toolchain at type-check time.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	typed := map[string]*types.Package{"unsafe": types.Unsafe}
+	var result []*Package
+	var loadErrs []error
+
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.ImportPath == "unsafe" {
+			continue
+		}
+		local := !p.Standard
+		if p.Error != nil && local {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err))
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test main: nothing to analyze, nothing imports it
+		}
+
+		var files []*ast.File
+		var parseErr error
+		seen := map[string]bool{}
+		names := p.GoFiles
+		if p.ForTest != "" {
+			names = append(names[:len(names):len(names)], p.TestGoFiles...)
+		}
+		for _, name := range names {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil && local {
+				parseErr = err
+			}
+			if f != nil {
+				files = append(files, f)
+			}
+		}
+		if parseErr != nil {
+			loadErrs = append(loadErrs, parseErr)
+			continue
+		}
+
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Instances:  map[*ast.Ident]types.Instance{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer:    &mapImporter{typed: typed, importMap: p.ImportMap},
+			FakeImportC: true,
+			Sizes:       types.SizesFor("gc", runtime.GOARCH),
+			Error:       func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(p.ImportPath, fset, files, info)
+		if tpkg != nil {
+			typed[p.ImportPath] = tpkg
+		}
+		if local && len(typeErrs) > 0 {
+			for _, e := range typeErrs {
+				loadErrs = append(loadErrs, fmt.Errorf("%s: %v", p.ImportPath, e))
+			}
+			continue
+		}
+		if !p.DepOnly && local && tpkg != nil {
+			result = append(result, &Package{
+				PkgPath:   p.ImportPath,
+				Name:      p.Name,
+				Dir:       p.Dir,
+				Syntax:    files,
+				Types:     tpkg,
+				TypesInfo: info,
+			})
+		}
+	}
+	if len(loadErrs) > 0 {
+		return nil, nil, errors.Join(loadErrs...)
+	}
+	if len(result) == 0 {
+		return nil, nil, fmt.Errorf("go list %s: no packages to analyze", strings.Join(patterns, " "))
+	}
+	return result, fset, nil
+}
+
+// mapImporter resolves imports against the packages already checked, via
+// the importing package's ImportMap (which rewrites vendored standard
+// library paths and, under -test, the "test variant" recompilations).
+type mapImporter struct {
+	typed     map[string]*types.Package
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.typed[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded (go list -deps order violated?)", path)
+}

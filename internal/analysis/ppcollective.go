@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PPCollective targets the bug class behind the PR 6 joiner deadlock: a
+// collective operation (team barrier, exchange, safe-point checkpoint)
+// that some team members reach and others skip. The shape it flags is a
+// return statement guarded by a worker-identity condition (rank, id,
+// retired, replaying, IsMaster...) positioned before a collective call in
+// the same function: the guarded member returns early, its siblings block
+// in a barrier sized for the full cohort, and the run deadlocks one phase
+// apart.
+//
+// "Collective" is computed transitively within each package: a function
+// that calls Barrier/MasterResize/ExchangeF64/BroadcastF64 (or
+// Barrier.Wait/WaitResize), or calls another function already known to be
+// collective, is itself collective. ppar/internal/team is exempt — it is
+// the substrate that defines the retired/replaying pass-through semantics
+// the rest of the tree must not imitate ad hoc.
+var PPCollective = &Analyzer{
+	Name: "ppcollective",
+	Doc:  "collectives must be reached by every team member: flags identity-guarded returns that skip a later collective call",
+	Run:  runPPCollective,
+}
+
+func runPPCollective(pass *Pass) error {
+	if pass.Pkg.Path() == "ppar/internal/team" {
+		return nil
+	}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	forEachFuncBody(pass, func(fd *ast.FuncDecl) {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			decls[fn] = fd
+		}
+	})
+
+	marked := map[*types.Func]bool{}
+	isCollectiveCall := func(call *ast.CallExpr) bool {
+		if fn := callee(pass.TypesInfo, call); fn != nil && marked[fn] {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		switch sel.Sel.Name {
+		case "Barrier", "MasterResize", "ExchangeF64", "BroadcastF64":
+			_, isMethod := pass.TypesInfo.Selections[sel]
+			return isMethod
+		case "Wait", "WaitResize":
+			return recvTypeName(pass.TypesInfo, call) == "Barrier"
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if marked[fn] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isCollectiveCall(call) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				marked[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	for fn, fd := range decls {
+		if marked[fn] {
+			checkCollectiveScope(pass, fd.Body, isCollectiveCall)
+		}
+	}
+	return nil
+}
+
+// checkCollectiveScope analyzes one function scope (a declaration body or
+// a function literal) and reports identity-guarded returns that skip a
+// later collective site. It returns whether the scope contains any
+// collective site, so a nested literal that performs collectives counts as
+// one site in its enclosing scope (the engine invokes such closures
+// synchronously from the save protocol).
+func checkCollectiveScope(pass *Pass, body *ast.BlockStmt, isCollectiveCall func(*ast.CallExpr) bool) bool {
+	var sites []token.Pos
+	type guardedReturn struct {
+		pos      token.Pos
+		guardPos token.Pos
+		cond     ast.Expr
+	}
+	var returns []guardedReturn
+
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if checkCollectiveScope(pass, n.Body, isCollectiveCall) {
+				sites = append(sites, n.Pos())
+			}
+			return false
+		case *ast.CallExpr:
+			if isCollectiveCall(n) {
+				sites = append(sites, n.Pos())
+			}
+		case *ast.ReturnStmt:
+			if guard, cond := identityGuard(stack); cond != nil {
+				returns = append(returns, guardedReturn{n.Pos(), guard.Pos(), cond})
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	for _, r := range returns {
+		// A branch that performed a collective of its own before returning
+		// is an alternative protocol arm (e.g. "non-masters barrier, then
+		// return while the master resizes"), not a collective-free skip.
+		participated := false
+		for _, site := range sites {
+			if site >= r.guardPos && site < r.pos {
+				participated = true
+				break
+			}
+		}
+		if participated {
+			continue
+		}
+		for _, site := range sites {
+			if site > r.pos {
+				pass.Reportf(r.pos,
+					"return guarded by worker identity (%s) skips the collective at line %d: every team member must reach it or the others deadlock in a barrier sized for the full cohort (PR 6 joiner-deadlock shape)",
+					types.ExprString(r.cond), pass.Fset.Position(site).Line)
+				break
+			}
+		}
+	}
+	return len(sites) > 0
+}
+
+// identityGuard returns the innermost enclosing branch node and condition
+// that depend on worker identity, or nils.
+func identityGuard(stack []ast.Node) (ast.Node, ast.Expr) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			if identityDependent(n.Cond) {
+				return n, n.Cond
+			}
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				if identityDependent(e) {
+					return n, e
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && identityDependent(n.Tag) {
+				return n, n.Tag
+			}
+		}
+	}
+	return nil, nil
+}

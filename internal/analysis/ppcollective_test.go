@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+// TestPPCollective runs the analyzer over a fixture modeled on the PR 6
+// joiner deadlock: a replaying worker returning before the safe-point
+// collective its siblings are blocked in. The fixture also pins the two
+// refinements that keep the analyzer quiet on the real tree — alternative
+// protocol arms that perform their own collective before returning, and
+// lint:ignore suppression for documented pass-through exemptions.
+func TestPPCollective(t *testing.T) {
+	RunFixture(t, PPCollective, "ppcollective")
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PPDeterminism guards the serialization invariant the checkpoint formats
+// rely on: the encoded bytes (and the StateHash content hashes that drive
+// delta checkpoints) are a pure function of the captured state. The
+// internal/serial encoders achieve that by collecting map keys and sorting
+// them before emission; this analyzer flags the ways that discipline
+// erodes — emitting inside a map range, collecting without sorting,
+// hashing or keying on pointer identity, reading the clock or random
+// numbers anywhere in the package.
+var PPDeterminism = &Analyzer{
+	Name: "ppdeterminism",
+	Doc:  "internal/serial encode/capture/restore paths must produce bytes that are a pure function of state",
+	Run:  runPPDeterminism,
+}
+
+func runPPDeterminism(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, "ppar/internal/serial") && !fixturePath(path, "ppdeterminism") {
+		return nil
+	}
+	forEachFuncBody(pass, func(fd *ast.FuncDecl) {
+		if at, ok := usesRand(pass.TypesInfo, fd.Body); ok {
+			pass.Reportf(at.Pos(), "serialization code uses math/rand: encoded bytes must be a pure function of state")
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if msg := nondeterministicCall(pass.TypesInfo, n); strings.Contains(msg, "wall clock") {
+					pass.Reportf(n.Pos(), "serialization code %s: two captures of the same state must encode identically", msg)
+				}
+			case *ast.RangeStmt:
+				if rangeOverMap(pass.TypesInfo, n) {
+					if leak := mapRangeOrderLeak(pass.TypesInfo, n, fd.Body); leak != "" {
+						pass.Reportf(n.Pos(), "map range %s: iteration order is randomized, so the encoded bytes differ between captures (collect the keys and sort them first)", leak)
+					}
+				}
+			}
+			return true
+		})
+	})
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			mt, ok := n.(*ast.MapType)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[mt.Key]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Pointer, *types.Chan, *types.Signature:
+				pass.Reportf(mt.Key.Pos(), "map keyed by %s: pointer identity is process-specific, so anything derived from these keys (order, hashes, encodings) cannot be reproduced after restart", tv.Type.String())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPPDeterminism(t *testing.T) {
+	RunFixture(t, PPDeterminism, "ppdeterminism")
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// PPLock flags blocking operations — checkpoint-store I/O, WaitGroup or
+// Barrier waits, blocking channel operations, sleeps — performed while
+// holding a mutex of the core Engine or the fleet Supervisor. Those locks
+// sit on the safe-point and scheduling hot paths: store I/O under them
+// stalls every worker in the run (or every job in the fleet) for the
+// duration of a disk write. Other mutexes (shardSink, asyncWriter) are out
+// of scope on purpose — serializing I/O is their documented job.
+//
+// Two lock shapes are recognized: an explicit recv.<mutex>.Lock() ...
+// Unlock() span inside an Engine/Supervisor method, and the repo's
+// *Locked naming convention — a method whose name ends in "Locked" is
+// called with the lock held, so its whole body is a critical section.
+var PPLock = &Analyzer{
+	Name: "pplock",
+	Doc:  "no blocking operations (store I/O, Wait, channel ops, sleeps) while holding the Engine or Supervisor mutex",
+	Run:  runPPLock,
+}
+
+var lockGuardedTypes = map[string]bool{"Engine": true, "Supervisor": true}
+
+func runPPLock(pass *Pass) error {
+	forEachFuncBody(pass, func(fd *ast.FuncDecl) {
+		recvName := funcRecvName(pass.TypesInfo, fd)
+		if !lockGuardedTypes[recvName] {
+			return
+		}
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			checkLockedRegion(pass, fd, recvName, fd.Body.Pos(), fd.Body.End())
+			return
+		}
+		for _, span := range lockSpans(pass, fd) {
+			checkLockedRegion(pass, fd, recvName, span.from, span.to)
+		}
+	})
+	return nil
+}
+
+type lockSpan struct{ from, to token.Pos }
+
+// lockSpans computes the positional spans of fd's body where a mutex field
+// of the receiver is held: from each recv.<field>.Lock() to the next
+// matching Unlock, or to the function end when the unlock is deferred.
+// Position order approximates control flow, which matches how these
+// methods are written (lock, work, unlock — no lock juggling across
+// branches).
+func lockSpans(pass *Pass, fd *ast.FuncDecl) []lockSpan {
+	recv := recvObject(pass, fd)
+	if recv == nil {
+		return nil
+	}
+	type event struct {
+		pos      token.Pos
+		lock     bool
+		deferred bool // the unlock itself is deferred: held to function end
+		skip     bool // inside a function literal: runs at some other time
+	}
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var isLock bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			isLock = true
+		case "Unlock", "RUnlock":
+		default:
+			return true
+		}
+		switch recvTypeName(pass.TypesInfo, call) {
+		case "Mutex", "RWMutex":
+		default:
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil || pass.TypesInfo.Uses[root] != recv {
+			return true
+		}
+		events = append(events, event{pos: call.Pos(), lock: isLock})
+		return true
+	})
+	// A directly deferred unlock (defer s.mu.Unlock()) holds the lock to
+	// the end of the function. Lock/Unlock pairs inside a function literal
+	// (including deferred closures) execute at some other time and do not
+	// shape this function's spans.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			for i := range events {
+				if events[i].pos == n.Call.Pos() {
+					events[i].deferred = true
+				}
+			}
+		case *ast.FuncLit:
+			for i := range events {
+				if events[i].pos >= n.Pos() && events[i].pos < n.End() {
+					events[i].skip = true
+				}
+			}
+		}
+		return true
+	})
+
+	var spans []lockSpan
+	var open token.Pos
+	depth := 0
+	for _, ev := range events {
+		switch {
+		case ev.skip:
+		case ev.lock:
+			if depth == 0 {
+				open = ev.pos
+			}
+			depth++
+		case ev.deferred:
+			// Releases at function exit: the region stays open.
+		default:
+			if depth > 0 {
+				depth--
+				if depth == 0 {
+					spans = append(spans, lockSpan{open, ev.pos})
+				}
+			}
+		}
+	}
+	if depth > 0 {
+		spans = append(spans, lockSpan{open, fd.Body.End()})
+	}
+	return spans
+}
+
+// checkLockedRegion reports blocking operations positioned inside one held
+// span of fd's body.
+func checkLockedRegion(pass *Pass, fd *ast.FuncDecl, recvName string, from, to token.Pos) {
+	where := fd.Name.Name
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n.Pos() < from || n.Pos() > to {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch name, recv := calleeNameRecv(pass, n); {
+			case recv == "Store":
+				pass.Reportf(n.Pos(), "checkpoint-store I/O (%s) while holding the %s lock in %s: a disk write stalls every path that needs this lock", name, recvName, where)
+			case name == "Wait" && (recv == "WaitGroup" || recv == "Barrier"):
+				pass.Reportf(n.Pos(), "%s.Wait while holding the %s lock in %s: waiting under the lock deadlocks against anything that needs the lock to make progress", recv, recvName, where)
+			case isCallTo(pass.TypesInfo, n, "time", "Sleep"):
+				pass.Reportf(n.Pos(), "time.Sleep while holding the %s lock in %s", recvName, where)
+			}
+		case *ast.SendStmt:
+			if !inNonBlockingSelect(stack) {
+				pass.Reportf(n.Pos(), "channel send while holding the %s lock in %s: an unready receiver blocks everyone needing the lock (send from a select with default, or outside the lock)", recvName, where)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inNonBlockingSelect(stack) {
+				pass.Reportf(n.Pos(), "channel receive while holding the %s lock in %s", recvName, where)
+			}
+		}
+		return true
+	})
+}
+
+// calleeNameRecv returns a call's method name and receiver type name.
+func calleeNameRecv(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return sel.Sel.Name, recvTypeName(pass.TypesInfo, call)
+}
+
+// inNonBlockingSelect reports whether the innermost enclosing select has a
+// default clause, making its channel operations non-blocking.
+func inNonBlockingSelect(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		sel, ok := stack[i].(*ast.SelectStmt)
+		if !ok {
+			continue
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

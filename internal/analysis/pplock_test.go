@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPPLock(t *testing.T) {
+	RunFixture(t, PPLock, "pplock")
+}

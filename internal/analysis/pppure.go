@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PPPure enforces the AdaptPolicy.Decide purity contract (pp/policy.go:
+// "Decide must be a pure function of the RunStats") and keeps the
+// checkpoint-cadence accounting in internal/core — the inputs Decide sees —
+// deterministic. A policy that reads the clock, draws random numbers, does
+// I/O, leaks map iteration order, or mutates shared state makes the
+// engine's adaptation decisions diverge across team members and across
+// replays, which is exactly what the safe-point protocol forbids.
+var PPPure = &Analyzer{
+	Name: "pppure",
+	Doc:  "AdaptPolicy.Decide implementations and the cadence-counter paths must be pure functions of deterministic run state",
+	Run:  runPPPure,
+}
+
+func runPPPure(pass *Pass) error {
+	cadenceScope := pass.Pkg.Path() == "ppar/internal/core" || fixturePath(pass.Pkg.Path(), "pppure")
+	forEachFuncBody(pass, func(fd *ast.FuncDecl) {
+		switch {
+		case isDecideMethod(pass, fd):
+			checkPure(pass, fd.Body, "AdaptPolicy.Decide", recvObject(pass, fd))
+		case cadenceScope && referencesCadence(fd.Body):
+			checkPure(pass, fd.Body, "the checkpoint-cadence path", nil)
+		}
+	})
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit := policyFuncLit(pass, n); lit != nil {
+				checkPure(pass, lit.Body, "a PolicyFunc policy", nil)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isDecideMethod matches methods named Decide taking exactly one parameter
+// of a named type RunStats — the AdaptPolicy shape, wherever declared.
+func isDecideMethod(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Decide" {
+		return false
+	}
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) > 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[params.List[0].Type]
+	return ok && namedName(tv.Type) == "RunStats"
+}
+
+// policyFuncLit matches the conversion PolicyFunc(func(...) ...{...}) that
+// turns a closure into a policy.
+func policyFuncLit(pass *Pass, n ast.Node) *ast.FuncLit {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	tn, ok := pass.TypesInfo.Uses[id].(*types.TypeName)
+	if !ok || tn.Name() != "PolicyFunc" {
+		return nil
+	}
+	lit, _ := ast.Unparen(call.Args[0]).(*ast.FuncLit)
+	return lit
+}
+
+// cadenceFields are the deterministic counters RunStats exposes to
+// policies; any function computing or updating them is part of the
+// decision input and inherits the determinism contract.
+var cadenceFields = map[string]bool{"FullSaves": true, "DeltaSaves": true, "LastCheckpointSP": true}
+
+func referencesCadence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && cadenceFields[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// recvObject resolves the receiver variable of a method declaration.
+func recvObject(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// checkPure reports every purity violation in body. recv, when non-nil, is
+// the method receiver: mutating it from Decide also breaks the contract
+// (policy state would have to be checkpointed, and it is not).
+func checkPure(pass *Pass, body *ast.BlockStmt, what string, recv types.Object) {
+	if at, ok := usesRand(pass.TypesInfo, body); ok {
+		pass.Reportf(at.Pos(), "%s uses math/rand: decisions must be deterministic across team members and replays", what)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if msg := nondeterministicCall(pass.TypesInfo, n); msg != "" {
+				pass.Reportf(n.Pos(), "%s %s: it must be a pure function of its deterministic inputs", what, msg)
+			}
+		case *ast.RangeStmt:
+			if rangeOverMap(pass.TypesInfo, n) {
+				if leak := mapRangeOrderLeak(pass.TypesInfo, n, body); leak != "" {
+					pass.Reportf(n.Pos(), "%s %s: map iteration order is randomized, so the result differs between runs", what, leak)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkPureWrite(pass, lhs, what, recv)
+			}
+		case *ast.IncDecStmt:
+			checkPureWrite(pass, n.X, what, recv)
+		}
+		return true
+	})
+}
+
+func checkPureWrite(pass *Pass, lhs ast.Expr, what string, recv types.Object) {
+	id := rootIdent(lhs)
+	if id == nil {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		pass.Reportf(lhs.Pos(), "%s mutates package-level state (%s): decisions must not depend on or alter shared mutable state", what, id.Name)
+		return
+	}
+	if recv != nil && obj == recv {
+		pass.Reportf(lhs.Pos(), "%s mutates its receiver (%s): policy state is not checkpointed, so it diverges on restart", what, id.Name)
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPPPure(t *testing.T) {
+	RunFixture(t, PPPure, "pppure")
+}

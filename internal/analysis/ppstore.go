@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PPStore machine-checks the store write contracts PR 5 documents in
+// CHANGES.md: blobs land via temp+rename (never a direct write under the
+// committed name), every link of a shard wave is written before the
+// PPCKPS1 manifest commits it, chain garbage collection runs only after
+// that commit, and Clear-style methods match owned artifact names exactly
+// instead of by prefix. Store implementations are recognized structurally:
+// any type declaring a SaveManifest method.
+var PPStore = &Analyzer{
+	Name: "ppstore",
+	Doc:  "pp.Store implementations and call sites must write atomically, commit manifests last, and GC only after the commit",
+	Run:  runPPStore,
+}
+
+func runPPStore(pass *Pass) error {
+	implTypes := map[string]bool{}
+	forEachFuncBody(pass, func(fd *ast.FuncDecl) {
+		if fd.Name.Name == "SaveManifest" {
+			if name := funcRecvName(pass.TypesInfo, fd); name != "" {
+				implTypes[name] = true
+			}
+		}
+	})
+
+	forEachFuncBody(pass, func(fd *ast.FuncDecl) {
+		if implTypes[funcRecvName(pass.TypesInfo, fd)] {
+			switch fd.Name.Name {
+			case "Save", "SaveDelta", "SaveManifest", "SaveShardDelta":
+				checkAtomicWrites(pass, fd)
+			case "Clear", "ClearDeltas", "ClearShardDeltas":
+				checkExactNameMatch(pass, fd)
+			}
+		}
+		checkCommitOrdering(pass, fd, implTypes)
+	})
+	return nil
+}
+
+// checkAtomicWrites flags direct writes under a committed name inside a
+// store save path; a crash mid-write must leave either the old blob or the
+// new one, never a torn file, so saves go through temp+rename(+dirsync).
+func checkAtomicWrites(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"WriteFile", "Create"} {
+			if isCallTo(pass.TypesInfo, call, "os", name) {
+				pass.Reportf(call.Pos(),
+					"%s.%s writes a checkpoint blob with os.%s: save paths must write a temp file and rename it over the committed name so a crash never leaves a torn blob",
+					funcRecvName(pass.TypesInfo, fd), fd.Name.Name, name)
+			}
+		}
+		return true
+	})
+}
+
+// checkExactNameMatch flags prefix matching in Clear-style methods: the
+// namespace is flat, so app "sor" must not delete "sor2"'s checkpoints.
+// Owned names are parsed exactly (CutPrefix + CutSuffix + validation).
+func checkExactNameMatch(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"HasPrefix", "Contains"} {
+			if isCallTo(pass.TypesInfo, call, "strings", name) {
+				pass.Reportf(call.Pos(),
+					"%s.%s selects files to delete with strings.%s: match owned artifact names exactly (parse the name and validate the remainder) — prefix matching deletes another app's checkpoints",
+					funcRecvName(pass.TypesInfo, fd), fd.Name.Name, name)
+			}
+		}
+		return true
+	})
+}
+
+// checkCommitOrdering enforces, positionally within one function, the wave
+// protocol: links before the manifest, GC after it. The receiver of the
+// observed calls must be store-like — the Store interface or a local
+// implementation — so unrelated methods with the same names don't trip it.
+func checkCommitOrdering(pass *Pass, fd *ast.FuncDecl, implTypes map[string]bool) {
+	storeRecv := func(call *ast.CallExpr) bool {
+		name := recvTypeName(pass.TypesInfo, call)
+		return name == "Store" || implTypes[name]
+	}
+	var links, manifests, clears []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !storeRecv(call) {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "SaveShardDelta":
+			links = append(links, call.Pos())
+		case "SaveManifest":
+			manifests = append(manifests, call.Pos())
+		case "ClearShardDeltas":
+			clears = append(clears, call.Pos())
+		}
+		return true
+	})
+	if len(manifests) == 0 {
+		return
+	}
+	minManifest, maxManifest := manifests[0], manifests[0]
+	for _, p := range manifests[1:] {
+		if p < minManifest {
+			minManifest = p
+		}
+		if p > maxManifest {
+			maxManifest = p
+		}
+	}
+	for _, p := range links {
+		if p > minManifest {
+			pass.Reportf(p, "shard link written after SaveManifest at line %d: every link of a wave must land before the manifest commits it, or the manifest references a file that may not exist after a crash",
+				pass.Fset.Position(minManifest).Line)
+		}
+	}
+	for _, p := range clears {
+		if p < maxManifest {
+			pass.Reportf(p, "chain GC before the committing SaveManifest at line %d: collecting links first means a crash between the two loses the only restart point",
+				pass.Fset.Position(maxManifest).Line)
+		}
+	}
+}

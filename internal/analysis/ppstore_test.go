@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPPStore(t *testing.T) {
+	RunFixture(t, PPStore, "ppstore")
+}

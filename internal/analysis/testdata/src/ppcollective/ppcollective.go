@@ -1,0 +1,84 @@
+// Fixture for the ppcollective analyzer, modeled on the PR 6 joiner
+// deadlock: a replaying worker skipped the safe-point checkpoint while its
+// siblings entered a barrier sized for the full cohort.
+package ppcollective
+
+type Barrier struct{ n int }
+
+func (b *Barrier) Wait() {}
+
+type Worker struct {
+	id        int
+	replaying bool
+	barrier   *Barrier
+}
+
+func (w *Worker) IsMaster() bool { return w.id == 0 }
+
+func (w *Worker) Barrier() { w.barrier.Wait() }
+
+func save() {}
+
+func grow(n int) {}
+
+// checkpoint is transitively collective: every member must call it
+// together or nobody leaves the first barrier.
+func (w *Worker) checkpoint() {
+	w.barrier.Wait()
+	if w.IsMaster() {
+		save()
+	}
+	w.barrier.Wait()
+}
+
+// safePoint is the joiner-deadlock shape: replaying workers return before
+// the collective their siblings are already blocked in.
+func (w *Worker) safePoint(due bool) {
+	if !due {
+		return
+	}
+	if w.replaying {
+		return // want "skips the collective"
+	}
+	w.checkpoint()
+}
+
+// safePointFixed routes every member into the collective and lets the
+// barrier's own pass-through semantics handle replaying workers.
+func (w *Worker) safePointFixed(due bool) {
+	if !due {
+		return
+	}
+	w.checkpoint()
+}
+
+// resize is an alternative protocol arm, not a skip: non-masters perform
+// their own paired collective before returning while the master grows the
+// team. The analyzer must stay quiet here.
+func (w *Worker) resize(n int) {
+	if !w.IsMaster() {
+		w.barrier.Wait()
+		return
+	}
+	grow(n)
+	w.barrier.Wait()
+}
+
+// reduce exercises the Barrier-method spelling of a collective site.
+func reduce(w *Worker, vals []float64) float64 {
+	if w.id != 0 {
+		return 0 // want "skips the collective"
+	}
+	w.Barrier()
+	return vals[0]
+}
+
+// drain shows the escape hatch: a justified protocol exemption is
+// annotated, not silenced.
+func (w *Worker) drain() {
+	if w.replaying {
+		//lint:ignore ppcollective this toy barrier counts only non-replaying members, mirroring the runtime's pass-through
+		return
+	}
+	w.Barrier()
+}

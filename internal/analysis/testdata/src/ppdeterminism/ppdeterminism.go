@@ -1,0 +1,75 @@
+// Fixture for the ppdeterminism analyzer: serialization code whose bytes
+// must be a pure function of the captured state.
+package ppdeterminism
+
+import (
+	"bytes"
+	"sort"
+	"time"
+)
+
+type snapshot struct {
+	fields map[string][]byte
+}
+
+// encodeBad leaks the randomized map iteration order straight into the
+// encoded stream: two captures of identical state produce different bytes.
+func encodeBad(s snapshot, buf *bytes.Buffer) {
+	for k, v := range s.fields { // want "ordered emission"
+		buf.WriteString(k)
+		buf.Write(v)
+	}
+}
+
+// encodeGood is the collect-then-sort idiom the real encoders use.
+func encodeGood(s snapshot, buf *bytes.Buffer) {
+	names := make([]string, 0, len(s.fields))
+	for k := range s.fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		buf.WriteString(k)
+		buf.Write(s.fields[k])
+	}
+}
+
+// fieldNamesUnsorted collects keys but never sorts them, so every caller
+// inherits the randomized order.
+func fieldNamesUnsorted(s snapshot) []string {
+	var names []string
+	for k := range s.fields { // want "without sorting"
+		names = append(names, k)
+	}
+	return names
+}
+
+// dataBytes accumulates an integer: order-insensitive, not a finding.
+func dataBytes(s snapshot) int {
+	n := 0
+	for _, v := range s.fields {
+		n += len(v)
+	}
+	return n
+}
+
+// clone writes into a fresh map: order-insensitive, not a finding.
+func clone(s snapshot) snapshot {
+	out := snapshot{fields: make(map[string][]byte, len(s.fields))}
+	for k, v := range s.fields {
+		out.fields[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// chunkIndex keys chunks by snapshot pointer: hashes or encodings derived
+// from these keys cannot be reproduced in the restarted process.
+type chunkIndex struct {
+	dirty map[*snapshot]uint64 // want "map keyed by"
+}
+
+// stamp embeds capture time in the payload, so re-encoding after restore
+// never round-trips.
+func stamp(buf *bytes.Buffer) {
+	buf.WriteString(time.Now().String()) // want "wall clock"
+}

@@ -1,0 +1,107 @@
+// Fixture for the pplock analyzer: blocking operations under the Engine or
+// Supervisor mutex.
+package pplock
+
+import (
+	"sync"
+	"time"
+)
+
+type Snapshot struct{}
+
+type Store interface {
+	Save(s Snapshot) error
+	Load(app string) (Snapshot, bool, error)
+}
+
+type Supervisor struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	wg    sync.WaitGroup
+	kick  chan struct{}
+	store Store
+	queue []int
+}
+
+// submitBad performs store I/O under the deferred-unlock span.
+func (s *Supervisor) submitBad(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = append(s.queue, id)
+	return s.store.Save(Snapshot{}) // want "checkpoint-store I/O"
+}
+
+// submitGood snapshots under the lock and writes after releasing it.
+func (s *Supervisor) submitGood(id int) error {
+	s.mu.Lock()
+	s.queue = append(s.queue, id)
+	snap := Snapshot{}
+	s.mu.Unlock()
+	return s.store.Save(snap)
+}
+
+// saveJournalLocked inherits the whole-body critical section from the
+// *Locked naming convention.
+func (s *Supervisor) saveJournalLocked() error {
+	return s.store.Save(Snapshot{}) // want "checkpoint-store I/O"
+}
+
+func (s *Supervisor) drainBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want "Wait while holding"
+}
+
+func (s *Supervisor) kickBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kick <- struct{}{} // want "channel send while holding"
+}
+
+// kickGood makes the send non-blocking, so the lock can never be held
+// behind an unready receiver.
+func (s *Supervisor) kickGood() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// waitCond is the one legal wait under a mutex: sync.Cond.Wait releases the
+// lock while parked.
+func (s *Supervisor) waitCond() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 {
+		s.cond.Wait()
+	}
+}
+
+func (s *Supervisor) napLocked() {
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+}
+
+type Engine struct {
+	mu    sync.Mutex
+	saves int
+}
+
+// record holds the lock only around pure bookkeeping.
+func (e *Engine) record() {
+	e.mu.Lock()
+	e.saves++
+	e.mu.Unlock()
+}
+
+// flush locks only inside a deferred closure: the store write itself runs
+// unlocked, and the closure's span must not leak into the function body.
+func (e *Engine) flush(st Store) error {
+	defer func() {
+		e.mu.Lock()
+		e.saves++
+		e.mu.Unlock()
+	}()
+	return st.Save(Snapshot{})
+}

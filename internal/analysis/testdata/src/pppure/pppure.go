@@ -1,0 +1,101 @@
+// Fixture for the pppure analyzer: AdaptPolicy.Decide implementations and
+// checkpoint-cadence functions must be pure. The types mirror the pp
+// package shapes the analyzer matches structurally.
+package pppure
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+type RunStats struct {
+	SafePoint        uint64
+	FullSaves        int
+	DeltaSaves       int
+	LastCheckpointSP uint64
+}
+
+type AdaptTarget struct {
+	Threads int
+	Stop    bool
+}
+
+type PolicyFunc func(RunStats) AdaptTarget
+
+func (f PolicyFunc) Decide(s RunStats) AdaptTarget { return f(s) }
+
+var decisions int
+
+// clockPolicy breaks the contract in every way a policy usually does.
+type clockPolicy struct {
+	last time.Time
+}
+
+func (p *clockPolicy) Decide(s RunStats) AdaptTarget {
+	if time.Since(p.last) > time.Second { // want "reads the wall clock"
+		p.last = time.Now() // want "mutates its receiver" "reads the wall clock"
+	}
+	decisions++            // want "mutates package-level state"
+	if rand.Intn(4) == 0 { // want "uses math/rand"
+		return AdaptTarget{Stop: true}
+	}
+	fmt.Println("deciding at", s.SafePoint)                // want "performs I/O"
+	if _, err := os.ReadFile("threads.conf"); err == nil { // want "performs I/O"
+		return AdaptTarget{Threads: 8}
+	}
+	return AdaptTarget{}
+}
+
+// weightedPolicy shows the map rules: collect-then-sort passes, leaking
+// iteration order into the result does not.
+type weightedPolicy struct {
+	weights map[string]int
+}
+
+func (p weightedPolicy) Decide(s RunStats) AdaptTarget {
+	names := make([]string, 0, len(p.weights))
+	for k := range p.weights { // collect-then-sort: fine
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	key := ""
+	for k := range p.weights { // want "map iteration order"
+		key += k
+	}
+	if key != "" && len(names) > int(s.SafePoint) {
+		return AdaptTarget{Threads: p.weights[names[0]]}
+	}
+	return AdaptTarget{}
+}
+
+// Closures converted to PolicyFunc inherit the contract.
+var sleepy = PolicyFunc(func(s RunStats) AdaptTarget {
+	time.Sleep(time.Millisecond) // want "reads the wall clock"
+	return AdaptTarget{}
+})
+
+// stopAt is the stock-policy shape: pure, nothing to report.
+var stopAt = PolicyFunc(func(s RunStats) AdaptTarget {
+	if s.SafePoint >= 100 && s.LastCheckpointSP == s.SafePoint {
+		return AdaptTarget{Stop: true}
+	}
+	return AdaptTarget{}
+})
+
+// cadence is on the deterministic-counter path (it computes the values
+// Decide sees), so it inherits the purity checks.
+func cadence(sp, every uint64) RunStats {
+	due := sp / every
+	stats := RunStats{
+		SafePoint:        sp,
+		FullSaves:        int(due),
+		LastCheckpointSP: due * every,
+	}
+	if time.Now().Unix()%2 == 0 { // want "reads the wall clock"
+		stats.DeltaSaves = 1
+	}
+	return stats
+}

@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// callee resolves the function or method a call invokes, or nil for
+// dynamic calls (function values, interface fields) and conversions.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isCallTo reports whether call invokes the package-level function or
+// method pkgPath.name.
+func isCallTo(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := callee(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// calleePkg returns the import path of the package owning the called
+// function, or "" when unknown.
+func calleePkg(info *types.Info, call *ast.CallExpr) string {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvTypeName returns the name of the named type a method call's receiver
+// resolves to (pointers dereferenced), or "" for non-method calls.
+func recvTypeName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	return namedName(s.Recv())
+}
+
+// namedName unwraps pointers and aliases and returns the type's name, or
+// "" for unnamed types.
+func namedName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Pointer:
+		return namedName(t.Elem())
+	}
+	return ""
+}
+
+// funcRecvName returns the name of a declared method's receiver type, or
+// "" for plain functions.
+func funcRecvName(info *types.Info, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return ""
+	}
+	return namedName(tv.Type)
+}
+
+// identityNames are the receiver fields and accessor methods that encode a
+// team member's identity: which rank/worker it is and whether it is an
+// active participant. A branch on any of these can evaluate differently on
+// different members of the same team.
+var identityNames = map[string]bool{
+	"retired": true, "Retired": true,
+	"replaying": true, "Replaying": true,
+	"IsMaster": true, "IsMasterRank": true, "IsMasterThread": true,
+	"Rank": true, "rank": true, "retiredRank": true,
+	"ID": true, "id": true,
+}
+
+// identityDependent reports whether cond mentions worker/rank identity,
+// i.e. whether it can differ across members of one team at the same
+// program point.
+func identityDependent(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if identityNames[n.Name] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if identityNames[n.Sel.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rangeOverMap reports whether rs ranges over a map value.
+func rangeOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// emissionSinks are method names whose call inside a map range means the
+// iteration order leaks into an output stream or hash.
+var emissionSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Sum": true, "Sum32": true, "Sum64": true, "Encode": true,
+}
+
+// mapRangeOrderLeak inspects a range-over-map statement and returns a
+// non-empty description when the loop body leaks the (randomized)
+// iteration order into an ordered output: writing to a stream or hash,
+// appending to an outer slice that is never sorted afterwards in the same
+// function, or accumulating a string. Order-insensitive bodies — writes
+// into maps, delete, numeric accumulation, collect-then-sort — pass.
+// enclosing is the innermost function body containing rs.
+func mapRangeOrderLeak(info *types.Info, rs *ast.RangeStmt, enclosing *ast.BlockStmt) string {
+	leak := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if leak != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if emissionSinks[sel.Sel.Name] && len(info.Selections) > 0 {
+					if _, isMethod := info.Selections[sel]; isMethod {
+						leak = "calls " + sel.Sel.Name + " (ordered emission)"
+						return false
+					}
+				}
+			}
+			if pkg := calleePkg(info, n); pkg == "fmt" {
+				if fn := callee(info, n); fn != nil && strings.HasPrefix(fn.Name(), "Fprint") {
+					leak = "calls fmt." + fn.Name() + " (ordered emission)"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			leak = assignOrderLeak(info, n, rs, enclosing)
+			if leak != "" {
+				return false
+			}
+		}
+		return true
+	})
+	return leak
+}
+
+// assignOrderLeak classifies one assignment inside a map-range body.
+func assignOrderLeak(info *types.Info, as *ast.AssignStmt, rs *ast.RangeStmt, enclosing *ast.BlockStmt) string {
+	for i, lhs := range as.Lhs {
+		lhs := ast.Unparen(lhs)
+		// s += ... on a string accumulates in iteration order.
+		if as.Tok.String() == "+=" {
+			if tv, ok := info.Types[lhs]; ok && tv.Type != nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					return "accumulates a string in map iteration order"
+				}
+			}
+		}
+		// x = append(x, ...) into a slice declared outside the loop:
+		// fine only when the slice is sorted later in the same function.
+		if i < len(as.Rhs) {
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+					dest, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Defs[dest]
+					if obj == nil {
+						obj = info.Uses[dest]
+					}
+					if obj == nil || obj.Pos() >= rs.Pos() {
+						continue // loop-local scratch
+					}
+					if !sortedLater(info, obj, rs, enclosing) {
+						return "appends map keys/values to " + dest.Name + " without sorting it afterwards"
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// sortedLater reports whether obj is passed to a sort.* or slices.Sort*
+// call positioned after the range statement in the enclosing body.
+func sortedLater(info *types.Info, obj types.Object, rs *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	if enclosing == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		pkg := calleePkg(info, call)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.Uses[id] == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// forEachFuncBody invokes fn for every function and method declaration
+// with a body in the pass's files.
+func forEachFuncBody(pass *Pass, fn func(*ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// fixturePath reports whether pkgPath is the analyzer's own test fixture
+// package (internal/analysis/testdata/src/<name>).
+func fixturePath(pkgPath, analyzer string) bool {
+	return strings.HasSuffix(pkgPath, "testdata/src/"+analyzer)
+}
+
+// rootIdent unwraps selectors, indexes and derefs down to the base
+// identifier of an lvalue or receiver chain, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// bannedTimeFuncs are the wall-clock entry points: anything whose result
+// differs between two replays of the same safe point.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// ioPackages hold functions whose call means the function touches the
+// outside world. fmt is handled separately (Sprintf is pure, Printf not).
+var ioPackages = map[string]bool{
+	"os": true, "io": true, "io/fs": true, "bufio": true, "net": true,
+	"net/http": true, "log": true, "log/slog": true, "os/exec": true, "syscall": true,
+}
+
+// nondeterministicCall classifies a call as a wall-clock read or I/O and
+// returns a short description, or "".
+func nondeterministicCall(info *types.Info, call *ast.CallExpr) string {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch pkg := fn.Pkg().Path(); {
+	case pkg == "time" && bannedTimeFuncs[fn.Name()]:
+		return "reads the wall clock (time." + fn.Name() + ")"
+	case ioPackages[pkg]:
+		return "performs I/O (" + pkg + "." + fn.Name() + ")"
+	case pkg == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")):
+		return "performs I/O (fmt." + fn.Name() + ")"
+	}
+	return ""
+}
+
+// randPackages are the nondeterministic number sources.
+var randPackages = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// usesRand reports (with the offending position) whether the node
+// references math/rand or math/rand/v2.
+func usesRand(info *types.Info, root ast.Node) (ast.Node, bool) {
+	var at ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if at != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil && randPackages[obj.Pkg().Path()] {
+			at = id
+		}
+		return at == nil
+	})
+	return at, at != nil
+}

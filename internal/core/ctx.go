@@ -110,6 +110,7 @@ func (c *Ctx) Call(name string, fn func(*Ctx)) {
 	if adv.Ignorable && (c.Replaying() || c.Retired()) {
 		// IgnorableMethods template: skipped during replay (§IV.A) and
 		// by retired lines of execution (§IV.B "empty operations").
+		//lint:ignore ppcollective ignorable methods are skipped whole by replaying/retired lines; the active members' barriers pass those workers through (team.Worker.Barrier)
 		return
 	}
 	if adv.SafePointBefore {
@@ -201,6 +202,7 @@ func (c *Ctx) teamCapable() bool { return c.eng.exec.Teams() }
 // single-communicator rule).
 func (c *Ctx) barrier() {
 	if c.Retired() || c.join.Active() {
+		//lint:ignore ppcollective this is the pass-through the protocol defines: the team barrier counts only active workers, and joining lines synchronise via the join gate instead
 		return
 	}
 	if c.worker != nil {
@@ -244,6 +246,7 @@ func ForSpan(c *Ctx, id string, lo, hi int, body func(lo, hi int)) {
 	if c.worker == nil && (c.retiredRank || c.join.Active()) {
 		// Retired replicas run empty loops; joining replicas skip work
 		// during replay (data arrives with the join handoff).
+		//lint:ignore ppcollective the barrier below is team-level and this branch only runs without a team (worker == nil); rank-level loops have no loop-end collective
 		return
 	}
 	if c.comm != nil && adv.PartitionField != "" && !c.retiredRank && (c.worker != nil || !c.join.Active()) {
@@ -293,6 +296,7 @@ func MaxAll(c *Ctx, v float64) float64 {
 
 func combineAll(c *Ctx, v float64, op func(a, b float64) float64) float64 {
 	if c.Retired() || c.Replaying() {
+		//lint:ignore ppcollective documented pass-through: reductions return the input on retired/replaying lines, and ExchangeF64 consumes the instance without synchronising for exactly this cohort
 		return v
 	}
 	if c.worker != nil {

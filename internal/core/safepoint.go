@@ -15,6 +15,7 @@ import (
 // progress toward the saved target.
 func (c *Ctx) SafePoint() {
 	if c.Retired() {
+		//lint:ignore ppcollective §IV.B graceful shutdown: retired lines run empty operations to the region end, and every collective below passes retired workers through
 		return
 	}
 	if c.join.Active() {
