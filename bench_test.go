@@ -19,6 +19,7 @@ import (
 	"ppar/internal/jgf/invasive"
 	"ppar/internal/jgf/refimpl"
 	"ppar/internal/md"
+	"ppar/internal/metrics"
 	"ppar/internal/serial"
 	"ppar/internal/team"
 	"ppar/pp"
@@ -559,6 +560,7 @@ func BenchmarkShardCheckpoint(b *testing.B) {
 	} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := append(benchOpts(pp.Distributed, 4,
 				pp.WithCheckpointDir(b.TempDir()),
 				pp.WithShardCheckpoints()), tc.opts...)
@@ -595,6 +597,7 @@ func BenchmarkAsyncCheckpointSOR(b *testing.B) {
 	}{{"sync", false}, {"async", true}} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := benchOpts(pp.Shared, 4,
 				pp.WithCheckpointDir(b.TempDir()),
 				pp.WithCheckpointEvery(5))
@@ -654,21 +657,41 @@ func BenchmarkDeltaCheckpoint(b *testing.B) {
 	mods := []*pp.Module{pp.NewModule("stripe/ckpt").
 		SafeData("State").SafeData("It").
 		SafePointAfter("iter")}
+	// The -dedup variants route the same pipeline through a DedupStore over
+	// the filesystem store: the stripe state is mostly stable between
+	// captures, so consecutive full snapshots share almost every chunk and
+	// the reported dedup-ratio must exceed 1 (gated higher-is-better by
+	// benchjson -compare).
 	for _, tc := range []struct {
-		name string
-		opts []pp.Option
+		name  string
+		dedup bool
+		opts  []pp.Option
 	}{
-		{"full", []pp.Option{pp.WithCheckpointEvery(1)}},
-		{"delta", []pp.Option{pp.WithDeltaCheckpoint(1, 8)}},
-		{"delta-async", []pp.Option{pp.WithDeltaCheckpoint(1, 8), pp.WithAsyncCheckpoint()}},
+		{"full", false, []pp.Option{pp.WithCheckpointEvery(1)}},
+		{"full-dedup", true, []pp.Option{pp.WithCheckpointEvery(1)}},
+		{"delta", false, []pp.Option{pp.WithDeltaCheckpoint(1, 8)}},
+		{"delta-async", false, []pp.Option{pp.WithDeltaCheckpoint(1, 8), pp.WithAsyncCheckpoint()}},
+		{"delta-async-dedup", true, []pp.Option{pp.WithDeltaCheckpoint(1, 8), pp.WithAsyncCheckpoint()}},
 	} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
-			opts := append([]pp.Option{
+			b.ReportAllocs()
+			opts := []pp.Option{
 				pp.WithName("bench-stripe"),
 				pp.WithModules(mods...),
-				pp.WithCheckpointDir(b.TempDir()),
-			}, tc.opts...)
+			}
+			var ds *pp.DedupStore
+			if tc.dedup {
+				fs, err := pp.NewFSStore(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				ds = pp.NewDedupStore(fs)
+				opts = append(opts, pp.WithStore(ds))
+			} else {
+				opts = append(opts, pp.WithCheckpointDir(b.TempDir()))
+			}
+			opts = append(opts, tc.opts...)
 			var blocked, bytes, ckpts int64
 			for i := 0; i < b.N; i++ {
 				eng, err := pp.New(func() pp.App {
@@ -697,6 +720,10 @@ func BenchmarkDeltaCheckpoint(b *testing.B) {
 			}
 			b.ReportMetric(float64(bytes)/float64(ckpts), "bytes/ckpt")
 			b.ReportMetric(float64(blocked)/float64(ckpts), "blocked-ns/ckpt")
+			if ds != nil {
+				st := ds.Stats()
+				b.ReportMetric(metrics.Ratio(float64(st.LogicalBytes), float64(st.PhysicalBytes)), "dedup-ratio")
+			}
 		})
 	}
 }
@@ -711,6 +738,7 @@ func BenchmarkAsyncCheckpointMD(b *testing.B) {
 	}{{"sync", false}, {"async", true}} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := []pp.Option{
 				pp.WithName("bench-md"),
 				pp.WithMode(pp.Shared), pp.WithThreads(4),

@@ -45,6 +45,39 @@ func TestCompareGatesRegressions(t *testing.T) {
 	}
 }
 
+func TestParseMergesRepeatedRunsBestOfN(t *testing.T) {
+	doc := parseSample(t, `
+Benchmark/x 1  200 ns/op  4.0 dedup-ratio
+Benchmark/x 1  100 ns/op  2.0 dedup-ratio
+Benchmark/x 1  300 ns/op  3.0 dedup-ratio
+`)
+	if len(doc.Results) != 1 {
+		t.Fatalf("repeated runs not merged: %+v", doc.Results)
+	}
+	m := doc.Results[0].Metrics
+	// Best of N: min for lower-is-better, max for ratios.
+	if m["ns/op"] != 100 || m["dedup-ratio"] != 4.0 {
+		t.Fatalf("best-of-N merge wrong: %+v", m)
+	}
+}
+
+func TestCompareGatesRatioMetricsUpward(t *testing.T) {
+	const ratioBench = "BenchmarkDeltaCheckpoint/full-dedup 1  100 ns/op  8.0 dedup-ratio\n"
+	old := parseSample(t, ratioBench)
+	// A higher ratio (or one within tolerance below) is fine...
+	ok := parseSample(t, strings.ReplaceAll(ratioBench, "8.0 dedup-ratio", "6.5 dedup-ratio"))
+	if regs, compared := compare(old, ok, 0.25); len(regs) != 0 || compared != 2 {
+		t.Fatalf("within-tolerance ratio flagged: %v (compared %d)", regs, compared)
+	}
+	// ...a collapse past tolerance is the regression, even though the
+	// value went DOWN.
+	bad := parseSample(t, strings.ReplaceAll(ratioBench, "8.0 dedup-ratio", "1.0 dedup-ratio"))
+	regs, _ := compare(old, bad, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "dedup-ratio") {
+		t.Fatalf("ratio regression not flagged: %v", regs)
+	}
+}
+
 func TestCompareSkipsUnmatchedAndZeroBaselines(t *testing.T) {
 	old := parseSample(t, sampleBench)
 	cur := parseSample(t, sampleBench+
@@ -52,6 +85,10 @@ func TestCompareSkipsUnmatchedAndZeroBaselines(t *testing.T) {
 	// The async variant's zero bg-write-ns/op baseline must not flag any
 	// nonzero new value, and a benchmark without a baseline is skipped.
 	cur.Results[1].Metrics["bg-write-ns/op"] = 1e9
+	// B/op is reported but never gated (async pool-recycle timing makes
+	// heap bytes bimodal by whole buffer sizes).
+	old.Results[0].Metrics["B/op"] = 1e6
+	cur.Results[0].Metrics["B/op"] = 1e8
 	if regs, _ := compare(old, cur, 0.25); len(regs) != 0 {
 		t.Fatalf("spurious regressions: %v", regs)
 	}

@@ -33,6 +33,27 @@
 // the store scales with writers, the canonical gather when state is small
 // or the store serialises writers anyway.
 //
+// The serialization under every one of those pipelines is reflection-free
+// on the hot path: the first engine built over a given application type
+// and SafeData field set compiles the shape once — a registry of typed
+// field accessors keyed by the struct type plus the bound names — and
+// every later capture, encode and restore walks those descriptors with
+// pooled buffers (sync.Pool-backed capture snapshots, encoder scratch and
+// delta chunk payloads recycled across safe points), so a steady-state
+// checkpoint allocates near zero. On top of the byte savings of the delta
+// pipeline, pp.NewDedupStore wraps any store with content-addressed
+// deduplication: large float fields are split on the delta differ's chunk
+// grid, each distinct chunk content is stored once under its content key
+// with a refcount, and DedupStore.Stats reports the logical-over-physical
+// ratio. Dedup pays when consecutive checkpoints, shard ranks or tenants
+// (through pp.NamespacedStore, whose chunk keys deliberately pass through
+// unprefixed) repeat chunk content — mostly-stable state between captures,
+// replicated state across ranks, identical workloads across tenants; it
+// only costs hashing when every chunk is new, and small fields bypass it
+// entirely. Compose it outermost (dedup of a gzip store, not the reverse)
+// so whole-artifact envelopes don't hide the float payloads from the
+// chunker.
+//
 // The execution core itself is a pluggable Executor layer: one executor per
 // deployment (sequential, shared, distributed, hybrid) owns launch,
 // topology, collectives and teardown. A policy returning an AdaptTarget

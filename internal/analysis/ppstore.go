@@ -10,11 +10,14 @@ import (
 // committed name), every link of a shard wave is written before the
 // PPCKPS1 manifest commits it, chain garbage collection runs only after
 // that commit, and Clear-style methods match owned artifact names exactly
-// instead of by prefix. Store implementations are recognized structurally:
-// any type declaring a SaveManifest method.
+// instead of by prefix. The content-addressed chunk layer has the same
+// shape of contract and is checked the same way: chunks are put before
+// any artifact that references them is saved, and released only after
+// every referencing artifact is cleared. Store implementations are
+// recognized structurally: any type declaring a SaveManifest method.
 var PPStore = &Analyzer{
 	Name: "ppstore",
-	Doc:  "pp.Store implementations and call sites must write atomically, commit manifests last, and GC only after the commit",
+	Doc:  "pp.Store implementations and call sites must write atomically, commit manifests last, and GC (chains and chunks) only after the commit",
 	Run:  runPPStore,
 }
 
@@ -31,13 +34,14 @@ func runPPStore(pass *Pass) error {
 	forEachFuncBody(pass, func(fd *ast.FuncDecl) {
 		if implTypes[funcRecvName(pass.TypesInfo, fd)] {
 			switch fd.Name.Name {
-			case "Save", "SaveDelta", "SaveManifest", "SaveShardDelta":
+			case "Save", "SaveDelta", "SaveManifest", "SaveShardDelta", "PutChunk":
 				checkAtomicWrites(pass, fd)
 			case "Clear", "ClearDeltas", "ClearShardDeltas":
 				checkExactNameMatch(pass, fd)
 			}
 		}
 		checkCommitOrdering(pass, fd, implTypes)
+		checkChunkOrdering(pass, fd, implTypes)
 	})
 	return nil
 }
@@ -133,6 +137,71 @@ func checkCommitOrdering(pass *Pass, fd *ast.FuncDecl, implTypes map[string]bool
 		if p < maxManifest {
 			pass.Reportf(p, "chain GC before the committing SaveManifest at line %d: collecting links first means a crash between the two loses the only restart point",
 				pass.Fset.Position(maxManifest).Line)
+		}
+	}
+}
+
+// checkChunkOrdering enforces, positionally within one function, the
+// content-addressed chunk protocol: every chunk an artifact references
+// must land (PutChunk) before the artifact itself commits, and chunk
+// refcounts drop (ReleaseChunks) only after the referencing artifact is
+// cleared. Either order makes a crash between the two calls harmless —
+// it leaks an unreferenced chunk, reclaimable by a later release — where
+// the reverse order commits an artifact whose chunks may be missing, or
+// frees chunks a surviving artifact still points at.
+func checkChunkOrdering(pass *Pass, fd *ast.FuncDecl, implTypes map[string]bool) {
+	storeRecv := func(call *ast.CallExpr) bool {
+		name := recvTypeName(pass.TypesInfo, call)
+		return name == "Store" || implTypes[name]
+	}
+	var puts, releases, saves, clears []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !storeRecv(call) {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "PutChunk":
+			puts = append(puts, call.Pos())
+		case "ReleaseChunks":
+			releases = append(releases, call.Pos())
+		case "Save", "SaveShard", "SaveDelta", "SaveShardDelta":
+			saves = append(saves, call.Pos())
+		case "Clear", "ClearDeltas", "ClearShardDeltas":
+			clears = append(clears, call.Pos())
+		}
+		return true
+	})
+	if len(saves) > 0 {
+		minSave := saves[0]
+		for _, p := range saves[1:] {
+			if p < minSave {
+				minSave = p
+			}
+		}
+		for _, p := range puts {
+			if p > minSave {
+				pass.Reportf(p, "chunk written after the artifact save at line %d: every chunk an artifact references must land before the artifact commits, or a crash leaves a committed artifact pointing at missing chunks",
+					pass.Fset.Position(minSave).Line)
+			}
+		}
+	}
+	if len(clears) > 0 {
+		maxClear := clears[0]
+		for _, p := range clears[1:] {
+			if p > maxClear {
+				maxClear = p
+			}
+		}
+		for _, p := range releases {
+			if p < maxClear {
+				pass.Reportf(p, "ReleaseChunks before the artifact clear at line %d: chunks are released only after every referencing artifact is cleared, so a crash between the two leaks chunks instead of dangling references",
+					pass.Fset.Position(maxClear).Line)
+			}
 		}
 	}
 }

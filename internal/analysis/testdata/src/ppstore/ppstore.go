@@ -1,5 +1,6 @@
 // Fixture for the ppstore analyzer: store write atomicity, exact-name
-// deletion, and the links-before-manifest / GC-after-commit wave protocol.
+// deletion, the links-before-manifest / GC-after-commit wave protocol,
+// and the put-before-save / release-after-clear chunk protocol.
 package ppstore
 
 import (
@@ -13,9 +14,13 @@ type Manifest struct{ SP uint64 }
 type Delta struct{ Name string }
 
 type Store interface {
+	Save(name string, data []byte) error
 	SaveShardDelta(d Delta) error
 	SaveManifest(m Manifest) error
+	Clear(app string) error
 	ClearShardDeltas(app string) error
+	PutChunk(key string, payload []byte) (bool, error)
+	ReleaseChunks(keys []string) error
 }
 
 func encode(m Manifest) []byte { return nil }
@@ -48,6 +53,10 @@ func (s *BadFS) Clear(app string) error {
 		}
 	}
 	return nil
+}
+
+func (s *BadFS) PutChunk(key string, payload []byte) (bool, error) {
+	return false, os.WriteFile(filepath.Join(s.dir, "cas-"+key+".chunk"), payload, 0o644) // want "temp file and rename"
 }
 
 // GoodFS follows the contracts: temp+rename saves, exact-name deletion.
@@ -112,4 +121,42 @@ func gcBeforeCommit(st Store, m Manifest) error {
 		return err
 	}
 	return st.SaveManifest(m)
+}
+
+// swapDeduped is the correct chunk protocol: the new artifact's chunks
+// land first, then the artifact commits, then the superseded artifact is
+// cleared, and only then do its chunks' refcounts drop. A crash anywhere
+// in the sequence leaks chunks but never dangles a reference.
+func swapDeduped(st Store, keys, old []string, payload, blob []byte) error {
+	for _, k := range keys {
+		if _, err := st.PutChunk(k, payload); err != nil {
+			return err
+		}
+	}
+	if err := st.Save("app", blob); err != nil {
+		return err
+	}
+	if err := st.Clear("app-old"); err != nil {
+		return err
+	}
+	return st.ReleaseChunks(old)
+}
+
+// saveThenPut commits an artifact whose chunks are not durable yet: a
+// crash before the PutChunk leaves a restart point that cannot load.
+func saveThenPut(st Store, key string, payload, blob []byte) error {
+	if err := st.Save("app", blob); err != nil {
+		return err
+	}
+	_, err := st.PutChunk(key, payload) // want "must land before the artifact commits"
+	return err
+}
+
+// releaseBeforeClear drops refcounts while an artifact still referencing
+// the chunks survives a crash between the two calls.
+func releaseBeforeClear(st Store, keys []string) error {
+	if err := st.ReleaseChunks(keys); err != nil { // want "only after every referencing artifact"
+		return err
+	}
+	return st.Clear("app")
 }

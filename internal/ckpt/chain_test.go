@@ -204,3 +204,44 @@ func TestSaveDeltaRequiresSeq(t *testing.T) {
 		})
 	}
 }
+
+func TestDeltaChainDropsVanishedFieldAcrossRestart(t *testing.T) {
+	// A field the application drops between captures must stay gone after a
+	// restart: the delta's Removed record travels through every store
+	// (including the gzip envelope) and LoadResume's chain replay honours it
+	// instead of resurrecting the field from the base snapshot.
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			live := chainBase(t, s, 10)
+			live.Fields["tmp"] = serial.Bytes([]byte("scratch"))
+			if err := s.Save(live); err != nil {
+				t.Fatal(err)
+			}
+			h := serial.NewStateHash()
+			h.Rehash(live)
+
+			cur := live.Clone()
+			delete(cur.Fields, "tmp")
+			cur.SafePoints = 12
+			d := h.Diff(cur, 10, true)
+			d.Seq = 1
+			if len(d.Removed) != 1 || d.Removed[0] != "tmp" {
+				t.Fatalf("Diff Removed = %v, want [tmp]", d.Removed)
+			}
+			if err := s.SaveDelta(d); err != nil {
+				t.Fatal(err)
+			}
+
+			snap, found, err := LoadResume(s, "app")
+			if err != nil || !found {
+				t.Fatalf("LoadResume: found=%v err=%v", found, err)
+			}
+			if _, ok := snap.Fields["tmp"]; ok {
+				t.Fatal("restart resurrected a field the application had dropped")
+			}
+			if snap.SafePoints != 12 {
+				t.Fatalf("materialised sp=%d, want 12", snap.SafePoints)
+			}
+		})
+	}
+}

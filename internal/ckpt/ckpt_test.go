@@ -17,12 +17,19 @@ func stores(t *testing.T) map[string]Store {
 	if err != nil {
 		t.Fatal(err)
 	}
+	dedupFS, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Store{
-		"fs":        fsStore,
-		"mem":       NewMem(),
-		"gzip-mem":  NewGzip(NewMem(), 0),
-		"gzip-fs":   newGzipFS(t),
-		"gzip-fast": NewGzip(NewMem(), 1),
+		"fs":         fsStore,
+		"mem":        NewMem(),
+		"gzip-mem":   NewGzip(NewMem(), 0),
+		"gzip-fs":    newGzipFS(t),
+		"gzip-fast":  NewGzip(NewMem(), 1),
+		"dedup-mem":  NewDedup(NewMem()),
+		"dedup-fs":   NewDedup(dedupFS),
+		"dedup-gzip": NewDedup(NewGzip(NewMem(), 0)),
 	}
 }
 

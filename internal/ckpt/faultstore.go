@@ -26,6 +26,9 @@ const (
 	OpLoadManifest
 	OpClearDeltas
 	OpClearShardDeltas
+	OpPutChunk
+	OpGetChunk
+	OpReleaseChunks
 	numFaultOps
 )
 
@@ -55,6 +58,12 @@ func (op FaultOp) String() string {
 		return "ClearDeltas"
 	case OpClearShardDeltas:
 		return "ClearShardDeltas"
+	case OpPutChunk:
+		return "PutChunk"
+	case OpGetChunk:
+		return "GetChunk"
+	case OpReleaseChunks:
+		return "ReleaseChunks"
 	}
 	return fmt.Sprintf("FaultOp(%d)", int(op))
 }
@@ -83,19 +92,24 @@ func (e *ErrInjectedFault) Error() string {
 // Counters are 1-based: Arm(OpSave, 2, ...) fails the second Save. A
 // FaultStore is safe for concurrent use, like any Store.
 type FaultStore struct {
-	mu      sync.Mutex
-	blobs   map[string][]byte
-	running map[string]bool
-	counts  [numFaultOps]int
-	failAt  [numFaultOps]int
-	tearAt  [numFaultOps]int
+	mu        sync.Mutex
+	blobs     map[string][]byte
+	running   map[string]bool
+	chunks    map[string][]byte
+	chunkRefs map[string]int
+	counts    [numFaultOps]int
+	failAt    [numFaultOps]int
+	tearAt    [numFaultOps]int
 }
 
 var _ Store = (*FaultStore)(nil)
 
 // NewFault creates an empty FaultStore with no faults armed.
 func NewFault() *FaultStore {
-	return &FaultStore{blobs: map[string][]byte{}, running: map[string]bool{}}
+	return &FaultStore{
+		blobs: map[string][]byte{}, running: map[string]bool{},
+		chunks: map[string][]byte{}, chunkRefs: map[string]int{},
+	}
 }
 
 // Arm makes the Nth call (1-based, counted from now) of op fail with an
@@ -342,6 +356,63 @@ func (s *FaultStore) ClearDeltas(app string) error {
 	for k := range s.blobs {
 		if isSeqFile(k, app, 'd') {
 			delete(s.blobs, k)
+		}
+	}
+	return nil
+}
+
+// PutChunk stores (or refcounts) one content-addressed chunk, subject to
+// OpPutChunk faults — the put-before-link window: a failed put must abort
+// the save before any artifact references the missing chunk. A torn put
+// persists only half the payload, the way a crash mid-chunk-write without
+// atomic rename would.
+func (s *FaultStore) PutChunk(key string, payload []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fail, tear := s.step(OpPutChunk)
+	if fail != nil {
+		return false, fail
+	}
+	if _, ok := s.chunks[key]; ok {
+		s.chunkRefs[key]++
+		return true, nil
+	}
+	blob := append([]byte(nil), payload...)
+	if tear {
+		blob = blob[:len(blob)/2]
+	}
+	s.chunks[key] = blob
+	s.chunkRefs[key] = 1
+	return false, nil
+}
+
+// GetChunk reads one chunk payload (subject to OpGetChunk faults).
+func (s *FaultStore) GetChunk(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail, _ := s.step(OpGetChunk); fail != nil {
+		return nil, false, fail
+	}
+	b, ok := s.chunks[key]
+	return b, ok, nil
+}
+
+// ReleaseChunks drops references (subject to OpReleaseChunks faults — the
+// clear-before-release GC window, where a crash must only ever leak chunks,
+// never dangle a reference).
+func (s *FaultStore) ReleaseChunks(keys []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail, _ := s.step(OpReleaseChunks); fail != nil {
+		return fail
+	}
+	for _, key := range keys {
+		if _, ok := s.chunks[key]; !ok {
+			continue
+		}
+		if s.chunkRefs[key]--; s.chunkRefs[key] <= 0 {
+			delete(s.chunks, key)
+			delete(s.chunkRefs, key)
 		}
 	}
 	return nil

@@ -167,3 +167,20 @@ func (s *Namespaced) LedgerFinish(app string) error { return s.inner.LedgerFinis
 
 // Crashed implements Store.
 func (s *Namespaced) Crashed(app string) (bool, error) { return s.inner.Crashed(s.key(app)) }
+
+// PutChunk implements Store. Chunk keys pass through UNPREFIXED — by
+// design: a chunk is immutable content named by its own digest, so two
+// tenants checkpointing identical state share one stored copy. Isolation
+// is preserved by the reference counts: a tenant's artifacts only ever
+// release the references they took, so one tenant clearing its checkpoints
+// can never free a chunk another tenant still references. (Clear itself
+// never touches chunks; only ReleaseChunks does.)
+func (s *Namespaced) PutChunk(key string, payload []byte) (bool, error) {
+	return s.inner.PutChunk(key, payload)
+}
+
+// GetChunk implements Store (unprefixed; see PutChunk).
+func (s *Namespaced) GetChunk(key string) ([]byte, bool, error) { return s.inner.GetChunk(key) }
+
+// ReleaseChunks implements Store (unprefixed; see PutChunk).
+func (s *Namespaced) ReleaseChunks(keys []string) error { return s.inner.ReleaseChunks(keys) }

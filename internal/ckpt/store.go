@@ -93,6 +93,27 @@ type Store interface {
 	// that LoadChain filters out rather than a missing restart point).
 	ClearDeltas(app string) error
 
+	// PutChunk stores one content-addressed chunk payload under key
+	// (serial.ChunkKey of the payload) and takes one reference to it. If a
+	// chunk with the key already exists its reference count is incremented
+	// instead and dup reports true — the deduplication mechanism: identical
+	// chunks across deltas, shards, applications and (via Namespaced)
+	// tenants are stored once. Implementations must not retain payload
+	// after the call returns. Callers must put every chunk BEFORE saving an
+	// artifact that references it, so a crash can only ever leak an
+	// unreferenced chunk, never persist a dangling reference.
+	PutChunk(key string, payload []byte) (dup bool, err error)
+	// GetChunk reads one chunk payload. found=false with nil error means no
+	// chunk with the key exists.
+	GetChunk(key string) (payload []byte, found bool, err error)
+	// ReleaseChunks drops one reference from each named chunk, deleting a
+	// chunk when its count reaches zero. Callers must release only AFTER
+	// the last artifact referencing the chunks has been cleared (mirroring
+	// the manifest-then-GC ordering of the shard chains): a crash between
+	// the two leaks chunks rather than dangling references. Releasing an
+	// unknown key is not an error (a leaked chunk may already be gone).
+	ReleaseChunks(keys []string) error
+
 	// LedgerStart marks a run of app as in progress (the pcr module).
 	LedgerStart(app string) error
 	// LedgerFinish marks the run as cleanly completed.
@@ -108,6 +129,12 @@ type Store interface {
 // file created at LedgerStart and removed at LedgerFinish.
 type FS struct {
 	Dir string
+
+	// casMu serialises the read-modify-write of chunk reference counts.
+	// Chunk bookkeeping assumes one *FS value per directory per process,
+	// the same single-writer discipline every other artifact already
+	// relies on.
+	casMu sync.Mutex
 }
 
 var _ Store = (*FS)(nil)
@@ -459,22 +486,166 @@ func (s *FS) Crashed(app string) (bool, error) {
 	return false, fmt.Errorf("ckpt: ledger stat: %w", err)
 }
 
+// Chunk files live beside the checkpoint artifacts as cas-<key>.chunk with
+// a cas-<key>.ref sidecar holding the decimal reference count. Neither name
+// ends in ".ckpt", so Clear and the exact-name matchers never touch them:
+// chunks are shared across applications (and tenants) and are reclaimed
+// only by explicit ReleaseChunks calls from the layer that tracks the
+// references.
+func (s *FS) chunkPath(key string) string {
+	return filepath.Join(s.Dir, "cas-"+key+".chunk")
+}
+
+func (s *FS) refPath(key string) string {
+	return filepath.Join(s.Dir, "cas-"+key+".ref")
+}
+
+func (s *FS) readRef(key string) (int64, bool, error) {
+	b, err := os.ReadFile(s.refPath(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("ckpt: chunk ref: %w", err)
+	}
+	var n int64
+	if _, err := fmt.Sscanf(string(b), "%d", &n); err != nil || n < 1 {
+		return 0, false, fmt.Errorf("ckpt: chunk ref %s is corrupt", s.refPath(key))
+	}
+	return n, true, nil
+}
+
+func (s *FS) writeRef(key string, n int64) error {
+	return s.writeAtomic(s.refPath(key), func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%d\n", n)
+		return err
+	})
+}
+
+// PutChunk stores one content-addressed chunk, or bumps its reference
+// count if the content is already present. The payload file is written
+// before the reference sidecar; a crash in between leaves a chunk that a
+// later put of the same content simply rewrites (content-addressed writes
+// are idempotent), never a reference without data.
+func (s *FS) PutChunk(key string, payload []byte) (bool, error) {
+	s.casMu.Lock()
+	defer s.casMu.Unlock()
+	refs, exists, err := s.readRef(key)
+	if err != nil {
+		return false, err
+	}
+	if exists {
+		return true, s.writeRef(key, refs+1)
+	}
+	err = s.writeAtomic(s.chunkPath(key), func(w io.Writer) error {
+		_, werr := w.Write(payload)
+		return werr
+	})
+	if err != nil {
+		return false, err
+	}
+	return false, s.writeRef(key, 1)
+}
+
+// GetChunk reads one chunk payload.
+func (s *FS) GetChunk(key string) ([]byte, bool, error) {
+	b, err := os.ReadFile(s.chunkPath(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: chunk read: %w", err)
+	}
+	return b, true, nil
+}
+
+// ReleaseChunks drops one reference from each chunk, deleting payload and
+// sidecar when the count reaches zero. Unknown keys are skipped.
+func (s *FS) ReleaseChunks(keys []string) error {
+	s.casMu.Lock()
+	defer s.casMu.Unlock()
+	var first error
+	for _, key := range keys {
+		refs, exists, err := s.readRef(key)
+		if err == nil && exists && refs > 1 {
+			err = s.writeRef(key, refs-1)
+		} else if err == nil {
+			// Last reference (or a half-put chunk with no sidecar): remove
+			// both files; missing ones are already gone.
+			for _, p := range []string{s.refPath(key), s.chunkPath(key)} {
+				if rerr := os.Remove(p); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) && err == nil {
+					err = fmt.Errorf("ckpt: chunk release: %w", rerr)
+				}
+			}
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Mem is an in-memory Store for fast tests and embedded use. Snapshots are
 // kept in their encoded container form, so Save/Load exercise the same
 // serialisation path as the filesystem store and loaded snapshots never
 // alias the saver's field slices. A Mem value must be shared (not copied)
 // between the runs that are meant to see each other's checkpoints.
 type Mem struct {
-	mu      sync.Mutex
-	blobs   map[string][]byte
-	running map[string]bool
+	mu        sync.Mutex
+	blobs     map[string][]byte
+	running   map[string]bool
+	chunks    map[string][]byte
+	chunkRefs map[string]int
 }
 
 var _ Store = (*Mem)(nil)
 
 // NewMem creates an empty in-memory store.
 func NewMem() *Mem {
-	return &Mem{blobs: map[string][]byte{}, running: map[string]bool{}}
+	return &Mem{
+		blobs: map[string][]byte{}, running: map[string]bool{},
+		chunks: map[string][]byte{}, chunkRefs: map[string]int{},
+	}
+}
+
+// PutChunk stores one content-addressed chunk, or bumps its reference count
+// if the content is already present. The payload is copied: stores must not
+// retain caller memory (the serialisation pools recycle it).
+func (s *Mem) PutChunk(key string, payload []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.chunks[key]; ok {
+		s.chunkRefs[key]++
+		return true, nil
+	}
+	s.chunks[key] = append([]byte(nil), payload...)
+	s.chunkRefs[key] = 1
+	return false, nil
+}
+
+// GetChunk reads one chunk payload.
+func (s *Mem) GetChunk(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.chunks[key]
+	return b, ok, nil
+}
+
+// ReleaseChunks drops one reference from each chunk, deleting chunks whose
+// count reaches zero; unknown keys are skipped.
+func (s *Mem) ReleaseChunks(keys []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, key := range keys {
+		if _, ok := s.chunks[key]; !ok {
+			continue
+		}
+		if s.chunkRefs[key]--; s.chunkRefs[key] <= 0 {
+			delete(s.chunks, key)
+			delete(s.chunkRefs, key)
+		}
+	}
+	return nil
 }
 
 func memKey(app string, shard int) string {
@@ -931,3 +1102,16 @@ func (s *Gzip) LedgerFinish(app string) error { return s.inner.LedgerFinish(app)
 
 // Crashed delegates to the inner store.
 func (s *Gzip) Crashed(app string) (bool, error) { return s.inner.Crashed(app) }
+
+// PutChunk delegates to the inner store: chunk payloads are keyed by their
+// exact content, so compressing them here would break the content address;
+// a backend wanting compressed chunks compresses below the key.
+func (s *Gzip) PutChunk(key string, payload []byte) (bool, error) {
+	return s.inner.PutChunk(key, payload)
+}
+
+// GetChunk delegates to the inner store.
+func (s *Gzip) GetChunk(key string) ([]byte, bool, error) { return s.inner.GetChunk(key) }
+
+// ReleaseChunks delegates to the inner store.
+func (s *Gzip) ReleaseChunks(keys []string) error { return s.inner.ReleaseChunks(keys) }

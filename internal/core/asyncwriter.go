@@ -89,6 +89,7 @@ func (w *asyncWriter) loop() {
 
 		w.mu.Lock()
 		w.inFlight = false
+		var droppedSuccessor *serial.Delta
 		switch {
 		case err != nil:
 			if w.err == nil {
@@ -107,6 +108,7 @@ func (w *asyncWriter) loop() {
 				// base and LoadChain filters them.
 				base := delta.BaseSP
 				if w.pendingDelta != nil && w.pendingDelta.BaseSP == base {
+					droppedSuccessor = w.pendingDelta
 					w.pendingDelta = nil
 				}
 				w.brokenBase = &base
@@ -121,6 +123,14 @@ func (w *asyncWriter) loop() {
 		}
 		w.cond.Broadcast()
 		w.mu.Unlock()
+		// The written (or failed — it never landed and has no other owner)
+		// capture is dead either way: hand its backing arrays to the pools so
+		// the next safe point's clone allocates nothing. Deltas are recycled
+		// whole — a merged delta carries its inputs' arrays by reference and
+		// is the single owner by the time it reaches the writer.
+		serial.RecycleSnapshot(full)
+		serial.RecycleDelta(delta)
+		serial.RecycleDelta(droppedSuccessor)
 	}
 }
 
@@ -129,10 +139,12 @@ func (w *asyncWriter) loop() {
 // unwritten older full or delta carries nothing the new base does not.
 func (w *asyncWriter) submitFull(snap *serial.Snapshot) {
 	w.mu.Lock()
-	if w.pendingFull != nil && w.onSupersede != nil {
+	supersededFull := w.pendingFull
+	supersededDelta := w.pendingDelta
+	if supersededFull != nil && w.onSupersede != nil {
 		w.onSupersede()
 	}
-	if w.pendingDelta != nil {
+	if supersededDelta != nil {
 		w.pendingDelta = nil
 		if w.onSupersede != nil {
 			w.onSupersede()
@@ -141,6 +153,9 @@ func (w *asyncWriter) submitFull(snap *serial.Snapshot) {
 	w.pendingFull = snap
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	// Superseded captures were never written and have no other owner.
+	serial.RecycleSnapshot(supersededFull)
+	serial.RecycleDelta(supersededDelta)
 }
 
 // submitDelta hands a captured delta to the writer without blocking. A
@@ -150,6 +165,7 @@ func (w *asyncWriter) submitDelta(d *serial.Delta) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.brokenBase != nil && d.BaseSP == *w.brokenBase {
+		serial.RecycleDelta(d)
 		return // see loop(): this chain is missing a link on disk
 	}
 	if w.pendingDelta != nil {

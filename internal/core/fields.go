@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strings"
+	"sync"
 
 	"ppar/internal/ckpt"
 	"ppar/internal/mp"
@@ -13,20 +15,211 @@ import (
 )
 
 // boundFields resolves the field names used by modules against one
-// application instance via reflection. Reflection is used only at plug time
-// and at data-movement points (scatter/gather/halo/checkpoint), never in
-// compute loops — the hot path touches the fields directly.
+// application instance. Reflection runs exactly once per (application type,
+// field set) shape: the resolved field offsets and kinds are cached in a
+// package registry, and binding an instance compiles each field into a
+// typed-pointer accessor. Data-movement points (scatter/gather/halo/
+// checkpoint) then read and write through the accessors without touching
+// reflection at all — in a fleet of identical runs, only the very first
+// bind pays the reflective walk.
 //
 // Supported field kinds: float64, int, int64, []float64, []int,
 // [][]float64 (rectangular).
 type boundFields struct {
 	app   App
 	specs map[string]*FieldSpec
-	vals  map[string]reflect.Value
+	acc   map[string]*fieldAccessor
+}
+
+// fieldKind discriminates the compiled accessors; the per-call type-switch
+// on an interface value is replaced by this small integer dispatch.
+type fieldKind uint8
+
+const (
+	kindFloat64 fieldKind = iota
+	kindInt
+	kindInt64
+	kindFloat64s
+	kindInts
+	kindMatrix
+)
+
+// fieldAccessor is one field's compiled access path: a typed pointer into
+// the application struct, extracted once at bind time. Exactly one pointer
+// is set, per kind. []int fields additionally keep a reusable []int64
+// conversion buffer so repeated captures of the same field allocate nothing
+// once the buffer has grown to size.
+type fieldAccessor struct {
+	kind fieldKind
+	f64  *float64
+	i    *int
+	i64  *int64
+	fs   *[]float64
+	is   *[]int
+	f2   *[][]float64
+
+	i64buf []int64 // kindInts: reused by value(); aliased by the returned Value
+}
+
+// value extracts the field as a serial.Value sharing the live backing
+// arrays (for kindInts, sharing the accessor's conversion buffer, which is
+// overwritten by the next value() call — the same "persist before the next
+// capture" contract the other aliasing kinds already carry).
+func (a *fieldAccessor) value() serial.Value {
+	switch a.kind {
+	case kindFloat64:
+		return serial.Float64(*a.f64)
+	case kindInt:
+		return serial.Int64(int64(*a.i))
+	case kindInt64:
+		return serial.Int64(*a.i64)
+	case kindFloat64s:
+		return serial.Float64s(*a.fs)
+	case kindInts:
+		v := *a.is
+		if cap(a.i64buf) < len(v) {
+			a.i64buf = make([]int64, len(v))
+		}
+		buf := a.i64buf[:len(v)]
+		for i, x := range v {
+			buf[i] = int64(x)
+		}
+		return serial.Int64s(buf)
+	default:
+		return serial.Float64Matrix(*a.f2)
+	}
+}
+
+// setValue writes a serial.Value back into the field. Slice and matrix
+// contents are copied into the existing backing arrays when shapes match,
+// so that other references to the same arrays (e.g. the red/black views of
+// a stencil) observe the restored data.
+func (a *fieldAccessor) setValue(v serial.Value) {
+	switch a.kind {
+	case kindFloat64:
+		*a.f64 = v.F
+	case kindInt:
+		*a.i = int(v.I)
+	case kindInt64:
+		*a.i64 = v.I
+	case kindFloat64s:
+		if cur := *a.fs; len(cur) == len(v.Fs) {
+			copy(cur, v.Fs)
+		} else {
+			*a.fs = append([]float64(nil), v.Fs...)
+		}
+	case kindInts:
+		if cur := *a.is; len(cur) == len(v.Is) {
+			for i, x := range v.Is {
+				cur[i] = int(x)
+			}
+		} else {
+			is := make([]int, len(v.Is))
+			for i, x := range v.Is {
+				is[i] = int(x)
+			}
+			*a.is = is
+		}
+	default:
+		cur := *a.f2
+		if len(cur) == v.Rows && (v.Rows == 0 || len(cur[0]) == v.Cols) {
+			for i := range cur {
+				copy(cur[i], v.F2[i])
+			}
+		} else {
+			m := make([][]float64, v.Rows)
+			for i := range m {
+				m[i] = append([]float64(nil), v.F2[i]...)
+			}
+			*a.f2 = m
+		}
+	}
+}
+
+// shapeField is one entry of a compiled shape: where the field lives in the
+// struct and what kind it is.
+type shapeField struct {
+	index int
+	kind  fieldKind
+}
+
+// shapeKey identifies a compiled shape: the concrete application struct
+// type plus the signature of the bound field set. Two modules binding
+// different field subsets of the same struct compile separately.
+type shapeKey struct {
+	typ reflect.Type
+	sig string
+}
+
+// shapeRegistry caches compiled shapes process-wide. Values are
+// map[string]shapeField, immutable once stored.
+var shapeRegistry sync.Map
+
+// specSignature is the field-set half of a shape key: the sorted bound
+// names. Kinds are a property of the struct type, so names suffice.
+func specSignature(specs map[string]*FieldSpec) string {
+	names := make([]string, 0, len(specs))
+	for n := range specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\x00")
+}
+
+// compileShape resolves every bound field against the struct type by
+// reflection — the only reflective walk in the package, performed once per
+// shape and cached.
+func compileShape(st reflect.Type, specs map[string]*FieldSpec) (map[string]shapeField, error) {
+	shape := make(map[string]shapeField, len(specs))
+	for name := range specs {
+		sf, ok := st.FieldByName(name)
+		if !ok {
+			return nil, fmt.Errorf("core: field %q named by a module does not exist on *%s", name, st)
+		}
+		if sf.PkgPath != "" {
+			return nil, fmt.Errorf("core: field %q on *%s is unexported; module-managed fields must be exported", name, st)
+		}
+		if len(sf.Index) != 1 {
+			return nil, fmt.Errorf("core: field %q on *%s is promoted from an embedded struct; module-managed fields must be declared directly", name, st)
+		}
+		kind, err := fieldKindOf(sf.Type)
+		if err != nil {
+			return nil, fmt.Errorf("core: field %q: %w", name, err)
+		}
+		shape[name] = shapeField{index: sf.Index[0], kind: kind}
+	}
+	return shape, nil
+}
+
+var (
+	typFloat64  = reflect.TypeOf(float64(0))
+	typInt      = reflect.TypeOf(int(0))
+	typInt64    = reflect.TypeOf(int64(0))
+	typFloat64s = reflect.TypeOf([]float64(nil))
+	typInts     = reflect.TypeOf([]int(nil))
+	typMatrix   = reflect.TypeOf([][]float64(nil))
+)
+
+func fieldKindOf(t reflect.Type) (fieldKind, error) {
+	switch t {
+	case typFloat64:
+		return kindFloat64, nil
+	case typInt:
+		return kindInt, nil
+	case typInt64:
+		return kindInt64, nil
+	case typFloat64s:
+		return kindFloat64s, nil
+	case typInts:
+		return kindInts, nil
+	case typMatrix:
+		return kindMatrix, nil
+	}
+	return 0, fmt.Errorf("unsupported kind %s (supported: float64, int, int64, []float64, []int, [][]float64)", t)
 }
 
 func bindFields(app App, specs map[string]*FieldSpec) (*boundFields, error) {
-	b := &boundFields{app: app, specs: specs, vals: map[string]reflect.Value{}}
+	b := &boundFields{app: app, specs: specs, acc: map[string]*fieldAccessor{}}
 	rv := reflect.ValueOf(app)
 	if rv.Kind() != reflect.Pointer || rv.Elem().Kind() != reflect.Struct {
 		if len(specs) == 0 {
@@ -35,28 +228,35 @@ func bindFields(app App, specs map[string]*FieldSpec) (*boundFields, error) {
 		return nil, fmt.Errorf("core: application must be a pointer to struct to use field templates, got %T", app)
 	}
 	sv := rv.Elem()
-	for name := range specs {
-		fv := sv.FieldByName(name)
-		if !fv.IsValid() {
-			return nil, fmt.Errorf("core: field %q named by a module does not exist on %T", name, app)
+	key := shapeKey{typ: sv.Type(), sig: specSignature(specs)}
+	cached, ok := shapeRegistry.Load(key)
+	if !ok {
+		shape, err := compileShape(sv.Type(), specs)
+		if err != nil {
+			return nil, err
 		}
-		if !fv.CanSet() {
-			return nil, fmt.Errorf("core: field %q on %T is unexported; module-managed fields must be exported", name, app)
+		cached, _ = shapeRegistry.LoadOrStore(key, shape)
+	}
+	for name, sf := range cached.(map[string]shapeField) {
+		a := &fieldAccessor{kind: sf.kind}
+		p := sv.Field(sf.index).Addr().Interface()
+		switch sf.kind {
+		case kindFloat64:
+			a.f64 = p.(*float64)
+		case kindInt:
+			a.i = p.(*int)
+		case kindInt64:
+			a.i64 = p.(*int64)
+		case kindFloat64s:
+			a.fs = p.(*[]float64)
+		case kindInts:
+			a.is = p.(*[]int)
+		default:
+			a.f2 = p.(*[][]float64)
 		}
-		if err := checkFieldKind(fv); err != nil {
-			return nil, fmt.Errorf("core: field %q: %w", name, err)
-		}
-		b.vals[name] = fv
+		b.acc[name] = a
 	}
 	return b, nil
-}
-
-func checkFieldKind(fv reflect.Value) error {
-	switch fv.Interface().(type) {
-	case float64, int, int64, []float64, []int, [][]float64:
-		return nil
-	}
-	return fmt.Errorf("unsupported kind %s (supported: float64, int, int64, []float64, []int, [][]float64)", fv.Type())
 }
 
 // names returns the sorted field names matching pred — iteration order must
@@ -87,80 +287,20 @@ func (b *boundFields) replicatedNames() []string {
 
 // value extracts a field as a serial.Value (sharing backing arrays).
 func (b *boundFields) value(name string) (serial.Value, error) {
-	fv, ok := b.vals[name]
+	a, ok := b.acc[name]
 	if !ok {
 		return serial.Value{}, fmt.Errorf("core: field %q not bound", name)
 	}
-	switch v := fv.Interface().(type) {
-	case float64:
-		return serial.Float64(v), nil
-	case int:
-		return serial.Int64(int64(v)), nil
-	case int64:
-		return serial.Int64(v), nil
-	case []float64:
-		return serial.Float64s(v), nil
-	case []int:
-		is := make([]int64, len(v))
-		for i, x := range v {
-			is[i] = int64(x)
-		}
-		return serial.Int64s(is), nil
-	case [][]float64:
-		return serial.Float64Matrix(v), nil
-	}
-	return serial.Value{}, fmt.Errorf("core: field %q has unsupported kind", name)
+	return a.value(), nil
 }
 
-// setValue writes a serial.Value back into the field. Slice and matrix
-// contents are copied into the existing backing arrays when shapes match, so
-// that other references to the same arrays (e.g. the red/black views of a
-// stencil) observe the restored data.
+// setValue writes a serial.Value back into the field.
 func (b *boundFields) setValue(name string, v serial.Value) error {
-	fv, ok := b.vals[name]
+	a, ok := b.acc[name]
 	if !ok {
 		return fmt.Errorf("core: field %q not bound", name)
 	}
-	switch cur := fv.Interface().(type) {
-	case float64:
-		fv.SetFloat(v.F)
-	case int:
-		fv.SetInt(v.I)
-	case int64:
-		fv.SetInt(v.I)
-	case []float64:
-		if len(cur) == len(v.Fs) {
-			copy(cur, v.Fs)
-		} else {
-			fv.Set(reflect.ValueOf(append([]float64(nil), v.Fs...)))
-		}
-	case []int:
-		if len(cur) == len(v.Is) {
-			for i, x := range v.Is {
-				cur[i] = int(x)
-			}
-		} else {
-			is := make([]int, len(v.Is))
-			for i, x := range v.Is {
-				is[i] = int(x)
-			}
-			fv.Set(reflect.ValueOf(is))
-		}
-	case [][]float64:
-		if len(cur) == v.Rows && (v.Rows == 0 || len(cur[0]) == v.Cols) {
-			for i := range cur {
-				copy(cur[i], v.F2[i])
-			}
-		} else {
-			m := make([][]float64, v.Rows)
-			for i := range m {
-				m[i] = append([]float64(nil), v.F2[i]...)
-			}
-			fv.Set(reflect.ValueOf(m))
-		}
-	default:
-		return fmt.Errorf("core: field %q has unsupported kind", name)
-	}
+	a.setValue(v)
 	return nil
 }
 
@@ -183,17 +323,17 @@ func (b *boundFields) layoutFor(name string, parts int) (partition.Layout, error
 
 // length reports the partitionable extent of a field.
 func (b *boundFields) length(name string) (int, error) {
-	fv, ok := b.vals[name]
+	a, ok := b.acc[name]
 	if !ok {
 		return 0, fmt.Errorf("core: field %q not bound", name)
 	}
-	switch v := fv.Interface().(type) {
-	case []float64:
-		return len(v), nil
-	case []int:
-		return len(v), nil
-	case [][]float64:
-		return len(v), nil
+	switch a.kind {
+	case kindFloat64s:
+		return len(*a.fs), nil
+	case kindInts:
+		return len(*a.is), nil
+	case kindMatrix:
+		return len(*a.f2), nil
 	}
 	return 0, fmt.Errorf("core: field %q is scalar and cannot be partitioned", name)
 }
@@ -201,17 +341,20 @@ func (b *boundFields) length(name string) (int, error) {
 // packOwned flattens the indices of a partitioned field owned by part p
 // into a float64 vector (matrices flatten row-major).
 func (b *boundFields) packOwned(name string, l partition.Layout, p int) ([]float64, error) {
-	fv := b.vals[name]
-	switch v := fv.Interface().(type) {
-	case []float64:
+	a := b.acc[name]
+	switch a.kind {
+	case kindFloat64s:
+		v := *a.fs
 		out := make([]float64, 0, l.Count(p))
 		l.Indices(p, func(i int) { out = append(out, v[i]) })
 		return out, nil
-	case []int:
+	case kindInts:
+		v := *a.is
 		out := make([]float64, 0, l.Count(p))
 		l.Indices(p, func(i int) { out = append(out, float64(v[i])) })
 		return out, nil
-	case [][]float64:
+	case kindMatrix:
+		v := *a.f2
 		cols := 0
 		if len(v) > 0 {
 			cols = len(v[0])
@@ -225,17 +368,20 @@ func (b *boundFields) packOwned(name string, l partition.Layout, p int) ([]float
 
 // unpackOwned writes a packed vector back into the indices owned by part p.
 func (b *boundFields) unpackOwned(name string, l partition.Layout, p int, data []float64) error {
-	fv := b.vals[name]
-	switch v := fv.Interface().(type) {
-	case []float64:
+	a := b.acc[name]
+	switch a.kind {
+	case kindFloat64s:
+		v := *a.fs
 		k := 0
 		l.Indices(p, func(i int) { v[i] = data[k]; k++ })
 		return nil
-	case []int:
+	case kindInts:
+		v := *a.is
 		k := 0
 		l.Indices(p, func(i int) { v[i] = int(data[k]); k++ })
 		return nil
-	case [][]float64:
+	case kindMatrix:
+		v := *a.f2
 		cols := 0
 		if len(v) > 0 {
 			cols = len(v[0])
@@ -352,10 +498,11 @@ func (b *boundFields) haloExchange(name string, c *mp.Comm, parts int) error {
 	if spec == nil || spec.Class != Partitioned || spec.Layout != partition.Block {
 		return fmt.Errorf("core: halo exchange requires a block-partitioned field, got %q", name)
 	}
-	fv, ok := b.vals[name].Interface().([][]float64)
-	if !ok {
+	a := b.acc[name]
+	if a == nil || a.kind != kindMatrix {
 		return fmt.Errorf("core: halo exchange requires a [][]float64 field, got %q", name)
 	}
+	fv := *a.f2
 	l, err := b.layoutFor(name, parts)
 	if err != nil {
 		return err
@@ -410,7 +557,7 @@ func (b *boundFields) snapshot(app, mode string, sp uint64) (*serial.Snapshot, e
 // restore writes a snapshot's fields back into the application.
 func (b *boundFields) restore(snap *serial.Snapshot) error {
 	for name, v := range snap.Fields {
-		if _, ok := b.vals[name]; !ok {
+		if _, ok := b.acc[name]; !ok {
 			return fmt.Errorf("core: snapshot field %q does not exist on the application", name)
 		}
 		if err := b.setValue(name, v); err != nil {
@@ -462,12 +609,14 @@ func (b *boundFields) shardLayout(name string) (ckpt.ShardLayout, error) {
 	if sl.Chunk < 1 {
 		sl.Chunk = 1
 	}
-	switch v := b.vals[name].Interface().(type) {
-	case []float64:
-		sl.Elem, sl.N = ckpt.ElemFloats, len(v)
-	case []int:
-		sl.Elem, sl.N = ckpt.ElemInts, len(v)
-	case [][]float64:
+	a := b.acc[name]
+	switch a.kind {
+	case kindFloat64s:
+		sl.Elem, sl.N = ckpt.ElemFloats, len(*a.fs)
+	case kindInts:
+		sl.Elem, sl.N = ckpt.ElemInts, len(*a.is)
+	case kindMatrix:
+		v := *a.f2
 		sl.Elem, sl.N = ckpt.ElemMatrix, len(v)
 		if len(v) > 0 {
 			sl.Cols = len(v[0])

@@ -236,11 +236,15 @@ func (c *Ctx) persistCanonical(snap *serial.Snapshot, start time.Time) {
 	}
 	switch {
 	case async && full != nil:
+		// Account the capture BEFORE handing it over: the background writer
+		// owns it from the submit on and recycles its storage after writing.
+		bytes := full.DataBytes()
 		e.aw.submitFull(full)
-		e.recordCapture(time.Since(start), full.DataBytes())
+		e.recordCapture(time.Since(start), bytes)
 	case async:
+		bytes := delta.DataBytes()
 		e.aw.submitDelta(delta)
-		e.recordCapture(time.Since(start), delta.DataBytes())
+		e.recordCapture(time.Since(start), bytes)
 	case full != nil:
 		c.must(e.sink.saveFull(full))
 		e.recordSave(time.Since(start), full.DataBytes(), false)
@@ -265,10 +269,12 @@ func (c *Ctx) distSave(sp uint64) {
 		c.must(err)
 		async := e.sw != nil
 		cap := e.ssink.capture(c.Rank(), c.Procs(), e.curMode.String(), snap, async)
+		capBytes := cap.dataBytes()
 		if async {
 			// Double-buffered per rank: only the capture happens between
 			// the barriers; the bounded pool persists the links and commits
-			// the wave's manifest in the background.
+			// the wave's manifest in the background (and owns — then
+			// recycles — the capture from the submit on).
 			e.sw.submit(cap)
 		} else {
 			// Every rank persists its own link concurrently between the
@@ -279,9 +285,9 @@ func (c *Ctx) distSave(sp uint64) {
 		c.must(c.comm.Barrier())
 		if c.IsMasterRank() {
 			if async {
-				e.recordCapture(time.Since(start), cap.dataBytes())
+				e.recordCapture(time.Since(start), capBytes)
 			} else {
-				e.recordShardBlocked(time.Since(start), cap.dataBytes())
+				e.recordShardBlocked(time.Since(start), capBytes)
 			}
 		}
 		return

@@ -102,6 +102,7 @@ func (w *shardWriter) worker() {
 
 		w.mu.Lock()
 		delete(w.inFlight, cap.rank)
+		var droppedSuccessor *shardCapture
 		if err != nil {
 			if w.err == nil {
 				w.err = err
@@ -110,6 +111,7 @@ func (w *shardWriter) worker() {
 			// A parked successor delta of the poisoned chain must not be
 			// written either — it would take the failed link's position.
 			if p := w.parked[cap.rank]; p != nil && p.full == nil {
+				droppedSuccessor = p
 				delete(w.parked, cap.rank)
 			}
 		} else if w.onSave != nil {
@@ -117,7 +119,23 @@ func (w *shardWriter) worker() {
 		}
 		w.cond.Broadcast()
 		w.mu.Unlock()
+		// Written (or failed and ownerless) captures feed the pools for the
+		// next wave's clones; see asyncWriter.loop for the ownership rules.
+		recycleShardCapture(cap)
+		recycleShardCapture(droppedSuccessor)
 	}
+}
+
+// recycleShardCapture hands a dead capture's backing arrays to the serial
+// pools. Callers must own the capture outright: never pass one whose delta
+// was folded into a parked anchor (Apply installs whole-field values into
+// the anchor by reference) or whose delta fed a merge.
+func recycleShardCapture(c *shardCapture) {
+	if c == nil {
+		return
+	}
+	serial.RecycleSnapshot(c.full)
+	serial.RecycleDelta(c.delta)
 }
 
 // takeLocked removes and returns a parked capture whose rank has no write
@@ -144,6 +162,7 @@ func (w *shardWriter) submit(cap *shardCapture) {
 	defer w.mu.Unlock()
 	if w.poisoned[cap.rank] {
 		if cap.full == nil {
+			recycleShardCapture(cap)
 			return // this chain is missing a link on disk; see the type comment
 		}
 		delete(w.poisoned, cap.rank)
@@ -157,6 +176,7 @@ func (w *shardWriter) submit(cap *shardCapture) {
 		// nothing the new full state does not.
 		w.parked[cap.rank] = cap
 		w.noteSupersedeLocked()
+		recycleShardCapture(p)
 	case p.full != nil:
 		// Fold the newer delta onto the parked anchor snapshot: the anchor
 		// stays self-contained and lands on the newer state.

@@ -24,6 +24,18 @@ func (s *Stopwatch) Start() { s.start = time.Now() }
 // Elapsed reports time since Start.
 func (s *Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
 
+// Ratio returns logical/physical, the headline figure for space-saving
+// layers (the dedup store's logical-over-physical bytes, a compressor's
+// raw-over-compressed). A zero physical denominator means nothing was
+// stored yet, which reads as "no savings": the ratio is defined as 1
+// there rather than dividing by zero.
+func Ratio(logical, physical float64) float64 {
+	if physical == 0 {
+		return 1
+	}
+	return logical / physical
+}
+
 // IterRecorder collects per-iteration wall times (thread-safe: in shared
 // deployments only the master records, but restarted engines may record
 // from fresh goroutines).

@@ -117,3 +117,12 @@ func TestStopwatch(t *testing.T) {
 		t.Error("stopwatch under-reports")
 	}
 }
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(80, 10); got != 8 {
+		t.Fatalf("Ratio(80,10) = %v", got)
+	}
+	if got := Ratio(0, 0); got != 1 {
+		t.Fatalf("Ratio(0,0) = %v, want 1 (empty store reads as no savings)", got)
+	}
+}

@@ -1,0 +1,64 @@
+// Content-addressed chunk keys.
+//
+// The dedup store layer (ppar/internal/ckpt) stores the fixed-grid chunks
+// of large float fields once per distinct content, keyed by a digest of the
+// chunk payload. Keys never leave the local store and carry no security
+// guarantee — every chunk read is still covered by the container CRCs on
+// the artifacts that reference it — so the digest only has to make
+// accidental collisions negligible. Two independently seeded passes of the
+// same mix64 permutation the diffing cache uses, plus the payload length in
+// the key itself, give an effective 128-bit+length identity at memory
+// bandwidth, with no dependencies.
+package serial
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChunkKey returns the content address of one chunk payload: two
+// independently seeded 64-bit digests and the payload length, formatted as
+// "%016x%016x-%x". The key alphabet is lower-case hex plus '-', so keys are
+// safe as file-name components on every supported platform.
+func ChunkKey(payload []byte) string {
+	h1 := uint64(0x9E3779B97F4A7C15)
+	h2 := uint64(0xC2B2AE3D27D4EB4F)
+	i := 0
+	for ; i+8 <= len(payload); i += 8 {
+		w := order.Uint64(payload[i:])
+		h1 = mix64(h1, w)
+		h2 = mix64(h2, w^0xA5A5A5A5A5A5A5A5)
+	}
+	var tail uint64
+	for j := i; j < len(payload); j++ {
+		tail = tail<<8 | uint64(payload[j])
+	}
+	h1 = mix64(h1, tail)
+	h2 = mix64(h2, tail^0xA5A5A5A5A5A5A5A5)
+	return fmt.Sprintf("%016x%016x-%x", h1, h2, len(payload))
+}
+
+// PackF64s appends v little-endian to dst — the canonical byte form of a
+// float chunk, identical to the payload framing inside the containers, so a
+// chunk shipped in a delta and the same grid chunk of a full snapshot hash
+// to the same key.
+func PackF64s(dst []byte, v []float64) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, 8*len(v))...)
+	for i, f := range v {
+		order.PutUint64(dst[off+8*i:], math.Float64bits(f))
+	}
+	return dst
+}
+
+// UnpackF64s decodes a packed float chunk.
+func UnpackF64s(payload []byte) ([]float64, error) {
+	if len(payload)%8 != 0 {
+		return nil, fmt.Errorf("serial: chunk payload of %d bytes is not a float array", len(payload))
+	}
+	v := make([]float64, len(payload)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(order.Uint64(payload[8*i:]))
+	}
+	return v, nil
+}

@@ -38,6 +38,13 @@ import (
 // DeltaMagic identifies an incremental (delta) checkpoint container.
 const DeltaMagic = "PPCKPD1\n"
 
+// DeltaMagicV2 identifies a delta container carrying a removed-field
+// section. The encoder only emits it when the delta actually removes
+// fields, so chains written by state shapes that never drop a field stay
+// byte-identical to (and readable by) PPCKPD1 consumers; the decoder
+// accepts both magics.
+const DeltaMagicV2 = "PPCKPD2\n"
+
 // DeltaChunkElems is the fixed diffing granularity for large float fields:
 // chunks of this many float64 elements (64 KiB) are hashed and shipped
 // independently, so a localised update re-persists only the chunks it
@@ -91,6 +98,11 @@ type Delta struct {
 	Full     map[string]Value
 	Slices   map[string]SliceDelta
 	Matrices map[string]MatrixDelta
+	// Removed names the fields that existed at the previous capture of the
+	// chain and are absent from this one. Without it, replaying base + d1 +
+	// ... + dN after a restart would resurrect a field the application had
+	// dropped. Deltas that remove fields are encoded under DeltaMagicV2.
+	Removed []string
 }
 
 // NewDelta allocates an empty delta for app at safe point sp, anchored at
@@ -106,7 +118,8 @@ func NewDelta(app, mode string, sp, baseSP uint64) *Delta {
 
 // Empty reports whether the delta carries no changes at all.
 func (d *Delta) Empty() bool {
-	return len(d.Full) == 0 && len(d.Slices) == 0 && len(d.Matrices) == 0
+	return len(d.Full) == 0 && len(d.Slices) == 0 && len(d.Matrices) == 0 &&
+		len(d.Removed) == 0
 }
 
 // DataBytes reports the total payload bytes across all entries — the
@@ -151,7 +164,11 @@ func (d *Delta) Encode(w io.Writer) error {
 // encodeBody writes everything up to (not including) the trailer through
 // the container CRC.
 func (d *Delta) encodeBody(cw *crcWriter) error {
-	if _, err := io.WriteString(cw, DeltaMagic); err != nil {
+	magic := DeltaMagic
+	if len(d.Removed) > 0 {
+		magic = DeltaMagicV2
+	}
+	if _, err := io.WriteString(cw, magic); err != nil {
 		return err
 	}
 	if err := writeString(cw, d.App); err != nil {
@@ -168,6 +185,18 @@ func (d *Delta) encodeBody(cw *crcWriter) error {
 	for _, n := range []int{len(d.Full), len(d.Slices), len(d.Matrices)} {
 		if err := writeU32(cw, uint32(n)); err != nil {
 			return err
+		}
+	}
+	if len(d.Removed) > 0 {
+		if err := writeU32(cw, uint32(len(d.Removed))); err != nil {
+			return err
+		}
+		names := append([]string(nil), d.Removed...)
+		sort.Strings(names)
+		for _, name := range names {
+			if err := writeString(cw, name); err != nil {
+				return err
+			}
 		}
 	}
 	for _, name := range sortedKeys(d.Full) {
@@ -208,14 +237,24 @@ func encodeSliceDelta(w io.Writer, name string, sd SliceDelta) error {
 		if err := writeU64(w, uint64(len(c.Data))); err != nil {
 			return err
 		}
-		payload := make([]byte, 8*len(c.Data))
+		// The chunk payload is framed by a u32 CRC+length pair on the wire
+		// (readPayload bounds it by u32), so mirror encodeField's guard: a
+		// chunk that would not round-trip must fail here, not corrupt the
+		// container. Size the check in uint64 — 8*len overflows int on
+		// 32-bit platforms long before it overflows the frame.
+		if n := 8 * uint64(len(c.Data)); n > math.MaxUint32 {
+			return fmt.Errorf("chunk payload is %d bytes, exceeding the container's 4 GiB field limit", n)
+		}
+		payload := getBytes(8 * len(c.Data))
 		for i, f := range c.Data {
 			order.PutUint64(payload[8*i:], math.Float64bits(f))
 		}
-		if err := writeU32(w, crc32.ChecksumIEEE(payload)); err != nil {
-			return err
+		err := writeU32(w, crc32.ChecksumIEEE(payload))
+		if err == nil {
+			_, err = w.Write(payload)
 		}
-		if _, err := w.Write(payload); err != nil {
+		putBytes(payload)
+		if err != nil {
 			return err
 		}
 	}
@@ -245,19 +284,30 @@ func encodeMatrixDelta(w io.Writer, name string, md MatrixDelta) error {
 		if err := writeU64(w, uint64(len(c.Rows))); err != nil {
 			return err
 		}
-		payload := make([]byte, 8*len(c.Rows)*md.Cols)
+		// Same u32-frame guard as the slice chunks; computed in uint64
+		// because 8*rows*cols can overflow int on 32-bit platforms.
+		if n := 8 * uint64(len(c.Rows)) * uint64(md.Cols); n > math.MaxUint32 {
+			return fmt.Errorf("row chunk payload is %d bytes, exceeding the container's 4 GiB field limit", n)
+		}
+		payload := getBytes(8 * len(c.Rows) * md.Cols)
+		var err error
 		for i, row := range c.Rows {
 			if len(row) != md.Cols {
-				return fmt.Errorf("ragged row chunk: row %d has %d cols, want %d", c.Row+i, len(row), md.Cols)
+				err = fmt.Errorf("ragged row chunk: row %d has %d cols, want %d", c.Row+i, len(row), md.Cols)
+				break
 			}
 			for j, f := range row {
 				order.PutUint64(payload[8*(i*md.Cols+j):], math.Float64bits(f))
 			}
 		}
-		if err := writeU32(w, crc32.ChecksumIEEE(payload)); err != nil {
-			return err
+		if err == nil {
+			err = writeU32(w, crc32.ChecksumIEEE(payload))
 		}
-		if _, err := w.Write(payload); err != nil {
+		if err == nil {
+			_, err = w.Write(payload)
+		}
+		putBytes(payload)
+		if err != nil {
 			return err
 		}
 	}
@@ -273,7 +323,7 @@ func DecodeDelta(r io.Reader) (*Delta, error) {
 	if _, err := io.ReadFull(cr, magic); err != nil {
 		return nil, fmt.Errorf("serial: reading delta magic: %w", err)
 	}
-	if string(magic) != DeltaMagic {
+	if string(magic) != DeltaMagic && string(magic) != DeltaMagicV2 {
 		return nil, fmt.Errorf("serial: bad delta magic %q", magic)
 	}
 	app, err := readString(cr)
@@ -298,6 +348,26 @@ func DecodeDelta(r io.Reader) (*Delta, error) {
 	}
 	d := NewDelta(app, mode, hdr[0], hdr[1])
 	d.Seq = hdr[2]
+	if string(magic) == DeltaMagicV2 {
+		// V2 inserts the removed-field section between the counts and the
+		// full-field section. The loop is input-bounded: every name consumes
+		// at least the 4-byte length prefix from the reader, and readString
+		// caps each at maxStringLen, so a crafted count cannot over-allocate.
+		nr, err := readU32(cr)
+		if err != nil {
+			return nil, err
+		}
+		if nr == 0 {
+			return nil, fmt.Errorf("serial: v2 delta with an empty removed section")
+		}
+		for i := uint32(0); i < nr; i++ {
+			name, err := readString(cr)
+			if err != nil {
+				return nil, fmt.Errorf("serial: delta removed name %d: %w", i, err)
+			}
+			d.Removed = append(d.Removed, name)
+		}
+	}
 	for i := uint32(0); i < counts[0]; i++ {
 		name, v, err := decodeField(cr)
 		if err != nil {
@@ -456,6 +526,11 @@ func (d *Delta) Apply(base *Snapshot) error {
 	if base.App != d.App {
 		return fmt.Errorf("serial: delta for app %q applied to snapshot of %q", d.App, base.App)
 	}
+	// Deletions first: a name can legitimately appear in both Removed and
+	// Full after a merge (dropped, then re-added), and the re-add must win.
+	for _, name := range d.Removed {
+		delete(base.Fields, name)
+	}
 	for name, v := range d.Full {
 		base.Fields[name] = v
 	}
@@ -499,6 +574,10 @@ func MergeDeltas(older, newer *Delta) (*Delta, error) {
 			older.App, older.BaseSP, newer.App, newer.BaseSP)
 	}
 	out := NewDelta(newer.App, newer.Mode, newer.SafePoints, newer.BaseSP)
+	removed := make(map[string]bool, len(older.Removed)+len(newer.Removed))
+	for _, name := range older.Removed {
+		removed[name] = true
+	}
 	for name, v := range older.Full {
 		out.Full[name] = v
 	}
@@ -508,12 +587,23 @@ func MergeDeltas(older, newer *Delta) (*Delta, error) {
 	for name, md := range older.Matrices {
 		out.Matrices[name] = md
 	}
+	// Mirror Apply's ordering: removals land before the newer delta's
+	// whole-field installs, so a field dropped and re-added between the two
+	// captures comes out present with the newer value.
+	for _, name := range newer.Removed {
+		removed[name] = true
+		delete(out.Full, name)
+		delete(out.Slices, name)
+		delete(out.Matrices, name)
+	}
 	for name, v := range newer.Full {
 		// A whole-field replacement is cumulative state: it wins over
-		// anything the older delta carried for the field.
+		// anything the older delta carried for the field, including a
+		// pending removal.
 		out.Full[name] = v
 		delete(out.Slices, name)
 		delete(out.Matrices, name)
+		delete(removed, name)
 	}
 	for name, sd := range newer.Slices {
 		if old, ok := out.Full[name]; ok {
@@ -546,6 +636,13 @@ func MergeDeltas(older, newer *Delta) (*Delta, error) {
 			return nil, err
 		}
 		out.Matrices[name] = merged
+	}
+	if len(removed) > 0 {
+		out.Removed = make([]string, 0, len(removed))
+		for name := range removed {
+			out.Removed = append(out.Removed, name)
+		}
+		sort.Strings(out.Removed)
 	}
 	return out, nil
 }

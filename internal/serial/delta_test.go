@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -217,5 +218,136 @@ func assertSameState(t *testing.T, got, want *Snapshot) {
 		if !reflect.DeepEqual(g, w) {
 			t.Fatalf("field %q diverged", name)
 		}
+	}
+}
+
+func TestDeltaRemovedRoundTrip(t *testing.T) {
+	d := NewDelta("dapp", "smp", 20, 10)
+	d.Seq = 3
+	d.Full["kept"] = Int64(20)
+	d.Removed = []string{"gone", "also-gone"}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf.Bytes()[:len(DeltaMagicV2)]); got != DeltaMagicV2 {
+		t.Fatalf("removal-carrying delta encoded under magic %q, want %q", got, DeltaMagicV2)
+	}
+	got, err := DecodeDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"also-gone", "gone"} // encoder canonicalises to sorted order
+	if !reflect.DeepEqual(got.Removed, want) {
+		t.Fatalf("Removed did not round-trip: %v, want %v", got.Removed, want)
+	}
+
+	// A delta with no removals must stay byte-identical to the v1 format.
+	d1 := NewDelta("dapp", "smp", 20, 10)
+	d1.Seq = 3
+	d1.Full["kept"] = Int64(20)
+	var buf1 bytes.Buffer
+	if err := d1.Encode(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf1.Bytes()[:len(DeltaMagic)]); got != DeltaMagic {
+		t.Fatalf("removal-free delta encoded under magic %q, want %q", got, DeltaMagic)
+	}
+}
+
+func TestDiffEmitsRemovedForVanishedField(t *testing.T) {
+	base := NewSnapshot("dapp", "seq", 10)
+	base.Fields["stays"] = Float64(1)
+	base.Fields["vanishes"] = Int64s([]int64{1, 2, 3})
+	h := NewStateHash()
+	h.Rehash(base)
+	persisted := base.Clone()
+
+	cur := NewSnapshot("dapp", "seq", 12)
+	cur.Fields["stays"] = Float64(1)
+	d := h.Diff(cur, 10, true)
+	if !reflect.DeepEqual(d.Removed, []string{"vanishes"}) {
+		t.Fatalf("Diff Removed = %v, want [vanishes]", d.Removed)
+	}
+	if err := d.Apply(persisted); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := persisted.Fields["vanishes"]; ok {
+		t.Fatal("replaying the chain resurrected a removed field")
+	}
+	assertSameState(t, persisted, cur)
+
+	// The next capture must not report the field again.
+	d2 := h.Diff(cur, 10, true)
+	if !d2.Empty() {
+		t.Fatalf("unchanged state after a removal produced a non-empty delta: %+v", d2)
+	}
+}
+
+func TestMergeDeltasRemovedSemantics(t *testing.T) {
+	// Removed then re-added: the newer whole-field replacement wins.
+	older := NewDelta("dapp", "seq", 12, 10)
+	older.Removed = []string{"a", "b"}
+	newer := NewDelta("dapp", "seq", 14, 10)
+	newer.Full["a"] = Float64(7)
+	merged, err := MergeDeltas(older, newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Removed, []string{"b"}) {
+		t.Fatalf("merged Removed = %v, want [b]", merged.Removed)
+	}
+	if v, ok := merged.Full["a"]; !ok || v.F != 7 {
+		t.Fatalf("re-added field lost in merge: %+v", merged.Full)
+	}
+
+	// Added (or changed) then removed: the removal cancels the older entry.
+	older2 := NewDelta("dapp", "seq", 12, 10)
+	older2.Full["c"] = Float64(3)
+	newer2 := NewDelta("dapp", "seq", 14, 10)
+	newer2.Removed = []string{"c"}
+	merged2, err := MergeDeltas(older2, newer2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged2.Removed, []string{"c"}) {
+		t.Fatalf("merged Removed = %v, want [c]", merged2.Removed)
+	}
+	if _, ok := merged2.Full["c"]; ok {
+		t.Fatal("removed field still carried as a replacement after merge")
+	}
+
+	// End to end: base + merged must equal base + older + newer.
+	base := NewSnapshot("dapp", "seq", 10)
+	base.Fields["c"] = Float64(0)
+	seqApplied := base.Clone()
+	if err := older2.Apply(seqApplied); err != nil {
+		t.Fatal(err)
+	}
+	if err := newer2.Apply(seqApplied); err != nil {
+		t.Fatal(err)
+	}
+	mergedApplied := base.Clone()
+	if err := merged2.Apply(mergedApplied); err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, mergedApplied, seqApplied)
+}
+
+func TestEncodeDeltaRejectsOversizedChunk(t *testing.T) {
+	// A row chunk whose payload frame exceeds u32: 8*rows*cols is computed
+	// in uint64 by the guard, so empty rows with a huge declared width
+	// exercise the overflow without allocating gigabytes.
+	d := NewDelta("dapp", "seq", 12, 10)
+	d.Matrices["grid"] = MatrixDelta{Rows: 4, Cols: 1 << 30, Chunks: []MatrixChunk{
+		{Row: 0, Rows: make([][]float64, 4)},
+	}}
+	var buf bytes.Buffer
+	err := d.Encode(&buf)
+	if err == nil {
+		t.Fatal("encoding a >4 GiB row chunk must fail, not corrupt the frame")
+	}
+	if !strings.Contains(err.Error(), "4 GiB") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }

@@ -1,6 +1,9 @@
 package serial
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // StateHash is the safe-point hash cache behind incremental checkpointing:
 // it remembers a content hash per SafeData field — and per fixed-size chunk
@@ -196,7 +199,9 @@ func (h *StateHash) Diff(snap *Snapshot, baseSP uint64, clone bool) *Delta {
 				}
 				data := v.Fs[off:end]
 				if clone {
-					data = append([]float64(nil), data...)
+					cp := getF64s(len(data))
+					copy(cp, data)
+					data = cp
 				}
 				sd.Chunks = append(sd.Chunks, SliceChunk{Off: off, Data: data})
 			}
@@ -217,9 +222,11 @@ func (h *StateHash) Diff(snap *Snapshot, baseSP uint64, clone bool) *Delta {
 				}
 				rows := v.F2[r:end]
 				if clone {
-					cp := make([][]float64, len(rows))
+					cp := getRows(len(rows))
 					for ri, row := range rows {
-						cp[ri] = append([]float64(nil), row...)
+						cr := getF64s(len(row))
+						copy(cr, row)
+						cp[ri] = cr
 					}
 					rows = cp
 				}
@@ -230,6 +237,15 @@ func (h *StateHash) Diff(snap *Snapshot, baseSP uint64, clone bool) *Delta {
 			}
 		}
 	}
+	// Fields present at the previous capture but absent now must leave a
+	// deletion record: the cache forgetting them is not enough, because a
+	// chain replay after restart would resurrect them from an earlier link.
+	for name := range h.fields {
+		if _, ok := next[name]; !ok {
+			d.Removed = append(d.Removed, name)
+		}
+	}
+	sort.Strings(d.Removed)
 	h.fields = next
 	return d
 }

@@ -3,6 +3,7 @@ package serial
 import (
 	"bytes"
 	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -55,7 +56,18 @@ func corpusDeltas(t testing.TB) []*Delta {
 	empty := NewDelta("", "", 0, 0)
 	empty.Seq = 1
 
-	return []*Delta{plain, empty}
+	// A v2 (PPCKPD2) container: carries a removed-field section, alone and
+	// alongside ordinary sections.
+	removed := NewDelta("app", "seq", 11, 5)
+	removed.Seq = 3
+	removed.Removed = []string{"gone", "also-gone"}
+	removed.Full["kept"] = Float64(1.5)
+
+	onlyRemoved := NewDelta("app", "seq", 12, 5)
+	onlyRemoved.Seq = 4
+	onlyRemoved.Removed = []string{"x"}
+
+	return []*Delta{plain, empty, removed, onlyRemoved}
 }
 
 func encodeSnap(t testing.TB, s *Snapshot) []byte {
@@ -216,6 +228,10 @@ func normaliseDelta(d *Delta) *Delta {
 	}
 	for k, v := range d.Matrices {
 		out.Matrices[k] = v
+	}
+	if len(d.Removed) > 0 {
+		out.Removed = append([]string(nil), d.Removed...)
+		sort.Strings(out.Removed)
 	}
 	return out
 }

@@ -37,7 +37,7 @@ func (s *Snapshot) EncodeParallel(w io.Writer, workers int) error {
 	}
 
 	n := len(names)
-	bufs := make([][]byte, n)
+	bufs := make([]*bytes.Buffer, n)
 	errs := make([]error, n)
 	ready := make([]chan struct{}, n)
 	for i := range ready {
@@ -53,9 +53,9 @@ func (s *Snapshot) EncodeParallel(w io.Writer, workers int) error {
 		go func() {
 			defer wg.Done()
 			for idx := range next {
-				var b bytes.Buffer
-				errs[idx] = encodeField(&b, names[idx], s.Fields[names[idx]])
-				bufs[idx] = b.Bytes()
+				b := getBuf()
+				errs[idx] = encodeField(b, names[idx], s.Fields[names[idx]])
+				bufs[idx] = b
 				close(ready[idx])
 			}
 		}()
@@ -78,9 +78,10 @@ func (s *Snapshot) EncodeParallel(w io.Writer, workers int) error {
 			err = fmt.Errorf("serial: field %q: %w", names[i], errs[i])
 		}
 		if err == nil {
-			_, err = cw.Write(bufs[i])
+			_, err = cw.Write(bufs[i].Bytes())
 		}
-		bufs[i] = nil // release as soon as written
+		putBuf(bufs[i]) // release to the pool as soon as written
+		bufs[i] = nil
 		<-sem
 	}
 	wg.Wait()

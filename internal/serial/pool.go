@@ -1,0 +1,188 @@
+// Buffer and backing-array pools for the checkpoint hot path.
+//
+// Every safe point used to allocate afresh: an encode buffer per field, a
+// byte block per chunk payload, and new backing arrays for each asynchronous
+// capture clone. A long run checkpoints the same state shape thousands of
+// times, so all of that memory is recyclable — the pools below hand the
+// previous checkpoint's buffers to the next one, taking the steady-state
+// allocation count per checkpoint to (near) zero.
+//
+// Ownership discipline: only artifacts the checkpoint pipeline provably owns
+// are recycled — the deep-copied capture clones and clone-mode deltas after
+// the background writer has persisted them. Snapshots that alias live
+// application arrays (the synchronous capture path) are never recycled, and
+// a merged delta is recycled only once, after it lands, never its inputs
+// (MergeDeltas carries their arrays by reference).
+package serial
+
+import (
+	"bytes"
+	"sync"
+)
+
+// maxPooledBytes bounds what any pool retains: a one-off giant field must
+// not pin its buffer for the rest of the process.
+const maxPooledBytes = 16 << 20
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBytes {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// scratchBlockBytes is the fixed conversion-block size for streaming float
+// and int payloads: big enough to amortise Write calls, small enough that a
+// pool of them costs nothing to keep around.
+const scratchBlockBytes = 64 << 10
+
+var scratchPool = sync.Pool{New: func() any {
+	b := make([]byte, scratchBlockBytes)
+	return &b
+}}
+
+// bytesPool recycles whole chunk-payload blocks (delta encoding).
+var bytesPool sync.Pool
+
+func getBytes(n int) []byte {
+	if p, _ := bytesPool.Get().(*[]byte); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+
+func putBytes(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBytes {
+		return
+	}
+	b = b[:0]
+	bytesPool.Put(&b)
+}
+
+// f64Pool / i64Pool recycle the backing arrays of capture clones and cloned
+// delta chunks. A pooled slice whose capacity does not fit the request is
+// simply dropped — in steady state the same state shape recurs every safe
+// point, so the fit is exact from the second checkpoint on.
+var (
+	f64Pool  sync.Pool
+	i64Pool  sync.Pool
+	rowsPool sync.Pool
+)
+
+func getF64s(n int) []float64 {
+	if p, _ := f64Pool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putF64s(v []float64) {
+	if cap(v) == 0 || cap(v) > maxPooledBytes/8 {
+		return
+	}
+	v = v[:0]
+	f64Pool.Put(&v)
+}
+
+func getI64s(n int) []int64 {
+	if p, _ := i64Pool.Get().(*[]int64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int64, n)
+}
+
+func putI64s(v []int64) {
+	if cap(v) == 0 || cap(v) > maxPooledBytes/8 {
+		return
+	}
+	v = v[:0]
+	i64Pool.Put(&v)
+}
+
+func getRows(n int) [][]float64 {
+	if p, _ := rowsPool.Get().(*[][]float64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([][]float64, n)
+}
+
+func putRows(v [][]float64) {
+	if cap(v) == 0 {
+		return
+	}
+	for i := range v {
+		v[i] = nil
+	}
+	v = v[:0]
+	rowsPool.Put(&v)
+}
+
+// snapPool recycles Snapshot shells (struct + field map) between capture
+// clones.
+var snapPool = sync.Pool{New: func() any {
+	return &Snapshot{Fields: map[string]Value{}}
+}}
+
+// RecycleSnapshot returns a deep-copied snapshot's backing storage to the
+// pools for the next capture to reuse. The caller must own every array the
+// snapshot references — only pass snapshots produced by Clone (or built from
+// pooled storage) that nothing else retains; never pass a snapshot that
+// aliases live application state.
+func RecycleSnapshot(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	for name, v := range s.Fields {
+		recycleValue(v)
+		delete(s.Fields, name)
+	}
+	s.App, s.Mode, s.SafePoints = "", "", 0
+	snapPool.Put(s)
+}
+
+// RecycleDelta returns a clone-mode delta's backing storage to the pools.
+// The same ownership rule as RecycleSnapshot applies: only deltas captured
+// with clone=true (or a merged delta after it was persisted — never the
+// merge inputs, whose arrays the merged delta carries by reference).
+func RecycleDelta(d *Delta) {
+	if d == nil {
+		return
+	}
+	for name, v := range d.Full {
+		recycleValue(v)
+		delete(d.Full, name)
+	}
+	for name, sd := range d.Slices {
+		for _, c := range sd.Chunks {
+			putF64s(c.Data)
+		}
+		delete(d.Slices, name)
+	}
+	for name, md := range d.Matrices {
+		for _, c := range md.Chunks {
+			for _, row := range c.Rows {
+				putF64s(row)
+			}
+			putRows(c.Rows)
+		}
+		delete(d.Matrices, name)
+	}
+	d.Removed = nil
+}
+
+func recycleValue(v Value) {
+	putF64s(v.Fs)
+	putI64s(v.Is)
+	putBytes(v.B)
+	if v.F2 != nil {
+		for _, row := range v.F2 {
+			putF64s(row)
+		}
+		putRows(v.F2)
+	}
+}

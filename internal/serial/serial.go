@@ -152,9 +152,12 @@ func (s *Snapshot) DataBytes() int {
 // Clone deep-copies the snapshot: every slice, matrix row and byte payload
 // gets fresh backing storage. The asynchronous checkpoint pipeline captures
 // a clone at the safe point so computation can keep mutating the live
-// fields while the copy is encoded and persisted in the background.
+// fields while the copy is encoded and persisted in the background. Backing
+// storage is drawn from the package pools, so a clone the pipeline recycles
+// (RecycleSnapshot) makes the next capture allocation-free.
 func (s *Snapshot) Clone() *Snapshot {
-	c := NewSnapshot(s.App, s.Mode, s.SafePoints)
+	c := snapPool.Get().(*Snapshot)
+	c.App, c.Mode, c.SafePoints = s.App, s.Mode, s.SafePoints
 	for name, v := range s.Fields {
 		c.Fields[name] = v.clone()
 	}
@@ -164,18 +167,23 @@ func (s *Snapshot) Clone() *Snapshot {
 func (v Value) clone() Value {
 	out := v
 	if v.Fs != nil {
-		out.Fs = append([]float64(nil), v.Fs...)
+		out.Fs = getF64s(len(v.Fs))
+		copy(out.Fs, v.Fs)
 	}
 	if v.Is != nil {
-		out.Is = append([]int64(nil), v.Is...)
+		out.Is = getI64s(len(v.Is))
+		copy(out.Is, v.Is)
 	}
 	if v.B != nil {
-		out.B = append([]byte(nil), v.B...)
+		out.B = getBytes(len(v.B))
+		copy(out.B, v.B)
 	}
 	if v.F2 != nil {
-		out.F2 = make([][]float64, len(v.F2))
+		out.F2 = getRows(len(v.F2))
 		for i, row := range v.F2 {
-			out.F2[i] = append([]float64(nil), row...)
+			r := getF64s(len(row))
+			copy(r, row)
+			out.F2[i] = r
 		}
 	}
 	return out
@@ -218,21 +226,44 @@ func writeString(w io.Writer, s string) error {
 	return err
 }
 
+// writeF64s streams v through a fixed pooled conversion block instead of
+// materialising an 8*len(v) buffer per call — on the checkpoint hot path
+// that per-field allocation used to dominate allocs/ckpt.
 func writeF64s(w io.Writer, v []float64) error {
-	b := make([]byte, 8*len(v))
-	for i, f := range v {
-		order.PutUint64(b[8*i:], math.Float64bits(f))
+	sp := scratchPool.Get().(*[]byte)
+	b := *sp
+	var err error
+	for len(v) > 0 && err == nil {
+		n := len(v)
+		if max := len(b) / 8; n > max {
+			n = max
+		}
+		for i := 0; i < n; i++ {
+			order.PutUint64(b[8*i:], math.Float64bits(v[i]))
+		}
+		_, err = w.Write(b[:8*n])
+		v = v[n:]
 	}
-	_, err := w.Write(b)
+	scratchPool.Put(sp)
 	return err
 }
 
 func writeI64s(w io.Writer, v []int64) error {
-	b := make([]byte, 8*len(v))
-	for i, x := range v {
-		order.PutUint64(b[8*i:], uint64(x))
+	sp := scratchPool.Get().(*[]byte)
+	b := *sp
+	var err error
+	for len(v) > 0 && err == nil {
+		n := len(v)
+		if max := len(b) / 8; n > max {
+			n = max
+		}
+		for i := 0; i < n; i++ {
+			order.PutUint64(b[8*i:], uint64(v[i]))
+		}
+		_, err = w.Write(b[:8*n])
+		v = v[n:]
 	}
-	_, err := w.Write(b)
+	scratchPool.Put(sp)
 	return err
 }
 
@@ -295,28 +326,29 @@ func encodeField(w io.Writer, name string, v Value) error {
 	if err := writeU8(w, v.Tag); err != nil {
 		return err
 	}
-	var payload bytes.Buffer
+	payload := getBuf()
+	defer putBuf(payload)
 	switch v.Tag {
 	case TFloat64:
-		if err := writeF64s(&payload, []float64{v.F}); err != nil {
+		if err := writeF64s(payload, []float64{v.F}); err != nil {
 			return err
 		}
 	case TInt64:
-		if err := writeI64s(&payload, []int64{v.I}); err != nil {
+		if err := writeI64s(payload, []int64{v.I}); err != nil {
 			return err
 		}
 	case TFloat64s:
-		if err := writeU64(&payload, uint64(len(v.Fs))); err != nil {
+		if err := writeU64(payload, uint64(len(v.Fs))); err != nil {
 			return err
 		}
-		if err := writeF64s(&payload, v.Fs); err != nil {
+		if err := writeF64s(payload, v.Fs); err != nil {
 			return err
 		}
 	case TInt64s:
-		if err := writeU64(&payload, uint64(len(v.Is))); err != nil {
+		if err := writeU64(payload, uint64(len(v.Is))); err != nil {
 			return err
 		}
-		if err := writeI64s(&payload, v.Is); err != nil {
+		if err := writeI64s(payload, v.Is); err != nil {
 			return err
 		}
 	case TFloat64_2:
@@ -326,10 +358,10 @@ func encodeField(w io.Writer, name string, v Value) error {
 			// container decodable.
 			return fmt.Errorf("%d empty rows exceed the container's zero-column row limit (%d)", v.Rows, maxEmptyRows)
 		}
-		if err := writeU64(&payload, uint64(v.Rows)); err != nil {
+		if err := writeU64(payload, uint64(v.Rows)); err != nil {
 			return err
 		}
-		if err := writeU64(&payload, uint64(v.Cols)); err != nil {
+		if err := writeU64(payload, uint64(v.Cols)); err != nil {
 			return err
 		}
 		for r := 0; r < v.Rows; r++ {
@@ -337,12 +369,12 @@ func encodeField(w io.Writer, name string, v Value) error {
 			if len(row) != v.Cols {
 				return fmt.Errorf("ragged matrix: row %d has %d cols, want %d", r, len(row), v.Cols)
 			}
-			if err := writeF64s(&payload, row); err != nil {
+			if err := writeF64s(payload, row); err != nil {
 				return err
 			}
 		}
 	case TBytes, TGob:
-		if err := writeU64(&payload, uint64(len(v.B))); err != nil {
+		if err := writeU64(payload, uint64(len(v.B))); err != nil {
 			return err
 		}
 		if _, err := payload.Write(v.B); err != nil {

@@ -72,3 +72,23 @@ func NewGzipStore(inner Store) Store { return ckpt.NewGzip(inner, 0) }
 // NewGzipStoreLevel is NewGzipStore with an explicit gzip compression level
 // (gzip.BestSpeed..gzip.BestCompression; 0 selects the default).
 func NewGzipStoreLevel(inner Store, level int) Store { return ckpt.NewGzip(inner, level) }
+
+// DedupStore wraps any Store with content-addressed deduplication: large
+// float fields are split on the delta differ's fixed chunk grid and each
+// distinct chunk content is stored once via the inner store's PutChunk,
+// with reference counts tying chunk lifetime to the artifacts that use
+// them. Identical chunks across full snapshots, deltas, shard ranks,
+// compaction generations — and across tenants sharing one backend through
+// NamespacedStore, whose chunk keys pass through unprefixed — are written
+// once. Stats reports the cumulative logical-over-physical ratio.
+//
+// Compose it outermost (dedup of a gzip store, not the reverse): wrappers
+// that envelope whole artifacts hide the float payloads from the chunker.
+type DedupStore = ckpt.Dedup
+
+// DedupStats is the cumulative accounting of a DedupStore; see
+// DedupStats.Ratio for the headline number.
+type DedupStats = ckpt.DedupStats
+
+// NewDedupStore wraps inner with content-addressed deduplication.
+func NewDedupStore(inner Store) *DedupStore { return ckpt.NewDedup(inner) }
