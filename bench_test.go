@@ -41,6 +41,8 @@ func benchOpts(mode pp.Mode, pe int, extra ...pp.Option) []pp.Option {
 		opts = append(opts, pp.WithThreads(pe))
 	case pp.Distributed:
 		opts = append(opts, pp.WithProcs(pe))
+	case pp.Task:
+		opts = append(opts, pp.WithThreads(pe), pp.WithOverdecompose(8))
 	}
 	return append(opts, extra...)
 }
@@ -833,4 +835,129 @@ func BenchmarkFleetOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Skewed workloads: work stealing vs static schedules ------------------
+
+// The Task executor's case: on kernels whose per-iteration cost is skewed
+// across the index space, a static split parks the hot band on a few workers
+// and every barrier waits for them; overdecomposition plus stealing spreads
+// it. Each benchmark runs the skew-blind static smp schedule and the Task
+// executor (8 workers, k=8) on the same deterministic kernel. The speedup is
+// only observable with real cores (CI pins GOMAXPROCS=1, where both legs
+// degenerate to the same serialized work); the gate watches each leg's own
+// trajectory, and `go run ./cmd/ppbench -skew` prints the comparison on the
+// host machine. chunks/op is deterministic (iterations × workers × k) and
+// gated; steal counts are scheduling noise and deliberately unreported.
+const (
+	skewPE           = 8
+	skewK            = 8
+	skewCryptN       = 64 * 1024 // bytes: 8192 blocks, first 1024 hot
+	skewCryptHotCost = 16
+	skewSparseN      = 1024
+	skewSparseNNZ    = 4
+	skewSparseIters  = 8
+)
+
+type skewLeg struct {
+	name    string
+	mode    pp.Mode
+	modules func(pp.Mode) []*pp.Module
+	opts    []pp.Option
+}
+
+func skewLegs(modules func(pp.Mode) []*pp.Module, static *pp.Module, ckpt *pp.Module) []skewLeg {
+	staticSet := func(pp.Mode) []*pp.Module { return []*pp.Module{static, ckpt} }
+	return []skewLeg{
+		{"smp-static8", pp.Shared, staticSet, []pp.Option{pp.WithThreads(skewPE)}},
+		{"task8-k8", pp.Task, modules, []pp.Option{pp.WithThreads(skewPE), pp.WithOverdecompose(skewK)}},
+	}
+}
+
+func runSkewLeg(b *testing.B, l skewLeg, name string, factory pp.Factory) pp.Report {
+	b.Helper()
+	opts := append([]pp.Option{
+		pp.WithName(name),
+		pp.WithMode(l.mode),
+		pp.WithModules(l.modules(l.mode)...),
+	}, l.opts...)
+	eng, err := pp.New(factory, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return eng.Report()
+}
+
+func BenchmarkSkewedCrypt(b *testing.B) {
+	for _, l := range skewLegs(jgf.CryptModules, jgf.CryptSharedModule(), jgf.CryptCheckpointModule()) {
+		l := l
+		b.Run(l.name, func(b *testing.B) {
+			var rep pp.Report
+			for i := 0; i < b.N; i++ {
+				res := &jgf.CryptResult{}
+				rep = runSkewLeg(b, l, "bench-skew-crypt", func() pp.App {
+					return jgf.NewCryptSkewed(skewCryptN, skewCryptHotCost, res)
+				})
+				if !res.OK {
+					b.Fatal("skewed crypt round-trip failed validation")
+				}
+			}
+			if rep.TaskChunks > 0 {
+				b.ReportMetric(float64(rep.TaskChunks), "chunks/op")
+			}
+		})
+	}
+}
+
+func BenchmarkSkewedSparse(b *testing.B) {
+	for _, l := range skewLegs(jgf.SparseModules, jgf.SparseSharedStaticModule(), jgf.SparseCheckpointModule()) {
+		l := l
+		b.Run(l.name, func(b *testing.B) {
+			var rep pp.Report
+			var want float64
+			for i := 0; i < b.N; i++ {
+				res := &jgf.SparseResult{}
+				rep = runSkewLeg(b, l, "bench-skew-sparse", func() pp.App {
+					return jgf.NewSparseSkewed(skewSparseN, skewSparseNNZ, skewSparseIters, res)
+				})
+				if res.Ytotal == 0 {
+					b.Fatal("skewed sparse produced no result")
+				}
+				if want == 0 {
+					want = res.Ytotal
+				} else if res.Ytotal != want {
+					b.Fatalf("skewed sparse diverged: %v vs %v", res.Ytotal, want)
+				}
+			}
+			if rep.TaskChunks > 0 {
+				b.ReportMetric(float64(rep.TaskChunks), "chunks/op")
+			}
+		})
+	}
+}
+
+// BenchmarkSkewedControl is the other half of the Task executor's contract:
+// on REGULAR kernels (uniform SOR), overdecomposition and stealing must cost
+// nearly nothing against the static smp schedule. Both legs are gated, so a
+// scheduler change that taxes the regular path shows up here even at
+// GOMAXPROCS=1.
+func BenchmarkSkewedControl(b *testing.B) {
+	for _, l := range []struct {
+		name string
+		mode pp.Mode
+	}{
+		{"sor-smp8", pp.Shared},
+		{"sor-task8-k8", pp.Task},
+	} {
+		l := l
+		b.Run(l.name, func(b *testing.B) {
+			opts := benchOpts(l.mode, skewPE)
+			for i := 0; i < b.N; i++ {
+				runBench(b, benchN, benchIters, opts...)
+			}
+		})
+	}
 }

@@ -55,12 +55,28 @@
 // chunker.
 //
 // The execution core itself is a pluggable Executor layer: one executor per
-// deployment (sequential, shared, distributed, hybrid) owns launch,
+// deployment (sequential, shared, distributed, hybrid, task) owns launch,
 // topology, collectives and teardown. A policy returning an AdaptTarget
 // with Mode set migrates the running program across deployments at a safe
 // point inside a single Run call — snapshot to an internal memory store,
 // executor swap, replay — the paper's adaptation-by-restart without the
 // restart (the mode-migrate example demonstrates it live).
+//
+// The fifth deployment, pp.Task, is the work-stealing many-task executor
+// for skewed workloads: each rank's partition is overdecomposed into
+// pp.WithOverdecompose(k) chunks per worker (default 8), chunks start on
+// per-worker deques in Static order and idle workers steal from the back of
+// random victims, so a hot band of the index space spreads over the team
+// instead of parking on whoever owned it statically. Across ranks a
+// balancer samples per-rank loop throughput at safe points and moves Block
+// partition boundaries toward starved ranks (bounds travel in checkpoints
+// and shard manifests, so restarts and migrations preserve them). Stealing
+// drains at the loop barrier — a safe point always sees a deterministic
+// assignment — so checkpoints stay byte-identical to a static run, restart
+// composes across differing k, and Task migrates to and from every other
+// mode. Report.Sched() exposes the chunk/steal/idle counters; `go run
+// ./cmd/ppbench -skew` compares the executor against the static smp
+// schedule on the skewed crypt and sparse kernels.
 //
 // Above single engines sits the fleet layer (internal/fleet, served by the
 // ppserve command): a Supervisor hosts many concurrent runs in one process,

@@ -4,9 +4,16 @@
 // resources — without restarting and without changing the result. Both
 // directions are shown (expansion and contraction), for threads and for
 // replicas, driven by pluggable adaptation policies.
+//
+// With -mode=task the demo instead exercises the work-stealing Task
+// executor end to end (overdecomposition, stealing, the cross-rank
+// balancer, in-place thread adaptation) and verifies the result never
+// moves — the CI smoke that catches scheduler regressions outside unit
+// tests.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -16,6 +23,16 @@ import (
 )
 
 func main() {
+	modeFlag := flag.String("mode", "", `"" runs the adaptation scenarios; "task" runs the work-stealing executor smoke`)
+	flag.Parse()
+	if *modeFlag == "task" {
+		taskSmoke()
+		return
+	}
+	if *modeFlag != "" {
+		log.Fatalf("unknown -mode %q (want empty or task)", *modeFlag)
+	}
+
 	const n, iters = 200, 40
 	reference := jgf.SORReference(n, iters)
 	fmt.Printf("reference Gtotal: %.12f\n\n", reference)
@@ -106,4 +123,52 @@ func main() {
 		log.Fatal("asynchronous adaptation changed the computation")
 	}
 	fmt.Println("\nall adaptations preserved the computation")
+}
+
+// taskSmoke drives the Task executor through the shapes unit tests cover in
+// isolation, composed end to end: multiple overdecomposition factors, a
+// multi-rank world with the cross-rank balancer armed, and an in-place
+// thread adaptation mid-run. Any divergence from the sequential reference
+// is fatal.
+func taskSmoke() {
+	const n, iters = 200, 40
+	reference := jgf.SORReference(n, iters)
+	fmt.Printf("reference Gtotal: %.12f\n\n", reference)
+
+	scenarios := []struct {
+		label string
+		opts  []pp.Option
+	}{
+		{"task 4 workers, k=8", []pp.Option{
+			pp.WithThreads(4), pp.WithOverdecompose(8)}},
+		{"task 4 workers, k=1 (degenerate static)", []pp.Option{
+			pp.WithThreads(4), pp.WithOverdecompose(1)}},
+		{"task 2x2 world, k=8 (cross-rank balancer armed)", []pp.Option{
+			pp.WithProcs(2), pp.WithThreads(2), pp.WithOverdecompose(8)}},
+		{"task threads 2 -> 4 at safe point 20", []pp.Option{
+			pp.WithThreads(2), pp.WithOverdecompose(8),
+			pp.WithAdaptPolicy(pp.AdaptAt(20, pp.AdaptTarget{Threads: 4}))}},
+	}
+	for _, sc := range scenarios {
+		res := &jgf.SORResult{}
+		opts := append([]pp.Option{
+			pp.WithName("sor-adaptive"),
+			pp.WithMode(pp.Task),
+			pp.WithModules(jgf.SORModules(pp.Task)...),
+		}, sc.opts...)
+		eng, err := pp.New(func() pp.App { return jgf.NewSOR(n, iters, res) }, opts...)
+		if err != nil {
+			log.Fatalf("%s: %v", sc.label, err)
+		}
+		if err := eng.Run(); err != nil {
+			log.Fatalf("%s: %v", sc.label, err)
+		}
+		rep := eng.Report()
+		fmt.Printf("%-48s chunks=%-5d steals=%-5d rebalances=%d  identical=%v\n",
+			sc.label, rep.TaskChunks, rep.Steals, rep.Rebalances, res.Gtotal == reference)
+		if res.Gtotal != reference {
+			log.Fatalf("%s: the Task schedule changed the computation", sc.label)
+		}
+	}
+	fmt.Println("\nwork stealing preserved the computation")
 }

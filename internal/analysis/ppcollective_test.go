@@ -11,3 +11,13 @@ import "testing"
 func TestPPCollective(t *testing.T) {
 	RunFixture(t, PPCollective, "ppcollective")
 }
+
+// TestPPCollectiveDrain covers the Task executor's drain barrier: a
+// work-stealing loop has no implicit barrier, so every member — including
+// workers whose deques ran dry, retired lines and joiners — must reach the
+// drain collective that follows it. The fixture applies the PR 6
+// joiner-deadlock shape to stealing workers and pins the balancer's
+// alternative-arm protocol as quiet.
+func TestPPCollectiveDrain(t *testing.T) {
+	RunFixture(t, PPCollective, "ppcollective_drain")
+}

@@ -1,0 +1,92 @@
+// Fixture for the ppcollective analyzer on the Task executor's drain
+// barrier: a work-stealing loop has NO implicit barrier (a thief may still
+// be executing a chunk it stole from a worker that already left the loop),
+// so the caller must route EVERY team member — stealing, idle, retired or
+// replaying — into the drain barrier that follows. The PR 6 joiner-deadlock
+// shape applied to stealing workers: one member returns early on a
+// worker-identity test and the rest block in a barrier sized for the full
+// cohort.
+package ppcollective_drain
+
+type Barrier struct{ n int }
+
+func (b *Barrier) Wait() {}
+
+type Worker struct {
+	id        int
+	retired   bool
+	replaying bool
+	barrier   *Barrier
+}
+
+func (w *Worker) IsMaster() bool { return w.id == 0 }
+
+func (w *Worker) Barrier() { w.barrier.Wait() }
+
+// forTask schedules chunks by stealing; like the real ForTask it performs
+// no collective of its own.
+func (w *Worker) forTask(lo, hi int, body func(int, int)) {
+	for c := lo; c < hi; c++ {
+		body(c, c+1)
+	}
+}
+
+func exchange(elapsed float64) {}
+
+// taskSweepSkipsDrain is the bug shape: a worker whose deque ran dry (and
+// that failed to steal) decides it is "done" and leaves before the drain
+// barrier, while a thief still executing one of its chunks — and every
+// other member — blocks in a barrier sized for the full cohort.
+func (w *Worker) taskSweepSkipsDrain(lo, hi int, body func(int, int)) {
+	w.forTask(lo, hi, body)
+	if w.retired {
+		return // want "skips the collective"
+	}
+	w.Barrier() // the drain: after it, every stolen chunk has finished
+}
+
+// taskSweepDrained is the fixed shape: every member reaches the drain
+// barrier and the barrier's own pass-through semantics absorb retired and
+// replaying workers.
+func (w *Worker) taskSweepDrained(lo, hi int, body func(int, int)) {
+	w.forTask(lo, hi, body)
+	w.Barrier()
+}
+
+// rebalance is the cross-rank balancer's alternative-arm shape, which must
+// stay quiet: non-masters bracket the master's exchange with their own
+// paired barriers before returning, so nobody skips — the cohorts just run
+// different arms of one protocol.
+func (w *Worker) rebalance(elapsed float64) {
+	if !w.IsMaster() {
+		w.Barrier()
+		w.Barrier()
+		return
+	}
+	w.Barrier()
+	exchange(elapsed)
+	w.Barrier()
+}
+
+// stealThenRebalance is transitively collective through rebalance: the
+// identity-guarded return before it must be flagged even though the
+// collective is one call deep.
+func (w *Worker) stealThenRebalance(lo, hi int, body func(int, int)) {
+	w.forTask(lo, hi, body)
+	if w.replaying {
+		return // want "skips the collective"
+	}
+	w.rebalance(1.0)
+}
+
+// activateJoiner mirrors the activation safe point: the joining cohort
+// performs its own collective (the join handoff) before returning, which is
+// participation, not a skip.
+func (w *Worker) activateJoiner(join bool) {
+	if join {
+		w.Barrier() // the join gate's rendezvous
+		return
+	}
+	w.Barrier()
+	w.rebalance(0.5)
+}

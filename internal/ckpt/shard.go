@@ -33,11 +33,12 @@ const (
 // ShardLayout describes how one partitioned field was split across the
 // ranks of a shard checkpoint.
 type ShardLayout struct {
-	Elem  int            // ElemFloats, ElemInts or ElemMatrix
-	Kind  partition.Kind // partitioning strategy
-	Chunk int            // block-cyclic chunk size (1 otherwise)
-	N     int            // partitionable extent (slice length / matrix rows)
-	Cols  int            // matrix columns (0 otherwise)
+	Elem   int            // ElemFloats, ElemInts or ElemMatrix
+	Kind   partition.Kind // partitioning strategy
+	Chunk  int            // block-cyclic chunk size (1 otherwise)
+	N      int            // partitionable extent (slice length / matrix rows)
+	Cols   int            // matrix columns (0 otherwise)
+	Bounds []int          // explicit Block cut points (nil when evenly divided)
 }
 
 // LayoutField names the metadata field describing the partitioned field
@@ -48,14 +49,30 @@ func LayoutField(name string) string { return layoutFieldPrefix + name }
 // rather than application data.
 func IsLayoutField(name string) bool { return strings.HasPrefix(name, layoutFieldPrefix) }
 
-// LayoutValue encodes a ShardLayout as a snapshot field value.
+// LayoutValue encodes a ShardLayout as a snapshot field value. The five
+// fixed ints are followed by the explicit Block cut points, when any — older
+// decoders that expect exactly five would reject them, but newer decoders
+// accept the five-int form unchanged, so evenly-divided snapshots stay
+// byte-identical across versions.
 func LayoutValue(l ShardLayout) serial.Value {
-	return serial.Int64s([]int64{int64(l.Elem), int64(l.Kind), int64(l.Chunk), int64(l.N), int64(l.Cols)})
+	is := []int64{int64(l.Elem), int64(l.Kind), int64(l.Chunk), int64(l.N), int64(l.Cols)}
+	for _, b := range l.Bounds {
+		is = append(is, int64(b))
+	}
+	return serial.Int64s(is)
+}
+
+// ParseLayout decodes a ShardLayout from its metadata value — the engine's
+// shard restore consumes it to unpack blocks under the boundaries they were
+// packed with (which a rebalanced Task run may have moved off the even
+// division).
+func ParseLayout(name string, v serial.Value) (ShardLayout, error) {
+	return parseLayout(name, v)
 }
 
 // parseLayout decodes a ShardLayout from its metadata value.
 func parseLayout(name string, v serial.Value) (ShardLayout, error) {
-	if v.Tag != serial.TInt64s || len(v.Is) != 5 {
+	if v.Tag != serial.TInt64s || len(v.Is) < 5 {
 		return ShardLayout{}, fmt.Errorf("ckpt: shard layout metadata for %q is malformed", name)
 	}
 	l := ShardLayout{
@@ -64,6 +81,23 @@ func parseLayout(name string, v serial.Value) (ShardLayout, error) {
 	}
 	if l.Elem < ElemFloats || l.Elem > ElemMatrix || l.N < 0 || l.Cols < 0 {
 		return ShardLayout{}, fmt.Errorf("ckpt: shard layout metadata for %q is out of range", name)
+	}
+	if len(v.Is) > 5 {
+		if l.Kind != partition.Block {
+			return ShardLayout{}, fmt.Errorf("ckpt: shard layout metadata for %q carries bounds on a non-block layout", name)
+		}
+		l.Bounds = make([]int, len(v.Is)-5)
+		for i := range l.Bounds {
+			l.Bounds[i] = int(v.Is[5+i])
+		}
+		if l.Bounds[0] != 0 || l.Bounds[len(l.Bounds)-1] != l.N {
+			return ShardLayout{}, fmt.Errorf("ckpt: shard layout bounds for %q do not span [0,%d]", name, l.N)
+		}
+		for i := 1; i < len(l.Bounds); i++ {
+			if l.Bounds[i] < l.Bounds[i-1] {
+				return ShardLayout{}, fmt.Errorf("ckpt: shard layout bounds for %q are not monotone", name)
+			}
+		}
 	}
 	return l, nil
 }
@@ -76,7 +110,14 @@ func (l ShardLayout) layout(parts int) partition.Layout {
 		}
 		return partition.NewBlockCyclic(l.N, parts, chunk)
 	}
-	return partition.New(l.Kind, l.N, parts)
+	lay := partition.New(l.Kind, l.N, parts)
+	// Rebalanced cut points only apply when the world they were recorded for
+	// matches; a re-shard into a different world size falls back to the even
+	// division, exactly as a fresh launch would.
+	if l.Kind == partition.Block && len(l.Bounds) == parts+1 {
+		lay = lay.WithBounds(l.Bounds)
+	}
+	return lay
 }
 
 // LoadShardResume materialises the sharded restart point of app from store

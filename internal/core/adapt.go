@@ -19,6 +19,8 @@ const (
 		"(AdaptTarget.Mode) and restart-based adaptation, not in-place world resizing"
 	tcpCannotResizeMsg = "core: the TCP transport has a fixed world size; use the in-process transport, " +
 		"an in-process migration (AdaptTarget.Mode, which rebuilds the transport), or adaptation by restart"
+	taskCannotResizeWorldMsg = "core: task mode supports run-time thread adaptation and in-process migration " +
+		"(AdaptTarget.Mode), not in-place world resizing — its balancer moves work between the existing ranks instead"
 )
 
 // adaptNow applies an in-place adaptation at safe point sp. Inside a region
@@ -93,6 +95,7 @@ func (c *Ctx) adaptThreads(sp uint64, m int) {
 				jc.worker.SetTLS(k, v)
 			}
 			jc.spCount = sp
+			jc.worker.AlignSeqs(w)
 			jc.worker.SetReplaying(false)
 		}
 		close(join.gate)

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ppar/internal/partition"
+)
+
+// proportionalBounds is the heart of the cross-rank balancer: every rank
+// computes it independently from allgathered weights, so it must be total,
+// deterministic, and always produce a valid strictly-increasing cut.
+func TestProportionalBoundsValid(t *testing.T) {
+	cases := []struct {
+		n       int
+		weights []float64
+	}{
+		{100, []float64{1, 1}},
+		{100, []float64{1, 99}},
+		{100, []float64{99, 1}},
+		{7, []float64{5, 1, 1}},
+		{3, []float64{1000, 1, 1000}},
+		{64, []float64{0.001, 10, 0.001, 10}},
+		{5, []float64{1, 1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		b := proportionalBounds(tc.n, len(tc.weights), tc.weights)
+		if b == nil {
+			t.Fatalf("n=%d weights=%v: nil bounds", tc.n, tc.weights)
+		}
+		if b[0] != 0 || b[len(b)-1] != tc.n {
+			t.Fatalf("n=%d weights=%v: bounds %v do not span [0,n]", tc.n, tc.weights, b)
+		}
+		for r := 1; r < len(b); r++ {
+			if b[r] <= b[r-1] {
+				t.Fatalf("n=%d weights=%v: bounds %v leave part %d empty", tc.n, tc.weights, b, r-1)
+			}
+		}
+	}
+}
+
+func TestProportionalBoundsDegenerate(t *testing.T) {
+	if b := proportionalBounds(2, 3, []float64{1, 1, 1}); b != nil {
+		t.Fatalf("n < parts produced %v", b)
+	}
+	if b := proportionalBounds(10, 2, []float64{0, 0}); b != nil {
+		t.Fatalf("zero total weight produced %v", b)
+	}
+	if b := proportionalBounds(10, 2, []float64{math.NaN(), 1}); b != nil {
+		t.Fatalf("NaN weight produced %v", b)
+	}
+	if b := proportionalBounds(10, 2, []float64{math.Inf(1), 1}); b != nil {
+		t.Fatalf("Inf weight produced %v", b)
+	}
+}
+
+// A faster rank (higher weight) must receive at least as many elements as a
+// slower one when the cut moves.
+func TestProportionalBoundsFollowThroughput(t *testing.T) {
+	b := proportionalBounds(100, 2, []float64{3, 1})
+	if got := b[1]; got != 75 {
+		t.Fatalf("3:1 weights cut at %d, want 75", got)
+	}
+}
+
+func TestSameBounds(t *testing.T) {
+	l := partition.Layout{Kind: partition.Block, N: 10, Parts: 2}
+	if !sameBounds(l, []int{0, 5, 10}) {
+		t.Fatal("even cut not recognised as unchanged")
+	}
+	if sameBounds(l, []int{0, 7, 10}) {
+		t.Fatal("moved cut reported as unchanged")
+	}
+	moved := l.WithBounds([]int{0, 7, 10})
+	if !sameBounds(moved, []int{0, 7, 10}) {
+		t.Fatal("explicit bounds not recognised as unchanged")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ppar/internal/ckpt"
 	"ppar/internal/mp"
@@ -31,6 +32,13 @@ type Ctx struct {
 	regionStartSp uint64
 
 	retiredRank bool
+
+	// Task-mode balancer samples: wall time and owned iterations of the
+	// partitioned loops this rank ran since the last rebalance decision.
+	// Only the rank's master line of execution contributes (worker clones
+	// accumulate their own copies, which the balancer never reads).
+	taskElapsed time.Duration
+	taskIters   int64
 }
 
 // Rank reports this replica's aggregate id (0 outside distributed modes).
@@ -249,22 +257,47 @@ func ForSpan(c *Ctx, id string, lo, hi int, body func(lo, hi int)) {
 		//lint:ignore ppcollective the barrier below is team-level and this branch only runs without a team (worker == nil); rank-level loops have no loop-end collective
 		return
 	}
+	task := c.eng.curMode == Task
 	if c.comm != nil && adv.PartitionField != "" && !c.retiredRank && (c.worker != nil || !c.join.Active()) {
 		l, err := c.fields.layoutFor(adv.PartitionField, c.Procs())
 		c.must(err)
+		start := time.Now()
+		owned := 0
 		if c.worker != nil {
 			l.LocalSpan(c.Rank(), lo, hi, func(a, b int) {
-				c.worker.For(a, b, adv.Schedule, adv.Chunk, body)
+				owned += b - a
+				if task {
+					c.worker.ForTask(a, b, c.overdecompose(), body)
+				} else {
+					c.worker.For(a, b, adv.Schedule, adv.Chunk, body)
+				}
 			})
-			if !adv.NoWait {
+			// Task loops drain even under NoWait advice: a thief may still be
+			// executing a stolen chunk when its victim leaves ForTask, and
+			// only the barrier makes the post-loop state complete.
+			if task || !adv.NoWait {
 				c.worker.Barrier()
+			}
+			if task {
+				c.noteTaskSpan(owned, time.Since(start))
 			}
 			return
 		}
-		l.LocalSpan(c.Rank(), lo, hi, body)
+		l.LocalSpan(c.Rank(), lo, hi, func(a, b int) {
+			owned += b - a
+			body(a, b)
+		})
+		if task {
+			c.noteTaskSpan(owned, time.Since(start))
+		}
 		return
 	}
 	if c.worker != nil {
+		if task {
+			c.worker.ForTask(lo, hi, c.overdecompose(), body)
+			c.worker.Barrier()
+			return
+		}
 		c.worker.For(lo, hi, adv.Schedule, adv.Chunk, body)
 		if !adv.NoWait {
 			c.worker.Barrier()
@@ -272,6 +305,23 @@ func ForSpan(c *Ctx, id string, lo, hi int, body func(lo, hi int)) {
 		return
 	}
 	body(lo, hi)
+}
+
+// overdecompose is the Task-mode chunk count for one work-sharing loop:
+// Config.Overdecompose chunks per worker of the current team.
+func (c *Ctx) overdecompose() int {
+	return c.eng.cfg.Overdecompose * c.worker.Team().Size()
+}
+
+// noteTaskSpan accumulates one partitioned Task-mode loop execution into the
+// balancer samples (distributed topologies only — with no world there is
+// nothing to rebalance).
+func (c *Ctx) noteTaskSpan(owned int, d time.Duration) {
+	if !c.commActive() {
+		return
+	}
+	c.taskIters += int64(owned)
+	c.taskElapsed += d
 }
 
 var defaultLoop = LoopAdvice{Schedule: team.Static, Chunk: 1}

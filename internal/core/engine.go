@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ppar/internal/ckpt"
+	"ppar/internal/metrics"
 	"ppar/internal/mp"
 	"ppar/internal/serial"
 	"ppar/internal/team"
@@ -33,10 +34,17 @@ const (
 	// Hybrid plugs both: Procs replicas, each running regions on teams of
 	// Threads workers.
 	Hybrid
+	// Task plugs the many-task machinery: the same topology as Hybrid, but
+	// work-sharing loops are overdecomposed into Config.Overdecompose chunks
+	// per worker and scheduled by randomized work stealing, and a cross-rank
+	// rebalancer may move Block partition boundaries between ranks at safe
+	// points. With Procs == 1 it degenerates to a work-stealing Shared
+	// deployment.
+	Task
 )
 
-// validMode reports whether m names one of the four deployments.
-func validMode(m Mode) bool { return m >= Sequential && m <= Hybrid }
+// validMode reports whether m names one of the five deployments.
+func validMode(m Mode) bool { return m >= Sequential && m <= Task }
 
 // String names the mode as the paper does (LE = lines of execution,
 // P = processes).
@@ -50,19 +58,21 @@ func (m Mode) String() string {
 		return "dist"
 	case Hybrid:
 		return "hybrid"
+	case Task:
+		return "task"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
 // ParseMode parses the paper-style mode names used by Mode.String
-// ("seq", "smp", "dist", "hybrid").
+// ("seq", "smp", "dist", "hybrid", "task").
 func ParseMode(s string) (Mode, error) {
-	for m := Sequential; m <= Hybrid; m++ {
+	for m := Sequential; m <= Task; m++ {
 		if s == m.String() {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown mode %q (want seq, smp, dist or hybrid)", s)
+	return 0, fmt.Errorf("core: unknown mode %q (want seq, smp, dist, hybrid or task)", s)
 }
 
 // MarshalText encodes the mode symbolically ("seq", "smp", "dist",
@@ -145,6 +155,10 @@ type Config struct {
 	Mode    Mode
 	Threads int
 	Procs   int
+	// Overdecompose is the Task-mode chunking factor k: each work-sharing
+	// loop is split into k chunks per worker and scheduled by work stealing
+	// (<= 0 selects the default of 8). Ignored by the other modes.
+	Overdecompose int
 	// TCP selects the TCP transport for distributed modes (default: the
 	// in-process transport, which also supports run-time world resizing).
 	TCP bool
@@ -270,8 +284,12 @@ func (c *Config) normalize() error {
 	case Distributed:
 		c.Threads = 1
 	case Hybrid:
+	case Task:
 	default:
 		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.Overdecompose <= 0 {
+		c.Overdecompose = 8
 	}
 	if c.AdaptTo.Mode != 0 && !validMode(c.AdaptTo.Mode) {
 		return fmt.Errorf("core: AdaptTo requests migration to unknown mode %d", int(c.AdaptTo.Mode))
@@ -285,6 +303,9 @@ func (c *Config) normalize() error {
 	}
 	if c.Mode == Hybrid && c.AdaptTo.Procs > 0 && !migrates {
 		return errors.New(hybridCannotResizeMsg)
+	}
+	if c.Mode == Task && c.AdaptTo.Procs > 0 && c.AdaptTo.Procs != c.Procs && !migrates {
+		return errors.New(taskCannotResizeWorldMsg)
 	}
 	if c.TCP && c.AdaptTo.Procs > 0 && !migrates {
 		return errors.New(tcpCannotResizeMsg)
@@ -336,6 +357,25 @@ type Report struct {
 	// counts once in Checkpoints; ShardSaves counts its per-rank links.
 	ShardSaves int `json:"shard_saves"` // shard chain links persisted across all committed waves
 	ShardBytes int `json:"shard_bytes"` // cumulative payload bytes across those links
+
+	// Task-mode scheduler measurements (Mode Task). The chunk/steal/idle
+	// counters are timing-dependent (they depend on which worker won each
+	// race), so they live here and in the metrics surface, never in RunStats.
+	TaskChunks int64 `json:"task_chunks"` // chunks scheduled by ForTask loops
+	Steals     int64 `json:"steals"`      // chunks executed by a non-home worker
+	StealIdle  int64 `json:"steal_idle"`  // steal probes that found an empty deque
+	Rebalances int   `json:"rebalances"`  // cross-rank partition rebalances applied
+}
+
+// Sched bundles the Task-mode scheduler counters as a metrics.SchedStats —
+// the derived-ratio surface the autoscaling policy consumes.
+func (r Report) Sched() metrics.SchedStats {
+	return metrics.SchedStats{
+		Chunks:     r.TaskChunks,
+		Steals:     r.Steals,
+		Idle:       r.StealIdle,
+		Rebalances: r.Rebalances,
+	}
 }
 
 // ErrInjectedFailure reports that the configured failure fired.
@@ -688,7 +728,8 @@ func (e *Engine) openCheckpointing() error {
 		if !sfound {
 			return fmt.Errorf("core: shard manifest for %q vanished during restart", e.cfg.AppName)
 		}
-		if (e.cfg.Mode == Distributed || e.cfg.Mode == Hybrid) && e.cfg.Procs == man.World() {
+		if (e.cfg.Mode == Distributed || e.cfg.Mode == Hybrid ||
+			(e.cfg.Mode == Task && e.cfg.Procs > 1)) && e.cfg.Procs == man.World() {
 			// Same topology: every rank restores its own shard in parallel.
 			e.shardResume = true
 			e.shardSnaps = shards
@@ -909,6 +950,24 @@ func (e *Engine) recordLoad(replayDone time.Time, load time.Duration) {
 		e.report.MigrationTotal += time.Since(e.migStart)
 		e.migStart = time.Time{}
 	}
+}
+
+// recordTaskCounters folds one team's work-stealing counters into the
+// report when its parallel region ends.
+func (e *Engine) recordTaskCounters(chunks, steals, idle int64) {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.TaskChunks += chunks
+	e.report.Steals += steals
+	e.report.StealIdle += idle
+}
+
+// recordRebalance counts one applied cross-rank partition rebalance (rank 0
+// reports for the world).
+func (e *Engine) recordRebalance() {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	e.report.Rebalances++
 }
 
 func (e *Engine) recordAdapted() {

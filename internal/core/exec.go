@@ -16,9 +16,10 @@ import (
 // one executor at a time; an in-process migration (AdaptTarget.Mode) tears
 // the current one down and launches another inside the same Run call.
 //
-// Stock executors cover the paper's four deployments: seqExec (unplugged),
+// Stock executors cover the paper's four deployments — seqExec (unplugged),
 // smpExec (thread team), distExec (SPMD replicas over a message-passing
-// world) and hybridExec (both).
+// world) and hybridExec (both) — plus taskExec, the work-stealing many-task
+// deployment layered on the hybrid topology.
 type Executor interface {
 	// Mode reports which deployment this executor implements.
 	Mode() Mode
@@ -60,6 +61,8 @@ func newExecutor(e *Engine) (Executor, error) {
 		return &distExec{worldCore: worldCore{mode: Distributed, tcp: e.cfg.TCP}}, nil
 	case Hybrid:
 		return &hybridExec{worldCore: worldCore{mode: Hybrid, tcp: e.cfg.TCP}}, nil
+	case Task:
+		return &taskExec{worldCore: worldCore{mode: Task, tcp: e.cfg.TCP}}, nil
 	}
 	return nil, fmt.Errorf("core: no executor for mode %d", int(e.curMode))
 }
@@ -243,6 +246,33 @@ func (x *hybridExec) Teams() bool { return true }
 func (x *hybridExec) ResizeErr(t AdaptTarget, _ int) error {
 	if t.Procs > 0 {
 		return errors.New(hybridCannotResizeMsg)
+	}
+	return nil
+}
+
+// taskExec is the many-task deployment: the Hybrid topology (replicas over a
+// world, regions on thread teams) with work-sharing loops overdecomposed
+// into k chunks per worker and scheduled by randomized work stealing, plus a
+// cross-rank rebalancer that moves Block partition boundaries between ranks
+// at safe points. A trivial world of one rank skips the transport entirely
+// and runs the work-stealing teams locally.
+type taskExec struct{ worldCore }
+
+func (x *taskExec) Teams() bool { return true }
+
+func (x *taskExec) Launch(e *Engine) error {
+	if int(e.curProcs.Load()) == 1 {
+		return launchLocal(e)
+	}
+	return x.worldCore.Launch(e)
+}
+
+func (x *taskExec) ResizeErr(t AdaptTarget, curProcs int) error {
+	// Team resizes reshape in place, like Hybrid; the world side is fixed —
+	// the Task load balancer moves work between the existing ranks instead
+	// of changing their number (resizing to the current size stays a no-op).
+	if t.Procs > 0 && t.Procs != curProcs {
+		return errors.New(taskCannotResizeWorldMsg)
 	}
 	return nil
 }

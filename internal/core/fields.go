@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ppar/internal/ckpt"
 	"ppar/internal/mp"
@@ -29,6 +30,17 @@ type boundFields struct {
 	app   App
 	specs map[string]*FieldSpec
 	acc   map[string]*fieldAccessor
+
+	// bounds holds per-field explicit Block cut points installed by the
+	// Task-mode rebalancer (nil entries mean the even division). All data
+	// movement goes through layoutFor, so gather/scatter/halo/shard paths
+	// observe moved boundaries automatically. Written only at safe points,
+	// between the collective barriers of the rebalance protocol.
+	bounds map[string][]int
+	// rebalances counts the cross-rank rebalances applied on this rank; all
+	// ranks increment it in lockstep (the decision is computed from
+	// allgathered data), which is what lets RunStats expose it.
+	rebalances atomic.Int64
 }
 
 // fieldKind discriminates the compiled accessors; the per-call type-switch
@@ -318,7 +330,21 @@ func (b *boundFields) layoutFor(name string, parts int) (partition.Layout, error
 	if spec.Layout == partition.BlockCyclic {
 		return partition.NewBlockCyclic(n, parts, spec.ChunkSize), nil
 	}
-	return partition.New(spec.Layout, n, parts), nil
+	l := partition.New(spec.Layout, n, parts)
+	if bs := b.bounds[name]; spec.Layout == partition.Block && len(bs) == parts+1 {
+		l = l.WithBounds(bs)
+	}
+	return l, nil
+}
+
+// setBounds installs (or, with nil, clears) the explicit Block cut points of
+// a partitioned field. The rebalance protocol calls it on every rank with
+// identical values, after the data movement that makes them true.
+func (b *boundFields) setBounds(name string, bounds []int) {
+	if b.bounds == nil {
+		b.bounds = map[string][]int{}
+	}
+	b.bounds[name] = bounds
 }
 
 // length reports the partitionable extent of a field.
@@ -391,6 +417,73 @@ func (b *boundFields) unpackOwned(name string, l partition.Layout, p int, data [
 			copy(v[i], data[k:k+cols])
 			k += cols
 		})
+		return nil
+	}
+	return fmt.Errorf("core: field %q cannot be unpacked", name)
+}
+
+// packSpan flattens the contiguous index range [lo, hi) of a partitioned
+// field into a float64 vector (matrices flatten row-major) — the transfer
+// unit of the Task-mode cross-rank rebalancer, which moves spans between the
+// old and new Block boundaries.
+func (b *boundFields) packSpan(name string, lo, hi int) ([]float64, error) {
+	a := b.acc[name]
+	if a == nil {
+		return nil, fmt.Errorf("core: field %q not bound", name)
+	}
+	switch a.kind {
+	case kindFloat64s:
+		return append([]float64(nil), (*a.fs)[lo:hi]...), nil
+	case kindInts:
+		v := *a.is
+		out := make([]float64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, float64(v[i]))
+		}
+		return out, nil
+	case kindMatrix:
+		v := *a.f2
+		cols := 0
+		if len(v) > 0 {
+			cols = len(v[0])
+		}
+		out := make([]float64, 0, (hi-lo)*cols)
+		for i := lo; i < hi; i++ {
+			out = append(out, v[i]...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: field %q cannot be packed", name)
+}
+
+// unpackSpan writes a packed vector back into the contiguous index range
+// [lo, hi) of a partitioned field.
+func (b *boundFields) unpackSpan(name string, lo, hi int, data []float64) error {
+	a := b.acc[name]
+	if a == nil {
+		return fmt.Errorf("core: field %q not bound", name)
+	}
+	switch a.kind {
+	case kindFloat64s:
+		copy((*a.fs)[lo:hi], data)
+		return nil
+	case kindInts:
+		v := *a.is
+		for i := lo; i < hi; i++ {
+			v[i] = int(data[i-lo])
+		}
+		return nil
+	case kindMatrix:
+		v := *a.f2
+		cols := 0
+		if len(v) > 0 {
+			cols = len(v[0])
+		}
+		k := 0
+		for i := lo; i < hi; i++ {
+			copy(v[i], data[k:k+cols])
+			k += cols
+		}
 		return nil
 	}
 	return fmt.Errorf("core: field %q cannot be unpacked", name)
@@ -624,6 +717,12 @@ func (b *boundFields) shardLayout(name string) (ckpt.ShardLayout, error) {
 	default:
 		return ckpt.ShardLayout{}, fmt.Errorf("core: partitioned field %q has unsupported kind", name)
 	}
+	if spec.Layout == partition.Block {
+		// Record any rebalanced cut points: a same-topology restore must
+		// unpack (and keep computing) under the boundaries the shards were
+		// packed with, and a re-shard must reassemble through them.
+		sl.Bounds = b.bounds[name]
+	}
 	return sl, nil
 }
 
@@ -643,6 +742,21 @@ func (b *boundFields) restoreShard(snap *serial.Snapshot, rank, parts int) error
 			l, err := b.layoutFor(name, parts)
 			if err != nil {
 				return err
+			}
+			// A shard packed under rebalanced boundaries must be unpacked
+			// under them too: the recorded layout metadata wins over the
+			// fresh (even) live layout, and its cut points are installed so
+			// the resumed run keeps computing — and checkpointing — under
+			// the boundaries the save captured.
+			if lv, ok := snap.Fields[ckpt.LayoutField(name)]; ok {
+				sl, perr := ckpt.ParseLayout(name, lv)
+				if perr != nil {
+					return perr
+				}
+				if spec.Layout == partition.Block && len(sl.Bounds) == parts+1 {
+					l = l.WithBounds(sl.Bounds)
+					b.setBounds(name, sl.Bounds)
+				}
 			}
 			if err := b.unpackOwned(name, l, rank, v.Fs); err != nil {
 				return err

@@ -35,6 +35,17 @@ type RunStats struct {
 	FullSaves        int
 	DeltaSaves       int
 	LastCheckpointSP uint64
+
+	// Overdecompose is the Task-mode chunking factor k (the normalised
+	// Config.Overdecompose; meaningful only when Mode is Task).
+	Overdecompose int
+	// Rebalances counts the cross-rank partition rebalances the Task-mode
+	// balancer has applied. Every rank computes the rebalance decision from
+	// allgathered data and increments in lockstep, so the count stays
+	// identical on every line of execution — unlike the raw steal/idle
+	// counters, which are timing-dependent and therefore live only in
+	// Report and the metrics surface.
+	Rebalances int
 }
 
 // AdaptPolicy decides, at each safe point, whether the run should reshape

@@ -51,6 +51,11 @@ func (c *Ctx) runRegion(fn func(*Ctx)) {
 
 	c.worker = saveWorker
 	c.inRegion, c.regionFn, c.regionStartSp = saveInRegion, saveRegionFn, saveStart
+	if chunks, steals, idle := tm.TaskCounters(); chunks > 0 {
+		// Fold the drained team's work-stealing counters into the report
+		// (non-zero only under the Task executor).
+		c.eng.recordTaskCounters(chunks, steals, idle)
+	}
 	if tok := tokMu.get(); tok != nil {
 		panic(tok)
 	}

@@ -22,10 +22,14 @@ func (c *Ctx) SafePoint() {
 		if c.join.Step() {
 			c.completeJoin()
 			// The incumbents finish the activation safe point with the
-			// periodic checkpoint when one is due. A freshly joined line
-			// of execution must take part in that collective too — its
-			// barriers and gathers are sized for the grown team — or the
-			// cohorts desync one phase apart and deadlock.
+			// Task-mode rebalance round and the periodic checkpoint when
+			// one is due. A freshly joined line of execution must take part
+			// in those collectives too — their barriers and gathers are
+			// sized for the grown team — or the cohorts desync one phase
+			// apart and deadlock.
+			if c.eng.curMode == Task && c.comm != nil {
+				c.maybeRebalance()
+			}
 			if sp := c.spCount; c.eng.dueAt(sp) {
 				c.checkpoint(sp)
 			}
@@ -110,6 +114,13 @@ func (c *Ctx) SafePoint() {
 			e.pending.Store(nil)
 		}
 	}
+	// Task-mode cross-rank rebalancing runs before any periodic checkpoint,
+	// so a due snapshot captures the post-move boundaries. The gate is the
+	// same on every rank and thread (mode and topology are engine state), as
+	// the collective inside requires.
+	if e.curMode == Task && c.comm != nil {
+		c.maybeRebalance()
+	}
 	if e.dueAt(sp) {
 		c.checkpoint(sp)
 	}
@@ -130,6 +141,8 @@ func (c *Ctx) runStats(sp uint64) RunStats {
 		FullSaves:        fulls,
 		DeltaSaves:       deltas,
 		LastCheckpointSP: last,
+		Overdecompose:    e.cfg.Overdecompose,
+		Rebalances:       int(c.fields.rebalances.Load()),
 	}
 }
 

@@ -29,6 +29,15 @@ type Crypt struct {
 
 	N      int
 	Result *CryptResult
+
+	// HotBlocks and HotCost shape the skewed (hot-key) variant: the first
+	// HotBlocks blocks of the range each re-run the cipher HotCost extra
+	// times into a scratch buffer. The output is byte-identical to the
+	// uniform kernel — only the cost distribution changes — so validation
+	// and cross-variant checksums are preserved. Both zero in the stock
+	// benchmark.
+	HotBlocks int
+	HotCost   int
 }
 
 // CryptResult receives the master's validation outcome.
@@ -60,6 +69,17 @@ func NewCrypt(n int, res *CryptResult) *Crypt {
 	return c
 }
 
+// NewCryptSkewed builds the hot-key variant: the first eighth of the blocks
+// each cost hotCost+1 cipher runs, the rest one. A static schedule lands the
+// whole hot band on the first workers; overdecomposition plus stealing
+// spreads it. Results are identical to NewCrypt(n, res).
+func NewCryptSkewed(n, hotCost int, res *CryptResult) *Crypt {
+	c := NewCrypt(n, res)
+	c.HotBlocks = len(c.BlockIndex) / 8
+	c.HotCost = hotCost
+	return c
+}
+
 // Main encrypts, checkpoints, decrypts, validates.
 func (c *Crypt) Main(ctx *core.Ctx) {
 	ctx.Call("crypt.encrypt", func(ctx *core.Ctx) { c.cipher(ctx, c.Plain, c.Crypt1, c.Z) })
@@ -70,9 +90,17 @@ func (c *Crypt) Main(ctx *core.Ctx) {
 }
 
 // cipher runs IDEA over 8-byte blocks of src into dst with key schedule key.
+// Hot blocks (the skewed variant) burn HotCost extra cipher rounds into a
+// per-call scratch, leaving dst untouched.
 func (c *Crypt) cipher(ctx *core.Ctx, src, dst, key []int) {
 	core.For(ctx, "crypt.blocks", 0, c.N/8, func(b int) {
 		ideaBlock(src[b*8:b*8+8], dst[b*8:b*8+8], key)
+		if b < c.HotBlocks {
+			var scratch [8]int
+			for r := 0; r < c.HotCost; r++ {
+				ideaBlock(src[b*8:b*8+8], scratch[:], key)
+			}
+		}
 	})
 }
 
@@ -268,7 +296,7 @@ func CryptModules(mode core.Mode) []*core.Module {
 		return []*core.Module{CryptSharedModule(), CryptCheckpointModule()}
 	case core.Distributed:
 		return []*core.Module{CryptDistModule(), CryptCheckpointModule()}
-	case core.Hybrid:
+	case core.Hybrid, core.Task:
 		return []*core.Module{CryptSharedModule(), CryptDistModule(), CryptCheckpointModule()}
 	}
 	return nil

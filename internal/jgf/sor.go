@@ -180,7 +180,7 @@ func SORModules(mode core.Mode) []*core.Module {
 		return []*core.Module{SORSharedModule(), SORCheckpointModule()}
 	case core.Distributed:
 		return []*core.Module{SORDistModule(), SORCheckpointModule()}
-	case core.Hybrid:
+	case core.Hybrid, core.Task:
 		return []*core.Module{SORSharedModule(), SORDistModule(), SORCheckpointModule()}
 	}
 	return nil

@@ -56,6 +56,50 @@ func NewSparse(n, nnzPerRow, iters int, res *SparseResult) *Sparse {
 	return s
 }
 
+// NewSparseSkewed builds the power-law-banded variant: row i carries
+// nnzPerRow + n·nnzPerRow/(4·(i+1)) entries (capped at n), so the matrix is
+// dense in its first rows and thins out Zipf-style — the head rows dominate
+// the multiply cost. An even Block split of Y then hands rank 0 (and, inside
+// a rank, the first statically scheduled workers) most of the work, which is
+// exactly the shape overdecomposition, stealing and the cross-rank
+// rebalancer are for. Deterministic, like NewSparse.
+func NewSparseSkewed(n, nnzPerRow, iters int, res *SparseResult) *Sparse {
+	s := &Sparse{N: n, Iters: iters, Result: res}
+	s.RowPtr = make([]int, n+1)
+	r := uint64(7)
+	next := func() uint64 {
+		r = r*6364136223846793005 + 1442695040888963407
+		return r >> 11
+	}
+	for i := 0; i < n; i++ {
+		s.RowPtr[i] = len(s.Val)
+		nnz := nnzPerRow + n*nnzPerRow/(4*(i+1))
+		if nnz > n {
+			nnz = n
+		}
+		for k := 0; k < nnz; k++ {
+			s.Col = append(s.Col, int(next())%n)
+			s.Val = append(s.Val, float64(next()%1000)/1000)
+		}
+	}
+	s.RowPtr[n] = len(s.Val)
+	s.X = make([]float64, n)
+	for i := range s.X {
+		s.X[i] = float64(next()%1000) / 1000
+	}
+	s.Y = make([]float64, n)
+	return s
+}
+
+// SparseSharedStaticModule parallelises the row loop with a static schedule —
+// the deliberately skew-blind baseline the work-stealing benchmarks compare
+// against.
+func SparseSharedStaticModule() *core.Module {
+	return core.NewModule("sparse/smp-static").
+		ParallelMethod("sparse.run").
+		LoopSchedule("sparse.rows", team.Static, 1)
+}
+
 // Main performs the iterations, then the master validates.
 func (s *Sparse) Main(ctx *core.Ctx) {
 	ctx.Call("sparse.run", s.run)
@@ -128,7 +172,7 @@ func SparseModules(mode core.Mode) []*core.Module {
 		return []*core.Module{SparseSharedModule(), SparseCheckpointModule()}
 	case core.Distributed:
 		return []*core.Module{SparseDistModule(), SparseCheckpointModule()}
-	case core.Hybrid:
+	case core.Hybrid, core.Task:
 		return []*core.Module{SparseSharedModule(), SparseDistModule(), SparseCheckpointModule()}
 	}
 	return nil

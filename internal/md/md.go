@@ -258,7 +258,7 @@ func Modules(mode core.Mode) []*core.Module {
 		return []*core.Module{SharedModule(), CheckpointModule()}
 	case core.Distributed:
 		return []*core.Module{DistModule(), CheckpointModule()}
-	case core.Hybrid:
+	case core.Hybrid, core.Task:
 		return []*core.Module{SharedModule(), DistModule(), CheckpointModule()}
 	}
 	return nil

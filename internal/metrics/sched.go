@@ -1,0 +1,47 @@
+package metrics
+
+// SchedStats aggregates the work-stealing scheduler counters of one run
+// (Task mode): chunk executions, steals, idle probe rounds and applied
+// cross-rank rebalances. The engine folds per-team counters in here after
+// each region drains; the future autoscaling policy consumes the derived
+// ratios — a high StealRatio with low IdleRatio means overdecomposition is
+// absorbing skew, a high IdleRatio means the run wants fewer workers (or a
+// rebalance, in dist mode).
+type SchedStats struct {
+	// Chunks is the number of overdecomposed chunks executed.
+	Chunks int64
+	// Steals is how many of those chunks were executed by a worker other
+	// than the one whose deque they were seeded on.
+	Steals int64
+	// Idle counts failed full steal scans (every victim empty) — the
+	// scheduler's measure of starvation.
+	Idle int64
+	// Rebalances counts applied cross-rank partition moves.
+	Rebalances int
+}
+
+// StealRatio is the fraction of chunks that were stolen rather than run by
+// their seeded owner (0 when nothing ran).
+func (s SchedStats) StealRatio() float64 {
+	if s.Chunks == 0 {
+		return 0
+	}
+	return float64(s.Steals) / float64(s.Chunks)
+}
+
+// IdleRatio is idle probe rounds per executed chunk — roughly how much
+// scanning workers did per unit of useful work (0 when nothing ran).
+func (s SchedStats) IdleRatio() float64 {
+	if s.Chunks == 0 {
+		return 0
+	}
+	return float64(s.Idle) / float64(s.Chunks)
+}
+
+// Add folds another sample into s.
+func (s *SchedStats) Add(o SchedStats) {
+	s.Chunks += o.Chunks
+	s.Steals += o.Steals
+	s.Idle += o.Idle
+	s.Rebalances += o.Rebalances
+}

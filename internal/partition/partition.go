@@ -40,11 +40,17 @@ func (k Kind) String() string {
 
 // Layout describes the division of N indices among Parts parts.
 // Chunk is only meaningful for BlockCyclic (0 means 1).
+//
+// Bounds, when non-nil, overrides the even Block division with explicit cut
+// points: part p owns [Bounds[p], Bounds[p+1]). It is only meaningful for
+// Block layouts and is how the Task executor's cross-rank rebalancer shifts
+// work between ranks without changing the partitioning kind.
 type Layout struct {
-	Kind  Kind
-	N     int
-	Parts int
-	Chunk int
+	Kind   Kind
+	N      int
+	Parts  int
+	Chunk  int
+	Bounds []int
 }
 
 // New builds a layout, validating its parameters.
@@ -68,6 +74,28 @@ func NewBlockCyclic(n, parts, chunk int) Layout {
 	return l
 }
 
+// WithBounds returns a copy of the layout using explicit cut points: part p
+// owns [bounds[p], bounds[p+1]). Only Block layouts accept bounds; they must
+// be non-decreasing, start at 0 and end at N.
+func (l Layout) WithBounds(bounds []int) Layout {
+	if l.Kind != Block {
+		panic("partition: WithBounds is only defined for Block layouts")
+	}
+	if len(bounds) != l.Parts+1 {
+		panic(fmt.Sprintf("partition: got %d bounds, want %d", len(bounds), l.Parts+1))
+	}
+	if bounds[0] != 0 || bounds[l.Parts] != l.N {
+		panic(fmt.Sprintf("partition: bounds must span [0,%d], got [%d,%d]", l.N, bounds[0], bounds[l.Parts]))
+	}
+	for p := 1; p <= l.Parts; p++ {
+		if bounds[p] < bounds[p-1] {
+			panic(fmt.Sprintf("partition: bounds must be non-decreasing, got %v", bounds))
+		}
+	}
+	l.Bounds = append([]int(nil), bounds...)
+	return l
+}
+
 func (l Layout) chunk() int {
 	if l.Chunk < 1 {
 		return 1
@@ -82,13 +110,10 @@ func (l Layout) Owner(i int) int {
 	}
 	switch l.Kind {
 	case Block:
-		lo := 0
 		for p := 0; p < l.Parts; p++ {
-			hi := lo + l.blockLen(p)
-			if i < hi {
+			if _, hi := l.Range(p); i < hi {
 				return p
 			}
-			lo = hi
 		}
 		return l.Parts - 1 // unreachable for valid i
 	case Cyclic:
@@ -100,6 +125,9 @@ func (l Layout) Owner(i int) int {
 }
 
 func (l Layout) blockLen(p int) int {
+	if l.Bounds != nil {
+		return l.Bounds[p+1] - l.Bounds[p]
+	}
 	base := l.N / l.Parts
 	if p < l.N%l.Parts {
 		return base + 1
@@ -114,6 +142,9 @@ func (l Layout) Range(p int) (lo, hi int) {
 		panic("partition: Range is only defined for Block layouts")
 	}
 	l.checkPart(p)
+	if l.Bounds != nil {
+		return l.Bounds[p], l.Bounds[p+1]
+	}
 	base := l.N / l.Parts
 	rem := l.N % l.Parts
 	if p < rem {

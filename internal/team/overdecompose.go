@@ -1,35 +1,33 @@
 package team
 
-import "sync"
-
 // OverDecompose runs tasks logical tasks on pe processing elements, with a
 // tasks-wide barrier between iterations — the execution structure of the
-// paper's Figure 8 experiment ("Overhead of over-decomposition"): traditional
-// adaptive approaches create many more parallel tasks than processing
-// elements and coalesce them onto the available resources, paying task
-// scheduling and wide-barrier costs on every iteration.
+// paper's Figure 8 experiment ("Overhead of over-decomposition").
 //
-// Each task t executes body(t, it) for it = 0..iters-1; a semaphore caps the
-// number of simultaneously running tasks at pe and a tasks-party barrier
-// separates iterations (as SOR's data dependences require).
+// Deprecated: OverDecompose predates the work-stealing chunk scheduler and
+// survives only as a shim over it, so the Figure 8 reproduction keeps
+// running. New code should use Worker.ForTask inside a Team region (or the
+// engine's Task mode), which overdecomposes the same way but schedules
+// chunks on per-worker deques with randomized stealing instead of one
+// goroutine per task behind a semaphore.
+//
+// Each task t executes body(t, it) for it = 0..iters-1, with at most pe
+// tasks running simultaneously and a full barrier between iterations (as
+// SOR's data dependences require).
 func OverDecompose(tasks, pe, iters int, body func(task, iter int)) {
 	if tasks < 1 || pe < 1 {
 		panic("team: OverDecompose needs tasks >= 1 and pe >= 1")
 	}
-	sem := make(chan struct{}, pe)
-	bar := NewBarrier(tasks)
-	var wg sync.WaitGroup
-	for t := 0; t < tasks; t++ {
-		wg.Add(1)
-		go func(task int) {
-			defer wg.Done()
-			for it := 0; it < iters; it++ {
-				sem <- struct{}{} // acquire a processing element
-				body(task, it)
-				<-sem
-				bar.Wait()
-			}
-		}(t)
-	}
-	wg.Wait()
+	tm := New(pe)
+	tm.Run(func(w *Worker) {
+		for it := 0; it < iters; it++ {
+			iter := it
+			w.ForTask(0, tasks, tasks, func(lo, hi int) {
+				for task := lo; task < hi; task++ {
+					body(task, iter)
+				}
+			})
+			w.Barrier()
+		}
+	})
 }

@@ -1,0 +1,178 @@
+package team
+
+import "sync/atomic"
+
+// This file implements the many-task work-sharing loop behind the engine's
+// Task mode: the iteration space is overdecomposed into many more chunks
+// than workers, each worker owns a contiguous run of chunks on a deque, and
+// idle workers steal chunks from the back of victims' deques (the classic
+// Chase–Lev discipline, compressed here to one atomic word per deque because
+// chunk ids are dense integers rather than pointers). With no steals the
+// chunk→worker assignment degenerates to exactly the Static schedule, so a
+// drained Task loop is indistinguishable from a static one — the property
+// the checkpoint protocol relies on (stealing changes who computes a chunk,
+// never what is computed or where results land).
+
+// chunkDeque is a double-ended queue over a contiguous range of chunk ids,
+// packed into one atomic word: the owner's next chunk in the high 32 bits
+// (head) and one past the last unclaimed chunk in the low 32 bits (tail).
+// The owner claims from the front, thieves from the back; both sides CAS the
+// whole word, so the two ends cannot race past each other.
+type chunkDeque struct {
+	bounds atomic.Uint64
+}
+
+func (d *chunkDeque) reset(head, tail int) {
+	d.bounds.Store(uint64(uint32(head))<<32 | uint64(uint32(tail)))
+}
+
+// popFront claims the owner's next chunk, reporting ok=false when the deque
+// is empty.
+func (d *chunkDeque) popFront() (chunk int, ok bool) {
+	for {
+		v := d.bounds.Load()
+		h, t := uint32(v>>32), uint32(v)
+		if h >= t {
+			return 0, false
+		}
+		if d.bounds.CompareAndSwap(v, uint64(h+1)<<32|uint64(t)) {
+			return int(h), true
+		}
+	}
+}
+
+// popBack steals the victim's last chunk, reporting ok=false when the deque
+// is empty.
+func (d *chunkDeque) popBack() (chunk int, ok bool) {
+	for {
+		v := d.bounds.Load()
+		h, t := uint32(v>>32), uint32(v)
+		if h >= t {
+			return 0, false
+		}
+		if d.bounds.CompareAndSwap(v, uint64(h)<<32|uint64(t-1)) {
+			return int(t - 1), true
+		}
+	}
+}
+
+// taskState is the shared descriptor of one ForTask loop instance. Like
+// loopState it is keyed by the per-worker loop sequence number: all active
+// workers reach the same loops in the same order.
+type taskState struct {
+	deques    []chunkDeque // indexed by worker id (active ids are contiguous)
+	steals    atomic.Int64 // chunks executed by a non-home worker
+	idle      atomic.Int64 // steal probes that found an empty deque
+	chunks    int64
+	remaining atomic.Int64 // workers still to finish (for cleanup)
+}
+
+// ForTask executes [lo, hi) as nchunks contiguous chunks scheduled by work
+// stealing: worker w starts with the Static share of the chunk ids and turns
+// to randomized stealing from the back of other workers' deques once its own
+// runs dry. body receives each chunk's sub-range exactly once. nchunks is
+// clamped to at least the team size and at most the iteration count.
+//
+// Like For, ForTask has no implicit barrier — but callers that need the
+// post-loop state to be complete (safe points, stencil sweeps) MUST add one:
+// a worker can leave ForTask while a thief is still executing a chunk it
+// stole from this worker's deque, and only the team barrier guarantees every
+// chunk has finished. Retired and replaying workers consume the loop
+// instance and execute nothing.
+func (w *Worker) ForTask(lo, hi, nchunks int, body func(lo, hi int)) {
+	w.loopSeq++
+	if w.retired || w.replaying.Load() {
+		return
+	}
+	if lo >= hi {
+		return
+	}
+	size := w.t.Size()
+	if nchunks < size {
+		nchunks = size
+	}
+	if nchunks > hi-lo {
+		nchunks = hi - lo
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	st := w.claimTask(nchunks, size)
+	// Drain the home deque front-to-back: absent steals this executes the
+	// worker's Static share in increasing order.
+	for {
+		c, ok := st.deques[w.id].popFront()
+		if !ok {
+			break
+		}
+		a, b := StaticSpan(c, nchunks, lo, hi)
+		body(a, b)
+	}
+	// Steal from the back of random victims until a full scan finds every
+	// deque empty — then every chunk is claimed by someone who will run it.
+	if size > 1 {
+		rng := uint64(w.id+1)*0x9E3779B97F4A7C15 ^ (w.loopSeq << 1) | 1
+		for {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			stolen := false
+			start := int(rng % uint64(size))
+			for k := 0; k < size; k++ {
+				v := (start + k) % size
+				if v == w.id {
+					continue
+				}
+				c, ok := st.deques[v].popBack()
+				if !ok {
+					st.idle.Add(1)
+					continue
+				}
+				st.steals.Add(1)
+				a, b := StaticSpan(c, nchunks, lo, hi)
+				body(a, b)
+				stolen = true
+				break
+			}
+			if !stolen {
+				break
+			}
+		}
+	}
+	if st.remaining.Add(-1) == 0 {
+		t := w.t
+		t.taskChunks.Add(st.chunks)
+		t.taskSteals.Add(st.steals.Load())
+		t.taskIdle.Add(st.idle.Load())
+		t.mu.Lock()
+		delete(t.tasks, w.loopSeq)
+		t.mu.Unlock()
+	}
+}
+
+func (w *Worker) claimTask(nchunks, size int) *taskState {
+	t := w.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.tasks[w.loopSeq]
+	if !ok {
+		st = &taskState{deques: make([]chunkDeque, size), chunks: int64(nchunks)}
+		for id := 0; id < size; id++ {
+			a, b := StaticSpan(id, size, 0, nchunks)
+			st.deques[id].reset(a, b)
+		}
+		st.remaining.Store(int64(size))
+		t.tasks[w.loopSeq] = st
+	}
+	return st
+}
+
+// TaskCounters reports the scheduler counters accumulated by completed
+// ForTask loops on this team: total chunks scheduled, chunks executed by a
+// non-home worker (steals), and steal probes that found an empty deque
+// (idle). The counters are timing-dependent — they feed Report and the
+// metrics surface, never RunStats (which must stay identical on every line
+// of execution).
+func (t *Team) TaskCounters() (chunks, steals, idle int64) {
+	return t.taskChunks.Load(), t.taskSteals.Load(), t.taskIdle.Load()
+}

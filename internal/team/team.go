@@ -61,12 +61,19 @@ type Team struct {
 
 	mu      sync.Mutex
 	loops   map[uint64]*loopState
+	tasks   map[uint64]*taskState
 	singles map[uint64]*singleState
 	xchgs   map[uint64]*xchgState
 	crits   map[string]*sync.Mutex
 	freeIDs []int // ids of retired workers, reusable by Spawn
 
 	decision atomic.Pointer[decision]
+
+	// ForTask scheduler counters, folded in as each loop instance completes
+	// (see TaskCounters).
+	taskChunks atomic.Int64
+	taskSteals atomic.Int64
+	taskIdle   atomic.Int64
 }
 
 type decision struct {
@@ -82,6 +89,7 @@ func New(size int) *Team {
 	t := &Team{
 		barrier: NewBarrier(size),
 		loops:   map[uint64]*loopState{},
+		tasks:   map[uint64]*taskState{},
 		singles: map[uint64]*singleState{},
 		xchgs:   map[uint64]*xchgState{},
 		crits:   map[string]*sync.Mutex{},
@@ -334,4 +342,18 @@ func (w *Worker) TLSSnapshot() map[string]any {
 		out[k] = v
 	}
 	return out
+}
+
+// AlignSeqs copies the per-worker sequence counters (loop and single
+// instances consumed) from src. The engine calls it when activating a
+// joining worker: replay skips ignorable methods wholesale, so the loops
+// and singles inside them never consumed the joiner's counters, and a
+// stale counter would make the joiner claim — and re-execute — keyed loop
+// instances the incumbents already completed. From the activation point on
+// both cohorts sit at the same program position, so the incumbent counters
+// are exactly the joiner's future. Only safe while w's goroutine is parked
+// at the join gate.
+func (w *Worker) AlignSeqs(src *Worker) {
+	w.loopSeq = src.loopSeq
+	w.singleSeq = src.singleSeq
 }

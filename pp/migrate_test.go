@@ -51,6 +51,7 @@ func modeLegs() []struct {
 		{"smp", pp.Shared, []pp.Option{pp.WithThreads(2)}},
 		{"dist", pp.Distributed, []pp.Option{pp.WithProcs(3)}},
 		{"hybrid", pp.Hybrid, []pp.Option{pp.WithProcs(2), pp.WithThreads(2)}},
+		{"task", pp.Task, []pp.Option{pp.WithProcs(2), pp.WithThreads(2), pp.WithOverdecompose(4)}},
 	}
 }
 
@@ -63,6 +64,8 @@ func targetFor(mode pp.Mode) pp.AdaptTarget {
 		return pp.AdaptTarget{Mode: pp.Distributed, Procs: 3}
 	case pp.Hybrid:
 		return pp.AdaptTarget{Mode: pp.Hybrid, Procs: 2, Threads: 2}
+	case pp.Task:
+		return pp.AdaptTarget{Mode: pp.Task, Procs: 2, Threads: 2}
 	}
 	return pp.AdaptTarget{Mode: pp.Sequential}
 }

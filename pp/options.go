@@ -40,10 +40,20 @@ func WithName(name string) Option {
 	return func(c *core.Config) { c.AppName = name }
 }
 
-// WithMode selects the plugged machinery: Sequential, Shared, Distributed
-// or Hybrid.
+// WithMode selects the plugged machinery: Sequential, Shared, Distributed,
+// Hybrid or Task.
 func WithMode(m Mode) Option {
 	return func(c *core.Config) { c.Mode = m }
+}
+
+// WithOverdecompose sets the Task-mode chunking factor k: every work-sharing
+// loop is split into k chunks per worker (default 8), seeded on per-worker
+// deques and balanced by randomized stealing. Larger k smooths skew at the
+// cost of per-chunk overhead; k is recorded in checkpoints' shard manifests
+// only through the resulting boundaries, so a run may restart under a
+// different k. Ignored outside Task mode.
+func WithOverdecompose(k int) Option {
+	return func(c *core.Config) { c.Overdecompose = k }
 }
 
 // WithThreads sets the team size for Shared and Hybrid deployments.

@@ -201,6 +201,13 @@ const (
 	Shared      = core.Shared
 	Distributed = core.Distributed
 	Hybrid      = core.Hybrid
+	// Task is the work-stealing many-task deployment: the Hybrid topology
+	// with every work-sharing loop overdecomposed into WithOverdecompose(k)
+	// chunks per worker, scheduled on per-worker deques with randomized
+	// stealing, plus a cross-rank balancer that moves Block partition
+	// boundaries between ranks at safe points. Stealing drains at each
+	// loop's barrier, so checkpoints stay byte-identical to a static run.
+	Task = core.Task
 )
 
 // Loop schedules (the for work-sharing construct).
@@ -224,8 +231,8 @@ var ErrInjectedFailure = core.ErrInjectedFailure
 // NewModule creates an empty pluggable module.
 func NewModule(name string) *Module { return core.NewModule(name) }
 
-// ParseMode parses the mode names used by Mode.String: "seq", "smp", "dist"
-// or "hybrid".
+// ParseMode parses the mode names used by Mode.String: "seq", "smp", "dist",
+// "hybrid" or "task".
 func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 
 // For executes an advisable loop body per index.

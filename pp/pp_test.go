@@ -110,6 +110,8 @@ func TestPublicAPIAcrossModes(t *testing.T) {
 		{pp.Shared, []pp.Option{pp.WithThreads(3)}},
 		{pp.Distributed, []pp.Option{pp.WithProcs(4)}},
 		{pp.Hybrid, []pp.Option{pp.WithProcs(2), pp.WithThreads(2)}},
+		{pp.Task, []pp.Option{pp.WithProcs(2), pp.WithThreads(2)}},
+		{pp.Task, []pp.Option{pp.WithThreads(4), pp.WithOverdecompose(3)}},
 	} {
 		if got := run(t, d.mode, d.opts...); got != want {
 			t.Errorf("%v: total=%v want %v", d.mode, got, want)

@@ -42,6 +42,7 @@ func TestShardedRestartMatrix(t *testing.T) {
 		{"restart-dist5", pp.Distributed, []pp.Option{pp.WithProcs(5)}},
 		{"restart-smp2", pp.Shared, []pp.Option{pp.WithThreads(2)}},
 		{"restart-seq", pp.Sequential, nil},
+		{"restart-task2", pp.Task, []pp.Option{pp.WithProcs(2), pp.WithThreads(2), pp.WithOverdecompose(4)}},
 	}
 	for variant, saveOpts := range shardVariants() {
 		for storeName, mkStore := range storeFactories() {
