@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"context"
 
+	"ppar/internal/autoscale"
 	"ppar/internal/fleet"
 	"ppar/internal/jgf"
 	"ppar/internal/jgf/invasive"
@@ -833,6 +835,43 @@ func BenchmarkFleetOverhead(b *testing.B) {
 			if st.State != fleet.Done {
 				b.Fatalf("hosted job ended %s: %s", st.State, st.Error)
 			}
+		}
+	})
+}
+
+// --- AutoScale controller overhead ----------------------------------------
+
+// BenchmarkAutoScale measures the per-sample cost of the closed-loop
+// controller: one Step per monitor tick folds the rate window, re-anchors
+// the fitted curves and scores the candidate shapes. The synthetic State
+// stream replays a converging run, so the deciding path is paid while the
+// controller still moves and the quiet steady-state path dominates the
+// tail — the realistic mix a long run sees. Engine-side cost is zero when
+// no decision fires, so this IS the autoscaling overhead.
+func BenchmarkAutoScale(b *testing.B) {
+	b.Run("step", func(b *testing.B) {
+		b.ReportAllocs()
+		a := autoscale.New(autoscale.Config{MoveCost: 10 * time.Millisecond})
+		shape := autoscale.Shape{Mode: pp.Shared, Threads: 1, Procs: 1}
+		var now time.Duration
+		sp, moves := 0.0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now += 5 * time.Millisecond
+			sp += 0.005 / (0.004/float64(shape.Threads) + 0.0001)
+			st := autoscale.State{
+				SP: uint64(sp), Now: now, Shape: shape,
+				Moves: moves, MoveTotal: time.Duration(moves) * 10 * time.Millisecond,
+				CapThreads: 8, CapProcs: 1,
+			}
+			d, ok := a.Step(st)
+			if !ok {
+				continue
+			}
+			if d.Target.Threads > 0 {
+				shape.Threads = d.Target.Threads
+			}
+			moves++
 		}
 	})
 }

@@ -1,0 +1,359 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"ppar/internal/cluster"
+	"ppar/internal/core"
+	"ppar/internal/jgf"
+	"ppar/internal/metrics"
+)
+
+// sim drives the decision logic with a synthetic run: truth maps a shape to
+// its real per-safe-point seconds, tick advances a simulated clock and
+// applies issued decisions the way the engine would. Everything is
+// deterministic — no goroutines, no wall clock.
+type sim struct {
+	a     *AutoScale
+	truth func(Shape) float64
+	shape Shape
+	sp    float64
+	now   time.Duration
+	capT  int
+	capP  int
+	sched metrics.SchedStats
+
+	moves     int // applied reconfigurations, as Report.Migrations would count
+	migTotal  time.Duration
+	decisions []Decision
+	stopped   bool
+}
+
+func newSim(a *AutoScale, start Shape, truth func(Shape) float64) *sim {
+	return &sim{a: a, truth: truth, shape: start, capT: 64, capP: 64}
+}
+
+func (s *sim) tick(dt time.Duration) {
+	if s.stopped {
+		return
+	}
+	s.now += dt
+	s.sp += dt.Seconds() / s.truth(s.shape)
+	st := State{
+		SP: uint64(s.sp), Now: s.now, Shape: s.shape,
+		Sched: s.sched, Moves: s.moves, MoveTotal: s.migTotal,
+		CapThreads: s.capT, CapProcs: s.capP,
+	}
+	d, ok := s.a.Step(st)
+	if !ok {
+		return
+	}
+	s.decisions = append(s.decisions, d)
+	if d.Stop {
+		s.stopped = true
+		return
+	}
+	// Apply like the engine: the new shape executes from the next safe
+	// point, and the move shows up in the migration measurements.
+	if d.Target.Mode != 0 && d.Target.Mode != s.shape.Mode {
+		s.shape.Mode = d.Target.Mode
+	}
+	if d.Target.Threads > 0 {
+		s.shape.Threads = d.Target.Threads
+	}
+	if d.Target.Procs > 0 {
+		s.shape.Procs = d.Target.Procs
+	}
+	s.moves++
+	s.migTotal += 20 * time.Millisecond
+}
+
+func (s *sim) run(ticks int, dt time.Duration) {
+	for i := 0; i < ticks; i++ {
+		s.tick(dt)
+	}
+}
+
+// scalable is a truth with real parallel speedup: 4ms of divisible work
+// plus a 0.1ms serial floor per safe point.
+func scalable(sh Shape) float64 { return 0.004/float64(peOf(sh)) + 0.0001 }
+
+func TestColdStartMakesNoMove(t *testing.T) {
+	a := New(Config{MinWindows: 10})
+	s := newSim(a, Shape{Mode: core.Shared, Threads: 1, Procs: 1}, scalable)
+	s.run(8, 5*time.Millisecond) // well under 10 windows of evidence
+	if len(s.decisions) != 0 {
+		t.Fatalf("cold autoscaler moved: %+v", s.decisions)
+	}
+}
+
+func TestScalesUpAndConverges(t *testing.T) {
+	a := New(Config{MoveCost: 10 * time.Millisecond})
+	s := newSim(a, Shape{Mode: core.Shared, Threads: 1, Procs: 1}, scalable)
+	s.capT = 8
+	s.run(600, 5*time.Millisecond)
+
+	if s.shape.Threads < 4 {
+		t.Fatalf("never scaled up: final shape %+v, decisions %+v", s.shape, s.decisions)
+	}
+	if n := len(s.decisions); n == 0 || n > 4 {
+		t.Fatalf("expected 1-4 decisions, got %d: %+v", n, s.decisions)
+	}
+	// Converged: the tail of the run is decision-free.
+	tail := len(s.decisions)
+	s.run(400, 5*time.Millisecond)
+	if len(s.decisions) != tail {
+		t.Fatalf("still deciding after convergence: %+v", s.decisions[tail:])
+	}
+	// No flapping: every decision grows the team; no shape is revisited.
+	seen := map[Shape]bool{{Mode: core.Shared, Threads: 1, Procs: 1}: true}
+	for _, d := range s.decisions {
+		to := Shape{Mode: core.Shared, Threads: d.Target.Threads, Procs: 1}
+		if seen[to] {
+			t.Fatalf("revisited shape %+v: flapping (%+v)", to, s.decisions)
+		}
+		seen[to] = true
+	}
+}
+
+func TestMarginalGainsAreIgnored(t *testing.T) {
+	// Parallelism buys almost nothing: 0.02ms divisible vs a 1ms floor.
+	// One measured point cannot reveal that, so the controller is allowed
+	// a single exploratory doubling; the second point pins the serial
+	// floor and every further move is sub-margin — stay put from then on.
+	flat := func(sh Shape) float64 {
+		return 0.00002/float64(peOf(sh)) + 0.001
+	}
+	a := New(Config{})
+	s := newSim(a, Shape{Mode: core.Shared, Threads: 2, Procs: 1}, flat)
+	s.run(800, 5*time.Millisecond)
+	if len(s.decisions) > 1 {
+		t.Fatalf("kept moving on sub-margin gains: %+v", s.decisions)
+	}
+	if s.shape.Threads > 4 {
+		t.Fatalf("extrapolated growth on a flat workload: %+v", s.shape)
+	}
+	// Converged: a long tail adds no decisions.
+	tail := len(s.decisions)
+	s.run(400, 5*time.Millisecond)
+	if len(s.decisions) != tail {
+		t.Fatalf("still deciding on a flat workload: %+v", s.decisions[tail:])
+	}
+}
+
+func TestForcedShrinkClampsThreads(t *testing.T) {
+	// MinWindows is set high so the only possible decision is the forced
+	// one — capacity loss must act without any accumulated evidence.
+	a := New(Config{MinWindows: 1000})
+	s := newSim(a, Shape{Mode: core.Shared, Threads: 8, Procs: 1}, scalable)
+	s.run(5, 5*time.Millisecond)
+	s.capT = 3 // a node lost cores
+	s.tick(5 * time.Millisecond)
+	if len(s.decisions) != 1 {
+		t.Fatalf("capacity loss not acted on: %+v", s.decisions)
+	}
+	d := s.decisions[0]
+	if !d.Forced || d.Target.Threads != 3 {
+		t.Fatalf("want forced shrink to 3 threads, got %+v", d)
+	}
+	if s.shape.Threads != 3 {
+		t.Fatalf("shrink not applied: %+v", s.shape)
+	}
+}
+
+func TestForcedShrinkStopsFixedWorld(t *testing.T) {
+	// A Distributed world without in-place resizing can only obey a
+	// capacity loss by checkpoint-and-stop; the owner relaunches smaller
+	// and the re-sharding restore repartitions the state.
+	a := New(Config{MinWindows: 1000})
+	s := newSim(a, Shape{Mode: core.Distributed, Threads: 1, Procs: 8}, scalable)
+	s.run(5, 5*time.Millisecond)
+	s.capP = 4
+	s.tick(5 * time.Millisecond)
+	if len(s.decisions) != 1 || !s.decisions[0].Stop || !s.decisions[0].Forced {
+		t.Fatalf("want forced stop, got %+v", s.decisions)
+	}
+	if !s.stopped {
+		t.Fatal("sim did not stop")
+	}
+}
+
+func TestIdleRatioVetoesGrowth(t *testing.T) {
+	// The curve says growth helps, but the scheduler counters say the
+	// workers are already starved — scanning five times per useful chunk.
+	a := New(Config{MoveCost: time.Millisecond})
+	s := newSim(a, Shape{Mode: core.Task, Threads: 2, Procs: 1}, scalable)
+	s.capT = 8
+	s.sched = metrics.SchedStats{Chunks: 100, Steals: 5, Idle: 500}
+	s.run(600, 5*time.Millisecond)
+	for _, d := range s.decisions {
+		if d.Target.Threads > 2 {
+			t.Fatalf("grew an idle pool: %+v", d)
+		}
+	}
+}
+
+func TestStealRatioVetoesLeavingTask(t *testing.T) {
+	// Seed evidence that Shared at 4 threads is fast, then run Task at 4
+	// threads slower but with a high steal ratio: stealing is absorbing
+	// real skew, and a static-schedule mode would regress.
+	a := New(Config{MoveCost: time.Millisecond, Modes: []core.Mode{core.Shared}})
+	fast := func(sh Shape) float64 {
+		if sh.Mode == core.Shared {
+			return 0.001
+		}
+		return 0.002
+	}
+	s := newSim(a, Shape{Mode: core.Shared, Threads: 4, Procs: 1}, fast)
+	s.capT = 4
+	s.run(60, 5*time.Millisecond)
+
+	// An external request (not ours) migrates the run to Task.
+	s.shape = Shape{Mode: core.Task, Threads: 4, Procs: 1}
+	s.sched = metrics.SchedStats{Chunks: 100, Steals: 40, Idle: 2}
+	s.run(600, 5*time.Millisecond)
+	for _, d := range s.decisions {
+		if d.Target.Mode == core.Shared {
+			t.Fatalf("left Task despite skew being absorbed: %+v", d)
+		}
+	}
+}
+
+func TestMoveBudgetBoundsFlapping(t *testing.T) {
+	// An adversarial workload whose optimum flips every 100 ticks. The
+	// move budget keeps the total voluntary move count bounded no matter
+	// how long the run.
+	phase := 0
+	truth := func(sh Shape) float64 {
+		if phase == 0 {
+			return scalable(sh)
+		}
+		// Parallelism suddenly hurts: contention dominates.
+		return 0.0005 * float64(peOf(sh))
+	}
+	a := New(Config{MoveCost: time.Millisecond, Cooldown: 10 * time.Millisecond})
+	s := newSim(a, Shape{Mode: core.Shared, Threads: 1, Procs: 1}, truth)
+	s.capT = 8
+	for i := 0; i < 3000; i++ {
+		if i%100 == 0 {
+			phase = 1 - phase
+		}
+		s.tick(5 * time.Millisecond)
+	}
+	voluntary := 0
+	for _, d := range s.decisions {
+		if !d.Forced {
+			voluntary++
+		}
+	}
+	if voluntary > 8 {
+		t.Fatalf("move budget exceeded: %d voluntary moves", voluntary)
+	}
+}
+
+// Live integration: a real Shared-mode SOR run on one thread, with the
+// autoscaler driving the real engine through Drive/RequestAdapt. The run
+// must end adapted, with a bounded decision count and the exact sequential
+// checksum.
+func TestDriveGrowsLiveRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live autoscale run")
+	}
+	const n, iters = 192, 8000
+	as := New(Config{
+		Interval:   2 * time.Millisecond,
+		MinWindows: 2,
+		MoveCost:   time.Millisecond,
+		HorizonSP:  20000,
+		Cooldown:   50 * time.Millisecond,
+		Capacity:   func() (int, int) { return 4, 1 },
+	})
+	res := &jgf.SORResult{}
+	eng, err := core.New(core.Config{
+		AppName: "autoscale-live",
+		Mode:    core.Shared,
+		Threads: 1,
+		Modules: jgf.SORModules(core.Shared),
+		Driver:  as,
+	}, func() core.App { return jgf.NewSOR(n, iters, res) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := jgf.SORReference(n, iters); res.Gtotal != want {
+		t.Fatalf("diverged: got %v, want %v", res.Gtotal, want)
+	}
+	ds := as.Decisions()
+	if len(ds) == 0 {
+		t.Skip("run finished before the autoscaler warmed up (loaded machine)")
+	}
+	if len(ds) > 8 {
+		t.Fatalf("flapping on a live run: %d decisions: %+v", len(ds), ds)
+	}
+	for _, d := range ds {
+		if d.Target.Threads > 4 {
+			t.Fatalf("exceeded capacity: %+v", d)
+		}
+	}
+	if !eng.Report().Adapted {
+		t.Fatalf("decisions issued but run never adapted: %+v", ds)
+	}
+}
+
+// TestChurnCapacityWalkConvergesWithoutOscillation plays the cluster churn
+// simulator's deterministic loss/arrival schedule against the controller in
+// pure virtual time: every tick reads the scripted capacity for the sim's
+// clock, so the whole trajectory is reproducible. The controller must obey
+// every capacity loss by the next tick (forced shrink), regrow only
+// voluntarily, keep the total move count inside the no-flapping budget, and
+// go quiet once the cluster heals.
+func TestChurnCapacityWalkConvergesWithoutOscillation(t *testing.T) {
+	top := cluster.Topology{Machines: 2, Cores: 8}
+	churn := cluster.NewChurnSim(top, cluster.LossArrival(top, 200*time.Millisecond, 3)...)
+
+	a := New(Config{MoveCost: 5 * time.Millisecond, Cooldown: 20 * time.Millisecond})
+	s := newSim(a, Shape{Mode: core.Shared, Threads: 8, Procs: 1}, scalable)
+	const dt = 5 * time.Millisecond
+	tick := func() {
+		s.capT, _ = churn.At(s.now)
+		s.tick(dt)
+		if s.shape.Threads > s.capT {
+			t.Fatalf("running over capacity at %v: %d threads on %d cores (%+v)",
+				s.now, s.shape.Threads, s.capT, s.decisions)
+		}
+	}
+	for i := 0; i < 400; i++ { // 2s: the full 1.2s schedule plus healing time
+		tick()
+	}
+
+	forced, voluntary := 0, 0
+	for _, d := range s.decisions {
+		if d.Forced {
+			forced++
+		} else {
+			voluntary++
+		}
+	}
+	// One forced shrink per scripted loss, no more: arrivals never force.
+	if forced == 0 || forced > 3 {
+		t.Fatalf("want 1-3 forced shrinks for 3 losses, got %d: %+v", forced, s.decisions)
+	}
+	if voluntary > 8 {
+		t.Fatalf("voluntary move budget exceeded under churn: %d moves: %+v", voluntary, s.decisions)
+	}
+	// The cluster healed at 1.2s; the controller regrows and then goes
+	// quiet — a long settled tail must be decision-free.
+	settled := len(s.decisions)
+	for i := 0; i < 400; i++ {
+		tick()
+	}
+	if len(s.decisions) != settled {
+		t.Fatalf("still deciding on a healed cluster: %+v", s.decisions[settled:])
+	}
+	if s.shape.Threads < 4 {
+		t.Fatalf("never regrew after healing: %+v (decisions %+v)", s.shape, s.decisions)
+	}
+}

@@ -608,6 +608,23 @@ func NewMem() *Mem {
 	}
 }
 
+// Size reports the store's live footprint: how many artifacts it holds
+// (snapshot/delta/manifest blobs plus dedup chunks) and their total encoded
+// bytes. Soak tests assert this stays bounded across arbitrarily long
+// churn — a chain that is never compacted or a relaunch that leaks old
+// artifacts shows up here as monotone growth.
+func (s *Mem) Size() (items int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.blobs {
+		bytes += int64(len(b))
+	}
+	for _, b := range s.chunks {
+		bytes += int64(len(b))
+	}
+	return len(s.blobs) + len(s.chunks), bytes
+}
+
 // PutChunk stores one content-addressed chunk, or bumps its reference count
 // if the content is already present. The payload is copied: stores must not
 // retain caller memory (the serialisation pools recycle it).

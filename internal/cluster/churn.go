@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChurnEvent is one scripted capacity change: at offset At from playback
+// start, the cluster's usable capacity becomes Threads cores on the
+// biggest machine and Procs total slots. Node loss is an event with less
+// capacity than the previous one, node arrival one with more.
+type ChurnEvent struct {
+	At      time.Duration
+	Threads int
+	Procs   int
+}
+
+// ChurnSim plays a scripted node-loss/node-arrival schedule against the
+// topology — the flapping-capacity harness the autoscaler is proven
+// against. It has two faces:
+//
+//   - At(elapsed) is the pure playback: capacity as a function of offset,
+//     for deterministic tests and for generating expected traces.
+//   - Start() runs the schedule on the wall clock, updating the capacity
+//     read by Capacity() (safe for concurrent use; plugs directly into
+//     autoscale.Config.Capacity) and invoking the OnChange hook — the
+//     fleet supervisor re-budgets from it.
+type ChurnSim struct {
+	top    Topology
+	events []ChurnEvent // sorted by At; normalised capacities
+
+	threads atomic.Int64
+	procs   atomic.Int64
+
+	mu       sync.Mutex
+	onChange func(threads, procs int)
+}
+
+// NewChurnSim builds a simulator over top playing events. Events are
+// applied in At order; capacities are clamped to [1, topology size].
+// Playback starts at the topology's full capacity.
+func NewChurnSim(top Topology, events ...ChurnEvent) *ChurnSim {
+	c := &ChurnSim{top: top}
+	c.events = append(c.events, events...)
+	for i := range c.events {
+		c.events[i].Threads = clampCap(c.events[i].Threads, top.Cores)
+		c.events[i].Procs = clampCap(c.events[i].Procs, top.TotalCores())
+	}
+	for i := 1; i < len(c.events); i++ {
+		if c.events[i].At < c.events[i-1].At {
+			panic("cluster: churn events must be sorted by At")
+		}
+	}
+	c.threads.Store(int64(top.Cores))
+	c.procs.Store(int64(top.TotalCores()))
+	return c
+}
+
+func clampCap(v, max int) int {
+	if v < 1 {
+		return 1
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// At returns the scripted capacity at the given playback offset — the
+// deterministic view: full capacity before the first event, then the
+// newest event at or before elapsed.
+func (c *ChurnSim) At(elapsed time.Duration) (threads, procs int) {
+	threads, procs = c.top.Cores, c.top.TotalCores()
+	for _, ev := range c.events {
+		if ev.At > elapsed {
+			break
+		}
+		threads, procs = ev.Threads, ev.Procs
+	}
+	return threads, procs
+}
+
+// Capacity returns the live capacity under Start playback (full capacity
+// before Start). Safe for concurrent use; matches the
+// autoscale.Config.Capacity contract.
+func (c *ChurnSim) Capacity() (threads, procs int) {
+	return int(c.threads.Load()), int(c.procs.Load())
+}
+
+// OnChange registers a hook invoked (from the playback goroutine) after
+// each applied event — the fleet supervisor re-budgets here. Register
+// before Start.
+func (c *ChurnSim) OnChange(f func(threads, procs int)) {
+	c.mu.Lock()
+	c.onChange = f
+	c.mu.Unlock()
+}
+
+// Start plays the schedule on the wall clock. The returned stop function
+// (idempotent) halts playback; events not yet due never fire. Capacity()
+// reflects every applied event immediately.
+func (c *ChurnSim) Start() (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		for _, ev := range c.events {
+			wait := ev.At - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-stopCh:
+					return
+				case <-time.After(wait):
+				}
+			} else {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+			}
+			c.threads.Store(int64(ev.Threads))
+			c.procs.Store(int64(ev.Procs))
+			c.mu.Lock()
+			f := c.onChange
+			c.mu.Unlock()
+			if f != nil {
+				f(ev.Threads, ev.Procs)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			<-done
+		})
+	}
+}
+
+// LossArrival generates the canonical churn script: every period, one
+// machine's worth of capacity is lost, then arrives back one period later,
+// repeated for the given number of cycles. The shrunken capacity is what
+// remains after losing one machine (floored at one core).
+func LossArrival(top Topology, period time.Duration, cycles int) []ChurnEvent {
+	fullT, fullP := top.Cores, top.TotalCores()
+	lostP := fullP - top.Cores // one machine gone
+	if lostP < 1 {
+		lostP = 1
+	}
+	lostT := top.Cores / 2 // the survivor is shared with displaced work
+	if lostT < 1 {
+		lostT = 1
+	}
+	var evs []ChurnEvent
+	at := period
+	for i := 0; i < cycles; i++ {
+		evs = append(evs,
+			ChurnEvent{At: at, Threads: lostT, Procs: lostP},
+			ChurnEvent{At: at + period, Threads: fullT, Procs: fullP},
+		)
+		at += 2 * period
+	}
+	return evs
+}
+
+// Flapping generates a deterministic pseudo-random capacity walk from the
+// seed: n events, one per period, each drawing thread and proc capacity
+// uniformly from [1, full]. The same seed always yields the same schedule,
+// so soak failures reproduce.
+func Flapping(top Topology, period time.Duration, n int, seed uint64) []ChurnEvent {
+	r := seed*6364136223846793005 + 1442695040888963407
+	next := func(max int) int {
+		r = r*6364136223846793005 + 1442695040888963407
+		return 1 + int((r>>33)%uint64(max))
+	}
+	var evs []ChurnEvent
+	for i := 1; i <= n; i++ {
+		evs = append(evs, ChurnEvent{
+			At:      time.Duration(i) * period,
+			Threads: next(top.Cores),
+			Procs:   next(top.TotalCores()),
+		})
+	}
+	return evs
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChurnAtPlaysSchedule(t *testing.T) {
+	top := PaperCluster()
+	c := NewChurnSim(top,
+		ChurnEvent{At: 10 * time.Millisecond, Threads: 4, Procs: 8},
+		ChurnEvent{At: 30 * time.Millisecond, Threads: top.Cores, Procs: top.TotalCores()},
+	)
+	if th, pr := c.At(0); th != top.Cores || pr != top.TotalCores() {
+		t.Fatalf("before first event: got (%d,%d)", th, pr)
+	}
+	if th, pr := c.At(15 * time.Millisecond); th != 4 || pr != 8 {
+		t.Fatalf("after loss: got (%d,%d), want (4,8)", th, pr)
+	}
+	if th, pr := c.At(time.Hour); th != top.Cores || pr != top.TotalCores() {
+		t.Fatalf("after arrival: got (%d,%d)", th, pr)
+	}
+}
+
+func TestChurnClampsCapacities(t *testing.T) {
+	top := PaperCluster()
+	c := NewChurnSim(top,
+		ChurnEvent{At: time.Millisecond, Threads: -3, Procs: 10 * top.TotalCores()},
+	)
+	th, pr := c.At(time.Millisecond)
+	if th != 1 || pr != top.TotalCores() {
+		t.Fatalf("clamp: got (%d,%d), want (1,%d)", th, pr, top.TotalCores())
+	}
+}
+
+func TestChurnUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted schedule accepted")
+		}
+	}()
+	NewChurnSim(PaperCluster(),
+		ChurnEvent{At: time.Second, Threads: 1, Procs: 1},
+		ChurnEvent{At: time.Millisecond, Threads: 2, Procs: 2},
+	)
+}
+
+func TestChurnStartUpdatesCapacityAndHook(t *testing.T) {
+	top := PaperCluster()
+	c := NewChurnSim(top,
+		ChurnEvent{At: time.Millisecond, Threads: 2, Procs: 3},
+	)
+	var mu sync.Mutex
+	var gotT, gotP int
+	fired := make(chan struct{})
+	c.OnChange(func(th, pr int) {
+		mu.Lock()
+		gotT, gotP = th, pr
+		mu.Unlock()
+		close(fired)
+	})
+	stop := c.Start()
+	defer stop()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("event never fired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotT != 2 || gotP != 3 {
+		t.Fatalf("hook saw (%d,%d), want (2,3)", gotT, gotP)
+	}
+	if th, pr := c.Capacity(); th != 2 || pr != 3 {
+		t.Fatalf("Capacity: got (%d,%d), want (2,3)", th, pr)
+	}
+}
+
+func TestChurnStopHaltsPlayback(t *testing.T) {
+	c := NewChurnSim(PaperCluster(),
+		ChurnEvent{At: time.Hour, Threads: 1, Procs: 1},
+	)
+	stop := c.Start()
+	stop()
+	stop() // idempotent
+	if th, _ := c.Capacity(); th != PaperCluster().Cores {
+		t.Fatalf("stopped playback still fired: threads=%d", th)
+	}
+}
+
+func TestLossArrivalShape(t *testing.T) {
+	top := PaperCluster()
+	evs := LossArrival(top, 10*time.Millisecond, 3)
+	if len(evs) != 6 {
+		t.Fatalf("want 6 events, got %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Threads < 1 || ev.Procs < 1 {
+			t.Fatalf("event %d under floor: %+v", i, ev)
+		}
+		if i > 0 && ev.At <= evs[i-1].At {
+			t.Fatalf("events not strictly ordered: %+v", evs)
+		}
+	}
+	// Odd events restore full capacity.
+	if evs[1].Threads != top.Cores || evs[1].Procs != top.TotalCores() {
+		t.Fatalf("arrival does not restore: %+v", evs[1])
+	}
+	// Even events lose one machine's worth.
+	if evs[0].Procs != top.TotalCores()-top.Cores {
+		t.Fatalf("loss shape: %+v", evs[0])
+	}
+}
+
+func TestFlappingDeterministic(t *testing.T) {
+	top := PaperCluster()
+	a := Flapping(top, time.Millisecond, 50, 7)
+	b := Flapping(top, time.Millisecond, 50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Flapping(top, time.Millisecond, 50, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, ev := range a {
+		if ev.Threads < 1 || ev.Threads > top.Cores || ev.Procs < 1 || ev.Procs > top.TotalCores() {
+			t.Fatalf("out-of-range capacity: %+v", ev)
+		}
+	}
+}

@@ -454,6 +454,16 @@ type Engine struct {
 	pending   atomic.Pointer[AdaptTarget]
 	migration atomic.Pointer[migrationSpec]
 
+	// liveSP/liveMode publish the coordinator's progress for external
+	// observers (Progress): the newest safe point executed and the mode it
+	// executed under. They exist because Report.SafePoints only lands when
+	// a launch ends, while an adaptation driver needs to watch throughput
+	// while the run is in flight. liveMode mirrors curMode, which is only
+	// written between launches and so needs no synchronisation for the
+	// engine itself — but Progress is called from foreign goroutines.
+	liveSP   atomic.Uint64
+	liveMode atomic.Int64
+
 	syncMu sync.Mutex
 	crits  map[string]*sync.Mutex
 
@@ -497,7 +507,22 @@ func New(cfg Config, factory Factory) (*Engine, error) {
 	e.curMode = cfg.Mode
 	e.curThreads.Store(int64(cfg.Threads))
 	e.curProcs.Store(int64(cfg.Procs))
+	e.liveMode.Store(int64(cfg.Mode))
 	return e, nil
+}
+
+// Progress reports the run's live position for external observers: the
+// newest safe point the coordinator has executed and the topology it
+// executed under. Unlike Report (whose SafePoints lands only when a launch
+// ends) Progress moves while the run is in flight, so an adaptation driver
+// — the autoscaler, a resource manager — can measure throughput online:
+// sample (sp, time) pairs and divide. During a replay (crash restart or an
+// in-process migration) the safe-point counter parks at its pre-replay
+// value until execution passes the replay target, so a driver sees replays
+// as a stall, never as backwards progress. Safe for concurrent use.
+func (e *Engine) Progress() (sp uint64, mode Mode, threads, procs int) {
+	return e.liveSP.Load(), Mode(e.liveMode.Load()),
+		int(e.curThreads.Load()), int(e.curProcs.Load())
 }
 
 // RequestAdapt asks for a run-time adaptation; it is applied at the next
@@ -807,6 +832,22 @@ func (e *Engine) dueAt(sp uint64) bool {
 		return false
 	}
 	return true
+}
+
+// nextDueAfter returns the first safe point strictly after sp at which a
+// periodic checkpoint is due, or 0 when the cadence has none left (no
+// store, no cadence, or the MaxCheckpoints budget is spent). The scheduler
+// uses it to align stop and migration requests with the collective every
+// rank already takes at a due safe point.
+func (e *Engine) nextDueAfter(sp uint64) uint64 {
+	if e.store == nil || e.cfg.CheckpointEvery == 0 {
+		return 0
+	}
+	next := (sp/e.cfg.CheckpointEvery + 1) * e.cfg.CheckpointEvery
+	if !e.dueAt(next) {
+		return 0
+	}
+	return next
 }
 
 // ckptCadence is the scheduled-checkpoint view at safe point sp: how many

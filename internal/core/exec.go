@@ -195,6 +195,21 @@ func (x *worldCore) rankMain(e *Engine, c *mp.Comm, joinTarget uint64) error {
 		return errors.New(ab.msg)
 	}
 	e.noteToken(tok)
+	switch tok.(type) {
+	case stopToken, migrateToken:
+		if c.Rank() == 0 {
+			// The master unwinds last in the stop and migration protocols:
+			// by the time it panics, its gather has consumed every
+			// sibling's contribution and the snapshot is persisted. Ranks
+			// synchronise only at collectives, so a rank that raced past
+			// the scheduled safe point never saw the request and is still
+			// computing — or blocked sending into a world that is gone.
+			// Closing the transport turns those sends into ErrDead, and
+			// Launch suppresses the resulting rank errors as collateral of
+			// the recorded stop/migration, like the failure path above.
+			x.Teardown()
+		}
+	}
 	if c.Rank() == 0 {
 		e.repMu.Lock()
 		e.report.SafePoints = ctx.spCount

@@ -129,6 +129,7 @@ func (e *Engine) applyMigration(m *migrationSpec) error {
 	e.curMode = m.mode
 	e.curThreads.Store(int64(m.threads))
 	e.curProcs.Store(int64(m.procs))
+	e.liveMode.Store(int64(m.mode))
 	if e.tracker != nil {
 		e.tracker = newDeltaTracker(e.cfg.DeltaCompactEvery)
 	}

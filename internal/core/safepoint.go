@@ -49,6 +49,7 @@ func (c *Ctx) SafePoint() {
 	// Surface background checkpoint-write failures at the next safe point
 	// the coordinator reaches, rather than only at engine exit.
 	if c.isCoordinator() {
+		e.liveSP.Store(sp)
 		if err := e.takeAsyncErr(); err != nil {
 			c.must(fmt.Errorf("async checkpoint write failed: %w", err))
 		}
@@ -104,7 +105,35 @@ func (c *Ctx) SafePoint() {
 				// it, because consecutive safe points are separated by
 				// a team barrier (the loop advice inserts one per
 				// sweep).
-				e.scheduled.CompareAndSwap(0, sp+1)
+				//
+				// That guarantee covers thread teams only. Comm-coupled
+				// ranks synchronise at collectives, not safe points —
+				// buffered sends let a rank race far ahead of the
+				// coordinator — so a stop or migration request is
+				// aligned to the checkpoint cadence instead: at a due
+				// safe point every rank takes the identical canonical
+				// gather, so the stop/migration gather of the ranks
+				// that saw the request is wire-compatible with the
+				// periodic gather of any rank that had already raced
+				// past it, and the collected snapshot is consistent.
+				// (In shard mode the cadence collective is a barrier,
+				// so the service point goes one past it — the barrier
+				// orders the schedule before every rank's arrival.)
+				// Racing ranks that never see the request unwind when
+				// the master tears the transport down on its way out
+				// (worldCore.rankMain). In-place resizes keep the
+				// sp+1 schedule: their service leaves the run live, so
+				// a misaligned collective cannot strand a peer.
+				at := sp + 1
+				if c.comm != nil && (t.Stop || (t.Mode != 0 && t.Mode != e.curMode)) {
+					if due := e.nextDueAfter(sp); due != 0 {
+						at = due
+						if e.cfg.ShardCheckpoints {
+							at = due + 1
+						}
+					}
+				}
+				e.scheduled.CompareAndSwap(0, at)
 			}
 		case sp > at:
 			// The scheduled point has passed on every thread (team

@@ -59,6 +59,16 @@ type JobSpec struct {
 	// rigid. Malleable jobs may also be launched below Threads when the
 	// budget is tight and grown later.
 	MinThreads int `json:"min_threads,omitempty"`
+	// MinProcs, for Distributed-mode jobs, is the smallest world the job
+	// may be relaunched into; 0 (or >= Procs) makes the world rigid.
+	// Unlike MinThreads this is not an in-place resize: an elastic job
+	// under budget pressure is checkpoint-stopped, requeued, and
+	// relaunched at fewer ranks, with the re-sharding restore
+	// repartitioning its state — the paper's adaptation-by-restart path
+	// with the restart made cheap. Elastic jobs may also be launched
+	// below Procs when the budget is tight; they grow back only on their
+	// next relaunch.
+	MinProcs int `json:"min_procs,omitempty"`
 	// Priority orders admission and decides who shrinks whom (higher wins;
 	// equal priorities are FIFO).
 	Priority int `json:"priority,omitempty"`
@@ -102,6 +112,9 @@ func (s *JobSpec) normalize() error {
 	if s.MinThreads < 1 || s.MinThreads > s.Threads {
 		s.MinThreads = s.Threads // rigid
 	}
+	if s.Mode != pp.Distributed || s.MinProcs < 1 || s.MinProcs > s.Procs {
+		s.MinProcs = s.Procs // rigid world
+	}
 	return nil
 }
 
@@ -109,7 +122,7 @@ func (s *JobSpec) normalize() error {
 func (s *JobSpec) units() int { return s.Threads * s.Procs }
 
 // minUnits is the smallest budget the job can run on.
-func (s *JobSpec) minUnits() int { return s.MinThreads * s.Procs }
+func (s *JobSpec) minUnits() int { return s.MinThreads * s.MinProcs }
 
 // malleable reports whether the scheduler may resize the job at run time.
 // Only Shared-mode teams resize in place today: Sequential has no
@@ -117,6 +130,12 @@ func (s *JobSpec) minUnits() int { return s.MinThreads * s.Procs }
 // (ranks synchronise safe-point counters at collectives, not at
 // RequestAdapt).
 func (s *JobSpec) malleable() bool { return s.Mode == pp.Shared && s.MinThreads < s.Threads }
+
+// elastic reports whether the scheduler may relaunch the job at a smaller
+// world: the fixed TCP/Distributed world cannot resize in place, but a
+// checkpoint-stop followed by a relaunch at fewer procs re-shards the
+// state at restore time.
+func (s *JobSpec) elastic() bool { return s.Mode == pp.Distributed && s.MinProcs < s.Procs }
 
 // JobState is the lifecycle state of one job.
 type JobState string
@@ -356,11 +375,9 @@ func (s *Supervisor) Submit(spec JobSpec) (int64, error) {
 	if _, ok := s.workloads[spec.Workload]; !ok {
 		return 0, fmt.Errorf("fleet: unknown workload %q", spec.Workload)
 	}
-	need := spec.minUnits()
-	if spec.malleable() {
-		// a malleable job can start at its floor
-	} else {
-		need = spec.units()
+	need := spec.units()
+	if spec.malleable() || spec.elastic() {
+		need = spec.minUnits() // resizable jobs can start at their floor
 	}
 	if need > s.cfg.Budget {
 		return 0, fmt.Errorf("fleet: job needs %d units but the machine budget is %d", need, s.cfg.Budget)
@@ -616,9 +633,12 @@ func (s *Supervisor) runEngine(j *job, ctx context.Context, units int) error {
 	if err != nil {
 		return err
 	}
-	threads := spec.Threads
+	threads, procs := spec.Threads, spec.Procs
 	if spec.malleable() {
 		threads = units / spec.Procs
+	}
+	if spec.elastic() {
+		procs = units / spec.Threads
 	}
 	every := spec.CheckpointEvery
 	if every == 0 {
@@ -628,7 +648,7 @@ func (s *Supervisor) runEngine(j *job, ctx context.Context, units int) error {
 		pp.WithName("job"),
 		pp.WithMode(spec.Mode),
 		pp.WithThreads(threads),
-		pp.WithProcs(spec.Procs),
+		pp.WithProcs(procs),
 		pp.WithModules(inst.Modules...),
 		pp.WithStore(store),
 		pp.WithCheckpointEvery(every),

@@ -87,7 +87,7 @@ func (s *Supervisor) scheduleLocked() {
 		case free >= want:
 			s.launchLocked(j, want)
 			free -= want
-		case j.spec.malleable() && free >= j.min():
+		case (j.spec.malleable() || j.spec.elastic()) && free >= j.min():
 			s.launchLocked(j, free)
 			free = 0
 		default:
@@ -163,6 +163,94 @@ func (s *Supervisor) growLocked(free int) {
 		}
 		s.resizeLocked(j, j.alloc+add)
 		free -= add
+	}
+}
+
+// SetBudget changes the machine budget at run time — the elastic coupling
+// to cluster churn (cluster.ChurnSim.OnChange calls here when nodes leave
+// or arrive). A raised budget flows out through the ordinary scheduling
+// pass: queued jobs admit, starved malleable runners grow back. A lowered
+// budget triggers evictToBudgetLocked: malleable runners shrink in place
+// toward their floors, and if the fleet is still over budget, running jobs
+// are checkpoint-stopped lowest priority first. A suspended job keeps its
+// journal entry pending, requeues, and relaunches when the budget admits
+// it again — elastic Distributed jobs at fewer ranks, with the re-sharding
+// restore repartitioning their state under the shrunken world.
+func (s *Supervisor) SetBudget(units int) {
+	if units < 1 {
+		units = 1
+	}
+	s.mu.Lock()
+	if s.closed || s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	shrunk := units < s.cfg.Budget
+	s.cfg.Budget = units
+	if shrunk {
+		s.evictToBudgetLocked()
+	}
+	s.mu.Unlock()
+	s.kickSched()
+}
+
+// landingLocked is the budget the fleet will occupy once every in-flight
+// resize has landed: pending units where a resize is in flight, allocated
+// units otherwise. usedLocked (max of the two) guards hand-outs; this
+// lower bound decides whether shrinking has already been asked for.
+func (s *Supervisor) landingLocked() int {
+	t := 0
+	for _, j := range s.jobs {
+		if j.state != Running && j.state != Stopping {
+			continue
+		}
+		if j.pending != 0 {
+			t += j.pending
+		} else {
+			t += j.alloc
+		}
+	}
+	return t
+}
+
+// evictToBudgetLocked brings a fleet that exceeds a freshly lowered budget
+// back under it: first malleable runners shrink in place toward their
+// floors (the cheap lever), then remaining overflow is evicted by
+// checkpoint-stopping running jobs, lowest priority first, most recently
+// admitted first. An evicted engine parks at its next safe point and the
+// job returns to Queued (the same suspend path Close uses), so no work is
+// lost — the relaunch resumes from the newest checkpoint.
+func (s *Supervisor) evictToBudgetLocked() {
+	over := s.landingLocked() - s.cfg.Budget
+	if over <= 0 {
+		return
+	}
+	s.reclaimLocked(math.MaxInt, over)
+	over = s.landingLocked() - s.cfg.Budget
+	if over <= 0 {
+		return
+	}
+	victims := s.runningLocked()
+	sort.SliceStable(victims, func(a, b int) bool {
+		if victims[a].spec.Priority != victims[b].spec.Priority {
+			return victims[a].spec.Priority < victims[b].spec.Priority
+		}
+		return victims[a].id > victims[b].id
+	})
+	for _, v := range victims {
+		if over <= 0 {
+			return
+		}
+		if v.state != Running || v.cancel == nil {
+			continue // already stopping, or not yet launched
+		}
+		s.logf("fleet: budget %d: suspending job %d (%d units)", s.cfg.Budget, v.id, v.occupied())
+		v.cancel()
+		if v.pending != 0 {
+			over -= v.pending
+		} else {
+			over -= v.alloc
+		}
 	}
 }
 

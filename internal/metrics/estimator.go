@@ -1,0 +1,118 @@
+package metrics
+
+import "math"
+
+// EWMA is an exponentially weighted moving average with a companion
+// variance estimate, the standard online smoother for noisy rate signals
+// (per-safe-point time, steal ratios). Alpha is the weight of the newest
+// observation; 2/(N+1) tracks roughly the last N samples. The zero value is
+// unusable — construct with NewEWMA. Not safe for concurrent use; callers
+// sample from a single monitor goroutine.
+type EWMA struct {
+	alpha float64
+	mean  float64
+	vari  float64
+	n     uint64
+}
+
+// NewEWMA returns an estimator weighting the newest sample by alpha,
+// clamped to (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample in. The first sample initialises the mean
+// directly so a cold estimator does not drag a zero prior.
+func (e *EWMA) Observe(x float64) {
+	e.n++
+	if e.n == 1 {
+		e.mean = x
+		return
+	}
+	d := x - e.mean
+	e.mean += e.alpha * d
+	// West-style EWM variance: decays like the mean, measures spread
+	// around the *current* mean.
+	e.vari = (1 - e.alpha) * (e.vari + e.alpha*d*d)
+}
+
+// Mean returns the current estimate (0 before any sample).
+func (e *EWMA) Mean() float64 { return e.mean }
+
+// StdDev returns the smoothed standard deviation around the mean.
+func (e *EWMA) StdDev() float64 { return math.Sqrt(e.vari) }
+
+// Count returns how many samples have been observed — the evidence weight
+// a consumer uses to blend this estimate against a prior.
+func (e *EWMA) Count() uint64 { return e.n }
+
+// Reset discards all state, for reuse after the measured regime changes
+// (a migration lands, the window must not mix configurations).
+func (e *EWMA) Reset() { e.mean, e.vari, e.n = 0, 0, 0 }
+
+// RateWindow turns cumulative (count, seconds) checkpoints into a smoothed
+// rate: feed it monotone totals — safe points executed and elapsed seconds —
+// and it maintains an EWMA of the incremental rate between observations.
+// This is the shape the autoscaler needs: Engine.Progress gives cumulative
+// safe points, and the seconds-per-safe-point rate is what the perf model
+// fits. Not safe for concurrent use.
+type RateWindow struct {
+	ewma      *EWMA
+	lastCount uint64
+	lastTime  float64
+	lastRaw   float64
+	primed    bool
+}
+
+// NewRateWindow returns a rate smoother with the given EWMA alpha.
+func NewRateWindow(alpha float64) *RateWindow {
+	return &RateWindow{ewma: NewEWMA(alpha)}
+}
+
+// Observe records cumulative totals. The first call only establishes the
+// baseline; later calls with count progress fold (Δseconds/Δcount) — the
+// per-unit cost — into the average. Calls with no progress (a stalled or
+// replaying run) are ignored rather than recorded as an infinite cost.
+// Regressing counts (a restore rewound the baseline) re-prime the window.
+func (w *RateWindow) Observe(count uint64, seconds float64) {
+	if !w.primed || count < w.lastCount {
+		w.lastCount, w.lastTime, w.primed = count, seconds, true
+		return
+	}
+	if count == w.lastCount {
+		return
+	}
+	dc := float64(count - w.lastCount)
+	dt := seconds - w.lastTime
+	w.lastCount, w.lastTime = count, seconds
+	if dt <= 0 {
+		return
+	}
+	w.lastRaw = dt / dc
+	w.ewma.Observe(w.lastRaw)
+}
+
+// LastRaw returns the unsmoothed per-unit cost of the newest complete
+// interval (0 before the first). Consumers that maintain their own spread
+// estimates feed on this — smoothing twice hides the measurement noise a
+// decision gate needs to see.
+func (w *RateWindow) LastRaw() float64 { return w.lastRaw }
+
+// PerUnit returns the smoothed seconds per counted unit (0 before the
+// first complete interval).
+func (w *RateWindow) PerUnit() float64 { return w.ewma.Mean() }
+
+// StdDev returns the smoothed spread of the per-unit cost.
+func (w *RateWindow) StdDev() float64 { return w.ewma.StdDev() }
+
+// Count returns how many complete intervals have been folded in.
+func (w *RateWindow) Count() uint64 { return w.ewma.Count() }
+
+// Reset discards the average and the baseline, for regime changes.
+func (w *RateWindow) Reset() { w.ewma.Reset(); w.primed = false; w.lastRaw = 0 }

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 100; i++ {
+		e.Observe(5)
+	}
+	if e.Mean() != 5 {
+		t.Fatalf("mean: got %g, want 5", e.Mean())
+	}
+	if e.StdDev() != 0 {
+		t.Fatalf("stddev of constant: got %g", e.StdDev())
+	}
+	if e.Count() != 100 {
+		t.Fatalf("count: got %d", e.Count())
+	}
+}
+
+func TestEWMATracksRegimeShift(t *testing.T) {
+	e := NewEWMA(0.3)
+	for i := 0; i < 50; i++ {
+		e.Observe(1)
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(10)
+	}
+	if math.Abs(e.Mean()-10) > 0.01 {
+		t.Fatalf("post-shift mean: got %g, want ~10", e.Mean())
+	}
+}
+
+func TestEWMAFirstSampleInitialises(t *testing.T) {
+	e := NewEWMA(0.01)
+	e.Observe(42)
+	if e.Mean() != 42 {
+		t.Fatalf("first sample should set the mean, got %g", e.Mean())
+	}
+}
+
+func TestEWMAStdDevSeesNoise(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 200; i++ {
+		e.Observe(10 + float64(1-2*(i%2))) // alternating 9, 11
+	}
+	if e.StdDev() < 0.5 || e.StdDev() > 2 {
+		t.Fatalf("stddev of ±1 signal: got %g", e.StdDev())
+	}
+	e.Reset()
+	if e.Mean() != 0 || e.StdDev() != 0 || e.Count() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestRateWindowPerUnit(t *testing.T) {
+	w := NewRateWindow(0.5)
+	// Cumulative trace: 10 safe points per second.
+	for i := 0; i <= 10; i++ {
+		w.Observe(uint64(i*10), float64(i))
+	}
+	if math.Abs(w.PerUnit()-0.1) > 1e-9 {
+		t.Fatalf("per-unit: got %g, want 0.1", w.PerUnit())
+	}
+	if w.Count() != 10 {
+		t.Fatalf("intervals: got %d, want 10", w.Count())
+	}
+}
+
+func TestRateWindowIgnoresStalls(t *testing.T) {
+	w := NewRateWindow(0.5)
+	w.Observe(0, 0)
+	w.Observe(10, 1)
+	// A replaying run: time passes, the counter parks. Folding this in as
+	// a rate would record an infinite per-unit cost.
+	w.Observe(10, 5)
+	w.Observe(10, 9)
+	w.Observe(20, 10) // progress resumes at the same underlying rate
+	if w.PerUnit() > 0.6 {
+		t.Fatalf("stall leaked into the rate: %g", w.PerUnit())
+	}
+	if w.Count() != 2 {
+		t.Fatalf("intervals: got %d, want 2", w.Count())
+	}
+}
+
+func TestRateWindowRegressRePrimes(t *testing.T) {
+	w := NewRateWindow(0.5)
+	w.Observe(100, 10)
+	w.Observe(110, 11)
+	// A restore rewound the safe-point counter; the next delta must be
+	// measured from the new baseline, not the stale one.
+	w.Observe(50, 12)
+	w.Observe(60, 13)
+	if math.Abs(w.PerUnit()-0.1) > 1e-9 {
+		t.Fatalf("per-unit after rewind: got %g, want 0.1", w.PerUnit())
+	}
+}
+
+func TestRateWindowZeroElapsedIgnored(t *testing.T) {
+	w := NewRateWindow(0.5)
+	w.Observe(0, 1)
+	w.Observe(5, 1) // counter moved, clock did not (coarse clock tick)
+	if w.Count() != 0 {
+		t.Fatalf("zero-elapsed interval recorded: count=%d", w.Count())
+	}
+}

@@ -1,0 +1,215 @@
+package perfmodel
+
+import "math"
+
+// This file is the bridge between the analytic model and the *online*
+// world: the autoscaler observes per-iteration times at whatever
+// configurations a run has actually visited and needs to predict the times
+// at configurations it has not. The analytic terms above say what shape
+// that extrapolation must take — compute shrinks like 1/PE, a serial floor
+// stays put, synchronisation grows linearly in PE — so the online fit uses
+// exactly that three-term basis:
+//
+//	t(p) ≈ A/p + B + C·p
+//
+// fitted by weighted least squares over observed (PE, time) samples, with
+// the calibrated Model providing a prior curve for configurations never
+// visited. Only the shape is borrowed from the model; the magnitudes come
+// from the live run.
+
+// Curve is a fitted per-iteration time curve t(p) = A/p + B + C·p, with p
+// the effective processing-element count and t in seconds.
+type Curve struct {
+	A float64 // parallel work: seconds of perfectly divisible compute
+	B float64 // serial floor: per-iteration cost no parallelism removes
+	C float64 // coordination: per-PE barrier/exchange growth
+}
+
+// Predict returns the modelled per-iteration seconds at pe effective
+// processing elements. The least-squares fit can produce locally negative
+// values outside the sampled range; predictions are floored at a nanosecond
+// so ratio-based comparisons stay finite.
+func (c Curve) Predict(pe int) float64 {
+	if pe < 1 {
+		pe = 1
+	}
+	t := c.A/float64(pe) + c.B + c.C*float64(pe)
+	if t < 1e-9 {
+		return 1e-9
+	}
+	return t
+}
+
+// Best returns the pe in [1, maxPE] minimising the predicted time, and that
+// time. The curve is convex in p (for A, C ≥ 0) but cheap enough to scan,
+// which also stays correct when the fit strays into non-convex territory.
+func (c Curve) Best(maxPE int) (pe int, t float64) {
+	if maxPE < 1 {
+		maxPE = 1
+	}
+	pe, t = 1, c.Predict(1)
+	for p := 2; p <= maxPE; p++ {
+		if tp := c.Predict(p); tp < t {
+			pe, t = p, tp
+		}
+	}
+	return pe, t
+}
+
+// Efficiency returns the parallel efficiency the curve implies at pe:
+// t(1)/(pe·t(pe)). An autoscaler uses it as a growth floor — configurations
+// below ~50% efficiency burn capacity other jobs could use for marginal
+// speedup, Figure 9's lesson.
+func (c Curve) Efficiency(pe int) float64 {
+	if pe < 1 {
+		pe = 1
+	}
+	return c.Predict(1) / (float64(pe) * c.Predict(pe))
+}
+
+// Scale returns the curve with every coefficient multiplied by s — a pure
+// magnitude correction that preserves the shape.
+func (c Curve) Scale(s float64) Curve {
+	return Curve{A: c.A * s, B: c.B * s, C: c.C * s}
+}
+
+// ScaleTo returns the curve uniformly rescaled so it passes through the
+// observation (pe, t). This is how a single measurement corrects the
+// prior's magnitude while keeping its shape — the paper's model is
+// calibrated to a 2011 testbed, so absolute values are always wrong on the
+// host actually running.
+func (c Curve) ScaleTo(pe int, t float64) Curve {
+	p := c.Predict(pe)
+	if p <= 0 || t <= 0 {
+		return c
+	}
+	return c.Scale(t / p)
+}
+
+// Blend returns the convex combination (1-w)·prior + w·obs, coefficient by
+// coefficient. With w = n/(n+k) for n observations, the prior dominates a
+// cold start and the data takes over as evidence accumulates.
+func Blend(prior, obs Curve, w float64) Curve {
+	if w < 0 {
+		w = 0
+	}
+	if w > 1 {
+		w = 1
+	}
+	return Curve{
+		A: (1-w)*prior.A + w*obs.A,
+		B: (1-w)*prior.B + w*obs.B,
+		C: (1-w)*prior.C + w*obs.C,
+	}
+}
+
+// Sample is one observed per-iteration time: T seconds at PE effective
+// processing elements, weighted W (use 1 when in doubt; the autoscaler
+// weights by how many safe points the measurement averaged over).
+type Sample struct {
+	PE int
+	T  float64
+	W  float64
+}
+
+// Fit least-squares fits the analytic basis {1/p, 1, p} to the samples.
+// With fewer than three distinct PE values the basis degrades gracefully:
+// two distinct PEs fit {1/p, 1} (no coordination term), one fits the pure
+// scaling term {1/p}. ok is false when there are no usable samples or the
+// normal equations are singular.
+func Fit(samples []Sample) (c Curve, ok bool) {
+	distinct := map[int]bool{}
+	var use []Sample
+	for _, s := range samples {
+		if s.PE < 1 || s.T <= 0 {
+			continue
+		}
+		if s.W <= 0 {
+			s.W = 1
+		}
+		distinct[s.PE] = true
+		use = append(use, s)
+	}
+	if len(use) == 0 {
+		return Curve{}, false
+	}
+	k := len(distinct)
+	if k > 3 {
+		k = 3
+	}
+	basis := func(p float64) [3]float64 { return [3]float64{1 / p, 1, p} }
+
+	// Normal equations X'WX β = X'Wy over the first k basis columns.
+	var m [3][4]float64
+	for _, s := range use {
+		x := basis(float64(s.PE))
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				m[i][j] += s.W * x[i] * x[j]
+			}
+			m[i][3] += s.W * x[i] * s.T
+		}
+	}
+	beta, ok := solve(&m, k)
+	if !ok {
+		return Curve{}, false
+	}
+	return Curve{A: beta[0], B: beta[1], C: beta[2]}, true
+}
+
+// solve runs Gaussian elimination with partial pivoting on the k×k system
+// held in the first k rows/columns of m (column 3 is the RHS).
+func solve(m *[3][4]float64, k int) ([3]float64, bool) {
+	var beta [3]float64
+	for col := 0; col < k; col++ {
+		piv := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		m[col], m[piv] = m[piv], m[col]
+		if math.Abs(m[col][col]) < 1e-12 {
+			return beta, false
+		}
+		for r := col + 1; r < k; r++ {
+			f := m[r][col] / m[col][col]
+			for j := col; j <= 3; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	for i := k - 1; i >= 0; i-- {
+		sum := m[i][3]
+		for j := i + 1; j < k; j++ {
+			sum -= m[i][j] * beta[j]
+		}
+		beta[i] = sum / m[i][i]
+	}
+	return beta, true
+}
+
+// EffectivePE exposes the deployment clamp to the autoscaler: threads are
+// confined to one machine, distributed ranks to the whole cluster.
+func (m Model) EffectivePE(pe int, dist bool) int { return m.effectivePE(pe, dist) }
+
+// PriorCurve fits the three-term curve to the calibrated model's own
+// per-iteration predictions for an n×n stencil, giving the autoscaler a
+// shape prior for configurations a run has never visited. The fit samples
+// the model across the deployment's usable PE range.
+func (m Model) PriorCurve(n int, dist bool) Curve {
+	max := m.Top.Cores
+	if dist {
+		max = m.Top.TotalCores()
+	}
+	var samples []Sample
+	for pe := 1; pe <= max; pe++ {
+		samples = append(samples, Sample{PE: pe, T: m.SweepTime(n, pe, dist).Seconds(), W: 1})
+	}
+	c, ok := Fit(samples)
+	if !ok {
+		// Degenerate single-core topology: pure serial curve.
+		return Curve{B: m.SweepTime(n, 1, dist).Seconds()}
+	}
+	return c
+}

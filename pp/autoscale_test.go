@@ -1,0 +1,103 @@
+package pp_test
+
+import (
+	"testing"
+	"time"
+
+	"ppar/pp"
+)
+
+// slowCounter is the pp_test counter with a per-cell delay, so a run lives
+// long enough for the autoscaler's monitor loop to accumulate evidence.
+// (Module-managed fields must be declared directly, so no embedding.)
+type slowCounter struct {
+	Out    []float64
+	Blocks int
+
+	delay time.Duration
+	total *float64
+}
+
+func (c *slowCounter) Main(ctx *pp.Ctx) {
+	ctx.Call("run", c.runSlow)
+	ctx.Call("report", func(ctx *pp.Ctx) {
+		sum := 0.0
+		for _, v := range c.Out {
+			sum += v
+		}
+		*c.total = sum
+	})
+}
+
+func (c *slowCounter) runSlow(ctx *pp.Ctx) {
+	n := len(c.Out)
+	per := n / c.Blocks
+	for b := 0; b < c.Blocks; b++ {
+		lo, hi := b*per, (b+1)*per
+		if b == c.Blocks-1 {
+			hi = n
+		}
+		pp.ForSpan(ctx, "cells", lo, hi, func(a, z int) {
+			for i := a; i < z; i++ {
+				time.Sleep(c.delay)
+				c.Out[i] = float64(i) * float64(i)
+			}
+		})
+		ctx.Call("block", func(*pp.Ctx) {})
+	}
+}
+
+// WithAutoScale end to end through the public API: the autoscaler drives a
+// live Shared run, never exceeds the configured capacity, and the result
+// stays byte-identical to the unadapted computation.
+func TestWithAutoScaleLiveRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live autoscale run")
+	}
+	as := pp.NewAutoScale(pp.AutoScaleConfig{
+		Interval:   2 * time.Millisecond,
+		MinWindows: 2,
+		MoveCost:   time.Millisecond,
+		HorizonSP:  20000,
+		Cooldown:   50 * time.Millisecond,
+		Capacity:   func() (int, int) { return 3, 1 },
+	})
+	var total float64
+	eng, err := pp.New(func() pp.App {
+		return &slowCounter{
+			Out: make([]float64, 4000), Blocks: 800, total: &total,
+			delay: 50 * time.Microsecond,
+		}
+	},
+		pp.WithName("pp-autoscale"),
+		pp.WithMode(pp.Shared),
+		pp.WithThreads(1),
+		pp.WithModules(modules(pp.Shared)...),
+		pp.WithAutoScale(as),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < 4000; i++ {
+		want += float64(i) * float64(i)
+	}
+	if total != want {
+		t.Fatalf("autoscaled total=%v want %v", total, want)
+	}
+	ds := as.Decisions()
+	for _, d := range ds {
+		if d.Target.Threads > 3 {
+			t.Fatalf("decision exceeded capacity: %+v", d)
+		}
+	}
+	if len(ds) == 0 {
+		t.Skip("run finished before the autoscaler warmed up (loaded machine)")
+	}
+	if !eng.Report().Adapted {
+		t.Fatalf("decisions issued but run never adapted: %+v", ds)
+	}
+}

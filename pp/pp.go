@@ -149,6 +149,34 @@
 // involved: migration uses an internal memory store. Report carries the
 // cost split as Migrations and MigrationTotal.
 //
+// # Closed-loop elastic autoscaling
+//
+// WithAutoScale plugs a feedback controller that closes the adaptation
+// loop the paper left manual: it measures the per-safe-point iteration
+// rate from live RunStats, fits per-(Mode,Threads,Procs) time and
+// efficiency curves against the analytic prior (internal/perfmodel,
+// seasoned with the Task executor's queue-pressure counters), and issues
+// a resize or cross-mode migration at a safe point only when the
+// predicted saving over the remaining horizon clears the measured
+// migration cost with hysteresis (confirmation windows + cooldown):
+//
+//	as := pp.NewAutoScale(pp.AutoScaleConfig{
+//		MoveCost: 10 * time.Millisecond,
+//		Capacity: churn.Capacity, // live (threads, procs) ceiling
+//	})
+//	eng, _ := pp.New(factory, pp.WithMode(pp.Shared), pp.WithThreads(8),
+//		pp.WithModules(mods...), pp.WithAutoScale(as))
+//	err := eng.Run()
+//	for _, d := range as.Decisions() { ... } // the audit trail
+//
+// The Capacity feed is the cluster side of the loop: when it drops below
+// the current shape (a node was lost), the very next safe point shrinks
+// the run unconditionally — capacity shrinks bypass every profit gate,
+// because the cores are gone either way — while regrowth after an arrival
+// happens only once the fitted curves say the extra workers pay for the
+// move. Decisions carry the predicted saving, the charged cost and a
+// human-readable reason.
+//
 // # Lifecycle
 //
 // Engine.RunContext(ctx) runs under a context; cancellation maps to a
